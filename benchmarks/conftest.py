@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures and the paper-vs-measured table printer."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+def print_table(title, headers, rows):
+    """Print an aligned paper-vs-measured table (shown with pytest -s)."""
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print("\n== %s ==" % title)
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2024)
+
+
+@pytest.fixture(scope="session")
+def mini_inputs_for():
+    def _make(spec, seed=0):
+        local = np.random.default_rng(seed)
+        return {
+            name: local.uniform(-0.5, 0.5, shape)
+            for name, shape in spec.inputs.items()
+        }
+
+    return _make

@@ -1,0 +1,96 @@
+"""The paper's reported numbers, for paper-vs-measured printing.
+
+Source: ZKML (EuroSys '24), Tables 5-14 and §9.4/§9.5.
+"""
+
+# Table 6: model -> (proving s, verification s, proof bytes) for KZG.
+TABLE6_KZG = {
+    "gpt2": (3651.67, 18.70, 28128),
+    "diffusion": (3600.57, 0.09278, 28704),
+    "twitter": (358.7, 0.02241, 6816),
+    "dlrm": (34.4, 0.01226, 18816),
+    "mobilenet": (1225.5, 0.01767, 17664),
+    "resnet18": (52.9, 0.01184, 15744),
+    "vgg16": (637.14, 0.00962, 12064),
+    "mnist": (2.45, 0.00669, 6560),
+}
+
+# Table 7: same for IPA.
+TABLE7_IPA = {
+    "gpt2": (3949.60, 11.98, 16512),
+    "diffusion": (3658.77, 5.17, 30464),
+    "twitter": (364.9, 2.28, 8448),
+    "dlrm": (30.0, 0.11, 18816),
+    "mobilenet": (1217.6, 3.34, 19360),
+    "resnet18": (46.5, 0.20, 17120),
+    "vgg16": (619.4, 2.49, 17184),
+    "mnist": (2.36, 0.02226, 7680),
+}
+
+# Table 8: model -> (fp32 accuracy %, zkml accuracy %).
+TABLE8_ACCURACY = {
+    "mnist": (99.06, 99.06),
+    "vgg16": (90.36, 90.37),
+    "resnet18": (91.88, 91.87),
+}
+
+# Table 9: system -> (accuracy %, proving s, verification s, proof bytes).
+TABLE9 = {
+    "zkml-resnet18": (91.9, 52.9, 0.012, 15300),
+    "zkml-vgg16": (90.4, 584.1, 0.016, 12100),
+    "zkcnn": (90.3, 88.3, 0.059, 341000),
+    "vcnn": (90.4, 31 * 3600, 20.0, 340),
+}
+
+# Table 10: model -> (optimized s, fixed-config s, improvement %).
+TABLE10_FIXED_CONFIG = {
+    "gpt2": (3651.7, 5952.0, 63),
+    "diffusion": (3600.6, 4989.7, 39),
+    "twitter": (358.7, 464.0, 29),
+    "dlrm": (34.4, 42.4, 23),
+    "mobilenet": (1225.5, 2407.8, 96),
+    "resnet18": (52.9, 74.8, 41),
+    "vgg16": (637.1, 1474.0, 131),
+    "mnist": (2.5, 4.4, 76),
+}
+
+# Table 11: model -> (zkml s, fixed-gadget s, improvement %).
+TABLE11_FIXED_GADGETS = {
+    "mnist": (2.5, 6.2, 148),
+    "dlrm": (34.4, 859.5, 2399),
+    "resnet18": (52.9, 812.6, 1436),
+}
+
+# Table 12: model -> (pruned optimizer s, non-pruned optimizer s).
+TABLE12_PRUNING = {
+    "mnist": (6.3, 9.0),
+    "resnet18": (28.1, 77.5),
+    "gpt2": (185.3, 277.2),
+}
+
+# Table 13: condition -> proving s (single-row vs multi-row gadget mix).
+TABLE13_MULTIROW = {
+    "single-row": 18.55,
+    "multi-row adder": 18.59,
+    "multi-row max": 18.58,
+    "multi-row dot": 18.58,
+}
+
+# Table 14: model -> ((time-opt s, bytes), (size-opt s, bytes)).
+TABLE14_SIZE_OPT = {
+    "mnist": ((2.45, 6560), (2.97, 4800)),
+    "vgg16": ((637.14, 12064), (819.8, 7680)),
+    "resnet18": ((52.9, 15744), (87.3, 6112)),
+    "twitter": ((358.7, 6816), (544.8, 5056)),
+    "dlrm": ((34.4, 18816), (42.2, 6368)),
+}
+
+# §9.4: optimizer vs exhaustive benchmarking speedups.
+SEC94_SPEEDUPS = {
+    "mnist-kzg": 575,
+    "mnist-ipa": 491,
+    "gpt2-kzg": 5900,
+}
+
+# §9.5: Kendall rank correlation of cost estimates vs true proving time.
+SEC95_KENDALL = {"kzg": 0.89, "ipa": 0.88}

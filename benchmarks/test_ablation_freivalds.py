@@ -1,0 +1,58 @@
+"""Ablation: Freivalds' randomized matmul verification (paper §6.1).
+
+The paper describes accelerating linear layers with Freivalds' algorithm
+(verify C = AB against a random vector in O(n^2)).  This bench shows why
+it matters: the optimizer's best layouts with and without the option,
+and the fact that our paper-scale diffusion model does not fit the 2^28
+trusted setup at all without it.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.compiler import LayoutInfeasible
+from repro.model import get_model
+from repro.optimizer import optimize_layout, profile_for_model
+
+MODELS = ("gpt2", "vgg16", "mobilenet", "diffusion")
+
+
+def test_ablation_freivalds(benchmark):
+    rows = []
+    gains = {}
+    for name in MODELS:
+        spec = get_model(name, "paper")
+        hw = profile_for_model(name)
+        with_f = optimize_layout(spec, hw, "kzg", scale_bits=12,
+                                 include_freivalds=True)
+        try:
+            without = optimize_layout(spec, hw, "kzg", scale_bits=12,
+                                      include_freivalds=False)
+            without_s = "%.1f s (2^%d)" % (without.proving_time,
+                                           without.layout.k)
+            gains[name] = without.proving_time / with_f.proving_time
+        except LayoutInfeasible:
+            without_s = "INFEASIBLE (> 2^28 rows)"
+            gains[name] = float("inf")
+        rows.append((
+            name,
+            "%.1f s (2^%d)" % (with_f.proving_time, with_f.layout.k),
+            without_s,
+            "%.1fx" % gains[name] if gains[name] != float("inf") else "inf",
+        ))
+    print_table(
+        "Ablation: Freivalds matmul verification on/off",
+        ("model", "with freivalds", "without", "speedup"),
+        rows,
+    )
+
+    # Freivalds never hurts, meaningfully helps matmul-heavy models, and
+    # is the only way diffusion fits the trusted setup at all
+    assert all(g >= 1.0 for g in gains.values())
+    assert gains["gpt2"] > 1.5
+    assert gains["diffusion"] == float("inf")
+
+    spec = get_model("gpt2", "paper")
+    hw = profile_for_model("gpt2")
+    benchmark(lambda: optimize_layout(spec, hw, "kzg", scale_bits=12,
+                                      include_freivalds=True))

@@ -1,0 +1,68 @@
+"""Ablation: the scale-factor / grid-size coupling (paper §4.1, §5.1).
+
+"Choosing the scale factor appropriately is critical for high
+performance": every extra bit of fixed-point precision doubles the
+pointwise-non-linearity tables, which live in the grid, which can double
+the row count and hence the proving time — while accuracy improves.
+This bench sweeps scale_bits and shows both sides of the trade.
+"""
+
+import numpy as np
+import pytest
+from conftest import print_table
+
+from repro.compiler import build_physical_layout
+from repro.layers.base import LayoutChoices
+from repro.ml import MLPClassifier, synthetic_digits
+from repro.model import get_model, run_fixed
+from repro.optimizer import R6I_8XLARGE, estimate_cost
+
+SCALE_SWEEP = (6, 8, 10, 12, 14)
+
+
+def test_ablation_scale_factor_vs_cost_and_accuracy(benchmark):
+    spec = get_model("mnist", "paper")
+
+    x, y = synthetic_digits(300, seed=6)
+    tx, ty = synthetic_digits(80, seed=66)
+    clf = MLPClassifier([64, 32, 10], seed=3).fit(x, y, epochs=30)
+    acc_spec = clf.to_model_spec("scale-sweep", (8, 8, 1))
+    tx, ty = tx[:40], ty[:40]
+    float_acc = clf.accuracy(tx, ty)
+
+    rows = []
+    costs, table_rows, accs = [], [], []
+    for bits in SCALE_SWEEP:
+        layout = build_physical_layout(spec, LayoutChoices(), 16,
+                                       scale_bits=bits)
+        cost = estimate_cost(layout, R6I_8XLARGE, "kzg").total
+        hits = 0
+        for img, label in zip(tx, ty):
+            out = run_fixed(acc_spec, {"image": img}, bits)
+            hits += int(np.argmax(out[acc_spec.outputs[0]]
+                                  .reshape(-1).astype(np.int64)) == label)
+        acc = hits / len(ty)
+        costs.append(cost)
+        table_rows.append(layout.table_rows)
+        accs.append(acc)
+        rows.append((bits, layout.table_rows, layout.k, "%.1f s" % cost,
+                     "%.1f%%" % (acc * 100)))
+    print_table(
+        "Ablation: scale factor vs table size, proving cost, accuracy "
+        "(float acc %.1f%%)" % (float_acc * 100),
+        ("scale_bits", "table rows", "k", "est. proving", "accuracy"),
+        rows,
+    )
+
+    # tables grow with precision, monotonically
+    assert all(a < b for a, b in zip(table_rows, table_rows[1:]))
+    # proving cost is monotone nondecreasing in precision
+    assert all(a <= b * 1.001 for a, b in zip(costs, costs[1:]))
+    # and the extremes differ materially (the optimizer's incentive)
+    assert costs[-1] > 2 * costs[0]
+    # accuracy at high precision reaches the float model
+    assert accs[-1] >= accs[0]
+    assert abs(accs[-1] - float_acc) <= 0.05
+
+    benchmark(lambda: build_physical_layout(spec, LayoutChoices(), 16,
+                                            scale_bits=10))

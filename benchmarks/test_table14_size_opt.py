@@ -1,0 +1,66 @@
+"""Table 14: runtime-optimized vs size-optimized ZK-SNARKs (§9.4).
+
+Users storing proofs on chain optimize for bytes instead of seconds; the
+optimizer then minimizes columns.  The paper's five smallest models show
+smaller proofs at the cost of 1.2-1.7x proving time.
+"""
+
+import pytest
+from conftest import print_table
+from paper_data import TABLE14_SIZE_OPT
+
+from repro.model import get_model
+from repro.optimizer import optimize_layout, profile_for_model
+
+MODELS = ("mnist", "vgg16", "resnet18", "twitter", "dlrm")
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for name in MODELS:
+        spec = get_model(name, "paper")
+        hw = profile_for_model(name)
+        out[name] = (
+            optimize_layout(spec, hw, "kzg", scale_bits=12, objective="time"),
+            optimize_layout(spec, hw, "kzg", scale_bits=12, objective="size"),
+        )
+    return out
+
+
+def test_table14_runtime_vs_size_objective(benchmark, results):
+    rows = []
+    for name in MODELS:
+        time_opt, size_opt = results[name]
+        (paper_t, paper_tb), (paper_s, paper_sb) = TABLE14_SIZE_OPT[name]
+        rows.append((
+            name,
+            "%.1f s / %d B" % (time_opt.proving_time, time_opt.proof_size),
+            "%.1f s / %d B" % (size_opt.proving_time, size_opt.proof_size),
+            "%.1f s / %d B" % (paper_t, paper_tb),
+            "%.1f s / %d B" % (paper_s, paper_sb),
+        ))
+    print_table(
+        "Table 14: runtime-optimized vs size-optimized",
+        ("model", "time-opt (ours)", "size-opt (ours)",
+         "time-opt (paper)", "size-opt (paper)"),
+        rows,
+    )
+
+    for name in MODELS:
+        time_opt, size_opt = results[name]
+        # the size objective never produces a larger proof
+        assert size_opt.proof_size <= time_opt.proof_size, name
+        # and pays (or at least never gains) proving time
+        assert size_opt.proving_time >= time_opt.proving_time * 0.999, name
+    # at least a few models show the paper's real trade-off
+    tradeoffs = [
+        results[n][1].proving_time / results[n][0].proving_time
+        for n in MODELS
+    ]
+    assert sum(t > 1.05 for t in tradeoffs) >= 3
+
+    spec = get_model("dlrm", "paper")
+    hw = profile_for_model("dlrm")
+    benchmark(lambda: optimize_layout(spec, hw, "kzg", scale_bits=12,
+                                      objective="size"))

@@ -1,0 +1,45 @@
+"""Table 5: models in the evaluation — parameters and flops.
+
+Regenerates the model inventory from the zoo's paper-scale specs and
+compares against the paper's reported counts.
+"""
+
+from conftest import print_table
+from paper_data import TABLE6_KZG
+
+from repro.model import PAPER_TABLE5, get_model, model_names
+
+
+def test_table5_model_statistics(benchmark):
+    specs = {name: get_model(name, "paper") for name in model_names()}
+
+    rows = []
+    for name in ("gpt2", "diffusion", "twitter", "dlrm", "mobilenet",
+                 "resnet18", "vgg16", "mnist"):
+        spec = specs[name]
+        paper_params, paper_flops = PAPER_TABLE5[name]
+        rows.append((
+            name,
+            "{:,}".format(spec.param_count()),
+            "{:,}".format(paper_params),
+            "{:,}".format(spec.flops()),
+            "{:,}".format(paper_flops),
+        ))
+    print_table(
+        "Table 5: model inventory",
+        ("model", "params (ours)", "params (paper)", "flops (ours)",
+         "flops (paper)"),
+        rows,
+    )
+
+    # every model within 25% of the paper's parameter count
+    for name, spec in specs.items():
+        ratio = spec.param_count() / PAPER_TABLE5[name][0]
+        assert 0.75 <= ratio <= 1.25, "%s params off by %.2fx" % (name, ratio)
+
+    # flops ordering: diffusion heaviest, mnist lightest
+    flops = {name: spec.flops() for name, spec in specs.items()}
+    assert max(flops, key=flops.get) == "diffusion"
+    assert min(flops, key=flops.get) == "mnist"
+
+    benchmark(lambda: get_model("resnet18", "paper").flops())

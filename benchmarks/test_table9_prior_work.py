@@ -1,0 +1,81 @@
+"""Table 9: ZKML vs zkCNN and vCNN on CIFAR-10-scale CNNs.
+
+The baselines are analytic models anchored to their published numbers
+(see repro.runtime.baselines).  The claims to reproduce: ZKML proves a
+*higher-accuracy* model (ResNet-18) faster than zkCNN proves VGG-16,
+with ~5x faster verification and ~22x smaller proofs; vCNN is orders of
+magnitude slower to prove but has tiny proofs.
+"""
+
+import pytest
+from conftest import print_table
+from paper_data import TABLE9
+
+from repro.model import get_model
+from repro.runtime import estimate_model, vcnn_estimate, zkcnn_estimate
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    zkml_resnet = estimate_model("resnet18", "kzg", scale_bits=12,
+                                 include_freivalds=True)
+    zkml_vgg = estimate_model("vgg16", "kzg", scale_bits=12,
+                              include_freivalds=True)
+    zkcnn = zkcnn_estimate(get_model("vgg16", "paper"))
+    vcnn = vcnn_estimate(get_model("vgg16", "paper"))
+    return zkml_resnet, zkml_vgg, zkcnn, vcnn
+
+
+def test_table9_prior_work_comparison(benchmark, comparison):
+    zkml_resnet, zkml_vgg, zkcnn, vcnn = comparison
+    rows = [
+        ("ZKML (ResNet-18)", "%.1f s" % zkml_resnet.proving_seconds,
+         "%.4f s" % zkml_resnet.verification_seconds,
+         "%.1f kB" % (zkml_resnet.proof_bytes / 1000),
+         "paper: 52.9 s / 12 ms / 15.3 kB"),
+        ("ZKML (VGG-16)", "%.1f s" % zkml_vgg.proving_seconds,
+         "%.4f s" % zkml_vgg.verification_seconds,
+         "%.1f kB" % (zkml_vgg.proof_bytes / 1000),
+         "paper: 584.1 s / 16 ms / 12.1 kB"),
+        ("zkCNN (VGG-16)", "%.1f s" % zkcnn.proving_seconds,
+         "%.4f s" % zkcnn.verification_seconds,
+         "%.1f kB" % (zkcnn.proof_bytes / 1000),
+         "paper: 88.3 s / 59 ms / 341 kB"),
+        ("vCNN (VGG-16)", "%.0f s" % vcnn.proving_seconds,
+         "%.1f s" % vcnn.verification_seconds,
+         "%.2f kB" % (vcnn.proof_bytes / 1000),
+         "paper: ~31 h / 20 s / 0.34 kB"),
+    ]
+    print_table(
+        "Table 9: ZKML vs prior work (CIFAR-10 CNNs)",
+        ("system", "proving", "verification", "proof", "paper values"),
+        rows,
+    )
+
+    # ZKML's accuracy-matched model (ResNet-18) proves faster than zkCNN
+    assert zkml_resnet.proving_seconds < zkcnn.proving_seconds
+    # ~5x faster verification than zkCNN
+    assert zkml_resnet.verification_seconds < zkcnn.verification_seconds / 5
+    # ~22x smaller proofs than zkCNN
+    assert zkml_resnet.proof_bytes < zkcnn.proof_bytes / 10
+    # vCNN is orders of magnitude slower to prove than everything
+    assert vcnn.proving_seconds > 50 * zkcnn.proving_seconds
+    assert vcnn.proving_seconds > 100 * zkml_resnet.proving_seconds
+    # but vCNN has the smallest proofs (the one metric ZKML loses, §9.2)
+    assert vcnn.proof_bytes < zkml_resnet.proof_bytes
+
+    benchmark(lambda: zkcnn_estimate(get_model("vgg16", "paper")))
+
+
+def test_table2_prior_work_cannot_express_modern_models(benchmark):
+    """Table 2: zkCNN/vCNN support CNNs only; ZKML covers the rest."""
+    from repro.runtime.baselines import UnsupportedModel
+
+    for name in ("gpt2", "twitter", "dlrm", "diffusion"):
+        with pytest.raises(UnsupportedModel):
+            zkcnn_estimate(get_model(name, "paper"))
+        # while ZKML optimizes them fine
+        est = estimate_model(name, "kzg", scale_bits=12,
+                             include_freivalds=True)
+        assert est.proving_seconds > 0
+    benchmark(lambda: get_model("gpt2", "paper").param_count())

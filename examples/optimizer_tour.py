@@ -1,0 +1,37 @@
+"""Tour of the layout optimizer on the paper's eight models.
+
+Reproduces the §9.4 case studies: per-model optimal configurations, the
+KZG/IPA difference, and the time-vs-size objective trade-off.
+
+Run:  python examples/optimizer_tour.py
+"""
+
+from repro.model import get_model, model_names
+from repro.optimizer import optimize_layout, profile_for_model
+
+
+def main():
+    print("%-10s %-4s %-28s %6s %6s %10s %12s"
+          % ("model", "pcs", "plan", "cols", "k", "prove(s)", "proof(B)"))
+    for name in model_names():
+        spec = get_model(name, "paper")
+        hw = profile_for_model(name)
+        for scheme in ("kzg", "ipa"):
+            res = optimize_layout(spec, hw, scheme, scale_bits=12)
+            print("%-10s %-4s %-28s %6d %6d %10.1f %12d"
+                  % (name, scheme, res.layout.plan, res.layout.num_cols,
+                     res.layout.k, res.proving_time, res.proof_size))
+
+    print("\ncase study: GPT-2 objectives (KZG)")
+    spec = get_model("gpt2", "paper")
+    hw = profile_for_model("gpt2")
+    for objective in ("time", "size"):
+        res = optimize_layout(spec, hw, "kzg", scale_bits=12,
+                              objective=objective)
+        print("  %-5s -> %2d cols x 2^%d, %.1f s, %d bytes"
+              % (objective, res.layout.num_cols, res.layout.k,
+                 res.proving_time, res.proof_size))
+
+
+if __name__ == "__main__":
+    main()

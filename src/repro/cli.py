@@ -1,0 +1,198 @@
+"""Command-line interface (the paper's "simple bash interface", §4.1).
+
+Subcommands:
+
+- ``zkml models``                       — list the zoo.
+- ``zkml inspect --model NAME``         — circuit statistics for a model.
+- ``zkml optimize --model NAME``        — run the layout optimizer.
+- ``zkml prove --model NAME``           — prove one inference of a mini
+  model, writing proof/vk artifacts.
+- ``zkml verify --artifact FILE``       — verify a saved proof artifact.
+- ``zkml transpile --flat FILE``        — import a tflite-like flat JSON
+  model and report its circuit statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import sys
+
+import numpy as np
+
+from repro.compiler import build_physical_layout
+from repro.layers.base import LayoutChoices
+from repro.model import get_model, model_names, transpile
+from repro.optimizer import PROFILES
+from repro.runtime import estimate_model, prove_model, verify_model_proof
+
+
+def _cmd_models(args) -> int:
+    for name in model_names():
+        paper = get_model(name, "paper")
+        print("%-10s %12d params %16d flops" % (name, paper.param_count(),
+                                                paper.flops()))
+    return 0
+
+
+def _describe_spec(spec, num_cols: int, scale_bits: int) -> None:
+    layout = build_physical_layout(spec, LayoutChoices(), num_cols,
+                                   scale_bits=scale_bits)
+    print("model:          ", spec.name)
+    print("layers:         ", len(spec.layers))
+    print("parameters:     ", "{:,}".format(spec.param_count()))
+    print("flops:          ", "{:,}".format(spec.flops()))
+    print("grid (at %d cols):" % num_cols,
+          "2^%d rows (%s gadget rows, %s table rows)"
+          % (layout.k, "{:,}".format(layout.gadget_rows),
+             "{:,}".format(layout.table_rows)))
+    print("lookup args:    ", layout.num_lookups)
+    print("selectors:      ", layout.num_selectors)
+    print("fixed columns:  ", layout.num_fixed,
+          "(%d weight columns)" % layout.num_weight_columns)
+    print("constraint deg: ", layout.d_max)
+
+
+def _cmd_inspect(args) -> int:
+    spec = get_model(args.model, args.scale)
+    _describe_spec(spec, args.columns, args.scale_bits)
+    if args.per_layer:
+        from repro.compiler import render_breakdown
+
+        layout = build_physical_layout(spec, LayoutChoices(), args.columns,
+                                       scale_bits=args.scale_bits)
+        print()
+        print(render_breakdown(layout))
+    return 0
+
+
+def _cmd_transpile(args) -> int:
+    with open(args.flat) as f:
+        flat = json.load(f)
+    spec = transpile(flat)
+    print("transpiled %r: %d layers, all kinds supported" %
+          (spec.name, len(spec.layers)))
+    _describe_spec(spec, args.columns, args.scale_bits)
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    hardware = PROFILES[args.hardware] if args.hardware else None
+    est = estimate_model(
+        args.model,
+        scheme_name=args.backend,
+        scale_bits=args.scale_bits,
+        hardware=hardware,
+        objective=args.objective,
+        include_freivalds=args.freivalds,
+    )
+    print("model:        ", est.model)
+    print("backend:      ", est.scheme_name)
+    print("hardware:     ", est.hardware)
+    print("layout:       ", "%d columns x 2^%d rows" % (est.num_cols, est.k))
+    print("plan:         ", est.result.layout.plan)
+    print("est. proving: ", "%.2f s" % est.proving_seconds)
+    print("est. verify:  ", "%.4f s" % est.verification_seconds)
+    print("est. proof:   ", "%d bytes" % est.proof_bytes)
+    print("optimizer ran:", "%.2f s over %d layouts"
+          % (est.optimizer_seconds, len(est.result.candidates)))
+    return 0
+
+
+def _cmd_prove(args) -> int:
+    spec = get_model(args.model, "mini")
+    rng = np.random.default_rng(args.seed)
+    inputs = {
+        name: rng.uniform(-0.5, 0.5, shape)
+        for name, shape in spec.inputs.items()
+    }
+    result = prove_model(spec, inputs, scheme_name=args.backend,
+                         num_cols=args.columns, scale_bits=args.scale_bits)
+    verify_seconds = result.verification_seconds()
+    print("model:       ", result.spec_name)
+    print("backend:     ", result.scheme_name)
+    print("grid:        ", "%d columns x 2^%d rows" % (result.num_cols, result.k))
+    print("keygen:      ", "%.2f s" % result.keygen_seconds)
+    print("proving:     ", "%.2f s" % result.proving_seconds)
+    print("verification:", "%.4f s" % verify_seconds)
+    print("proof size:  ", "%d bytes (modeled)" % result.modeled_proof_bytes)
+    if args.out:
+        with open(args.out, "wb") as f:
+            pickle.dump(
+                {"vk": result.vk, "proof": result.proof,
+                 "instance": result.instance,
+                 "scheme": result.scheme_name}, f,
+            )
+        print("artifact:    ", args.out)
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    with open(args.artifact, "rb") as f:
+        artifact = pickle.load(f)
+    ok = verify_model_proof(artifact["vk"], artifact["proof"],
+                            artifact["instance"], artifact["scheme"])
+    print("verification:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="zkml",
+        description="ZKML: an optimizing compiler from ML models to "
+                    "ZK-SNARK circuits (EuroSys '24 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list zoo models").set_defaults(
+        func=_cmd_models)
+
+    inspect = sub.add_parser("inspect", help="circuit statistics for a model")
+    inspect.add_argument("--model", required=True, choices=model_names())
+    inspect.add_argument("--scale", default="paper", choices=["paper", "mini"])
+    inspect.add_argument("--columns", type=int, default=16)
+    inspect.add_argument("--scale-bits", type=int, default=8)
+    inspect.add_argument("--per-layer", action="store_true",
+                         help="print the per-layer row budget")
+    inspect.set_defaults(func=_cmd_inspect)
+
+    transpile_cmd = sub.add_parser(
+        "transpile", help="import a tflite-like flat JSON model")
+    transpile_cmd.add_argument("--flat", required=True)
+    transpile_cmd.add_argument("--columns", type=int, default=16)
+    transpile_cmd.add_argument("--scale-bits", type=int, default=8)
+    transpile_cmd.set_defaults(func=_cmd_transpile)
+
+    opt = sub.add_parser("optimize", help="optimize a circuit layout")
+    opt.add_argument("--model", required=True, choices=model_names())
+    opt.add_argument("--backend", default="kzg", choices=["kzg", "ipa"])
+    opt.add_argument("--objective", default="time", choices=["time", "size"])
+    opt.add_argument("--scale-bits", type=int, default=12)
+    opt.add_argument("--hardware", choices=sorted(PROFILES), default=None)
+    opt.add_argument("--freivalds", action="store_true",
+                     help="allow the Freivalds matmul layout")
+    opt.set_defaults(func=_cmd_optimize)
+
+    prove = sub.add_parser("prove", help="prove a mini-model inference")
+    prove.add_argument("--model", required=True, choices=model_names())
+    prove.add_argument("--backend", default="kzg", choices=["kzg", "ipa"])
+    prove.add_argument("--columns", type=int, default=10)
+    prove.add_argument("--scale-bits", type=int, default=5)
+    prove.add_argument("--seed", type=int, default=0)
+    prove.add_argument("--out", default=None, help="artifact output path")
+    prove.set_defaults(func=_cmd_prove)
+
+    verify = sub.add_parser("verify", help="verify a proof artifact")
+    verify.add_argument("--artifact", required=True)
+    verify.set_defaults(func=_cmd_verify)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""IPA-style backend.
+
+The inner-product-argument backend is transparent (no trusted setup) but
+pays for it: openings are O(log n) group elements and verification costs
+O(n) group operations (§4.3, §9.2).  Our simulation has no degree bound
+and models that envelope.
+"""
+
+from __future__ import annotations
+
+from repro.commit.scheme import SCALAR_BYTES, CommitmentScheme
+
+
+class IPAScheme(CommitmentScheme):
+    """IPA-sim: transparent, O(log n) openings, O(n)-group-op verification."""
+
+    name = "ipa"
+    requires_trusted_setup = False
+
+    def extra_msms(self, d_max: int) -> int:
+        # n_MSM = n_FFT + d_max for IPA (§7.4): one more than KZG because the
+        # evaluation proof itself needs an extra MSM.
+        return d_max
+
+    def opening_proof_bytes(self, k: int) -> int:
+        # log-round folding: two group elements per round plus the final
+        # scalar pair.
+        return 2 * k * SCALAR_BYTES + 2 * SCALAR_BYTES
+
+    def verifier_group_ops(self, k: int) -> int:
+        # The verifier recomputes the folded generator: O(n) group ops.
+        return 1 << k

@@ -1,0 +1,69 @@
+"""Binary Merkle tree over byte leaves (blake2b-256)."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def _hash_leaf(data: bytes) -> bytes:
+    return hashlib.blake2b(_LEAF_PREFIX + data, digest_size=32).digest()
+
+
+def _hash_node(left: bytes, right: bytes) -> bytes:
+    return hashlib.blake2b(_NODE_PREFIX + left + right, digest_size=32).digest()
+
+
+class MerkleTree:
+    """A Merkle tree with authentication paths.
+
+    Leaves are arbitrary byte strings; the leaf count is padded to a power
+    of two by repeating a fixed empty-leaf digest.
+    """
+
+    def __init__(self, leaves: Sequence[bytes]):
+        if not leaves:
+            raise ValueError("Merkle tree needs at least one leaf")
+        self.num_leaves = len(leaves)
+        n = 1
+        while n < len(leaves):
+            n <<= 1
+        level = [_hash_leaf(leaf) for leaf in leaves]
+        level += [_hash_leaf(b"")] * (n - len(leaves))
+        self._levels: List[List[bytes]] = [level]
+        while len(level) > 1:
+            level = [
+                _hash_node(level[i], level[i + 1]) for i in range(0, len(level), 2)
+            ]
+            self._levels.append(level)
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    def open(self, index: int) -> List[bytes]:
+        """Authentication path (sibling hashes, leaf level first)."""
+        if not 0 <= index < self.num_leaves:
+            raise IndexError("leaf index %d out of range" % index)
+        path = []
+        for level in self._levels[:-1]:
+            path.append(level[index ^ 1])
+            index >>= 1
+        return path
+
+
+def verify_merkle_path(
+    root: bytes, index: int, leaf: bytes, path: Sequence[bytes]
+) -> bool:
+    """Check an authentication path against a root."""
+    node = _hash_leaf(leaf)
+    for sibling in path:
+        if index & 1:
+            node = _hash_node(sibling, node)
+        else:
+            node = _hash_node(node, sibling)
+        index >>= 1
+    return node == root

@@ -1,0 +1,112 @@
+"""Common polynomial-commitment interface.
+
+Both backends commit by hashing the coefficient vector (binding) and open
+by revealing it (the simulated analogue of a PCS opening witness — see the
+package docstring).  What distinguishes the backends is the *modeled*
+performance envelope: proof bytes per object, MSM counts, and verifier
+work, which follow the paper's halo2 accounting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.field.poly import poly_eval
+from repro.field.prime_field import PrimeField
+
+#: Size of one commitment (a compressed curve point on BN254) in bytes.
+COMMITMENT_BYTES = 32
+#: Size of one field element in a serialized proof, in bytes.
+SCALAR_BYTES = 32
+
+
+@dataclass(frozen=True)
+class Commitment:
+    """A binding commitment to a polynomial (32-byte digest)."""
+
+    digest: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.digest) != COMMITMENT_BYTES:
+            raise ValueError("commitment digest must be 32 bytes")
+
+
+@dataclass(frozen=True)
+class OpeningProof:
+    """An opening of a committed polynomial at a point.
+
+    ``witness`` is the revealed coefficient vector — the simulation stand-in
+    for the KZG quotient witness / IPA folding rounds.
+    """
+
+    point: int
+    value: int
+    witness: Tuple[int, ...]
+
+
+def _serialize_coeffs(coeffs: Sequence[int]) -> bytes:
+    return b"".join(c.to_bytes(32, "little") for c in coeffs)
+
+
+class CommitmentScheme:
+    """Base class for the KZG-sim and IPA-sim backends."""
+
+    #: Backend name used by the CLI, optimizer, and reports.
+    name = "abstract"
+    #: Whether a trusted setup is required (True for KZG).
+    requires_trusted_setup = False
+
+    def __init__(self, field: PrimeField):
+        self.field = field
+
+    # -- real (simulated-crypto) operations --------------------------------
+
+    def commit(self, coeffs: Sequence[int]) -> Commitment:
+        """Commit to a coefficient vector."""
+        self._check_degree(len(coeffs))
+        digest = hashlib.blake2b(
+            self.name.encode() + _serialize_coeffs(coeffs), digest_size=32
+        ).digest()
+        return Commitment(digest)
+
+    def open(self, coeffs: Sequence[int], point: int) -> OpeningProof:
+        """Open a committed polynomial at ``point``."""
+        value = poly_eval(self.field, coeffs, point)
+        return OpeningProof(point=point, value=value, witness=tuple(coeffs))
+
+    def verify_opening(self, commitment: Commitment, proof: OpeningProof) -> bool:
+        """Check that an opening is consistent with the commitment."""
+        if self.commit(proof.witness).digest != commitment.digest:
+            return False
+        return poly_eval(self.field, proof.witness, proof.point) == proof.value
+
+    def _check_degree(self, length: int) -> None:
+        """Hook for backends with bounded setups (KZG)."""
+
+    # -- modeled accounting (paper cost-model inputs) -----------------------
+
+    def extra_msms(self, d_max: int) -> int:
+        """MSMs beyond n_FFT for quotient evaluation proofs (§7.4)."""
+        raise NotImplementedError
+
+    def opening_proof_bytes(self, k: int) -> int:
+        """Serialized size of one multiopen argument at 2^k rows."""
+        raise NotImplementedError
+
+    def verifier_group_ops(self, k: int) -> int:
+        """Group operations the verifier performs for the PCS check."""
+        raise NotImplementedError
+
+
+def scheme_by_name(name: str, field: PrimeField) -> CommitmentScheme:
+    """Instantiate a backend by name ('kzg' or 'ipa')."""
+    from repro.commit.ipa import IPAScheme
+    from repro.commit.kzg import KZGScheme
+
+    if name == "kzg":
+        return KZGScheme(field)
+    if name == "ipa":
+        return IPAScheme(field)
+    raise KeyError("unknown commitment scheme %r; available: ipa, kzg" % name)

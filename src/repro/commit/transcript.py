@@ -1,0 +1,53 @@
+"""Fiat–Shamir transcript.
+
+Prover and verifier both run a transcript; as long as they absorb the same
+messages in the same order they derive identical challenges, which is what
+makes the proof non-interactive.  We hash with blake2b and derive field
+elements by rejection-free reduction (the bias from reducing a 512-bit
+digest mod a <=256-bit prime is negligible).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.field.prime_field import PrimeField
+
+
+class Transcript:
+    """An absorb/squeeze transcript over a prime field."""
+
+    def __init__(self, field: PrimeField, label: bytes = b"zkml"):
+        self.field = field
+        self._state = hashlib.blake2b(label).digest()
+        self._counter = 0
+
+    def _absorb(self, data: bytes) -> None:
+        self._state = hashlib.blake2b(self._state + data).digest()
+
+    def append_message(self, label: bytes, message: bytes) -> None:
+        """Absorb an arbitrary byte string under a domain-separation label."""
+        self._absorb(b"msg:" + label + b":" + len(message).to_bytes(8, "little"))
+        self._absorb(message)
+
+    def append_scalar(self, label: bytes, scalar: int) -> None:
+        """Absorb a field element."""
+        self.append_message(label, scalar.to_bytes(32, "little"))
+
+    def append_commitment(self, label: bytes, digest: bytes) -> None:
+        """Absorb a commitment digest."""
+        self.append_message(label, digest)
+
+    def challenge_scalar(self, label: bytes) -> int:
+        """Squeeze a field-element challenge."""
+        self._absorb(b"chal:" + label + b":" + self._counter.to_bytes(8, "little"))
+        self._counter += 1
+        wide = hashlib.blake2b(self._state, digest_size=64).digest()
+        return int.from_bytes(wide, "little") % self.field.p
+
+    def challenge_nonzero(self, label: bytes) -> int:
+        """Squeeze a challenge guaranteed nonzero (e.g. evaluation points)."""
+        while True:
+            c = self.challenge_scalar(label)
+            if c != 0:
+                return c

@@ -1,0 +1,48 @@
+"""The ZKML compiler: logical layouts, physical layouts, model synthesis."""
+
+from repro.compiler.gadget_census import (
+    constraint_degree,
+    layer_gadgets,
+    lookups_for_gadget,
+    tables_for_gadget,
+)
+from repro.compiler.logical import (
+    LayoutPlan,
+    generate_logical_layouts,
+    model_families,
+)
+from repro.compiler.physical import (
+    MIN_COLUMNS,
+    LayoutInfeasible,
+    PhysicalLayout,
+    build_physical_layout,
+)
+from repro.compiler.visualize import render_breakdown, render_row_map
+from repro.compiler.layouter import (
+    BatchSynthesizedModel,
+    SynthesizedModel,
+    check_against_reference,
+    synthesize_batch,
+    synthesize_model,
+)
+
+__all__ = [
+    "LayoutPlan",
+    "generate_logical_layouts",
+    "model_families",
+    "PhysicalLayout",
+    "build_physical_layout",
+    "LayoutInfeasible",
+    "MIN_COLUMNS",
+    "SynthesizedModel",
+    "synthesize_model",
+    "BatchSynthesizedModel",
+    "synthesize_batch",
+    "check_against_reference",
+    "render_breakdown",
+    "render_row_map",
+    "layer_gadgets",
+    "lookups_for_gadget",
+    "tables_for_gadget",
+    "constraint_degree",
+]

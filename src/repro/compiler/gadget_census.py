@@ -1,0 +1,149 @@
+"""Gadget census: which gadget instances a layer configures, and how many
+lookup arguments / selectors / fixed columns each contributes.
+
+The physical-layout simulator needs the exact circuit *shape* (lookup
+count, selector count, constraint degree) without synthesizing the
+witness.  This module mirrors each gadget's ``_configure`` bookkeeping;
+``tests/compiler`` asserts it matches a real synthesis exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+from repro.layers.base import Layer, LayoutChoices
+
+#: A gadget instance key: (gadget name, distinguishing param or None).
+GadgetKey = Tuple[str, object]
+
+
+def layer_gadgets(layer: Layer, choices: LayoutChoices, scale_bits: int,
+                  input_shapes) -> Set[GadgetKey]:
+    """The gadget instances a layer's synthesize() will configure."""
+    kind = layer.kind
+    sf = 1 << scale_bits
+    arith_dot = choices.arithmetic == "dotprod"
+
+    if kind in ("add",):
+        return {("dot_prod_bias", None)} if arith_dot else {("add", None)}
+    if kind == "sub":
+        return {("dot_prod_bias", None)} if arith_dot else {("sub", None)}
+    if kind == "mul":
+        if arith_dot:
+            return {("dot_prod", None), ("div_round_const", sf)}
+        return {("mul", None)}
+    if kind == "square":
+        if arith_dot:
+            return {("dot_prod", None), ("div_round_const", sf)}
+        return {("square", None)}
+    if kind == "squared_difference":
+        if arith_dot:
+            return {("dot_prod_bias", None), ("dot_prod", None),
+                    ("div_round_const", sf)}
+        return {("squared_diff", None)}
+    if kind == "div":
+        return {("scale_const", sf), ("var_div", None)}
+    if kind == "reduce_sum":
+        return {("sum", None)}
+    if kind == "reduce_mean":
+        count = layer._count(input_shapes[0])
+        return {("sum", None), ("div_round_const", count)}
+    if kind in ("fully_connected", "conv2d", "batch_matmul",
+                "depthwise_conv2d"):
+        out = {("div_round_const", sf)}
+        if choices.linear == "dot_sum":
+            out |= {("dot_prod", None), ("sum", None)}
+        elif choices.linear == "freivalds" and kind != "depthwise_conv2d":
+            out |= {("dot_prod_bias", None)}
+            if kind != "batch_matmul":
+                out |= {("add", None)}  # bias.r folded into the check
+        else:
+            out |= {("dot_prod_bias", None)}
+        return out
+    if kind == "max_pool2d":
+        return {("max", None)}
+    if kind == "avg_pool2d":
+        return {("sum", None), ("div_round_const", layer.pool * layer.pool)}
+    if kind == "global_avg_pool":
+        h, w, _ = input_shapes[0]
+        return {("sum", None), ("div_round_const", h * w)}
+    if kind == "softmax":
+        from repro.layers.softmax import needs_wide_division
+
+        classes = input_shapes[0][-1]
+        vdiv = ("var_div_wide" if needs_wide_division(classes, scale_bits)
+                else "var_div")
+        return {("max", None), ("sub", None), ("pointwise", "exp"),
+                ("sum", None), ("scale_const", sf), (vdiv, None)}
+    if kind == "batch_norm":
+        return {("mul", None), ("add", None)}
+    if kind == "layer_norm":
+        length = input_shapes[0][-1]
+        return {("sum", None), ("div_round_const", length), ("sub", None),
+                ("square", None), ("pointwise", "rsqrt"), ("mul", None),
+                ("add", None)}
+    if kind == "rms_norm":
+        length = input_shapes[0][-1]
+        return {("square", None), ("sum", None),
+                ("div_round_const", length), ("pointwise", "rsqrt"),
+                ("mul", None), ("add", None)}
+    if kind in ("reshape", "flatten", "transpose", "squeeze", "expand_dims",
+                "concat", "slice", "pad", "gather", "identity", "split"):
+        return set()
+    # pointwise activations
+    from repro.gadgets.nonlinear import NONLINEAR_FUNCTIONS
+
+    if kind in NONLINEAR_FUNCTIONS:
+        if kind == "relu" and choices.relu == "bitdecomp":
+            return {("bit_decomp_relu", choices.relu_bits)}
+        return {("pointwise", kind)}
+    raise KeyError("no gadget census for layer kind %r" % kind)
+
+
+def lookups_for_gadget(key: GadgetKey, num_cols: int) -> int:
+    """Lookup arguments the gadget's _configure declares (exact mirror)."""
+    name, param = key
+    if name == "mul":
+        return num_cols // 4
+    if name == "square":
+        return num_cols // 3
+    if name == "squared_diff":
+        return num_cols // 4
+    if name == "div_round_const":
+        return num_cols // 3
+    if name == "pointwise":
+        return num_cols // 2
+    if name == "max":
+        return 2 * (num_cols // 3)
+    if name == "var_div":
+        return 2 * (num_cols // 4)
+    if name == "var_div_wide":
+        return 4 * (num_cols // 7)
+    return 0
+
+
+def tables_for_gadget(key: GadgetKey, scale_bits: int,
+                      lookup_bits: int) -> Set[Tuple[str, int]]:
+    """Fixed lookup tables the gadget instantiates (kind, bound/bits)."""
+    name, param = key
+    if name in ("mul", "square", "squared_diff"):
+        return {("range", 2 << scale_bits)}
+    if name == "div_round_const":
+        return {("range", 2 * int(param))}
+    if name in ("max", "var_div", "var_div_wide"):
+        return {("range", 1 << lookup_bits)}
+    if name == "pointwise":
+        return {("nl", param)}
+    return set()
+
+
+def constraint_degree(gadget_keys: Iterable[GadgetKey]) -> int:
+    """Maximum effective constraint degree of the circuit.
+
+    Every gadget gate is degree <= 2 before the selector, so gates reach
+    degree 3; any lookup pushes d_max to 4 (selector-gated inputs have
+    degree 2, so the LogUp helper constraint is 1 + 2 + 1).
+    """
+    keys = set(gadget_keys)
+    has_lookup = any(lookups_for_gadget(k, 12) > 0 for k in keys)
+    return 4 if has_lookup else 3

@@ -1,0 +1,211 @@
+"""Model synthesis: lay a whole model out as a circuit.
+
+Walks the graph in topological order, quantizes inputs and parameters,
+and calls each layer's ``synthesize``.  The resulting builder holds the
+complete grid (gadget rows, lookup tables, copy constraints), ready for
+keygen/prove.  Requires a materialized model (mini-scale); paper-scale
+models are costed analytically via :mod:`repro.compiler.physical`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.compiler.logical import LayoutPlan
+from repro.compiler.physical import PhysicalLayout, build_physical_layout
+from repro.gadgets import CircuitBuilder
+from repro.layers.base import LayoutChoices
+from repro.model.executor import run_fixed
+from repro.model.spec import ModelSpec
+from repro.tensor import Tensor
+
+
+@dataclass
+class SynthesizedModel:
+    """A fully laid-out model circuit plus its tensors."""
+
+    spec: ModelSpec
+    layout: PhysicalLayout
+    builder: CircuitBuilder
+    inputs: Dict[str, Tensor]
+    outputs: Dict[str, Tensor]
+
+    def output_values(self) -> Dict[str, np.ndarray]:
+        return {name: t.values() for name, t in self.outputs.items()}
+
+
+def synthesize_model(
+    spec: ModelSpec,
+    inputs: Dict[str, np.ndarray],
+    plan=None,
+    num_cols: int = 10,
+    scale_bits: int = 5,
+    lookup_bits: Optional[int] = None,
+    k: Optional[int] = None,
+) -> SynthesizedModel:
+    """Lay the model out on a grid and fill in the witness.
+
+    ``k`` defaults to the physical-layout simulator's minimal feasible
+    grid; passing a larger ``k`` reproduces fixed-configuration ablations.
+    """
+    if not spec.materialized:
+        raise ValueError(
+            "model %r has shape-only parameters; use a mini-scale model"
+            % spec.name
+        )
+    if plan is None:
+        plan = LayoutPlan(LayoutChoices())
+    elif isinstance(plan, LayoutChoices):
+        plan = LayoutPlan(plan)
+    layout = build_physical_layout(spec, plan, num_cols, scale_bits,
+                                   lookup_bits)
+    k = k if k is not None else layout.k
+    builder = CircuitBuilder(k=k, num_cols=num_cols, scale_bits=scale_bits,
+                             lookup_bits=layout.lookup_bits)
+    fp = builder.fp
+
+    values: Dict[str, Tensor] = {}
+    input_tensors: Dict[str, Tensor] = {}
+    for name, arr in inputs.items():
+        tensor = Tensor.from_values(fp.encode_array(np.asarray(arr)))
+        values[name] = tensor
+        input_tensors[name] = tensor
+    missing = set(spec.inputs) - set(inputs)
+    if missing:
+        raise ValueError("missing model inputs: %s" % sorted(missing))
+
+    from repro.compiler.physical import resolve_choices
+
+    for layer_spec in spec.layers:
+        layer = layer_spec.layer()
+        choices = resolve_choices(plan.for_layer(layer_spec.name),
+                                  layout.lookup_bits)
+        args = [values[i] for i in layer_spec.inputs]
+        quantized = layer.quantize_params(
+            {k_: np.asarray(v) for k_, v in layer_spec.params.items()}, fp
+        )
+        params = {
+            k_: Tensor.from_entries(
+                builder.weight_entries(np.asarray(v, dtype=object)
+                                       .reshape(-1)),
+                np.shape(v),
+            )
+            for k_, v in quantized.items()
+        }
+        values[layer_spec.name] = layer.synthesize(builder, args, params,
+                                                   choices)
+
+    outputs = {name: values[name] for name in spec.outputs}
+    return SynthesizedModel(spec=spec, layout=layout, builder=builder,
+                            inputs=input_tensors, outputs=outputs)
+
+
+def check_against_reference(result: SynthesizedModel,
+                            raw_inputs: Dict[str, np.ndarray]) -> None:
+    """Assert the circuit output equals the fixed-point executor exactly."""
+    reference = run_fixed(result.spec, raw_inputs,
+                          result.builder.scale_bits)
+    for name, tensor in result.outputs.items():
+        got = tensor.values()
+        want = np.asarray(reference[name], dtype=object)
+        if got.shape != want.shape or any(
+            got[idx] != want[idx] for idx in np.ndindex(got.shape)
+        ):
+            raise AssertionError(
+                "circuit output %r disagrees with fixed-point reference" % name
+            )
+
+
+def synthesize_batch(
+    spec: ModelSpec,
+    batch_inputs,
+    plan=None,
+    num_cols: int = 10,
+    scale_bits: int = 5,
+    lookup_bits: Optional[int] = None,
+    k: Optional[int] = None,
+) -> "BatchSynthesizedModel":
+    """Lay out several inferences of one model in a single circuit.
+
+    Weights are materialized once (in the vk-committed fixed columns) and
+    the lookup tables are shared, so proving a batch amortizes everything
+    but the per-inference gadget rows — the shape an audit log wants.
+    """
+    if not spec.materialized:
+        raise ValueError(
+            "model %r has shape-only parameters; use a mini-scale model"
+            % spec.name
+        )
+    if not batch_inputs:
+        raise ValueError("batch must contain at least one input set")
+    if plan is None:
+        plan = LayoutPlan(LayoutChoices())
+    elif isinstance(plan, LayoutChoices):
+        plan = LayoutPlan(plan)
+    layout = build_physical_layout(spec, plan, num_cols, scale_bits,
+                                   lookup_bits)
+    if k is None:
+        import math
+
+        needed = max(layout.gadget_rows * len(batch_inputs),
+                     layout.table_rows, 2)
+        k = max(int(math.ceil(math.log2(needed))), layout.lookup_bits + 1)
+    builder = CircuitBuilder(k=k, num_cols=num_cols, scale_bits=scale_bits,
+                             lookup_bits=layout.lookup_bits)
+    fp = builder.fp
+
+    from repro.compiler.physical import resolve_choices
+
+    # quantize and place the parameters once; every inference copies from
+    # the same fixed cells
+    shared_params: Dict[str, Dict[str, Tensor]] = {}
+    for layer_spec in spec.layers:
+        layer = layer_spec.layer()
+        quantized = layer.quantize_params(
+            {k_: np.asarray(v) for k_, v in layer_spec.params.items()}, fp
+        )
+        shared_params[layer_spec.name] = {
+            k_: Tensor.from_entries(
+                builder.weight_entries(
+                    np.asarray(v, dtype=object).reshape(-1)),
+                np.shape(v),
+            )
+            for k_, v in quantized.items()
+        }
+
+    all_outputs = []
+    for inputs in batch_inputs:
+        missing = set(spec.inputs) - set(inputs)
+        if missing:
+            raise ValueError("missing model inputs: %s" % sorted(missing))
+        values: Dict[str, Tensor] = {
+            name: Tensor.from_values(fp.encode_array(np.asarray(arr)))
+            for name, arr in inputs.items()
+        }
+        for layer_spec in spec.layers:
+            layer = layer_spec.layer()
+            choices = resolve_choices(plan.for_layer(layer_spec.name),
+                                      layout.lookup_bits)
+            args = [values[i] for i in layer_spec.inputs]
+            values[layer_spec.name] = layer.synthesize(
+                builder, args, shared_params[layer_spec.name], choices)
+        all_outputs.append({name: values[name] for name in spec.outputs})
+
+    return BatchSynthesizedModel(spec=spec, layout=layout, builder=builder,
+                                 outputs=all_outputs)
+
+
+@dataclass
+class BatchSynthesizedModel:
+    """A circuit holding several inferences of the same model."""
+
+    spec: ModelSpec
+    layout: PhysicalLayout
+    builder: CircuitBuilder
+    outputs: list
+
+    def output_values(self, index: int) -> Dict[str, np.ndarray]:
+        return {name: t.values() for name, t in self.outputs[index].items()}

@@ -1,0 +1,195 @@
+"""Physical circuit layouts: row-exact simulation of a circuit's shape.
+
+Given a model, a logical layout (gadget choices), and a column count, a
+:class:`PhysicalLayout` computes *exactly* how many rows the grid needs
+(gadget rows and lookup-table rows), the number of lookup arguments,
+selectors, permutation columns, and the maximum constraint degree — all
+the inputs the cost model (paper §7.4) needs, without ever allocating a
+witness.  Because the number of rows must be a power of two, the layout
+also fixes the minimal feasible ``k`` (paper §7.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.compiler.gadget_census import (
+    constraint_degree,
+    layer_gadgets,
+    lookups_for_gadget,
+    tables_for_gadget,
+)
+from repro.compiler.logical import LayoutPlan
+from repro.layers.base import LayoutChoices
+from repro.model.spec import ModelSpec
+
+#: Columns the size-objective minimum uses (paper §9.4: "the minimum
+#: number of columns, which is 10 for our gadgets").
+MIN_COLUMNS = 10
+
+
+class LayoutInfeasible(ValueError):
+    """The layout cannot fit any supported grid (k beyond the setup)."""
+
+
+def default_lookup_bits(spec: ModelSpec, scale_bits: int) -> int:
+    """Default lookup-table width for a model's value ranges.
+
+    This is the paper's §5.1 coupling: lookup tables live in the grid, so
+    the ranges flowing into non-linearities bound the fixed-point
+    precision and, through the table size, the grid size.  Divisors that
+    outgrow the table (softmax sums over many classes) switch to the
+    limb-decomposed VarDivWide gadget instead of inflating the table.
+    """
+    return scale_bits + 3
+
+
+@dataclass
+class PhysicalLayout:
+    """One concrete circuit shape for a (model, choices, columns) triple."""
+
+    spec: ModelSpec
+    plan: LayoutPlan
+    num_cols: int
+    scale_bits: int
+    lookup_bits: int
+    k: int
+    gadget_rows: int
+    table_rows: int
+    per_layer_rows: Dict[str, int]
+    gadget_keys: Set[Tuple[str, object]]
+    num_lookups: int
+    num_fixed: int
+    num_selectors: int
+    d_max: int
+
+    @property
+    def n(self) -> int:
+        return 1 << self.k
+
+    @property
+    def num_advice(self) -> int:
+        return self.num_cols
+
+    @property
+    def num_instance(self) -> int:
+        return max(len(self.spec.inputs), 1)
+
+    #: fixed columns holding model parameters (set by the builder pass)
+    num_weight_columns: int = 0
+
+    @property
+    def num_permutation_columns(self) -> int:
+        # every advice column is equality-enabled, plus the constant column
+        # and the weight columns (parameters are copy-constrained from
+        # fixed cells, so they join the permutation argument)
+        return self.num_cols + 1 + self.num_weight_columns
+
+    def describe(self) -> str:
+        return (
+            "%s: %d cols x 2^%d rows (%d gadget rows, %d table rows), "
+            "%d lookups, d_max=%d, plan=%s"
+            % (self.spec.name, self.num_cols, self.k, self.gadget_rows,
+               self.table_rows, self.num_lookups, self.d_max, self.plan)
+        )
+
+
+def resolve_choices(choices: LayoutChoices, lookup_bits: int) -> LayoutChoices:
+    """Pin derived knobs: a bit-decomposition ReLU must cover the same
+    value range as the lookup tables, so its width follows lookup_bits."""
+    if choices.relu == "bitdecomp" and choices.relu_bits != lookup_bits + 1:
+        return choices.replace(relu_bits=lookup_bits + 1)
+    return choices
+
+
+def build_physical_layout(
+    spec: ModelSpec,
+    plan,
+    num_cols: int,
+    scale_bits: int,
+    lookup_bits: Optional[int] = None,
+    max_k: int = 28,
+) -> PhysicalLayout:
+    """Simulate the circuit shape and pick the minimal feasible k.
+
+    ``plan`` is a :class:`LayoutPlan` or a bare :class:`LayoutChoices`
+    (treated as a uniform plan).  ``max_k`` defaults to the trusted
+    setup's 2^28 bound (§4.3).
+    """
+    if isinstance(plan, LayoutChoices):
+        plan = LayoutPlan(plan)
+    if num_cols < 5:
+        raise ValueError("need at least 5 columns for the gadget set")
+    if lookup_bits is None:
+        lookup_bits = default_lookup_bits(spec, scale_bits)
+
+    input_shapes = spec.layer_input_shapes()
+    per_layer_rows: Dict[str, int] = {}
+    gadget_keys: Set[Tuple[str, object]] = set()
+    tables: Set[Tuple[str, object]] = set()
+    for layer_spec in spec.layers:
+        layer = layer_spec.layer()
+        shapes = input_shapes[layer_spec.name]
+        choices = resolve_choices(plan.for_layer(layer_spec.name),
+                                  lookup_bits)
+        try:
+            per_layer_rows[layer_spec.name] = layer.count_rows(
+                num_cols, shapes, choices, scale_bits
+            )
+        except ValueError as exc:
+            raise LayoutInfeasible(
+                "%s at %d columns: %s" % (layer_spec.name, num_cols, exc)
+            ) from exc
+        keys = layer_gadgets(layer, choices, scale_bits, shapes)
+        gadget_keys |= keys
+        for key in keys:
+            tables |= tables_for_gadget(key, scale_bits, lookup_bits)
+
+    gadget_rows = sum(per_layer_rows.values())
+    table_rows = 0
+    num_fixed = 1  # the shared constants column
+    for kind, param in tables:
+        if kind == "nl":
+            table_rows = max(table_rows, (1 << lookup_bits) + 1)
+            num_fixed += 2
+        else:
+            table_rows = max(table_rows, int(param) + 1)
+            num_fixed += 1
+
+    num_lookups = sum(
+        lookups_for_gadget(key, num_cols) for key in gadget_keys
+    )
+    num_selectors = len(gadget_keys)
+    d_max = constraint_degree(gadget_keys)
+
+    needed = max(gadget_rows, table_rows, 2)
+    k = max(int(math.ceil(math.log2(needed))), lookup_bits + 1)
+    if k > max_k:
+        raise LayoutInfeasible(
+            "%s needs 2^%d rows at %d columns, beyond the 2^%d setup"
+            % (spec.name, k, num_cols, max_k)
+        )
+
+    # model parameters live in fixed columns (the vk commits to them)
+    num_weight_columns = -(-spec.param_count() // (1 << k)) if spec.param_count() else 0
+    num_fixed += num_weight_columns
+
+    return PhysicalLayout(
+        spec=spec,
+        plan=plan,
+        num_cols=num_cols,
+        scale_bits=scale_bits,
+        lookup_bits=lookup_bits,
+        k=k,
+        gadget_rows=gadget_rows,
+        table_rows=table_rows,
+        per_layer_rows=per_layer_rows,
+        gadget_keys=gadget_keys,
+        num_lookups=num_lookups,
+        num_fixed=num_fixed,
+        num_selectors=num_selectors,
+        d_max=d_max,
+        num_weight_columns=num_weight_columns,
+    )

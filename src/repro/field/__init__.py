@@ -1,0 +1,41 @@
+"""Finite-field substrate: prime fields, polynomials, NTTs, evaluation domains.
+
+The paper's halo2 backend works over the BN254 scalar field.  We default to
+the Goldilocks field (2^64 - 2^32 + 1) for speed — it has two-adicity 32,
+ample for every circuit size the optimizer considers — and keep BN254-Fr
+available for parity with the paper.  All field elements are plain Python
+ints in ``[0, p)``; a :class:`PrimeField` instance supplies the operations.
+"""
+
+from repro.field.prime_field import (
+    BN254_FR,
+    GOLDILOCKS,
+    PrimeField,
+    field_by_name,
+)
+from repro.field.domain import EvaluationDomain
+from repro.field.ntt import intt, ntt
+from repro.field.poly import (
+    poly_add,
+    poly_divmod,
+    poly_eval,
+    poly_mul,
+    poly_scale,
+    poly_sub,
+)
+
+__all__ = [
+    "BN254_FR",
+    "GOLDILOCKS",
+    "PrimeField",
+    "field_by_name",
+    "EvaluationDomain",
+    "ntt",
+    "intt",
+    "poly_add",
+    "poly_sub",
+    "poly_mul",
+    "poly_scale",
+    "poly_eval",
+    "poly_divmod",
+]

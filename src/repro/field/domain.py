@@ -1,0 +1,96 @@
+"""Evaluation domains for Plonkish circuits.
+
+A circuit with ``2^k`` rows is interpolated over the multiplicative
+subgroup of order ``2^k``.  The quotient argument additionally needs an
+*extended* coset domain whose size covers the constraint degree, exactly as
+in halo2: ``k' = k + ceil(log2(d_max - 1))``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.field.ntt import coset_intt, coset_ntt, intt, ntt
+from repro.field.prime_field import PrimeField
+
+
+class EvaluationDomain:
+    """The multiplicative subgroup of order ``2^k`` plus coset machinery."""
+
+    def __init__(self, field: PrimeField, k: int, max_degree: int = 3):
+        if k < 0:
+            raise ValueError("k must be nonnegative")
+        if max_degree < 2:
+            raise ValueError("max constraint degree must be at least 2")
+        self.field = field
+        self.k = k
+        self.n = 1 << k
+        self.omega = field.root_of_unity(k)
+        # Extension factor: smallest power of two >= max_degree - 1, so that
+        # degree (max_degree * (n-1)) polynomials fit on the extended domain.
+        ext = 1
+        while ext < max_degree - 1:
+            ext <<= 1
+        self.extension = max(ext, 2)
+        self.extended_k = k + self.extension.bit_length() - 1
+        self.extended_n = 1 << self.extended_k
+        self.extended_omega = field.root_of_unity(self.extended_k)
+        # Coset shift: the field generator keeps the coset disjoint from the
+        # base subgroup, so the vanishing polynomial never hits zero on it.
+        self.coset_shift = field.generator
+
+    # -- transforms ---------------------------------------------------------
+
+    def lagrange_to_coeff(self, evals: Sequence[int]) -> List[int]:
+        """Interpolate evaluations over the base domain into coefficients."""
+        if len(evals) != self.n:
+            raise ValueError("expected %d evaluations, got %d" % (self.n, len(evals)))
+        return intt(self.field, evals, self.omega)
+
+    def coeff_to_lagrange(self, coeffs: Sequence[int]) -> List[int]:
+        """Evaluate a coefficient vector over the base domain."""
+        padded = list(coeffs) + [0] * (self.n - len(coeffs))
+        if len(padded) != self.n:
+            raise ValueError("polynomial degree exceeds domain size")
+        return ntt(self.field, padded, self.omega)
+
+    def coeff_to_extended(self, coeffs: Sequence[int]) -> List[int]:
+        """Evaluate a coefficient vector over the extended coset domain."""
+        padded = list(coeffs) + [0] * (self.extended_n - len(coeffs))
+        if len(padded) != self.extended_n:
+            raise ValueError("polynomial degree exceeds extended domain size")
+        return coset_ntt(self.field, padded, self.extended_omega, self.coset_shift)
+
+    def extended_to_coeff(self, evals: Sequence[int]) -> List[int]:
+        """Interpolate extended-coset evaluations back to coefficients."""
+        if len(evals) != self.extended_n:
+            raise ValueError(
+                "expected %d evaluations, got %d" % (self.extended_n, len(evals))
+            )
+        return coset_intt(self.field, evals, self.extended_omega, self.coset_shift)
+
+    # -- vanishing polynomial ------------------------------------------------
+
+    def vanishing_eval(self, x: int) -> int:
+        """Evaluate ``Z_H(X) = X^n - 1`` at a point."""
+        return self.field.sub(self.field.pow(x, self.n), 1)
+
+    def vanishing_on_extended(self) -> List[int]:
+        """Evaluations of ``Z_H`` over the extended coset (all nonzero)."""
+        field = self.field
+        shift_n = field.pow(self.coset_shift, self.n)
+        omega_ext_n = field.pow(self.extended_omega, self.n)
+        out = []
+        acc = shift_n
+        for _ in range(self.extended_n):
+            out.append(field.sub(acc, 1))
+            acc = field.mul(acc, omega_ext_n)
+        return out
+
+    def rotate(self, x: int, rotation: int) -> int:
+        """Multiply a point by ``omega^rotation`` (for shifted openings)."""
+        if rotation >= 0:
+            return self.field.mul(x, self.field.pow(self.omega, rotation))
+        return self.field.mul(
+            x, self.field.inv(self.field.pow(self.omega, -rotation))
+        )

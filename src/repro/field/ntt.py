@@ -1,0 +1,95 @@
+"""Radix-2 number-theoretic transforms over a prime field.
+
+The prover converts columns between coefficient and evaluation form with
+these transforms; the optimizer's cost model charges ``t_FFT(k)`` for each.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.field.prime_field import PrimeField
+
+
+def _bit_reverse_permute(values: List[int]) -> None:
+    n = len(values)
+    j = 0
+    for i in range(1, n):
+        bit = n >> 1
+        while j & bit:
+            j ^= bit
+            bit >>= 1
+        j |= bit
+        if i < j:
+            values[i], values[j] = values[j], values[i]
+
+
+def ntt(field: PrimeField, values: Sequence[int], root: int) -> List[int]:
+    """Forward NTT of a power-of-two-length vector.
+
+    Args:
+        field: The field to work in.
+        values: Coefficients (length must be a power of two).
+        root: A primitive n-th root of unity for ``n = len(values)``.
+
+    Returns:
+        Evaluations at ``root^0, root^1, ..., root^(n-1)``.
+    """
+    n = len(values)
+    if n & (n - 1):
+        raise ValueError("NTT length must be a power of two, got %d" % n)
+    out = list(values)
+    if n == 1:
+        return out
+    _bit_reverse_permute(out)
+    p = field.p
+    length = 2
+    while length <= n:
+        w_step = pow(root, n // length, p)
+        half = length >> 1
+        for start in range(0, n, length):
+            w = 1
+            for i in range(start, start + half):
+                u = out[i]
+                v = out[i + half] * w % p
+                s = u + v
+                out[i] = s - p if s >= p else s
+                d = u - v
+                out[i + half] = d + p if d < 0 else d
+                w = w * w_step % p
+        length <<= 1
+    return out
+
+
+def intt(field: PrimeField, values: Sequence[int], root: int) -> List[int]:
+    """Inverse NTT; exact inverse of :func:`ntt` with the same root."""
+    n = len(values)
+    inv_root = field.inv(root)
+    out = ntt(field, values, inv_root)
+    inv_n = field.inv(n)
+    p = field.p
+    return [v * inv_n % p for v in out]
+
+
+def coset_ntt(field: PrimeField, values: Sequence[int], root: int, shift: int) -> List[int]:
+    """Evaluate a coefficient vector on the coset ``shift * <root>``."""
+    p = field.p
+    shifted = []
+    power = 1
+    for v in values:
+        shifted.append(v * power % p)
+        power = power * shift % p
+    return ntt(field, shifted, root)
+
+
+def coset_intt(field: PrimeField, values: Sequence[int], root: int, shift: int) -> List[int]:
+    """Inverse of :func:`coset_ntt`."""
+    coeffs = intt(field, values, root)
+    p = field.p
+    inv_shift = field.inv(shift)
+    out = []
+    power = 1
+    for c in coeffs:
+        out.append(c * power % p)
+        power = power * inv_shift % p
+    return out

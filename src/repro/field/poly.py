@@ -1,0 +1,136 @@
+"""Dense polynomial arithmetic in coefficient form.
+
+Polynomials are Python lists of field elements, index ``i`` holding the
+coefficient of ``X^i``.  Trailing zeros are permitted; :func:`poly_trim`
+normalizes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.field.ntt import intt, ntt
+from repro.field.prime_field import PrimeField
+
+
+def poly_trim(coeffs: Sequence[int]) -> List[int]:
+    """Drop trailing zero coefficients (the zero polynomial becomes [])."""
+    out = list(coeffs)
+    while out and out[-1] == 0:
+        out.pop()
+    return out
+
+
+def poly_degree(coeffs: Sequence[int]) -> int:
+    """Degree of the polynomial; -1 for the zero polynomial."""
+    return len(poly_trim(coeffs)) - 1
+
+
+def poly_add(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    n = max(len(a), len(b))
+    out = [0] * n
+    for i, c in enumerate(a):
+        out[i] = c
+    for i, c in enumerate(b):
+        out[i] = field.add(out[i], c)
+    return out
+
+
+def poly_sub(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    n = max(len(a), len(b))
+    out = [0] * n
+    for i, c in enumerate(a):
+        out[i] = c
+    for i, c in enumerate(b):
+        out[i] = field.sub(out[i], c)
+    return out
+
+
+def poly_scale(field: PrimeField, a: Sequence[int], s: int) -> List[int]:
+    p = field.p
+    return [c * s % p for c in a]
+
+
+def poly_mul(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Polynomial product; NTT-based when the result is large."""
+    a = poly_trim(a)
+    b = poly_trim(b)
+    if not a or not b:
+        return []
+    result_len = len(a) + len(b) - 1
+    if result_len <= 64:
+        p = field.p
+        out = [0] * result_len
+        for i, ca in enumerate(a):
+            if ca == 0:
+                continue
+            for j, cb in enumerate(b):
+                out[i + j] = (out[i + j] + ca * cb) % p
+        return out
+    k = (result_len - 1).bit_length()
+    n = 1 << k
+    root = field.root_of_unity(k)
+    fa = ntt(field, list(a) + [0] * (n - len(a)), root)
+    fb = ntt(field, list(b) + [0] * (n - len(b)), root)
+    p = field.p
+    prod = [x * y % p for x, y in zip(fa, fb)]
+    return intt(field, prod, root)[:result_len]
+
+
+def poly_eval(field: PrimeField, coeffs: Sequence[int], x: int) -> int:
+    """Evaluate by Horner's rule."""
+    acc = 0
+    p = field.p
+    for c in reversed(coeffs):
+        acc = (acc * x + c) % p
+    return acc
+
+
+def poly_divmod(
+    field: PrimeField, a: Sequence[int], b: Sequence[int]
+) -> Tuple[List[int], List[int]]:
+    """Quotient and remainder of polynomial long division."""
+    a = poly_trim(a)
+    b = poly_trim(b)
+    if not b:
+        raise ZeroDivisionError("polynomial division by zero")
+    if len(a) < len(b):
+        return [], a
+    p = field.p
+    rem = list(a)
+    quot = [0] * (len(a) - len(b) + 1)
+    inv_lead = field.inv(b[-1])
+    for i in range(len(quot) - 1, -1, -1):
+        coeff = rem[i + len(b) - 1] * inv_lead % p
+        quot[i] = coeff
+        if coeff:
+            for j, bc in enumerate(b):
+                rem[i + j] = (rem[i + j] - coeff * bc) % p
+    return quot, poly_trim(rem)
+
+
+def divide_by_vanishing(
+    field: PrimeField, coeffs: Sequence[int], n: int
+) -> List[int]:
+    """Divide by ``X^n - 1``; raises ValueError if not divisible.
+
+    Used by the prover to form the quotient polynomial: a constraint
+    polynomial vanishing on the whole domain is a multiple of the domain's
+    vanishing polynomial.
+    """
+    a = poly_trim(coeffs)
+    if not a:
+        return []
+    p = field.p
+    quot = [0] * max(len(a) - n, 0)
+    rem = list(a)
+    # X^n - 1 division: q[i] = rem[i + n]; rem[i] += q[i]
+    for i in range(len(rem) - n - 1, -1, -1):
+        c = rem[i + n]
+        if c:
+            quot[i] = c
+            rem[i] = (rem[i] + c) % p
+            rem[i + n] = 0
+    if poly_trim(rem[:n]):
+        raise ValueError("polynomial is not divisible by X^%d - 1" % n)
+    return quot

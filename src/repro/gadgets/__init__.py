@@ -1,0 +1,64 @@
+"""ZKML gadgets: efficient single-row constraint templates (paper §5).
+
+Gadgets fall into four categories:
+
+1. *Shape operations* — free, implemented on :class:`repro.tensor.Tensor`.
+2. *Arithmetic operations* — Add, Sub, Mul, Square, SquaredDiff, Sum,
+   DotProd (with and without bias), Div/DivRound by constants (Table 4).
+3. *Pointwise non-linearities* — lookup-table gadgets for ReLU, sigmoid,
+   tanh, exp, ELU, GELU, and friends; plus the bit-decomposition ReLU
+   alternative that trades rows for tables.
+4. *Specialized operations* — the maximum operator, scaled exponential,
+   and variable rounded division (the softmax building blocks).
+
+Every constraint lives within a single row (§4.2, "future-proofing");
+Table 13's multi-row comparison gadgets live in
+:mod:`repro.gadgets.multirow`.
+"""
+
+from repro.gadgets.base import Gadget, gadget_registry
+from repro.gadgets.builder import CircuitBuilder
+from repro.gadgets.arithmetic import (
+    AddGadget,
+    DivRoundConstGadget,
+    MulGadget,
+    ScaleConstGadget,
+    SquareGadget,
+    SquaredDiffGadget,
+    SubGadget,
+    SumGadget,
+)
+from repro.gadgets.dotprod import DotProdBiasGadget, DotProdGadget
+from repro.gadgets.nonlinear import NONLINEAR_FUNCTIONS, PointwiseGadget
+from repro.gadgets.special import MaxGadget, VarDivGadget, VarDivWideGadget
+from repro.gadgets.bitdecomp import BitDecompReluGadget
+from repro.gadgets.multirow import (
+    MultiRowAddGadget,
+    MultiRowDotGadget,
+    MultiRowMaxGadget,
+)
+
+__all__ = [
+    "Gadget",
+    "gadget_registry",
+    "CircuitBuilder",
+    "AddGadget",
+    "SubGadget",
+    "MulGadget",
+    "SquareGadget",
+    "SquaredDiffGadget",
+    "SumGadget",
+    "DivRoundConstGadget",
+    "ScaleConstGadget",
+    "DotProdGadget",
+    "DotProdBiasGadget",
+    "PointwiseGadget",
+    "NONLINEAR_FUNCTIONS",
+    "MaxGadget",
+    "VarDivGadget",
+    "VarDivWideGadget",
+    "BitDecompReluGadget",
+    "MultiRowAddGadget",
+    "MultiRowMaxGadget",
+    "MultiRowDotGadget",
+]

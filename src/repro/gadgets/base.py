@@ -1,0 +1,81 @@
+"""Gadget base class and registry.
+
+A gadget is a single-row constraint template.  It declares its selector
+and constraints once per circuit (``configure``), knows how many logical
+operations fit in one row at a given column count (``slots_per_row`` —
+the quantity the physical-layout simulator uses to count rows), and can
+lay out one row of operations (``assign_row``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Sequence, Type
+
+from repro.tensor import Entry
+
+if TYPE_CHECKING:
+    from repro.gadgets.builder import CircuitBuilder
+
+#: name -> gadget class, for the optimizer's logical-layout enumeration.
+gadget_registry: Dict[str, Type["Gadget"]] = {}
+
+
+class Gadget:
+    """Base class for single-row gadgets."""
+
+    #: Registry key; subclasses must override.
+    name = "abstract"
+    #: Number of grid cells one logical operation consumes.
+    cells_per_op = 0
+
+    def __init__(self, builder: "CircuitBuilder"):
+        self.builder = builder
+        self.selector = builder.cs.selector()
+        self._configure()
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        if cls.name != "abstract":
+            gadget_registry[cls.name] = cls
+
+    # -- static shape (used by the physical-layout simulator) ----------------
+
+    @classmethod
+    def slots_per_row(cls, num_cols: int) -> int:
+        """How many logical operations fit in one row of ``num_cols``."""
+        if cls.cells_per_op <= 0:
+            raise NotImplementedError
+        return max(num_cols // cls.cells_per_op, 0)
+
+    @classmethod
+    def rows_for_ops(cls, num_ops: int, num_cols: int) -> int:
+        """Rows needed to lay out ``num_ops`` operations."""
+        slots = cls.slots_per_row(num_cols)
+        if slots == 0:
+            raise ValueError(
+                "%s needs at least %d columns, got %d"
+                % (cls.name, cls.cells_per_op, num_cols)
+            )
+        return -(-num_ops // slots)
+
+    # -- circuit-time behaviour ------------------------------------------------
+
+    def _configure(self) -> None:
+        """Declare this gadget's gate(s) and lookup(s); called once."""
+        raise NotImplementedError
+
+    def assign_row(self, ops: Sequence[Sequence[Entry]]) -> List[Entry]:
+        """Lay out up to ``slots_per_row`` operations in a fresh row.
+
+        ``ops`` is a list of per-op input entry tuples; returns one output
+        entry per op.
+        """
+        raise NotImplementedError
+
+    def assign_many(self, ops: Sequence[Sequence[Entry]]) -> List[Entry]:
+        """Lay out any number of operations, filling rows greedily."""
+        slots = self.slots_per_row(self.builder.num_cols)
+        outputs: List[Entry] = []
+        for start in range(0, len(ops), slots):
+            outputs.extend(self.assign_row(ops[start : start + slots]))
+        return outputs

@@ -1,0 +1,98 @@
+"""Bit-decomposition ReLU (paper §3's alternative representation).
+
+Instead of a lookup table, decompose x into ``bits`` two's-complement
+bits with boolean polynomial constraints, then gate the output on the
+sign bit: ``y = (1 - sign) * x``.  Costs ``bits + 2`` cells per ReLU but
+needs no lookup table — cheaper when a model does very few ReLUs, and
+exactly the trade-off the optimizer weighs (paper §3's toy example).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.halo2.expression import Constant, Expression, Ref
+from repro.gadgets.base import Gadget
+from repro.tensor import Entry
+
+
+class BitDecompReluGadget(Gadget):
+    """y = ReLU(x) via two's-complement bit decomposition."""
+
+    name = "bit_decomp_relu"
+    cells_per_op = 0  # depends on bits; see slots_per_row
+
+    def __init__(self, builder, bits: int = 8):
+        if bits < 2:
+            raise ValueError("need at least 2 bits (value + sign)")
+        self.bits = bits
+        super().__init__(builder)
+
+    @classmethod
+    def slots_for(cls, num_cols: int, bits: int) -> int:
+        return num_cols // (bits + 2)
+
+    def slots_per_row_instance(self) -> int:
+        return self.slots_for(self.builder.num_cols, self.bits)
+
+    @classmethod
+    def rows_for_ops_bits(cls, num_ops: int, num_cols: int, bits: int) -> int:
+        slots = cls.slots_for(num_cols, bits)
+        if slots == 0:
+            raise ValueError("row too narrow for %d-bit decomposition" % bits)
+        return -(-num_ops // slots)
+
+    def _configure(self) -> None:
+        b = self.builder
+        bits = self.bits
+        slots = self.slots_per_row_instance()
+        if slots == 0:
+            raise ValueError(
+                "bit_decomp_relu with %d bits needs %d columns, got %d"
+                % (bits, bits + 2, b.num_cols)
+            )
+        constraints = []
+        for slot in range(slots):
+            base = slot * (bits + 2)
+            x = Ref(b.columns[base])
+            y = Ref(b.columns[base + 1])
+            bit_refs = [Ref(b.columns[base + 2 + i]) for i in range(bits)]
+            for bit in bit_refs:
+                constraints.append(bit * bit - bit)
+            magnitude: Expression = Constant(0)
+            for i in range(bits - 1):
+                magnitude = magnitude + Constant(1 << i) * bit_refs[i]
+            sign = bit_refs[bits - 1]
+            constraints.append(x - magnitude + Constant(1 << (bits - 1)) * sign)
+            constraints.append(y - (Constant(1) - sign) * magnitude)
+        b.cs.create_gate("bit_decomp_relu/%d" % bits, constraints,
+                         selector=self.selector)
+
+    def assign_row(self, ops: Sequence[Sequence[Entry]]) -> List[Entry]:
+        b = self.builder
+        bits = self.bits
+        half = 1 << (bits - 1)
+        row = b.alloc_row(self.selector)
+        outputs = []
+        for slot, (x,) in enumerate(ops):
+            if not -half <= x.value < half:
+                raise ValueError(
+                    "value %d does not fit in %d-bit two's complement"
+                    % (x.value, bits)
+                )
+            base = slot * (bits + 2)
+            b.place(row, base, x)
+            unsigned = x.value & ((1 << bits) - 1)
+            y = max(x.value, 0)
+            outputs.append(b.new_entry(y, row, base + 1))
+            for i in range(bits):
+                b.new_entry((unsigned >> i) & 1, row, base + 2 + i)
+        return outputs
+
+    def apply_vector(self, values: Sequence[Entry]) -> List[Entry]:
+        slots = self.slots_per_row_instance()
+        ops = [(v,) for v in values]
+        outputs: List[Entry] = []
+        for start in range(0, len(ops), slots):
+            outputs.extend(self.assign_row(ops[start : start + slots]))
+        return outputs

@@ -1,0 +1,289 @@
+"""CircuitBuilder: the synthesis context gadgets lay rows into.
+
+The builder owns the shared advice columns (the grid width the optimizer
+chose), a row cursor, the lookup tables (pointwise non-linearity tables
+and range tables, each living in its own fixed columns), and a cache of
+constant cells.  Gadget instances are cached so each gadget type declares
+its selector, gate, and lookups exactly once per circuit.
+
+Lookup-table convention: inputs are gated as ``sel * (x + OFFSET)`` with
+``OFFSET`` placing every valid entry at a nonzero value, and each table
+carries an all-zero default row.  Rows not using the gadget therefore
+look up the default tuple, while active rows can only hit real entries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+from repro.field.prime_field import GOLDILOCKS, PrimeField
+from repro.halo2 import Assignment, ConstraintSystem, MockProver, Ref
+from repro.halo2.column import Column
+from repro.quantize import FixedPoint
+from repro.tensor import Cell, Entry
+
+
+class NonlinearTable:
+    """A two-column lookup table enumerating a pointwise function.
+
+    Covers fixed-point inputs in ``[-2^(bits-1), 2^(bits-1))``; the input
+    column stores ``x + OFFSET`` with ``OFFSET = 2^(bits-1) + 1`` so valid
+    entries are the nonzero values ``1 .. 2^bits``.
+    """
+
+    def __init__(self, builder: "CircuitBuilder", fn_name: str,
+                 fn: Callable[[float], float]):
+        self.fn_name = fn_name
+        self.bits = builder.lookup_bits
+        self.offset = (1 << (self.bits - 1)) + 1
+        self.in_col = builder.cs.fixed_column()
+        self.out_col = builder.cs.fixed_column()
+        fp = builder.fp
+        size = 1 << self.bits
+        if size + 1 > builder.asg.n:
+            raise ValueError(
+                "nonlinear table needs %d rows but grid has %d"
+                % (size + 1, builder.asg.n)
+            )
+        self._map: Dict[int, int] = {}
+        half = size >> 1
+        from repro.gadgets.nonlinear import fixed_eval
+
+        for row in range(size):
+            x = row - half
+            y = fixed_eval(fn_name, x, fp)
+            self._map[x] = y
+            builder.asg.assign_fixed(self.in_col, row, x + self.offset)
+            builder.asg.assign_fixed(self.out_col, row, y)
+        for row in range(size, builder.asg.n):
+            builder.asg.assign_fixed(self.in_col, row, 0)
+            builder.asg.assign_fixed(self.out_col, row, 0)
+
+    def apply(self, x: int) -> int:
+        """The table's exact output for a fixed-point input."""
+        try:
+            return self._map[x]
+        except KeyError:
+            raise ValueError(
+                "input %d outside the %d-bit table range of %r"
+                % (x, self.bits, self.fn_name)
+            ) from None
+
+
+class RangeTable:
+    """A one-column table of ``v + 1`` for ``v in [0, bound)`` plus a zero
+    default row; lookup inputs are gated as ``sel * (expr + 1)``."""
+
+    def __init__(self, builder: "CircuitBuilder", bound: int):
+        if bound < 1:
+            raise ValueError("range bound must be positive")
+        if bound + 1 > builder.asg.n:
+            raise ValueError(
+                "range table [0, %d) needs %d rows but grid has %d"
+                % (bound, bound + 1, builder.asg.n)
+            )
+        self.bound = bound
+        self.col = builder.cs.fixed_column()
+        for row in range(bound):
+            builder.asg.assign_fixed(self.col, row, row + 1)
+        for row in range(bound, builder.asg.n):
+            builder.asg.assign_fixed(self.col, row, 0)
+
+
+class CircuitBuilder:
+    """Synthesis context: grid columns, row cursor, tables, constants."""
+
+    def __init__(
+        self,
+        k: int,
+        num_cols: int,
+        scale_bits: int,
+        lookup_bits: Optional[int] = None,
+        field: PrimeField = GOLDILOCKS,
+    ):
+        if num_cols < 3:
+            raise ValueError("gadgets need at least 3 columns")
+        self.field = field
+        self.k = k
+        self.num_cols = num_cols
+        self.scale_bits = scale_bits
+        self.fp = FixedPoint(scale_bits)
+        self.lookup_bits = lookup_bits if lookup_bits is not None else k - 1
+        if self.lookup_bits < 1:
+            raise ValueError("lookup_bits must be at least 1")
+        self.cs = ConstraintSystem(field)
+        self.columns: List[Column] = []
+        for _ in range(num_cols):
+            col = self.cs.advice_column()
+            self.cs.enable_equality(col)
+            self.columns.append(col)
+        self.asg = Assignment(self.cs, k)
+        self._row = 0
+        self._gadgets: Dict[Tuple, object] = {}
+        self._nl_tables: Dict[str, NonlinearTable] = {}
+        self._range_tables: Dict[int, RangeTable] = {}
+        self._const_col = self.cs.fixed_column()
+        self.cs.enable_equality(self._const_col)
+        self._const_cache: Dict[int, Entry] = {}
+        self._const_row = 0
+        self._weight_col = None
+        self._weight_row = 0
+
+    # -- gadgets -----------------------------------------------------------------
+
+    def gadget(self, cls: Type, **params):
+        """Get (or lazily configure) a gadget instance; cached per params."""
+        key = (cls, tuple(sorted(params.items())))
+        inst = self._gadgets.get(key)
+        if inst is None:
+            inst = cls(self, **params) if params else cls(self)
+            self._gadgets[key] = inst
+        return inst
+
+    # -- rows ---------------------------------------------------------------------
+
+    @property
+    def rows_used(self) -> int:
+        return self._row
+
+    def alloc_row(self, selector: Column) -> int:
+        """Claim the next free row and enable a selector on it."""
+        row = self._row
+        if row >= self.asg.n:
+            raise ValueError(
+                "circuit overflow: needs more than 2^%d rows" % self.k
+            )
+        self.asg.enable_selector(selector, row)
+        self._row += 1
+        return row
+
+    def alloc_row_unselected(self) -> int:
+        """Claim the next free row without enabling any selector (the
+        continuation row of a multi-row gadget)."""
+        row = self._row
+        if row >= self.asg.n:
+            raise ValueError(
+                "circuit overflow: needs more than 2^%d rows" % self.k
+            )
+        self._row += 1
+        return row
+
+    def place(self, row: int, col_idx: int, entry: Entry) -> Cell:
+        """Write an entry's value into a cell.
+
+        The first placement materializes the entry (the cell becomes its
+        home); later placements copy-constrain back to that home, so every
+        reuse of a value is sound.
+        """
+        column = self.columns[col_idx]
+        self.asg.assign_advice(column, row, entry.value)
+        cell = Cell(column, row)
+        if entry.cell is None:
+            entry.cell = cell
+        else:
+            self.asg.copy(entry.cell.column, entry.cell.row, column, row)
+        return cell
+
+    def new_entry(self, value: int, row: int, col_idx: int) -> Entry:
+        """Create and place a fresh (output) entry."""
+        entry = Entry(value)
+        self.place(row, col_idx, entry)
+        return entry
+
+    # -- constants & tables -----------------------------------------------------------
+
+    def constant(self, value: int) -> Entry:
+        """A shared, copy-constrainable constant cell (fixed column)."""
+        entry = self._const_cache.get(value)
+        if entry is None:
+            if self._const_row >= self.asg.n:
+                raise ValueError("constant column overflow")
+            self.asg.assign_fixed(self._const_col, self._const_row, value)
+            entry = Entry(value, Cell(self._const_col, self._const_row))
+            self._const_cache[value] = entry
+            self._const_row += 1
+        return entry
+
+    def zero(self) -> Entry:
+        return self.constant(0)
+
+    def nonlinear_table(self, fn_name: str) -> NonlinearTable:
+        table = self._nl_tables.get(fn_name)
+        if table is None:
+            from repro.gadgets.nonlinear import NONLINEAR_FUNCTIONS
+
+            fn = NONLINEAR_FUNCTIONS[fn_name]
+            table = NonlinearTable(self, fn_name, fn)
+            self._nl_tables[fn_name] = table
+        return table
+
+    def range_table(self, bound: int) -> RangeTable:
+        table = self._range_tables.get(bound)
+        if table is None:
+            table = RangeTable(self, bound)
+            self._range_tables[bound] = table
+        return table
+
+    def selector_ref(self, selector: Column) -> Ref:
+        return Ref(selector)
+
+    # -- checking -----------------------------------------------------------------------
+
+    def mock_check(self) -> None:
+        """Run the MockProver and raise on any constraint violation."""
+        MockProver(self.cs, self.asg).assert_satisfied()
+
+    # -- stats (mirrored by the physical-layout simulator) ---------------------------------
+
+    def table_rows_needed(self) -> int:
+        """Rows the largest lookup table in this circuit requires."""
+        rows = 0
+        if self._nl_tables:
+            rows = max((1 << t.bits) + 1 for t in self._nl_tables.values())
+        for t in self._range_tables.values():
+            rows = max(rows, t.bound + 1)
+        return rows
+
+    def min_k(self) -> int:
+        """Smallest k whose grid fits both gadget rows and tables."""
+        needed = max(self.rows_used, self.table_rows_needed(), 1)
+        return max(int(math.ceil(math.log2(needed))), 1)
+
+    def expose(self, entries) -> None:
+        """Expose entries as public inputs (a fresh instance column).
+
+        Each value is copied into an instance column cell, so the verifier
+        sees exactly the values the circuit computed — this is how model
+        outputs become part of the statement being proven.
+        """
+        column = self.cs.instance_column()
+        self.cs.enable_equality(column)
+        for row, entry in enumerate(entries):
+            if row >= self.asg.n:
+                raise ValueError("too many public values for the grid")
+            if entry.cell is None:
+                raise ValueError("cannot expose an unplaced entry")
+            self.asg.assign_instance(column, row, entry.value)
+            self.asg.copy(entry.cell.column, entry.cell.row, column, row)
+
+    def weight_entries(self, values) -> List[Entry]:
+        """Materialize model parameters in dedicated fixed columns.
+
+        Weights live in fixed columns so they are baked into the
+        verifying key at keygen: the vk digest is then a binding
+        commitment to the model, and proving/verifying keys are
+        model-specific (paper §8).  Gadgets that consume a weight add a
+        copy constraint back to its fixed cell.
+        """
+        out: List[Entry] = []
+        for value in values:
+            if self._weight_row >= self.asg.n or self._weight_col is None:
+                self._weight_col = self.cs.fixed_column()
+                self.cs.enable_equality(self._weight_col)
+                self._weight_row = 0
+            value = int(value)
+            self.asg.assign_fixed(self._weight_col, self._weight_row, value)
+            out.append(Entry(value, Cell(self._weight_col, self._weight_row)))
+            self._weight_row += 1
+        return out

@@ -1,0 +1,30 @@
+"""Column kinds of the Plonkish grid.
+
+- *advice*: private witness values assigned by the prover.
+- *fixed*: circuit constants baked in at keygen (lookup tables live here).
+- *instance*: public inputs shared with the verifier.
+- *selector*: 0/1 fixed columns that switch gates on per row.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ColumnType(enum.Enum):
+    ADVICE = "advice"
+    FIXED = "fixed"
+    INSTANCE = "instance"
+    SELECTOR = "selector"
+
+
+@dataclass(frozen=True, order=True)
+class Column:
+    """A column of the grid, identified by kind and per-kind index."""
+
+    kind: ColumnType
+    index: int
+
+    def __repr__(self) -> str:
+        return "%s[%d]" % (self.kind.value, self.index)

@@ -1,0 +1,224 @@
+"""Constraint-expression AST.
+
+Expressions are built with Python operators over :class:`Ref` (a column at
+a row rotation) and :class:`Constant`.  The tree knows its polynomial
+degree (a column reference is degree 1) and can evaluate itself either on
+a concrete grid row (MockProver), pointwise on a domain (quotient
+computation), or symbolically from a dict of opened values (verifier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.field.prime_field import PrimeField
+from repro.halo2.column import Column
+
+
+class Expression:
+    """Base class; supports +, -, *, unary -, and scaling by ints."""
+
+    def degree(self) -> int:
+        raise NotImplementedError
+
+    def refs(self) -> Set[Tuple[Column, int]]:
+        """All (column, rotation) pairs the expression reads."""
+        raise NotImplementedError
+
+    def evaluate(
+        self,
+        field: PrimeField,
+        read: Callable[[Column, int], int],
+        challenges: Optional[Dict[str, int]] = None,
+    ) -> int:
+        """Evaluate with a callback supplying the value of (column, rotation)."""
+        raise NotImplementedError
+
+    # -- operator sugar -----------------------------------------------------
+
+    def _lift(self, other) -> "Expression":
+        if isinstance(other, Expression):
+            return other
+        if isinstance(other, int):
+            return Constant(other)
+        return NotImplemented
+
+    def __add__(self, other):
+        other = self._lift(other)
+        return Sum(self, other) if other is not NotImplemented else other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        other = self._lift(other)
+        return Sum(self, Neg(other)) if other is not NotImplemented else other
+
+    def __rsub__(self, other):
+        other = self._lift(other)
+        return Sum(other, Neg(self)) if other is not NotImplemented else other
+
+    def __mul__(self, other):
+        other = self._lift(other)
+        return Product(self, other) if other is not NotImplemented else other
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return Neg(self)
+
+
+@dataclass(frozen=True)
+class Constant(Expression):
+    """A field constant."""
+
+    value: int
+
+    def degree(self) -> int:
+        return 0
+
+    def refs(self):
+        return set()
+
+    def evaluate(self, field, read, challenges=None):
+        return field.reduce(self.value)
+
+
+@dataclass(frozen=True)
+class Challenge(Expression):
+    """A Fiat-Shamir challenge, bound at evaluation time.
+
+    Challenges let keygen build static constraint expressions (lookup and
+    permutation arguments) whose random coefficients only exist once the
+    transcript produces them.
+    """
+
+    label: str
+
+    def degree(self) -> int:
+        return 0
+
+    def refs(self):
+        return set()
+
+    def evaluate(self, field, read, challenges=None):
+        if not challenges or self.label not in challenges:
+            raise KeyError("challenge %r not bound" % self.label)
+        return challenges[self.label]
+
+
+@dataclass(frozen=True)
+class Ref(Expression):
+    """A column read at a row rotation (0 = this row, 1 = next row, ...)."""
+
+    column: Column
+    rotation: int = 0
+
+    def degree(self) -> int:
+        return 1
+
+    def refs(self):
+        return {(self.column, self.rotation)}
+
+    def evaluate(self, field, read, challenges=None):
+        return read(self.column, self.rotation)
+
+
+@dataclass(frozen=True)
+class Sum(Expression):
+    left: Expression
+    right: Expression
+
+    def degree(self) -> int:
+        return max(self.left.degree(), self.right.degree())
+
+    def refs(self):
+        return self.left.refs() | self.right.refs()
+
+    def evaluate(self, field, read, challenges=None):
+        return field.add(
+            self.left.evaluate(field, read, challenges),
+            self.right.evaluate(field, read, challenges),
+        )
+
+
+@dataclass(frozen=True)
+class Product(Expression):
+    left: Expression
+    right: Expression
+
+    def degree(self) -> int:
+        return self.left.degree() + self.right.degree()
+
+    def refs(self):
+        return self.left.refs() | self.right.refs()
+
+    def evaluate(self, field, read, challenges=None):
+        return field.mul(
+            self.left.evaluate(field, read, challenges),
+            self.right.evaluate(field, read, challenges),
+        )
+
+
+@dataclass(frozen=True)
+class Neg(Expression):
+    inner: Expression
+
+    def degree(self) -> int:
+        return self.inner.degree()
+
+    def refs(self):
+        return self.inner.refs()
+
+    def evaluate(self, field, read, challenges=None):
+        return field.neg(self.inner.evaluate(field, read, challenges))
+
+
+def evaluate_from_openings(
+    expr: Expression,
+    field: PrimeField,
+    openings: Dict[Tuple[Column, int], int],
+    challenges: Optional[Dict[str, int]] = None,
+) -> int:
+    """Evaluate an expression from a dict of opened (column, rotation) values."""
+
+    def read(column: Column, rotation: int) -> int:
+        return openings[(column, rotation)]
+
+    return expr.evaluate(field, read, challenges)
+
+
+def evaluate_on_domain(
+    expr: Expression,
+    field: PrimeField,
+    read_vec: Callable[[Column, int], list],
+    size: int,
+    challenges: Optional[Dict[str, int]] = None,
+) -> list:
+    """Evaluate an expression pointwise over a whole evaluation domain.
+
+    ``read_vec(column, rotation)`` must return the column's ``size``
+    evaluations already rotated.  Vectorized bottom-up traversal — this is
+    the prover's hot loop when building the quotient polynomial.
+    """
+    p = field.p
+    if isinstance(expr, Constant):
+        v = field.reduce(expr.value)
+        return [v] * size
+    if isinstance(expr, Challenge):
+        v = expr.evaluate(field, None, challenges)
+        return [v] * size
+    if isinstance(expr, Ref):
+        return list(read_vec(expr.column, expr.rotation))
+    if isinstance(expr, Sum):
+        left = evaluate_on_domain(expr.left, field, read_vec, size, challenges)
+        right = evaluate_on_domain(expr.right, field, read_vec, size, challenges)
+        return [(a + b) % p for a, b in zip(left, right)]
+    if isinstance(expr, Product):
+        left = evaluate_on_domain(expr.left, field, read_vec, size, challenges)
+        right = evaluate_on_domain(expr.right, field, read_vec, size, challenges)
+        return [a * b % p for a, b in zip(left, right)]
+    if isinstance(expr, Neg):
+        inner = evaluate_on_domain(expr.inner, field, read_vec, size, challenges)
+        return [(p - v) % p if v else 0 for v in inner]
+    raise TypeError("unknown expression node %r" % type(expr).__name__)

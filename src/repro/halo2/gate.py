@@ -1,0 +1,39 @@
+"""Custom gates: selector-switched polynomial constraints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.halo2.column import Column, ColumnType
+from repro.halo2.expression import Expression, Product, Ref
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A named set of polynomial constraints gated by an optional selector.
+
+    The effective constraint enforced on every row is
+    ``selector(row) * constraint(row) == 0``; without a selector the raw
+    constraint must vanish everywhere.
+    """
+
+    name: str
+    constraints: Tuple[Expression, ...]
+    selector: Optional[Column] = None
+
+    def __post_init__(self) -> None:
+        if self.selector is not None and self.selector.kind != ColumnType.SELECTOR:
+            raise ValueError("gate selector must be a selector column")
+
+    def effective_constraints(self) -> List[Expression]:
+        """Constraints with the selector factor applied."""
+        if self.selector is None:
+            return list(self.constraints)
+        sel = Ref(self.selector)
+        return [Product(sel, c) for c in self.constraints]
+
+    def degree(self) -> int:
+        """Maximum degree across effective constraints."""
+        degrees = [c.degree() for c in self.effective_constraints()]
+        return max(degrees) if degrees else 0

@@ -1,0 +1,294 @@
+"""Key generation: preprocess a circuit into proving and verifying keys.
+
+Keygen fixes everything that does not depend on the witness:
+
+- coefficient forms of all fixed, selector, and permutation polynomials;
+- the permutation itself (union-find over the recorded copy constraints,
+  turned into id/sigma tag polynomials);
+- the *extended constraint list*: user gates plus the lookup and
+  permutation helper constraints, expressed over helper advice columns
+  and :class:`~repro.halo2.expression.Challenge` placeholders.  Prover and
+  verifier fold this list in the same order with the challenge ``y``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Tuple
+
+from repro.commit.scheme import CommitmentScheme
+from repro.field.domain import EvaluationDomain
+from repro.field.prime_field import PrimeField
+from repro.halo2.circuit import Assignment, ConstraintSystem
+from repro.halo2.column import Column, ColumnType
+from repro.halo2.expression import Challenge, Constant, Expression, Ref
+from repro.halo2.lookup import LookupArgument
+
+#: Challenge labels used by the helper arguments.
+THETA, BETA, GAMMA, ALPHA = "theta", "beta", "gamma", "alpha"
+
+
+@dataclass(frozen=True)
+class LookupHelpers:
+    """Helper advice columns for one lookup argument (3 per lookup)."""
+
+    argument: LookupArgument
+    m_col: Column
+    h_col: Column
+    s_col: Column
+
+
+@dataclass(frozen=True)
+class PermutationData:
+    """Permutation argument layout: one helper per permuted column + sum."""
+
+    columns: Tuple[Column, ...]
+    id_cols: Tuple[Column, ...]
+    sigma_cols: Tuple[Column, ...]
+    helper_cols: Tuple[Column, ...]
+    sum_col: Column
+
+
+@dataclass
+class VerifyingKey:
+    """Everything the verifier needs (all of it public)."""
+
+    field: PrimeField
+    k: int
+    cs: ConstraintSystem
+    scheme_name: str
+    domain: EvaluationDomain
+    max_degree: int
+    fixed_polys: Dict[Column, List[int]]
+    l0_col: Column
+    lookups: List[LookupHelpers]
+    permutation: Optional[PermutationData]
+    constraints: List[Tuple[str, Expression]]
+    advice_queries: List[Tuple[Column, int]]
+    num_helper_advice: int
+    _digest: bytes = dc_field(default=b"", repr=False)
+
+    @property
+    def n(self) -> int:
+        return 1 << self.k
+
+    @property
+    def num_quotient_pieces(self) -> int:
+        return self.max_degree - 1
+
+    def digest(self) -> bytes:
+        """A binding digest of the preprocessed circuit."""
+        if not self._digest:
+            h = hashlib.blake2b(digest_size=32)
+            h.update(b"vk:%d:%d:%s" % (self.k, self.max_degree, self.scheme_name.encode()))
+            for col in sorted(self.fixed_polys, key=lambda c: (c.kind.value, c.index)):
+                h.update(repr(col).encode())
+                for c in self.fixed_polys[col]:
+                    h.update(c.to_bytes(32, "little"))
+            self._digest = h.digest()
+        return self._digest
+
+
+@dataclass
+class ProvingKey:
+    """Verifying key plus evaluation-form fixed data the prover uses."""
+
+    vk: VerifyingKey
+    fixed_evals: Dict[Column, List[int]]
+
+
+def _compress(exprs: Tuple[Expression, ...], theta: Expression) -> Expression:
+    """Random-linear-combine a tuple of expressions with powers of theta."""
+    acc: Expression = exprs[-1]
+    for e in reversed(exprs[:-1]):
+        acc = acc * theta + e
+    return acc
+
+
+def _build_permutation_tags(
+    assignment: Assignment, columns: List[Column]
+) -> Tuple[List[List[int]], List[List[int]]]:
+    """Union-find the copy constraints into id/sigma tag vectors.
+
+    Tags are small distinct integers (slot * n + row + 1); sigma maps each
+    cell to the next cell of its equality cycle, so the multiset
+    {(value, id)} equals {(value, sigma)} exactly when values are constant
+    along every cycle.
+    """
+    n = assignment.n
+    slot = {col: j for j, col in enumerate(columns)}
+    size = len(columns) * n
+
+    parent = list(range(size))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    def cell_index(col: Column, row: int) -> int:
+        return slot[col] * n + row
+
+    for col_a, row_a, col_b, row_b in assignment.copies:
+        union(cell_index(col_a, row_a), cell_index(col_b, row_b))
+
+    groups: Dict[int, List[int]] = {}
+    for idx in range(size):
+        groups.setdefault(find(idx), []).append(idx)
+
+    ids = [[j * n + i + 1 for i in range(n)] for j in range(len(columns))]
+    sigmas = [list(col) for col in ids]
+    for members in groups.values():
+        if len(members) < 2:
+            continue
+        # sigma rotates the cycle: each cell points at the next member.
+        for pos, idx in enumerate(members):
+            nxt = members[(pos + 1) % len(members)]
+            sigmas[idx // n][idx % n] = nxt + 1
+    return ids, sigmas
+
+
+def keygen(
+    cs: ConstraintSystem, assignment: Assignment, scheme: CommitmentScheme
+) -> Tuple[ProvingKey, VerifyingKey]:
+    """Preprocess a circuit (with its fixed assignment) into keys."""
+    field = cs.field
+    n = assignment.n
+
+    # ---- allocate helper columns beyond the user column space -------------
+    next_advice = cs.num_advice
+    next_fixed = cs.num_fixed
+
+    def new_advice() -> Column:
+        nonlocal next_advice
+        col = Column(ColumnType.ADVICE, next_advice)
+        next_advice += 1
+        return col
+
+    def new_fixed() -> Column:
+        nonlocal next_fixed
+        col = Column(ColumnType.FIXED, next_fixed)
+        next_fixed += 1
+        return col
+
+    fixed_evals: Dict[Column, List[int]] = {}
+    for i in range(cs.num_fixed):
+        col = Column(ColumnType.FIXED, i)
+        fixed_evals[col] = assignment.column_values(col)
+    for i in range(cs.num_selectors):
+        col = Column(ColumnType.SELECTOR, i)
+        fixed_evals[col] = list(assignment.selectors[i])
+
+    l0_col = new_fixed()
+    fixed_evals[l0_col] = [1] + [0] * (n - 1)
+    l0 = Ref(l0_col)
+
+    constraints: List[Tuple[str, Expression]] = []
+    for gate in cs.gates:
+        for i, c in enumerate(gate.effective_constraints()):
+            constraints.append(("%s/%d" % (gate.name, i), c))
+
+    # ---- lookup helper constraints ----------------------------------------
+    theta, alpha = Challenge(THETA), Challenge(ALPHA)
+    lookups: List[LookupHelpers] = []
+    for lk in cs.lookups:
+        helpers = LookupHelpers(
+            argument=lk, m_col=new_advice(), h_col=new_advice(), s_col=new_advice()
+        )
+        lookups.append(helpers)
+        f = _compress(lk.inputs, theta)
+        t = _compress(lk.table, theta)
+        h, m, s = Ref(helpers.h_col), Ref(helpers.m_col), Ref(helpers.s_col)
+        s_next = Ref(helpers.s_col, 1)
+        constraints.append(
+            (
+                "lookup:%s/inverse" % lk.name,
+                h * (alpha + f) * (alpha + t) - (alpha + t) + m * (alpha + f),
+            )
+        )
+        constraints.append(("lookup:%s/sum" % lk.name, s_next - s - h))
+        constraints.append(("lookup:%s/init" % lk.name, l0 * s))
+
+    # ---- permutation helper constraints ------------------------------------
+    permutation: Optional[PermutationData] = None
+    perm_cols = cs.permuted_columns()
+    if perm_cols:
+        ids, sigmas = _build_permutation_tags(assignment, perm_cols)
+        beta, gamma = Challenge(BETA), Challenge(GAMMA)
+        id_cols, sigma_cols, helper_cols = [], [], []
+        for j, col in enumerate(perm_cols):
+            id_col, sigma_col = new_fixed(), new_fixed()
+            fixed_evals[id_col] = ids[j]
+            fixed_evals[sigma_col] = sigmas[j]
+            id_cols.append(id_col)
+            sigma_cols.append(sigma_col)
+            helper_cols.append(new_advice())
+        sum_col = new_advice()
+        permutation = PermutationData(
+            columns=tuple(perm_cols),
+            id_cols=tuple(id_cols),
+            sigma_cols=tuple(sigma_cols),
+            helper_cols=tuple(helper_cols),
+            sum_col=sum_col,
+        )
+        total_h: Expression = Constant(0)
+        for col, id_col, sigma_col, h_col in zip(
+            perm_cols, id_cols, sigma_cols, helper_cols
+        ):
+            v = Ref(col)
+            d_id = gamma + v + beta * Ref(id_col)
+            d_sigma = gamma + v + beta * Ref(sigma_col)
+            h = Ref(h_col)
+            constraints.append(
+                (
+                    "perm:%r/inverse" % col,
+                    h * d_id * d_sigma - d_sigma + d_id,
+                )
+            )
+            total_h = total_h + h
+        s = Ref(sum_col)
+        s_next = Ref(sum_col, 1)
+        constraints.append(("perm/sum", s_next - s - total_h))
+        constraints.append(("perm/init", l0 * s))
+
+    max_degree = max([expr.degree() for _, expr in constraints] + [2])
+    domain = EvaluationDomain(field, assignment.k, max_degree=max_degree)
+
+    fixed_polys = {
+        col: domain.lagrange_to_coeff(evals) for col, evals in fixed_evals.items()
+    }
+
+    advice_queries = sorted(
+        {
+            (col, rot)
+            for _, expr in constraints
+            for col, rot in expr.refs()
+            if col.kind == ColumnType.ADVICE
+        },
+        key=lambda q: (q[0].index, q[1]),
+    )
+
+    vk = VerifyingKey(
+        field=field,
+        k=assignment.k,
+        cs=cs,
+        scheme_name=scheme.name,
+        domain=domain,
+        max_degree=max_degree,
+        fixed_polys=fixed_polys,
+        l0_col=l0_col,
+        lookups=lookups,
+        permutation=permutation,
+        constraints=constraints,
+        advice_queries=advice_queries,
+        num_helper_advice=next_advice - cs.num_advice,
+    )
+    pk = ProvingKey(vk=vk, fixed_evals=fixed_evals)
+    return pk, vk

@@ -1,0 +1,49 @@
+"""Lookup argument (log-derivative / LogUp flavour).
+
+A lookup enforces that on every row the tuple of *input* expressions is
+contained in the set of *table* tuples (paper §3, Table 1).  Rows where a
+gadget is inactive must therefore evaluate to some tuple that is in the
+table; gadgets arrange an all-zero default row in each table.
+
+Soundness sketch: with tuple-compression challenge theta and shift alpha,
+    sum_i 1/(alpha + f_i)  ==  sum_i m_i/(alpha + t_i)
+holds iff the multiset of compressed inputs is covered by the table with
+multiplicities m.  The prover materializes three helper columns per
+lookup — multiplicities ``m``, the per-row difference
+``h = 1/(alpha+f) - m/(alpha+t)``, and the running sum ``s`` — mirroring
+halo2's three FFT-relevant columns per lookup in the paper's Eq. (2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.halo2.expression import Expression
+
+
+@dataclass(frozen=True)
+class LookupArgument:
+    """A named lookup of input expressions into table expressions."""
+
+    name: str
+    inputs: Tuple[Expression, ...]
+    table: Tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != len(self.table):
+            raise ValueError(
+                "lookup %r: %d input expressions vs %d table expressions"
+                % (self.name, len(self.inputs), len(self.table))
+            )
+        if not self.inputs:
+            raise ValueError("lookup %r has no expressions" % self.name)
+
+    def arity(self) -> int:
+        return len(self.inputs)
+
+    def input_degree(self) -> int:
+        return max(e.degree() for e in self.inputs)
+
+    def table_degree(self) -> int:
+        return max(e.degree() for e in self.table)

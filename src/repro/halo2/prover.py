@@ -1,0 +1,247 @@
+"""Proof creation.
+
+Follows the halo2 recipe (paper §3 and §7.4):
+
+1. commit to the user advice columns;
+2. derive ``theta/beta/gamma/alpha`` and build the lookup (m, h, s) and
+   permutation (h_c, s) helper columns; commit to them;
+3. derive ``y``, fold every constraint, and divide by the vanishing
+   polynomial on the extended coset to obtain the quotient polynomial,
+   committed in ``d_max - 1`` pieces of degree < n;
+4. derive ``x`` and open every queried polynomial.
+
+The FFTs and commitments performed here are the operations the optimizer's
+cost model counts (Eqs. 1–2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.commit.scheme import CommitmentScheme
+from repro.commit.transcript import Transcript
+from repro.halo2.circuit import Assignment
+from repro.halo2.column import Column, ColumnType
+from repro.halo2.expression import evaluate_on_domain
+from repro.halo2.keygen import ALPHA, BETA, GAMMA, THETA, ProvingKey
+from repro.halo2.proof import Proof
+
+
+class ProvingError(ValueError):
+    """Raised when the witness cannot satisfy the circuit (e.g. a lookup
+    input that is missing from its table)."""
+
+
+def _compress_row_values(field, values: List[int], theta: int) -> int:
+    acc = values[-1]
+    for v in reversed(values[:-1]):
+        acc = (acc * theta + v) % field.p
+    return acc
+
+
+def create_proof(
+    pk: ProvingKey, assignment: Assignment, scheme: CommitmentScheme
+) -> Proof:
+    """Produce a proof that ``assignment`` satisfies the circuit."""
+    vk = pk.vk
+    field = vk.field
+    domain = vk.domain
+    n = vk.n
+    cs = vk.cs
+    if assignment.k != vk.k:
+        raise ValueError("assignment has k=%d but keys expect k=%d" % (assignment.k, vk.k))
+
+    transcript = Transcript(field)
+    transcript.append_message(b"vk", vk.digest())
+    for col_values in assignment.instance_values():
+        for v in col_values:
+            transcript.append_scalar(b"instance", v)
+
+    # ---- phase 1: user advice commitments ---------------------------------
+    advice_evals: Dict[int, List[int]] = {}
+    advice_polys: Dict[int, List[int]] = {}
+    advice_commitments = []
+    for i in range(cs.num_advice):
+        evals = assignment.column_values(Column(ColumnType.ADVICE, i))
+        advice_evals[i] = evals
+        poly = domain.lagrange_to_coeff(evals)
+        advice_polys[i] = poly
+        com = scheme.commit(poly)
+        advice_commitments.append(com)
+        transcript.append_commitment(b"advice", com.digest)
+
+    challenges = {
+        THETA: transcript.challenge_scalar(b"theta"),
+        BETA: transcript.challenge_scalar(b"beta"),
+        GAMMA: transcript.challenge_scalar(b"gamma"),
+        ALPHA: transcript.challenge_scalar(b"alpha"),
+    }
+
+    # ---- phase 2: helper columns -------------------------------------------
+    def read_user(col: Column, row: int) -> int:
+        if col.kind == ColumnType.ADVICE:
+            evals = advice_evals.get(col.index)
+            if evals is None:
+                raise ProvingError("helper expression reads helper column %r" % col)
+            return evals[row % n]
+        if col.kind == ColumnType.INSTANCE:
+            return assignment.value(col, row)
+        return pk.fixed_evals[col][row % n]
+
+    helper_evals: Dict[int, List[int]] = {}
+
+    for helpers in vk.lookups:
+        lk = helpers.argument
+        theta = challenges[THETA]
+        f_vals, t_vals = [], []
+        for row in range(n):
+            def read(col, rot, _row=row):
+                return read_user(col, _row + rot)
+
+            f_vals.append(
+                _compress_row_values(
+                    field, [e.evaluate(field, read) for e in lk.inputs], theta
+                )
+            )
+            t_vals.append(
+                _compress_row_values(
+                    field, [e.evaluate(field, read) for e in lk.table], theta
+                )
+            )
+        first_row_of = {}
+        for row, t in enumerate(t_vals):
+            first_row_of.setdefault(t, row)
+        m_vals = [0] * n
+        for row, f in enumerate(f_vals):
+            target = first_row_of.get(f)
+            if target is None:
+                raise ProvingError(
+                    "lookup %r: input %d at row %d is not in the table"
+                    % (lk.name, field.decode_signed(f), row)
+                )
+            m_vals[target] += 1
+        alpha = challenges[ALPHA]
+        inv_f = field.batch_inv([field.add(alpha, f) for f in f_vals])
+        inv_t = field.batch_inv([field.add(alpha, t) for t in t_vals])
+        h_vals = [
+            field.sub(fi, field.mul(m, ti))
+            for fi, ti, m in zip(inv_f, inv_t, m_vals)
+        ]
+        s_vals = [0] * n
+        for row in range(n - 1):
+            s_vals[row + 1] = field.add(s_vals[row], h_vals[row])
+        helper_evals[helpers.m_col.index] = m_vals
+        helper_evals[helpers.h_col.index] = h_vals
+        helper_evals[helpers.s_col.index] = s_vals
+
+    if vk.permutation is not None:
+        perm = vk.permutation
+        beta, gamma = challenges[BETA], challenges[GAMMA]
+        total_h = [0] * n
+        for col, id_col, sigma_col, h_col in zip(
+            perm.columns, perm.id_cols, perm.sigma_cols, perm.helper_cols
+        ):
+            v_vals = (
+                advice_evals[col.index]
+                if col.kind == ColumnType.ADVICE
+                else [read_user(col, r) for r in range(n)]
+            )
+            ids = pk.fixed_evals[id_col]
+            sigmas = pk.fixed_evals[sigma_col]
+            d_id = [
+                (gamma + v + beta * i) % field.p for v, i in zip(v_vals, ids)
+            ]
+            d_sigma = [
+                (gamma + v + beta * s) % field.p for v, s in zip(v_vals, sigmas)
+            ]
+            inv_id = field.batch_inv(d_id)
+            inv_sigma = field.batch_inv(d_sigma)
+            h_vals = [field.sub(a, b) for a, b in zip(inv_id, inv_sigma)]
+            helper_evals[h_col.index] = h_vals
+            total_h = [field.add(a, b) for a, b in zip(total_h, h_vals)]
+        s_vals = [0] * n
+        for row in range(n - 1):
+            s_vals[row + 1] = field.add(s_vals[row], total_h[row])
+        helper_evals[perm.sum_col.index] = s_vals
+
+    helper_commitments = []
+    for idx in sorted(helper_evals):
+        poly = domain.lagrange_to_coeff(helper_evals[idx])
+        advice_polys[idx] = poly
+        advice_evals[idx] = helper_evals[idx]
+        com = scheme.commit(poly)
+        helper_commitments.append(com)
+        transcript.append_commitment(b"helper", com.digest)
+
+    y = transcript.challenge_scalar(b"y")
+
+    # ---- phase 3: quotient ---------------------------------------------------
+    ext_n = domain.extended_n
+    extension = ext_n // n
+    extended_cache: Dict[Column, List[int]] = {}
+
+    def extended_evals(col: Column) -> List[int]:
+        cached = extended_cache.get(col)
+        if cached is not None:
+            return cached
+        if col.kind == ColumnType.ADVICE:
+            poly = advice_polys[col.index]
+        elif col.kind == ColumnType.INSTANCE:
+            poly = domain.lagrange_to_coeff(
+                assignment.column_values(col)
+            )
+        else:
+            poly = vk.fixed_polys[col]
+        ext = domain.coeff_to_extended(poly)
+        extended_cache[col] = ext
+        return ext
+
+    def read_vec(col: Column, rot: int) -> List[int]:
+        ext = extended_evals(col)
+        if rot == 0:
+            return ext
+        shift = (rot * extension) % ext_n
+        return ext[shift:] + ext[:shift]
+
+    p = field.p
+    folded = [0] * ext_n
+    for _, expr in vk.constraints:
+        values = evaluate_on_domain(expr, field, read_vec, ext_n, challenges)
+        folded = [(a * y + b) % p for a, b in zip(folded, values)]
+
+    vanishing = domain.vanishing_on_extended()
+    inv_vanishing = field.batch_inv(vanishing)
+    q_ext = [a * b % p for a, b in zip(folded, inv_vanishing)]
+    q_coeffs = domain.extended_to_coeff(q_ext)
+
+    num_pieces = vk.num_quotient_pieces
+    pieces = []
+    for j in range(num_pieces):
+        piece = q_coeffs[j * n : (j + 1) * n]
+        piece += [0] * (n - len(piece))
+        pieces.append(piece)
+
+    quotient_commitments = []
+    for piece in pieces:
+        com = scheme.commit(piece)
+        quotient_commitments.append(com)
+        transcript.append_commitment(b"quotient", com.digest)
+
+    x = transcript.challenge_nonzero(b"x")
+
+    # ---- phase 4: openings -----------------------------------------------------
+    advice_openings: Dict[Tuple[int, int], "OpeningProof"] = {}
+    for col, rot in vk.advice_queries:
+        point = domain.rotate(x, rot)
+        advice_openings[(col.index, rot)] = scheme.open(
+            advice_polys[col.index], point
+        )
+    quotient_openings = [scheme.open(piece, x) for piece in pieces]
+
+    return Proof(
+        advice_commitments=advice_commitments,
+        helper_commitments=helper_commitments,
+        quotient_commitments=quotient_commitments,
+        advice_openings=advice_openings,
+        quotient_openings=quotient_openings,
+    )

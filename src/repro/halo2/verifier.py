@@ -1,0 +1,121 @@
+"""Proof verification.
+
+The verifier replays the Fiat–Shamir transcript to re-derive every
+challenge, checks each opening against its commitment, evaluates the
+folded constraint expression at the challenge point ``x`` (fixed and
+selector polynomials straight from the verifying key, instance columns
+from the public inputs, advice from the proof's openings) and accepts iff
+
+    sum_i y^i * C_i(x)  ==  Z_H(x) * (q_0(x) + x^n q_1(x) + ...).
+
+A witness violating any gate, copy, or lookup constraint makes the left
+side indivisible by the vanishing polynomial, so the identity fails at a
+random ``x`` with overwhelming probability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.commit.scheme import CommitmentScheme
+from repro.commit.transcript import Transcript
+from repro.field.poly import poly_eval
+from repro.halo2.column import Column, ColumnType
+from repro.halo2.expression import evaluate_from_openings
+from repro.halo2.keygen import ALPHA, BETA, GAMMA, THETA, VerifyingKey
+from repro.halo2.proof import Proof
+
+
+def verify_proof(
+    vk: VerifyingKey,
+    proof: Proof,
+    instance: List[List[int]],
+    scheme: CommitmentScheme,
+) -> bool:
+    """Check a proof against public inputs; True iff it verifies."""
+    field = vk.field
+    domain = vk.domain
+    n = vk.n
+    cs = vk.cs
+
+    if len(instance) != cs.num_instance:
+        return False
+    if len(proof.advice_commitments) != cs.num_advice:
+        return False
+    if len(proof.helper_commitments) != vk.num_helper_advice:
+        return False
+    if len(proof.quotient_commitments) != vk.num_quotient_pieces:
+        return False
+    if len(proof.quotient_openings) != vk.num_quotient_pieces:
+        return False
+
+    # ---- replay the transcript ---------------------------------------------
+    transcript = Transcript(field)
+    transcript.append_message(b"vk", vk.digest())
+    for col_values in instance:
+        if len(col_values) != n:
+            return False
+        for v in col_values:
+            transcript.append_scalar(b"instance", v)
+    for com in proof.advice_commitments:
+        transcript.append_commitment(b"advice", com.digest)
+    challenges = {
+        THETA: transcript.challenge_scalar(b"theta"),
+        BETA: transcript.challenge_scalar(b"beta"),
+        GAMMA: transcript.challenge_scalar(b"gamma"),
+        ALPHA: transcript.challenge_scalar(b"alpha"),
+    }
+    for com in proof.helper_commitments:
+        transcript.append_commitment(b"helper", com.digest)
+    y = transcript.challenge_scalar(b"y")
+    for com in proof.quotient_commitments:
+        transcript.append_commitment(b"quotient", com.digest)
+    x = transcript.challenge_nonzero(b"x")
+
+    # ---- check the openings ---------------------------------------------------
+    def commitment_for(col_index: int):
+        if col_index < cs.num_advice:
+            return proof.advice_commitments[col_index]
+        return proof.helper_commitments[col_index - cs.num_advice]
+
+    expected_queries = {(col.index, rot) for col, rot in vk.advice_queries}
+    if expected_queries != set(proof.advice_openings):
+        return False
+    for (col_index, rot), opening in proof.advice_openings.items():
+        if opening.point != domain.rotate(x, rot):
+            return False
+        if not scheme.verify_opening(commitment_for(col_index), opening):
+            return False
+    for com, opening in zip(proof.quotient_commitments, proof.quotient_openings):
+        if opening.point != x:
+            return False
+        if not scheme.verify_opening(com, opening):
+            return False
+
+    # ---- evaluate the folded constraint at x -----------------------------------
+    instance_polys = [domain.lagrange_to_coeff(col) for col in instance]
+
+    openings: Dict[Tuple[Column, int], int] = {}
+    refs = {
+        (col, rot) for _, expr in vk.constraints for col, rot in expr.refs()
+    }
+    for col, rot in refs:
+        point = domain.rotate(x, rot)
+        if col.kind == ColumnType.ADVICE:
+            openings[(col, rot)] = proof.advice_openings[(col.index, rot)].value
+        elif col.kind == ColumnType.INSTANCE:
+            openings[(col, rot)] = poly_eval(field, instance_polys[col.index], point)
+        else:
+            openings[(col, rot)] = poly_eval(field, vk.fixed_polys[col], point)
+
+    folded = 0
+    for _, expr in vk.constraints:
+        value = evaluate_from_openings(expr, field, openings, challenges)
+        folded = field.add(field.mul(folded, y), value)
+
+    x_n = field.pow(x, n)
+    q_at_x = 0
+    for opening in reversed(proof.quotient_openings):
+        q_at_x = field.add(field.mul(q_at_x, x_n), opening.value)
+
+    return folded == field.mul(domain.vanishing_eval(x), q_at_x)

@@ -1,0 +1,88 @@
+"""ML layers composed from gadgets (paper §6).
+
+ZKML supports 43 layer kinds across six families: linear layers (with the
+Freivalds option), arithmetic layers (with the dot-product-reuse option),
+pointwise activations (with the ReLU bit-decomposition option), pooling,
+normalization, softmax, and free shape operations.  ``layer_registry``
+maps kind names to classes; ``supported_layer_kinds()`` enumerates them.
+"""
+
+from repro.layers.base import Layer, LayoutChoices, layer_registry
+from repro.layers.activation import ACTIVATION_LAYERS, ActivationLayer
+from repro.layers.arithmetic import (
+    AddLayer,
+    DivLayer,
+    MulLayer,
+    ReduceMeanLayer,
+    ReduceSumLayer,
+    SquareLayer,
+    SquaredDifferenceLayer,
+    SubLayer,
+)
+from repro.layers.linear import (
+    BatchMatMulLayer,
+    Conv2DLayer,
+    DepthwiseConv2DLayer,
+    FullyConnectedLayer,
+)
+from repro.layers.normalization import BatchNormLayer, LayerNormLayer, RMSNormLayer
+from repro.layers.pooling import AvgPool2DLayer, GlobalAvgPoolLayer, MaxPool2DLayer
+from repro.layers.shape import (
+    ConcatLayer,
+    ExpandDimsLayer,
+    FlattenLayer,
+    GatherLayer,
+    IdentityLayer,
+    PadLayer,
+    ReshapeLayer,
+    SliceLayer,
+    SplitLayer,
+    SqueezeLayer,
+    TransposeLayer,
+)
+from repro.layers.softmax import SoftmaxLayer
+
+
+def supported_layer_kinds():
+    """All registered layer kinds, sorted."""
+    return sorted(layer_registry)
+
+
+__all__ = [
+    "Layer",
+    "LayoutChoices",
+    "layer_registry",
+    "supported_layer_kinds",
+    "ActivationLayer",
+    "ACTIVATION_LAYERS",
+    "AddLayer",
+    "SubLayer",
+    "MulLayer",
+    "DivLayer",
+    "SquareLayer",
+    "SquaredDifferenceLayer",
+    "ReduceSumLayer",
+    "ReduceMeanLayer",
+    "FullyConnectedLayer",
+    "Conv2DLayer",
+    "DepthwiseConv2DLayer",
+    "BatchMatMulLayer",
+    "BatchNormLayer",
+    "LayerNormLayer",
+    "RMSNormLayer",
+    "MaxPool2DLayer",
+    "AvgPool2DLayer",
+    "GlobalAvgPoolLayer",
+    "SoftmaxLayer",
+    "ReshapeLayer",
+    "FlattenLayer",
+    "TransposeLayer",
+    "SqueezeLayer",
+    "ExpandDimsLayer",
+    "ConcatLayer",
+    "SliceLayer",
+    "PadLayer",
+    "GatherLayer",
+    "IdentityLayer",
+    "SplitLayer",
+]

@@ -1,0 +1,83 @@
+"""Activation layers: pointwise non-linearities applied to a tensor.
+
+Every registered non-linearity becomes a layer kind (``relu``,
+``sigmoid``, ...).  ReLU additionally honours the ``relu`` layout choice:
+the lookup table or the bit-decomposition alternative (paper §3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from repro.gadgets import BitDecompReluGadget, CircuitBuilder, PointwiseGadget
+from repro.gadgets.nonlinear import NONLINEAR_FUNCTIONS, fixed_eval
+from repro.layers.base import Layer, LayoutChoices, ceil_div
+from repro.quantize import FixedPoint
+from repro.tensor import Tensor
+
+
+class ActivationLayer(Layer):
+    """Apply a registered pointwise function elementwise."""
+
+    kind = "abstract"  # concrete subclasses register per fn_name
+    fn_name = ""  # set by subclasses
+
+    def output_shape(self, input_shapes):
+        return input_shapes[0]
+
+    def forward_float(self, inputs, params):
+        fn = np.vectorize(NONLINEAR_FUNCTIONS[self.fn_name], otypes=[np.float64])
+        return fn(np.asarray(inputs[0], dtype=np.float64))
+
+    def forward_fixed(self, inputs, params, fp: FixedPoint):
+        arr = inputs[0]
+        out = np.empty(arr.shape, dtype=object)
+        flat_in, flat_out = arr.reshape(-1), out.reshape(-1)
+        for i in range(flat_in.size):
+            flat_out[i] = fixed_eval(self.fn_name, int(flat_in[i]), fp)
+        return out
+
+    def _use_bitdecomp(self, choices: LayoutChoices) -> bool:
+        return self.fn_name == "relu" and choices.relu == "bitdecomp"
+
+    def synthesize(self, builder: CircuitBuilder, inputs: List[Tensor],
+                   params, choices: LayoutChoices) -> Tensor:
+        x = inputs[0]
+        entries = x.entries()
+        if self._use_bitdecomp(choices):
+            gadget = builder.gadget(BitDecompReluGadget, bits=choices.relu_bits)
+            outs = gadget.apply_vector(entries)
+        else:
+            gadget = builder.gadget(PointwiseGadget, fn_name=self.fn_name)
+            outs = gadget.apply_vector(entries)
+        return Tensor.from_entries(outs, x.shape)
+
+    def count_rows(self, num_cols, input_shapes, choices, scale_bits):
+        n = int(np.prod(input_shapes[0]))
+        if self._use_bitdecomp(choices):
+            return BitDecompReluGadget.rows_for_ops_bits(
+                n, num_cols, choices.relu_bits
+            )
+        return ceil_div(n, PointwiseGadget.slots_per_row(num_cols))
+
+    def tables(self, choices, scale_bits, input_shapes) -> Set[Tuple[str, object]]:
+        if self._use_bitdecomp(choices):
+            return set()
+        return {("nl", self.fn_name)}
+
+
+def _make_activation(fn_name: str):
+    cls = type(
+        "%sLayer" % fn_name.title().replace("_", ""),
+        (ActivationLayer,),
+        {"kind": fn_name, "fn_name": fn_name},
+    )
+    return cls
+
+
+#: One layer class per registered non-linearity.
+ACTIVATION_LAYERS = {
+    name: _make_activation(name) for name in sorted(NONLINEAR_FUNCTIONS)
+}

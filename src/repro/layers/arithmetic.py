@@ -1,0 +1,336 @@
+"""Arithmetic layers: elementwise tensor ops and reductions (paper §6.1).
+
+Each elementwise layer supports two implementations, matching the paper's
+observation that arithmetic layers "can be implemented with custom
+gadgets or by repurposing the dot product gadget":
+
+- ``custom``  — the packed arithmetic gadgets (several ops per row);
+- ``dotprod`` — reuse the dot-product constraint (one op per row, plus a
+  rescale row where needed), trading rows for fewer distinct constraints.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.gadgets import (
+    AddGadget,
+    CircuitBuilder,
+    DivRoundConstGadget,
+    DotProdBiasGadget,
+    DotProdGadget,
+    MulGadget,
+    ScaleConstGadget,
+    SquareGadget,
+    SquaredDiffGadget,
+    SubGadget,
+    SumGadget,
+    VarDivGadget,
+)
+from repro.layers.base import (
+    Layer,
+    LayoutChoices,
+    arr_div_round,
+    ceil_div,
+    sum_rows_for_vector,
+)
+from repro.quantize import FixedPoint, div_round
+from repro.tensor import Tensor
+
+
+def _broadcast_pair(a: Tensor, b: Tensor) -> Tuple[Tensor, Tensor]:
+    shape = np.broadcast_shapes(a.shape, b.shape)
+    return a.broadcast_to(shape), b.broadcast_to(shape)
+
+
+class _ElementwiseBinary(Layer):
+    """Shared machinery for binary elementwise layers."""
+
+    def output_shape(self, input_shapes):
+        return tuple(np.broadcast_shapes(*input_shapes))
+
+    def _pairs(self, inputs: List[Tensor]):
+        a, b = _broadcast_pair(inputs[0], inputs[1])
+        return list(zip(a.entries(), b.entries())), a.shape
+
+    def _num_ops(self, input_shapes) -> int:
+        return int(np.prod(np.broadcast_shapes(*input_shapes)))
+
+
+class AddLayer(_ElementwiseBinary):
+    kind = "add"
+
+    def forward_float(self, inputs, params):
+        return inputs[0] + inputs[1]
+
+    def forward_fixed(self, inputs, params, fp):
+        return inputs[0] + inputs[1]
+
+    def synthesize(self, builder, inputs, params, choices):
+        pairs, shape = self._pairs(inputs)
+        if choices.arithmetic == "dotprod":
+            g = builder.gadget(DotProdBiasGadget)
+            one = builder.constant(1)
+            outs = [g.assign_row([([x], [one], y)])[0] for x, y in pairs]
+        else:
+            g = builder.gadget(AddGadget)
+            outs = g.assign_many(pairs)
+        return Tensor.from_entries(outs, shape)
+
+    def count_rows(self, num_cols, input_shapes, choices, scale_bits):
+        n = self._num_ops(input_shapes)
+        if choices.arithmetic == "dotprod":
+            return n
+        return ceil_div(n, AddGadget.slots_per_row(num_cols))
+
+
+class SubLayer(_ElementwiseBinary):
+    kind = "sub"
+
+    def forward_float(self, inputs, params):
+        return inputs[0] - inputs[1]
+
+    def forward_fixed(self, inputs, params, fp):
+        return inputs[0] - inputs[1]
+
+    def synthesize(self, builder, inputs, params, choices):
+        pairs, shape = self._pairs(inputs)
+        if choices.arithmetic == "dotprod":
+            g = builder.gadget(DotProdBiasGadget)
+            minus_one = builder.constant(-1)
+            outs = [g.assign_row([([y], [minus_one], x)])[0] for x, y in pairs]
+        else:
+            g = builder.gadget(SubGadget)
+            outs = g.assign_many(pairs)
+        return Tensor.from_entries(outs, shape)
+
+    def count_rows(self, num_cols, input_shapes, choices, scale_bits):
+        n = self._num_ops(input_shapes)
+        if choices.arithmetic == "dotprod":
+            return n
+        return ceil_div(n, SubGadget.slots_per_row(num_cols))
+
+
+class MulLayer(_ElementwiseBinary):
+    kind = "mul"
+
+    def forward_float(self, inputs, params):
+        return inputs[0] * inputs[1]
+
+    def forward_fixed(self, inputs, params, fp):
+        raw = inputs[0] * inputs[1]
+        return arr_div_round(raw, fp.factor)
+
+    def synthesize(self, builder, inputs, params, choices):
+        pairs, shape = self._pairs(inputs)
+        if choices.arithmetic == "dotprod":
+            dot = builder.gadget(DotProdGadget)
+            rescale = builder.gadget(DivRoundConstGadget, divisor=builder.fp.factor)
+            outs = []
+            for x, y in pairs:
+                (raw,) = dot.assign_row([([x], [y])])
+                outs.extend(rescale.assign_row([(raw,)]))
+        else:
+            g = builder.gadget(MulGadget)
+            outs = g.assign_many(pairs)
+        return Tensor.from_entries(outs, shape)
+
+    def count_rows(self, num_cols, input_shapes, choices, scale_bits):
+        n = self._num_ops(input_shapes)
+        if choices.arithmetic == "dotprod":
+            return 2 * n
+        return ceil_div(n, MulGadget.slots_per_row(num_cols))
+
+    def tables(self, choices, scale_bits, input_shapes):
+        return {("range", 2 << scale_bits)}
+
+
+class DivLayer(_ElementwiseBinary):
+    """Elementwise fixed-point division; the divisor must be positive."""
+
+    kind = "div"
+
+    def forward_float(self, inputs, params):
+        return inputs[0] / inputs[1]
+
+    def forward_fixed(self, inputs, params, fp):
+        a, b = inputs
+        out = np.empty(np.broadcast_shapes(a.shape, b.shape), dtype=object)
+        a = np.broadcast_to(a, out.shape)
+        b = np.broadcast_to(b, out.shape)
+        flat_a, flat_b = a.reshape(-1), b.reshape(-1)
+        flat_o = out.reshape(-1)
+        for i in range(flat_o.size):
+            flat_o[i] = div_round(int(flat_a[i]) * fp.factor, int(flat_b[i]))
+        return out
+
+    def synthesize(self, builder, inputs, params, choices):
+        pairs, shape = self._pairs(inputs)
+        scale = builder.gadget(ScaleConstGadget, factor=builder.fp.factor)
+        vdiv = builder.gadget(VarDivGadget)
+        outs = []
+        for x, y in pairs:
+            (num,) = scale.assign_row([(x,)])
+            outs.extend(vdiv.assign_row([(y, num)]))
+        return Tensor.from_entries(outs, shape)
+
+    def count_rows(self, num_cols, input_shapes, choices, scale_bits):
+        return 2 * self._num_ops(input_shapes)
+
+    def tables(self, choices, scale_bits, input_shapes):
+        return {("range", "lookup")}
+
+
+class SquareLayer(Layer):
+    kind = "square"
+
+    def output_shape(self, input_shapes):
+        return input_shapes[0]
+
+    def forward_float(self, inputs, params):
+        return inputs[0] ** 2
+
+    def forward_fixed(self, inputs, params, fp):
+        return arr_div_round(inputs[0] * inputs[0], fp.factor)
+
+    def synthesize(self, builder, inputs, params, choices):
+        x = inputs[0]
+        ops = [(e,) for e in x.entries()]
+        if choices.arithmetic == "dotprod":
+            dot = builder.gadget(DotProdGadget)
+            rescale = builder.gadget(DivRoundConstGadget, divisor=builder.fp.factor)
+            outs = []
+            for (e,) in ops:
+                (raw,) = dot.assign_row([([e], [e])])
+                outs.extend(rescale.assign_row([(raw,)]))
+        else:
+            g = builder.gadget(SquareGadget)
+            outs = g.assign_many(ops)
+        return Tensor.from_entries(outs, x.shape)
+
+    def count_rows(self, num_cols, input_shapes, choices, scale_bits):
+        n = int(np.prod(input_shapes[0]))
+        if choices.arithmetic == "dotprod":
+            return 2 * n
+        return ceil_div(n, SquareGadget.slots_per_row(num_cols))
+
+    def tables(self, choices, scale_bits, input_shapes):
+        return {("range", 2 << scale_bits)}
+
+
+class SquaredDifferenceLayer(_ElementwiseBinary):
+    kind = "squared_difference"
+
+    def forward_float(self, inputs, params):
+        return (inputs[0] - inputs[1]) ** 2
+
+    def forward_fixed(self, inputs, params, fp):
+        diff = inputs[0] - inputs[1]
+        return arr_div_round(diff * diff, fp.factor)
+
+    def synthesize(self, builder, inputs, params, choices):
+        pairs, shape = self._pairs(inputs)
+        if choices.arithmetic == "dotprod":
+            bias_dot = builder.gadget(DotProdBiasGadget)
+            dot = builder.gadget(DotProdGadget)
+            rescale = builder.gadget(DivRoundConstGadget, divisor=builder.fp.factor)
+            minus_one = builder.constant(-1)
+            outs = []
+            for x, y in pairs:
+                (diff,) = bias_dot.assign_row([([y], [minus_one], x)])
+                (raw,) = dot.assign_row([([diff], [diff])])
+                outs.extend(rescale.assign_row([(raw,)]))
+        else:
+            g = builder.gadget(SquaredDiffGadget)
+            outs = g.assign_many(pairs)
+        return Tensor.from_entries(outs, shape)
+
+    def count_rows(self, num_cols, input_shapes, choices, scale_bits):
+        n = self._num_ops(input_shapes)
+        if choices.arithmetic == "dotprod":
+            return 3 * n
+        return ceil_div(n, SquaredDiffGadget.slots_per_row(num_cols))
+
+    def tables(self, choices, scale_bits, input_shapes):
+        return {("range", 2 << scale_bits)}
+
+
+class ReduceSumLayer(Layer):
+    """Sum over one axis (or everything when axis is None)."""
+
+    kind = "reduce_sum"
+
+    @property
+    def axis(self):
+        return self.attrs.get("axis")
+
+    def output_shape(self, input_shapes):
+        shape = input_shapes[0]
+        if self.axis is None:
+            return ()
+        return tuple(s for i, s in enumerate(shape) if i != self.axis % len(shape))
+
+    def forward_float(self, inputs, params):
+        return np.sum(inputs[0], axis=self.axis)
+
+    def forward_fixed(self, inputs, params, fp):
+        return np.sum(inputs[0], axis=self.axis)
+
+    def _vectors(self, x: Tensor) -> Tuple[List[List], Tuple[int, ...]]:
+        if self.axis is None:
+            return [x.entries()], ()
+        axis = self.axis % x.ndim
+        moved = x.transpose(
+            [i for i in range(x.ndim) if i != axis] + [axis]
+        )
+        out_shape = moved.shape[:-1]
+        flat = moved.reshape(int(np.prod(out_shape or (1,))), moved.shape[-1])
+        return [flat[i].entries() for i in range(flat.shape[0])], out_shape
+
+    def synthesize(self, builder, inputs, params, choices):
+        vectors, out_shape = self._vectors(inputs[0])
+        g = builder.gadget(SumGadget)
+        outs = [g.sum_vector(vec) for vec in vectors]
+        return Tensor.from_entries(outs, out_shape)
+
+    def count_rows(self, num_cols, input_shapes, choices, scale_bits):
+        shape = input_shapes[0]
+        if self.axis is None:
+            return sum_rows_for_vector(int(np.prod(shape)), num_cols)
+        axis = self.axis % len(shape)
+        count = int(np.prod(shape)) // shape[axis]
+        return count * sum_rows_for_vector(shape[axis], num_cols)
+
+
+class ReduceMeanLayer(ReduceSumLayer):
+    kind = "reduce_mean"
+
+    def _count(self, shape):
+        if self.axis is None:
+            return int(np.prod(shape))
+        return shape[self.axis % len(shape)]
+
+    def forward_float(self, inputs, params):
+        return np.mean(np.asarray(inputs[0], dtype=np.float64), axis=self.axis)
+
+    def forward_fixed(self, inputs, params, fp):
+        total = np.sum(inputs[0], axis=self.axis)
+        return arr_div_round(np.asarray(total, dtype=object).reshape(
+            np.shape(total)), self._count(inputs[0].shape))
+
+    def synthesize(self, builder, inputs, params, choices):
+        summed = super().synthesize(builder, inputs, params, choices)
+        count = self._count(inputs[0].shape)
+        g = builder.gadget(DivRoundConstGadget, divisor=count)
+        outs = g.assign_many([(e,) for e in summed.entries()])
+        return Tensor.from_entries(outs, summed.shape)
+
+    def count_rows(self, num_cols, input_shapes, choices, scale_bits):
+        rows = super().count_rows(num_cols, input_shapes, choices, scale_bits)
+        n_out = max(int(np.prod(self.output_shape(input_shapes) or (1,))), 1)
+        return rows + ceil_div(n_out, DivRoundConstGadget.slots_per_row(num_cols))
+
+    def tables(self, choices, scale_bits, input_shapes):
+        return {("range", 2 * self._count(input_shapes[0]))}

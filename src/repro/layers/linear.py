@@ -1,0 +1,541 @@
+"""Linear layers: FullyConnected, Conv2D, DepthwiseConv2D, BatchMatMul.
+
+All of them reduce to a shared matmul core with three implementations
+(the ``linear`` layout choice, paper §6):
+
+- ``dot_bias`` — chain the accumulator through DotProdBias rows (the
+  paper's "first bias is zero, remaining biases are the accumulation");
+- ``dot_sum``  — DotProd partials combined with the Sum gadget;
+- ``freivalds`` — compute the product outside the circuit and verify
+  ``C r = A (B r)`` with a random vector (Freivalds' algorithm, §6.1),
+  turning an O(m·k·p) layout into three matrix–vector products.
+
+Inputs and weights are at scale SF, biases at SF^2; the raw product is
+rescaled once at the end (one DivRound row block), which is both cheaper
+and more precise than rescaling each partial.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional
+
+import numpy as np
+
+from repro.gadgets import (
+    AddGadget,
+    CircuitBuilder,
+    DivRoundConstGadget,
+    DotProdBiasGadget,
+    DotProdGadget,
+    SumGadget,
+)
+from repro.layers.base import (
+    Layer,
+    LayoutChoices,
+    arr_div_round,
+    ceil_div,
+    sum_rows_for_vector,
+)
+from repro.quantize import FixedPoint
+from repro.tensor import Entry, Tensor
+
+#: Freivalds challenge entries are bounded to keep raw values well below p.
+_FREIVALDS_BITS = 16
+
+
+def _freivalds_challenges(builder: CircuitBuilder, a: Tensor, b: Tensor,
+                          count: int) -> List[Entry]:
+    """Derive the random vector r from the committed operand values.
+
+    Real halo2 would sample r from the transcript *after* committing A, B
+    and C; we derive it from a hash of the operand values, which models
+    the same "r is fixed only once the matrices are" property.
+    """
+    h = hashlib.blake2b(b"freivalds")
+    for t in (a, b):
+        for e in t.entries():
+            h.update(int(e.value).to_bytes(16, "little", signed=True))
+    seed = h.digest()
+    out = []
+    counter = 0
+    while len(out) < count:
+        block = hashlib.blake2b(seed + counter.to_bytes(4, "little")).digest()
+        counter += 1
+        for i in range(0, len(block) - 1, 2):
+            if len(out) >= count:
+                break
+            r = 1 + (int.from_bytes(block[i : i + 2], "little") % ((1 << _FREIVALDS_BITS) - 1))
+            out.append(builder.constant(r))
+    return out
+
+
+def _dot_raw(builder: CircuitBuilder, choices: LayoutChoices,
+             xs: List[Entry], ys: List[Entry], bias: Optional[Entry]) -> Entry:
+    """One full-length dot product at raw scale, per the layout choice."""
+    if choices.linear == "dot_sum":
+        dot = builder.gadget(DotProdGadget)
+        n = dot.terms_per_row(builder.num_cols)
+        partials = []
+        for s in range(0, len(xs), n):
+            (z,) = dot.assign_row([(xs[s : s + n], ys[s : s + n])])
+            partials.append(z)
+        if bias is not None:
+            partials.append(bias)
+        return builder.gadget(SumGadget).sum_vector(partials)
+    dot = builder.gadget(DotProdBiasGadget)
+    return dot.dot(xs, ys, bias if bias is not None else builder.zero())
+
+
+def _dot_rows(choices: LayoutChoices, length: int, num_cols: int,
+              with_bias: bool) -> int:
+    """Row count of :func:`_dot_raw`."""
+    if choices.linear == "dot_sum":
+        n = DotProdGadget.terms_per_row(num_cols)
+        partials = ceil_div(length, n) + (1 if with_bias else 0)
+        return ceil_div(length, n) + sum_rows_for_vector(partials, num_cols)
+    n = DotProdBiasGadget.terms_per_row(num_cols)
+    return ceil_div(length, n)
+
+
+def matmul_synthesize(
+    builder: CircuitBuilder,
+    choices: LayoutChoices,
+    a: Tensor,
+    b: Tensor,
+    bias: Optional[Tensor],
+) -> Tensor:
+    """C = A @ B (+ bias), rescaled to scale_bits; A is (m, k), B is (k, p)."""
+    m, k = a.shape
+    k2, p = b.shape
+    if k != k2:
+        raise ValueError("matmul shape mismatch: %r @ %r" % (a.shape, b.shape))
+    sf = builder.fp.factor
+    rescale = builder.gadget(DivRoundConstGadget, divisor=sf)
+
+    if choices.linear == "freivalds":
+        raw = _freivalds_synthesize(builder, a, b, bias)
+    else:
+        raw = np.empty((m, p), dtype=object)
+        a_rows = [a[i].entries() for i in range(m)]
+        b_cols = [b[:, j].entries() for j in range(p)]
+        for i in range(m):
+            for j in range(p):
+                bias_e = bias.entries()[j] if bias is not None else None
+                raw[i, j] = _dot_raw(builder, choices, a_rows[i], b_cols[j], bias_e)
+    flat = [raw[i, j] for i in range(m) for j in range(p)]
+    outs = rescale.assign_many([(e,) for e in flat])
+    return Tensor.from_entries(outs, (m, p))
+
+
+def _freivalds_synthesize(builder, a: Tensor, b: Tensor,
+                          bias: Optional[Tensor]) -> np.ndarray:
+    """Raw C entries verified with Freivalds' check C r = A (B r) + bias r."""
+    m, k = a.shape
+    _, p = b.shape
+    av = a.values()
+    bv = b.values()
+    raw_vals = av @ bv
+    if bias is not None:
+        raw_vals = raw_vals + np.asarray(bias.values()).reshape(1, p)
+    c_entries = np.empty((m, p), dtype=object)
+    for i in range(m):
+        for j in range(p):
+            c_entries[i, j] = Entry(int(raw_vals[i, j]))
+
+    r = _freivalds_challenges(builder, a, b, p)
+    # Br: one dot of length p per row of B
+    br = [
+        _dot_raw(builder, choices_dot_sum_free(), b[i].entries(), r, None)
+        for i in range(k)
+    ]
+    # A(Br): one dot of length k per row of A
+    abr = [
+        _dot_raw(builder, choices_dot_sum_free(), a[i].entries(), br, None)
+        for i in range(m)
+    ]
+    # bias . r
+    bias_r = None
+    if bias is not None:
+        bias_r = _dot_raw(builder, choices_dot_sum_free(), bias.entries(), r, None)
+    # Cr: one dot of length p per row of C (this materializes C's entries)
+    crs = [
+        _dot_raw(builder, choices_dot_sum_free(), list(c_entries[i]), r, None)
+        for i in range(m)
+    ]
+    if bias_r is not None:
+        add = builder.gadget(AddGadget)
+        rhs = add.assign_many([(abr[i], bias_r) for i in range(m)])
+    else:
+        rhs = abr
+    for cr, expected in zip(crs, rhs):
+        builder.asg.copy(cr.cell.column, cr.cell.row,
+                         expected.cell.column, expected.cell.row)
+    return c_entries
+
+
+def choices_dot_sum_free() -> LayoutChoices:
+    """Internal dots inside Freivalds use the chained-accumulator layout."""
+    return LayoutChoices(linear="dot_bias")
+
+
+def matmul_rows(
+    choices: LayoutChoices,
+    m: int,
+    k: int,
+    p: int,
+    num_cols: int,
+    with_bias: bool,
+) -> int:
+    """Row count of :func:`matmul_synthesize`."""
+    rescale_rows = ceil_div(m * p, DivRoundConstGadget.slots_per_row(num_cols))
+    if choices.linear == "freivalds":
+        inner = choices_dot_sum_free()
+        rows = k * _dot_rows(inner, p, num_cols, False)       # Br
+        rows += m * _dot_rows(inner, k, num_cols, False)      # A(Br)
+        if with_bias:
+            rows += _dot_rows(inner, p, num_cols, False)      # bias.r
+            rows += ceil_div(m, AddGadget.slots_per_row(num_cols))
+        rows += m * _dot_rows(inner, p, num_cols, False)      # Cr
+        return rows + rescale_rows
+    return m * p * _dot_rows(choices, k, num_cols, with_bias) + rescale_rows
+
+
+def matmul_fixed(a: np.ndarray, b: np.ndarray, bias: Optional[np.ndarray],
+                 fp: FixedPoint) -> np.ndarray:
+    """Exact fixed-point reference of the matmul core."""
+    raw = np.asarray(a, dtype=object) @ np.asarray(b, dtype=object)
+    if bias is not None:
+        raw = raw + np.asarray(bias, dtype=object).reshape(1, -1)
+    return arr_div_round(raw, fp.factor)
+
+
+class FullyConnectedLayer(Layer):
+    """y = x @ W + b with W of shape (in, units)."""
+
+    kind = "fully_connected"
+    param_names = ("weight", "bias")
+
+    @property
+    def units(self) -> int:
+        return self.attrs["units"]
+
+    def output_shape(self, input_shapes):
+        return tuple(input_shapes[0][:-1]) + (self.units,)
+
+    def quantize_params(self, params, fp):
+        out = {"weight": fp.encode_array(params["weight"])}
+        fp2 = FixedPoint(2 * fp.scale_bits)
+        out["bias"] = fp2.encode_array(params["bias"])
+        return out
+
+    def forward_float(self, inputs, params):
+        return inputs[0] @ params["weight"] + params["bias"]
+
+    def forward_fixed(self, inputs, params, fp):
+        x = inputs[0]
+        lead = x.shape[:-1]
+        flat = np.asarray(x, dtype=object).reshape(-1, x.shape[-1])
+        out = matmul_fixed(flat, params["weight"], params["bias"], fp)
+        return out.reshape(lead + (self.units,))
+
+    def synthesize(self, builder, inputs, params, choices):
+        x = inputs[0]
+        lead = x.shape[:-1]
+        m = int(np.prod(lead)) if lead else 1
+        a = x.reshape(m, x.shape[-1])
+        out = matmul_synthesize(builder, choices, a, params["weight"],
+                                params["bias"])
+        return out.reshape(*(lead + (self.units,)))
+
+    def count_rows(self, num_cols, input_shapes, choices, scale_bits):
+        shape = input_shapes[0]
+        m = int(np.prod(shape[:-1])) if len(shape) > 1 else 1
+        return matmul_rows(choices, m, shape[-1], self.units, num_cols, True)
+
+    def tables(self, choices, scale_bits, input_shapes):
+        return {("range", 2 << scale_bits)}
+
+
+def _conv_geometry(h, w, kh, kw, stride, padding):
+    if padding == "same":
+        oh, ow = ceil_div(h, stride), ceil_div(w, stride)
+        pad_h = max((oh - 1) * stride + kh - h, 0)
+        pad_w = max((ow - 1) * stride + kw - w, 0)
+        pads = (pad_h // 2, pad_h - pad_h // 2, pad_w // 2, pad_w - pad_w // 2)
+    elif padding == "valid":
+        oh = (h - kh) // stride + 1
+        ow = (w - kw) // stride + 1
+        pads = (0, 0, 0, 0)
+    else:
+        raise ValueError("padding must be 'same' or 'valid'")
+    return oh, ow, pads
+
+
+def _im2col_values(x: np.ndarray, kh, kw, stride, pads):
+    top, bottom, left, right = pads
+    x = np.pad(x, ((top, bottom), (left, right), (0, 0)),
+               constant_values=0)
+    h, w, c = x.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    cols = np.empty((oh * ow, kh * kw * c), dtype=object)
+    idx = 0
+    for i in range(oh):
+        for j in range(ow):
+            patch = x[i * stride : i * stride + kh,
+                      j * stride : j * stride + kw, :]
+            cols[idx] = patch.reshape(-1)
+            idx += 1
+    return cols, oh, ow
+
+
+class Conv2DLayer(Layer):
+    """2D convolution, NHWC without the batch dim: input (h, w, c_in)."""
+
+    kind = "conv2d"
+    param_names = ("weight", "bias")
+
+    @property
+    def stride(self):
+        return self.attrs.get("stride", 1)
+
+    @property
+    def padding(self):
+        return self.attrs.get("padding", "same")
+
+    def _geometry(self, input_shape, weight_shape):
+        h, w, _ = input_shape
+        kh, kw = weight_shape[:2]
+        return _conv_geometry(h, w, kh, kw, self.stride, self.padding)
+
+    def output_shape(self, input_shapes):
+        kh = self.attrs["kernel"][0]
+        kw = self.attrs["kernel"][1]
+        cout = self.attrs["filters"]
+        h, w, _ = input_shapes[0]
+        oh, ow, _ = _conv_geometry(h, w, kh, kw, self.stride, self.padding)
+        return (oh, ow, cout)
+
+    def quantize_params(self, params, fp):
+        fp2 = FixedPoint(2 * fp.scale_bits)
+        return {
+            "weight": fp.encode_array(params["weight"]),
+            "bias": fp2.encode_array(params["bias"]),
+        }
+
+    def forward_float(self, inputs, params):
+        x = np.asarray(inputs[0], dtype=np.float64)
+        w = np.asarray(params["weight"], dtype=np.float64)
+        kh, kw, cin, cout = w.shape
+        oh, ow, pads = self._geometry(x.shape, w.shape)
+        cols, oh, ow = _im2col_values(x, kh, kw, self.stride, pads)
+        out = cols.astype(np.float64) @ w.reshape(-1, cout) + params["bias"]
+        return out.reshape(oh, ow, cout)
+
+    def forward_fixed(self, inputs, params, fp):
+        x = np.asarray(inputs[0], dtype=object)
+        w = params["weight"]
+        kh, kw, cin, cout = w.shape
+        oh, ow, pads = self._geometry(x.shape, w.shape)
+        cols, oh, ow = _im2col_values(x, kh, kw, self.stride, pads)
+        out = matmul_fixed(cols, np.asarray(w, dtype=object).reshape(-1, cout),
+                           params["bias"], fp)
+        return out.reshape(oh, ow, cout)
+
+    def synthesize(self, builder, inputs, params, choices):
+        x = inputs[0]
+        w = params["weight"]
+        kh, kw, cin, cout = w.shape
+        oh, ow, pads = self._geometry(x.shape, w.shape)
+        top, bottom, left, right = pads
+        padded = x.pad(((top, bottom), (left, right), (0, 0)), builder.zero())
+        patches = []
+        for i in range(oh):
+            for j in range(ow):
+                patch = padded[
+                    i * self.stride : i * self.stride + kh,
+                    j * self.stride : j * self.stride + kw,
+                    :,
+                ]
+                patches.append(patch.flatten())
+        a = Tensor.stack(patches, axis=0)  # (oh*ow, kh*kw*cin)
+        b = w.reshape(kh * kw * cin, cout)
+        out = matmul_synthesize(builder, choices, a, b, params["bias"])
+        return out.reshape(oh, ow, cout)
+
+    def count_rows(self, num_cols, input_shapes, choices, scale_bits):
+        kh, kw = self.attrs["kernel"]
+        cout = self.attrs["filters"]
+        h, w, cin = input_shapes[0]
+        oh, ow, _ = _conv_geometry(h, w, kh, kw, self.stride, self.padding)
+        return matmul_rows(choices, oh * ow, kh * kw * cin, cout, num_cols, True)
+
+    def tables(self, choices, scale_bits, input_shapes):
+        return {("range", 2 << scale_bits)}
+
+
+class DepthwiseConv2DLayer(Layer):
+    """Depthwise 2D convolution: weight (kh, kw, c_in, multiplier)."""
+
+    kind = "depthwise_conv2d"
+    param_names = ("weight", "bias")
+
+    @property
+    def stride(self):
+        return self.attrs.get("stride", 1)
+
+    @property
+    def padding(self):
+        return self.attrs.get("padding", "same")
+
+    def output_shape(self, input_shapes):
+        kh, kw = self.attrs["kernel"]
+        mult = self.attrs.get("multiplier", 1)
+        h, w, cin = input_shapes[0]
+        oh, ow, _ = _conv_geometry(h, w, kh, kw, self.stride, self.padding)
+        return (oh, ow, cin * mult)
+
+    def quantize_params(self, params, fp):
+        fp2 = FixedPoint(2 * fp.scale_bits)
+        return {
+            "weight": fp.encode_array(params["weight"]),
+            "bias": fp2.encode_array(params["bias"]),
+        }
+
+    def _forward(self, x, w, bias, fixed, fp=None):
+        kh, kw, cin, mult = w.shape
+        h, w_in, _ = x.shape
+        oh, ow, pads = _conv_geometry(h, w_in, kh, kw, self.stride, self.padding)
+        top, bottom, left, right = pads
+        xp = np.pad(x, ((top, bottom), (left, right), (0, 0)), constant_values=0)
+        out = np.empty((oh, ow, cin * mult), dtype=object if fixed else np.float64)
+        for c in range(cin):
+            for q in range(mult):
+                kernel = w[:, :, c, q].reshape(-1)
+                for i in range(oh):
+                    for j in range(ow):
+                        patch = xp[i * self.stride : i * self.stride + kh,
+                                   j * self.stride : j * self.stride + kw,
+                                   c].reshape(-1)
+                        raw = int(np.dot(patch, kernel)) if fixed else float(
+                            np.dot(patch.astype(np.float64),
+                                   kernel.astype(np.float64)))
+                        if fixed:
+                            from repro.quantize import div_round
+
+                            out[i, j, c * mult + q] = div_round(
+                                raw + int(bias[c * mult + q]), fp.factor)
+                        else:
+                            out[i, j, c * mult + q] = raw + bias[c * mult + q]
+        return out
+
+    def forward_float(self, inputs, params):
+        return self._forward(
+            np.asarray(inputs[0], dtype=np.float64),
+            np.asarray(params["weight"], dtype=np.float64),
+            np.asarray(params["bias"], dtype=np.float64),
+            fixed=False,
+        )
+
+    def forward_fixed(self, inputs, params, fp):
+        return self._forward(
+            np.asarray(inputs[0], dtype=object),
+            np.asarray(params["weight"], dtype=object),
+            np.asarray(params["bias"], dtype=object),
+            fixed=True,
+            fp=fp,
+        )
+
+    def synthesize(self, builder, inputs, params, choices):
+        x = inputs[0]
+        w = params["weight"]
+        kh, kw, cin, mult = w.shape
+        h, w_in, _ = x.shape
+        oh, ow, pads = _conv_geometry(h, w_in, kh, kw, self.stride, self.padding)
+        top, bottom, left, right = pads
+        padded = x.pad(((top, bottom), (left, right), (0, 0)), builder.zero())
+        rescale = builder.gadget(DivRoundConstGadget, divisor=builder.fp.factor)
+        bias_entries = params["bias"].entries()
+        inner = choices if choices.linear != "freivalds" else choices_dot_sum_free()
+        raws = []
+        for i in range(oh):
+            for j in range(ow):
+                for c in range(cin):
+                    patch = padded[i * self.stride : i * self.stride + kh,
+                                   j * self.stride : j * self.stride + kw,
+                                   c].flatten().entries()
+                    for q in range(mult):
+                        kernel = w[:, :, c, q].flatten().entries()
+                        raws.append(_dot_raw(builder, inner, patch, kernel,
+                                             bias_entries[c * mult + q]))
+        outs = rescale.assign_many([(e,) for e in raws])
+        # raws were produced channel-major within each position; reorder to
+        # (oh, ow, cin*mult) row-major, which is exactly their order already.
+        return Tensor.from_entries(outs, (oh, ow, cin * mult))
+
+    def count_rows(self, num_cols, input_shapes, choices, scale_bits):
+        kh, kw = self.attrs["kernel"]
+        mult = self.attrs.get("multiplier", 1)
+        h, w, cin = input_shapes[0]
+        oh, ow, _ = _conv_geometry(h, w, kh, kw, self.stride, self.padding)
+        inner = choices if choices.linear != "freivalds" else choices_dot_sum_free()
+        dots = oh * ow * cin * mult
+        rows = dots * _dot_rows(inner, kh * kw, num_cols, True)
+        rows += ceil_div(dots, DivRoundConstGadget.slots_per_row(num_cols))
+        return rows
+
+    def tables(self, choices, scale_bits, input_shapes):
+        return {("range", 2 << scale_bits)}
+
+
+class BatchMatMulLayer(Layer):
+    """C[b] = A[b] @ B[b] for stacked matrices; no bias."""
+
+    kind = "batch_matmul"
+
+    def output_shape(self, input_shapes):
+        a, b = input_shapes
+        return tuple(a[:-1]) + (b[-1],)
+
+    def forward_float(self, inputs, params):
+        return np.matmul(np.asarray(inputs[0], dtype=np.float64),
+                         np.asarray(inputs[1], dtype=np.float64))
+
+    def forward_fixed(self, inputs, params, fp):
+        a = np.asarray(inputs[0], dtype=object)
+        b = np.asarray(inputs[1], dtype=object)
+        lead = a.shape[:-2]
+        m, k = a.shape[-2:]
+        p = b.shape[-1]
+        fa = a.reshape((-1, m, k))
+        fb = b.reshape((-1, k, p))
+        out = np.empty((fa.shape[0], m, p), dtype=object)
+        for i in range(fa.shape[0]):
+            out[i] = matmul_fixed(fa[i], fb[i], None, fp)
+        return out.reshape(lead + (m, p))
+
+    def synthesize(self, builder, inputs, params, choices):
+        a, b = inputs
+        lead = a.shape[:-2]
+        m, k = a.shape[-2:]
+        p = b.shape[-1]
+        batch = int(np.prod(lead)) if lead else 1
+        fa = a.reshape(batch, m, k)
+        fb = b.reshape(batch, k, p)
+        outs = [
+            matmul_synthesize(builder, choices, fa[i], fb[i], None)
+            for i in range(batch)
+        ]
+        stacked = Tensor.stack(outs, axis=0)
+        return stacked.reshape(*(lead + (m, p)))
+
+    def count_rows(self, num_cols, input_shapes, choices, scale_bits):
+        a, b = input_shapes
+        m, k = a[-2:]
+        p = b[-1]
+        batch = int(np.prod(a[:-2])) if len(a) > 2 else 1
+        return batch * matmul_rows(choices, m, k, p, num_cols, False)
+
+    def tables(self, choices, scale_bits, input_shapes):
+        return {("range", 2 << scale_bits)}

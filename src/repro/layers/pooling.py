@@ -1,0 +1,174 @@
+"""Pooling layers: MaxPool2D, AvgPool2D, GlobalAvgPool (paper Table 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gadgets import DivRoundConstGadget, MaxGadget, SumGadget
+from repro.layers.base import Layer, arr_div_round, ceil_div, sum_rows_for_vector
+from repro.layers.linear import _conv_geometry
+from repro.tensor import Tensor
+
+
+class _Pool2D(Layer):
+    @property
+    def pool(self):
+        return self.attrs.get("pool", 2)
+
+    @property
+    def stride(self):
+        return self.attrs.get("stride", self.pool)
+
+    def output_shape(self, input_shapes):
+        h, w, c = input_shapes[0]
+        oh, ow, _ = _conv_geometry(h, w, self.pool, self.pool, self.stride,
+                                   "valid")
+        return (oh, ow, c)
+
+    def _windows_values(self, x: np.ndarray):
+        h, w, c = x.shape
+        oh, ow, _ = _conv_geometry(h, w, self.pool, self.pool, self.stride,
+                                   "valid")
+        for i in range(oh):
+            for j in range(ow):
+                for ch in range(c):
+                    yield (i, j, ch), x[
+                        i * self.stride : i * self.stride + self.pool,
+                        j * self.stride : j * self.stride + self.pool,
+                        ch,
+                    ].reshape(-1)
+
+    def _windows_entries(self, x: Tensor):
+        h, w, c = x.shape
+        oh, ow, _ = _conv_geometry(h, w, self.pool, self.pool, self.stride,
+                                   "valid")
+        for i in range(oh):
+            for j in range(ow):
+                for ch in range(c):
+                    yield x[
+                        i * self.stride : i * self.stride + self.pool,
+                        j * self.stride : j * self.stride + self.pool,
+                        ch,
+                    ].flatten().entries()
+
+
+class MaxPool2DLayer(_Pool2D):
+    kind = "max_pool2d"
+
+    def forward_float(self, inputs, params):
+        x = np.asarray(inputs[0], dtype=np.float64)
+        out = np.empty(self.output_shape([x.shape]), dtype=np.float64)
+        for (i, j, ch), window in self._windows_values(x):
+            out[i, j, ch] = window.max()
+        return out
+
+    def forward_fixed(self, inputs, params, fp):
+        x = np.asarray(inputs[0], dtype=object)
+        out = np.empty(self.output_shape([x.shape]), dtype=object)
+        for (i, j, ch), window in self._windows_values(x):
+            out[i, j, ch] = max(int(v) for v in window)
+        return out
+
+    def synthesize(self, builder, inputs, params, choices):
+        x = inputs[0]
+        g = builder.gadget(MaxGadget)
+        outs = [g.max_vector(window) for window in self._windows_entries(x)]
+        return Tensor.from_entries(outs, self.output_shape([x.shape]))
+
+    def count_rows(self, num_cols, input_shapes, choices, scale_bits):
+        h, w, c = input_shapes[0]
+        oh, ow, _ = _conv_geometry(h, w, self.pool, self.pool, self.stride,
+                                   "valid")
+        slots = MaxGadget.slots_per_row(num_cols)
+        window = self.pool * self.pool
+        # tournament: each round halves (pairing), rows = ceil(pairs/slots)
+        rows_per_window = 0
+        work = window
+        while work > 1:
+            pairs = work // 2
+            rows_per_window += ceil_div(pairs, slots)
+            work = pairs + (work % 2)
+        return oh * ow * c * rows_per_window
+
+    def tables(self, choices, scale_bits, input_shapes):
+        return {("range", "lookup")}
+
+
+class AvgPool2DLayer(_Pool2D):
+    kind = "avg_pool2d"
+
+    def forward_float(self, inputs, params):
+        x = np.asarray(inputs[0], dtype=np.float64)
+        out = np.empty(self.output_shape([x.shape]), dtype=np.float64)
+        for (i, j, ch), window in self._windows_values(x):
+            out[i, j, ch] = window.mean()
+        return out
+
+    def forward_fixed(self, inputs, params, fp):
+        x = np.asarray(inputs[0], dtype=object)
+        out = np.empty(self.output_shape([x.shape]), dtype=object)
+        count = self.pool * self.pool
+        sums = np.empty(out.shape, dtype=object)
+        for (i, j, ch), window in self._windows_values(x):
+            sums[i, j, ch] = sum(int(v) for v in window)
+        return arr_div_round(sums, count)
+
+    def synthesize(self, builder, inputs, params, choices):
+        x = inputs[0]
+        summed = builder.gadget(SumGadget)
+        div = builder.gadget(DivRoundConstGadget, divisor=self.pool * self.pool)
+        sums = [summed.sum_vector(w) for w in self._windows_entries(x)]
+        outs = div.assign_many([(s,) for s in sums])
+        return Tensor.from_entries(outs, self.output_shape([x.shape]))
+
+    def count_rows(self, num_cols, input_shapes, choices, scale_bits):
+        h, w, c = input_shapes[0]
+        oh, ow, _ = _conv_geometry(h, w, self.pool, self.pool, self.stride,
+                                   "valid")
+        window = self.pool * self.pool
+        rows = oh * ow * c * sum_rows_for_vector(window, num_cols)
+        rows += ceil_div(oh * ow * c, DivRoundConstGadget.slots_per_row(num_cols))
+        return rows
+
+    def tables(self, choices, scale_bits, input_shapes):
+        return {("range", 2 * self.pool * self.pool)}
+
+
+class GlobalAvgPoolLayer(Layer):
+    """Mean over the spatial dims: (h, w, c) -> (c,)."""
+
+    kind = "global_avg_pool"
+
+    def output_shape(self, input_shapes):
+        return (input_shapes[0][-1],)
+
+    def forward_float(self, inputs, params):
+        return np.asarray(inputs[0], dtype=np.float64).mean(axis=(0, 1))
+
+    def forward_fixed(self, inputs, params, fp):
+        x = np.asarray(inputs[0], dtype=object)
+        h, w, c = x.shape
+        sums = x.sum(axis=(0, 1))
+        return arr_div_round(np.asarray(sums, dtype=object), h * w)
+
+    def synthesize(self, builder, inputs, params, choices):
+        x = inputs[0]
+        h, w, c = x.shape
+        summed = builder.gadget(SumGadget)
+        div = builder.gadget(DivRoundConstGadget, divisor=h * w)
+        sums = [
+            summed.sum_vector(x[:, :, ch].flatten().entries())
+            for ch in range(c)
+        ]
+        outs = div.assign_many([(s,) for s in sums])
+        return Tensor.from_entries(outs, (c,))
+
+    def count_rows(self, num_cols, input_shapes, choices, scale_bits):
+        h, w, c = input_shapes[0]
+        rows = c * sum_rows_for_vector(h * w, num_cols)
+        rows += ceil_div(c, DivRoundConstGadget.slots_per_row(num_cols))
+        return rows
+
+    def tables(self, choices, scale_bits, input_shapes):
+        h, w, _ = input_shapes[0]
+        return {("range", 2 * h * w)}

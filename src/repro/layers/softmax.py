@@ -1,0 +1,127 @@
+"""The softmax layer (paper §6.1, "Softmax").
+
+A vector-valued non-linearity that cannot be a lookup table (the table
+would need SF^n rows), so it is composed from the specialized gadgets:
+
+1. shift by the vector max (numeric stability; softmax is shift
+   invariant) — Max gadget tournament;
+2. scaled exponential e^(x - max) * SF — the ``exp`` lookup table;
+3. sum of the exponentials — Sum gadget;
+4. divide with the *numerator scaled by SF* (not the sum divided by SF,
+   which would destroy precision) — ScaleConst + VarDiv gadgets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gadgets import (
+    MaxGadget,
+    PointwiseGadget,
+    ScaleConstGadget,
+    SubGadget,
+    SumGadget,
+    VarDivGadget,
+    VarDivWideGadget,
+)
+from repro.gadgets.nonlinear import fixed_eval
+from repro.layers.base import Layer, ceil_div, sum_rows_for_vector
+from repro.quantize import div_round
+from repro.tensor import Tensor
+
+
+def max_tournament_rows(length: int, num_cols: int) -> int:
+    slots = MaxGadget.slots_per_row(num_cols)
+    rows, work = 0, length
+    while work > 1:
+        pairs = work // 2
+        rows += ceil_div(pairs, slots)
+        work = pairs + (work % 2)
+    return rows
+
+
+def needs_wide_division(classes: int, scale_bits: int) -> bool:
+    """Whether the sum of exponentials outgrows the shared range table.
+
+    The table covers [0, 2^(scale_bits+3)); the divisor is at most
+    classes * SF, so more than four classes needs the limb-decomposed
+    division (paper §5.1's "decompose a into limbs").
+    """
+    return 2 * classes * (1 << scale_bits) > (1 << (scale_bits + 3))
+
+
+class SoftmaxLayer(Layer):
+    """Softmax over the last axis."""
+
+    kind = "softmax"
+
+    def output_shape(self, input_shapes):
+        return input_shapes[0]
+
+    def forward_float(self, inputs, params):
+        x = np.asarray(inputs[0], dtype=np.float64)
+        shifted = x - x.max(axis=-1, keepdims=True)
+        e = np.exp(shifted)
+        return e / e.sum(axis=-1, keepdims=True)
+
+    def forward_fixed(self, inputs, params, fp):
+        x = np.asarray(inputs[0], dtype=object)
+        out = np.empty(x.shape, dtype=object)
+        flat = x.reshape(-1, x.shape[-1])
+        flat_out = out.reshape(-1, x.shape[-1])
+        for row in range(flat.shape[0]):
+            vec = [int(v) for v in flat[row]]
+            m = max(vec)
+            exps = [fixed_eval("exp", v - m, fp) for v in vec]
+            total = sum(exps)
+            for i, e in enumerate(exps):
+                flat_out[row, i] = div_round(e * fp.factor, total)
+        return out
+
+    def synthesize(self, builder, inputs, params, choices):
+        x = inputs[0]
+        length = x.shape[-1]
+        lead = int(np.prod(x.shape[:-1])) if x.ndim > 1 else 1
+        flat = x.reshape(lead, length)
+        mx = builder.gadget(MaxGadget)
+        sub = builder.gadget(SubGadget)
+        exp = builder.gadget(PointwiseGadget, fn_name="exp")
+        summed = builder.gadget(SumGadget)
+        scale = builder.gadget(ScaleConstGadget, factor=builder.fp.factor)
+        if needs_wide_division(length, builder.scale_bits):
+            vdiv = builder.gadget(VarDivWideGadget)
+        else:
+            vdiv = builder.gadget(VarDivGadget)
+        outs = []
+        for row in range(lead):
+            vec = flat[row].entries()
+            m = mx.max_vector(vec)
+            shifted = sub.assign_many([(v, m) for v in vec])
+            exps = exp.apply_vector(shifted)
+            total = summed.sum_vector(exps)
+            nums = scale.assign_many([(e,) for e in exps])
+            outs.extend(vdiv.assign_many([(total, n) for n in nums]))
+        return Tensor.from_entries(outs, x.shape)
+
+    def count_rows(self, num_cols, input_shapes, choices, scale_bits):
+        shape = input_shapes[0]
+        length = shape[-1]
+        lead = int(np.prod(shape[:-1])) if len(shape) > 1 else 1
+        rows = max_tournament_rows(length, num_cols)
+        rows += ceil_div(length, SubGadget.slots_per_row(num_cols))
+        rows += ceil_div(length, PointwiseGadget.slots_per_row(num_cols))
+        rows += sum_rows_for_vector(length, num_cols)
+        rows += ceil_div(length, ScaleConstGadget.slots_per_row(num_cols))
+        vdiv = (VarDivWideGadget if needs_wide_division(length, scale_bits)
+                else VarDivGadget)
+        slots = vdiv.slots_per_row(num_cols)
+        if slots == 0:
+            raise ValueError(
+                "softmax needs at least %d columns for %s"
+                % (vdiv.cells_per_op, vdiv.name)
+            )
+        rows += ceil_div(length, slots)
+        return lead * rows
+
+    def tables(self, choices, scale_bits, input_shapes):
+        return {("nl", "exp"), ("range", "lookup")}

@@ -1,0 +1,13 @@
+"""Minimal numpy ML substrate: synthetic datasets and an MLP trainer.
+
+The paper's Table 8 measures the accuracy drop from arithmetization on
+trained MNIST/CIFAR-10 checkpoints.  Offline we have neither the datasets
+nor a training framework, so this package supplies the substitute: a
+procedural "digits" dataset generator and a from-scratch SGD-trained MLP
+whose weights export straight into a :class:`~repro.model.ModelSpec`.
+"""
+
+from repro.ml.datasets import synthetic_cifar, synthetic_digits
+from repro.ml.train import MLPClassifier
+
+__all__ = ["synthetic_digits", "synthetic_cifar", "MLPClassifier"]

@@ -1,0 +1,101 @@
+"""A from-scratch numpy MLP classifier with SGD + manual backprop."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.model.builder import GraphBuilder
+from repro.model.spec import ModelSpec
+
+
+class MLPClassifier:
+    """ReLU MLP with softmax cross-entropy, trained by minibatch SGD."""
+
+    def __init__(self, layer_dims: List[int], seed: int = 0):
+        if len(layer_dims) < 2:
+            raise ValueError("need at least input and output dims")
+        self.dims = list(layer_dims)
+        rng = np.random.default_rng(seed)
+        self.weights = [
+            rng.normal(0, np.sqrt(2.0 / layer_dims[i]),
+                       (layer_dims[i], layer_dims[i + 1]))
+            for i in range(len(layer_dims) - 1)
+        ]
+        self.biases = [np.zeros(d) for d in layer_dims[1:]]
+
+    # -- forward/backward ------------------------------------------------------
+
+    def _forward(self, x: np.ndarray):
+        acts = [x]
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = acts[-1] @ w + b
+            if i < len(self.weights) - 1:
+                z = np.maximum(z, 0.0)
+            acts.append(z)
+        return acts
+
+    def logits(self, x: np.ndarray) -> np.ndarray:
+        return self._forward(self._flat(x))[-1]
+
+    @staticmethod
+    def _flat(x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64).reshape(len(x), -1)
+
+    def fit(self, x: np.ndarray, y: np.ndarray, epochs: int = 30,
+            lr: float = 0.05, batch: int = 32, seed: int = 0) -> "MLPClassifier":
+        x = self._flat(x)
+        y = np.asarray(y)
+        rng = np.random.default_rng(seed)
+        n = len(x)
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                acts = self._forward(x[idx])
+                logits = acts[-1]
+                shifted = logits - logits.max(axis=1, keepdims=True)
+                probs = np.exp(shifted)
+                probs /= probs.sum(axis=1, keepdims=True)
+                grad = probs
+                grad[np.arange(len(idx)), y[idx]] -= 1.0
+                grad /= len(idx)
+                for i in range(len(self.weights) - 1, -1, -1):
+                    a_prev = acts[i]
+                    gw = a_prev.T @ grad
+                    gb = grad.sum(axis=0)
+                    if i > 0:
+                        grad = (grad @ self.weights[i].T) * (acts[i] > 0)
+                    self.weights[i] -= lr * gw
+                    self.biases[i] -= lr * gb
+        return self
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.logits(x).argmax(axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(x) == np.asarray(y)).mean())
+
+    # -- export to the compiler's IR ---------------------------------------------------
+
+    def to_model_spec(self, name: str, input_shape: Tuple[int, ...],
+                      softmax: bool = False) -> ModelSpec:
+        """Export the trained weights as a runnable ModelSpec."""
+        gb = GraphBuilder(name, materialize=True)
+        x = gb.input("image", input_shape)
+        if len(input_shape) > 1:
+            x = gb.flatten(x)
+        x = gb.reshape(x, (1, self.dims[0]))
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            x = gb.add_layer(
+                "fully_connected", [x], {"units": self.dims[i + 1]},
+                {"weight": w.copy(), "bias": b.copy()}, name="fc%d" % i
+            )
+            if i < len(self.weights) - 1:
+                x = gb.activation(x, "relu", name="relu%d" % i)
+        if softmax:
+            x = gb.softmax(x)
+        return gb.build([x])

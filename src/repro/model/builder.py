@@ -1,0 +1,188 @@
+"""Fluent graph builder with deterministic weight initialization.
+
+``materialize=False`` records parameter *shapes* only — paper-scale
+models (81M parameters) stay cheap to construct because the optimizer
+never needs the weight values, only the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.spec import LayerSpec, ModelSpec
+
+
+class GraphBuilder:
+    """Builds a :class:`ModelSpec` layer by layer."""
+
+    def __init__(self, name: str, materialize: bool = True, seed: int = 0):
+        self.name = name
+        self.materialize = materialize
+        self._rng = np.random.default_rng(
+            seed ^ int.from_bytes(name.encode()[:8].ljust(8, b"\0"), "little")
+        )
+        self._inputs: Dict[str, Tuple[int, ...]] = {}
+        self._layers: List[LayerSpec] = []
+        self._counter = 0
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _fresh(self, kind: str) -> str:
+        self._counter += 1
+        return "%s_%d" % (kind, self._counter)
+
+    def _param(self, shape: Tuple[int, ...], scale: float = 0.5):
+        if not self.materialize:
+            return tuple(shape)
+        return self._rng.uniform(-scale, scale, shape)
+
+    def add_layer(self, kind: str, inputs: Sequence[str],
+                  attrs: Optional[dict] = None,
+                  params: Optional[dict] = None, name: str = "") -> str:
+        name = name or self._fresh(kind)
+        self._layers.append(
+            LayerSpec(name=name, kind=kind, inputs=list(inputs),
+                      attrs=dict(attrs or {}), params=dict(params or {}))
+        )
+        return name
+
+    def input(self, name: str, shape: Sequence[int]) -> str:
+        self._inputs[name] = tuple(shape)
+        return name
+
+    def build(self, outputs: Sequence[str]) -> ModelSpec:
+        spec = ModelSpec(name=self.name, inputs=dict(self._inputs),
+                         layers=list(self._layers), outputs=list(outputs))
+        spec.validate()
+        return spec
+
+    # -- layer shorthands ------------------------------------------------------------
+
+    def fully_connected(self, x: str, in_dim: int, units: int, name: str = "") -> str:
+        fan = max(in_dim, 1)
+        return self.add_layer(
+            "fully_connected", [x], {"units": units},
+            {"weight": self._param((in_dim, units), scale=1.0 / np.sqrt(fan)),
+             "bias": self._param((units,), scale=0.05)},
+            name,
+        )
+
+    def conv2d(self, x: str, cin: int, filters: int, kernel=(3, 3), stride=1,
+               padding="same", name: str = "") -> str:
+        fan = kernel[0] * kernel[1] * cin
+        return self.add_layer(
+            "conv2d", [x],
+            {"kernel": tuple(kernel), "filters": filters, "stride": stride,
+             "padding": padding},
+            {"weight": self._param((kernel[0], kernel[1], cin, filters),
+                                   scale=1.0 / np.sqrt(fan)),
+             "bias": self._param((filters,), scale=0.05)},
+            name,
+        )
+
+    def depthwise_conv2d(self, x: str, cin: int, kernel=(3, 3), multiplier=1,
+                         stride=1, padding="same", name: str = "") -> str:
+        fan = kernel[0] * kernel[1]
+        return self.add_layer(
+            "depthwise_conv2d", [x],
+            {"kernel": tuple(kernel), "multiplier": multiplier,
+             "stride": stride, "padding": padding},
+            {"weight": self._param((kernel[0], kernel[1], cin, multiplier),
+                                   scale=1.0 / np.sqrt(fan)),
+             "bias": self._param((cin * multiplier,), scale=0.05)},
+            name,
+        )
+
+    def activation(self, x: str, fn: str, name: str = "") -> str:
+        return self.add_layer(fn, [x], name=name)
+
+    def softmax(self, x: str, name: str = "") -> str:
+        return self.add_layer("softmax", [x], name=name)
+
+    def add(self, a: str, b: str, name: str = "") -> str:
+        return self.add_layer("add", [a, b], name=name)
+
+    def mul(self, a: str, b: str, name: str = "") -> str:
+        return self.add_layer("mul", [a, b], name=name)
+
+    def batch_matmul(self, a: str, b: str, name: str = "") -> str:
+        return self.add_layer("batch_matmul", [a, b], name=name)
+
+    def max_pool(self, x: str, pool=2, stride=None, name: str = "") -> str:
+        return self.add_layer(
+            "max_pool2d", [x], {"pool": pool, "stride": stride or pool}, name=name
+        )
+
+    def avg_pool(self, x: str, pool=2, stride=None, name: str = "") -> str:
+        return self.add_layer(
+            "avg_pool2d", [x], {"pool": pool, "stride": stride or pool}, name=name
+        )
+
+    def global_avg_pool(self, x: str, name: str = "") -> str:
+        return self.add_layer("global_avg_pool", [x], name=name)
+
+    def flatten(self, x: str, name: str = "") -> str:
+        return self.add_layer("flatten", [x], name=name)
+
+    def reshape(self, x: str, shape, name: str = "") -> str:
+        return self.add_layer("reshape", [x], {"shape": tuple(shape)}, name=name)
+
+    def transpose(self, x: str, axes=None, name: str = "") -> str:
+        return self.add_layer("transpose", [x], {"axes": axes}, name=name)
+
+    def concat(self, xs: Sequence[str], axis=0, name: str = "") -> str:
+        return self.add_layer("concat", list(xs), {"axis": axis}, name=name)
+
+    def pad(self, x: str, pad_width, name: str = "") -> str:
+        return self.add_layer("pad", [x], {"pad_width": tuple(tuple(p) for p in pad_width)}, name=name)
+
+    def batch_norm(self, x: str, channels: int, name: str = "") -> str:
+        return self.add_layer(
+            "batch_norm", [x], {"eps": 1e-3},
+            {"gamma": self._param((channels,), 1.0) if not self.materialize
+             else np.abs(self._rng.uniform(0.5, 1.5, (channels,))),
+             "beta": self._param((channels,), 0.1),
+             "mean": self._param((channels,), 0.1),
+             "variance": self._param((channels,), 1.0) if not self.materialize
+             else np.abs(self._rng.uniform(0.5, 1.5, (channels,)))},
+            name,
+        )
+
+    def layer_norm(self, x: str, dim: int, name: str = "") -> str:
+        return self.add_layer(
+            "layer_norm", [x], {"eps": 1e-2},
+            {"gamma": np.ones(dim) if self.materialize else (dim,),
+             "beta": np.zeros(dim) if self.materialize else (dim,)},
+            name,
+        )
+
+    def gather(self, indices, table_shape: Tuple[int, int], name: str = "") -> str:
+        return self.add_layer(
+            "gather", [],
+            {"indices": list(indices), "table_shape": tuple(table_shape)},
+            {"table": self._param(table_shape, scale=0.5)},
+            name,
+        )
+
+    # -- composite blocks -------------------------------------------------------------
+
+    def attention_block(self, x: str, seq: int, dim: int, heads: int,
+                        name: str = "") -> str:
+        """Multi-head self-attention from primitive layers (paper Table 3:
+        BatchMatMul + Softmax are what GPT needs)."""
+        prefix = name or self._fresh("attn")
+        head_dim = dim // heads
+        q = self.fully_connected(x, dim, dim, name=prefix + "_q")
+        k = self.fully_connected(x, dim, dim, name=prefix + "_k")
+        v = self.fully_connected(x, dim, dim, name=prefix + "_v")
+        # (seq, dim) -> (heads, seq, head_dim)
+        qh = self.transpose(self.reshape(q, (seq, heads, head_dim)), (1, 0, 2))
+        kh = self.transpose(self.reshape(k, (seq, heads, head_dim)), (1, 2, 0))
+        vh = self.transpose(self.reshape(v, (seq, heads, head_dim)), (1, 0, 2))
+        scores = self.batch_matmul(qh, kh, name=prefix + "_scores")
+        probs = self.softmax(scores, name=prefix + "_probs")
+        ctx = self.batch_matmul(probs, vh, name=prefix + "_ctx")
+        merged = self.reshape(self.transpose(ctx, (1, 0, 2)), (seq, dim))
+        return self.fully_connected(merged, dim, dim, name=prefix + "_proj")

@@ -1,0 +1,63 @@
+"""Reference executors: float semantics and exact fixed-point semantics.
+
+``run_fixed`` is the bit-exact model of what the circuit computes; the
+compiler's synthesized circuit must (and is tested to) agree cell-for-cell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.model.spec import ModelSpec
+from repro.quantize import FixedPoint
+
+
+def run_float(spec: ModelSpec, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Execute the model in float64; returns all requested outputs."""
+    if not spec.materialized:
+        raise ValueError("model %r has shape-only parameters" % spec.name)
+    values: Dict[str, np.ndarray] = {
+        k: np.asarray(v, dtype=np.float64) for k, v in inputs.items()
+    }
+    for layer_spec in spec.layers:
+        layer = layer_spec.layer()
+        args = [values[i] for i in layer_spec.inputs]
+        params = {k: np.asarray(v, dtype=np.float64)
+                  for k, v in layer_spec.params.items()}
+        values[layer_spec.name] = np.asarray(layer.forward_float(args, params))
+    return {name: values[name] for name in spec.outputs}
+
+
+def run_fixed(
+    spec: ModelSpec, inputs: Dict[str, np.ndarray], scale_bits: int
+) -> Dict[str, np.ndarray]:
+    """Execute the model in exact fixed-point (object-int arrays)."""
+    if not spec.materialized:
+        raise ValueError("model %r has shape-only parameters" % spec.name)
+    fp = FixedPoint(scale_bits)
+    values: Dict[str, np.ndarray] = {
+        k: fp.encode_array(np.asarray(v)) for k, v in inputs.items()
+    }
+    for layer_spec in spec.layers:
+        layer = layer_spec.layer()
+        args = [values[i] for i in layer_spec.inputs]
+        params = layer.quantize_params(
+            {k: np.asarray(v) for k, v in layer_spec.params.items()}, fp
+        )
+        values[layer_spec.name] = np.asarray(
+            layer.forward_fixed(args, params, fp), dtype=object
+        )
+    return {name: values[name] for name in spec.outputs}
+
+
+def fixed_outputs_decoded(
+    spec: ModelSpec, inputs: Dict[str, np.ndarray], scale_bits: int
+) -> Dict[str, np.ndarray]:
+    """Fixed-point execution decoded back to floats (for accuracy evals)."""
+    fp = FixedPoint(scale_bits)
+    return {
+        k: fp.decode_array(v)
+        for k, v in run_fixed(spec, inputs, scale_bits).items()
+    }

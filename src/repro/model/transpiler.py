@@ -1,0 +1,177 @@
+"""Transpiler from a tflite-like flat model format to :class:`ModelSpec`.
+
+The paper's ZKML accepts models in tflite format (§8).  Offline we cannot
+ship TensorFlow, so the transpiler consumes the equivalent information as
+a plain dict — named buffers plus a flat operator list with tflite-style
+opcodes — and emits our graph IR.  ``export`` round-trips a ModelSpec
+back into the flat format.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.model.spec import LayerSpec, ModelSpec
+
+#: tflite-style opcode -> our layer kind.
+OPCODE_TO_KIND = {
+    "CONV_2D": "conv2d",
+    "DEPTHWISE_CONV_2D": "depthwise_conv2d",
+    "FULLY_CONNECTED": "fully_connected",
+    "BATCH_MATMUL": "batch_matmul",
+    "SOFTMAX": "softmax",
+    "RELU": "relu",
+    "RELU6": "relu6",
+    "LEAKY_RELU": "leaky_relu",
+    "ELU": "elu",
+    "LOGISTIC": "sigmoid",
+    "TANH": "tanh",
+    "GELU": "gelu",
+    "HARD_SWISH": "hard_swish",
+    "EXP": "exp",
+    "SQRT": "sqrt",
+    "RSQRT": "rsqrt",
+    "LOG": "log",
+    "ADD": "add",
+    "SUB": "sub",
+    "MUL": "mul",
+    "DIV": "div",
+    "SQUARED_DIFFERENCE": "squared_difference",
+    "SUM": "reduce_sum",
+    "MEAN": "reduce_mean",
+    "MAX_POOL_2D": "max_pool2d",
+    "AVERAGE_POOL_2D": "avg_pool2d",
+    "RESHAPE": "reshape",
+    "TRANSPOSE": "transpose",
+    "CONCATENATION": "concat",
+    "PAD": "pad",
+    "SLICE": "slice",
+    "SQUEEZE": "squeeze",
+    "EXPAND_DIMS": "expand_dims",
+    "GATHER": "gather",
+    "SPLIT": "split",
+    "IDENTITY": "identity",
+    "FLATTEN": "flatten",
+    "BATCH_NORM": "batch_norm",
+    "LAYER_NORM": "layer_norm",
+    "RMS_NORM": "rms_norm",
+    "GLOBAL_AVERAGE_POOL": "global_avg_pool",
+}
+
+KIND_TO_OPCODE = {v: k for k, v in OPCODE_TO_KIND.items()}
+
+
+class TranspileError(ValueError):
+    """Raised for malformed or unsupported flat models."""
+
+
+def transpile(flat: Dict) -> ModelSpec:
+    """Convert a tflite-like flat dict into a validated ModelSpec.
+
+    Expected shape::
+
+        {
+          "name": "mnist",
+          "inputs": {"image": [28, 28, 1]},
+          "buffers": {"w0": <array or shape list>, ...},
+          "operators": [
+            {"opcode": "CONV_2D", "name": "conv1", "inputs": ["image"],
+             "params": {"weight": "w0", "bias": "b0"},
+             "options": {"kernel": [3, 3], "filters": 8}},
+            ...
+          ],
+          "outputs": ["logits"]
+        }
+    """
+    for key in ("name", "inputs", "operators", "outputs"):
+        if key not in flat:
+            raise TranspileError("flat model missing %r" % key)
+    buffers = flat.get("buffers", {})
+
+    def resolve(ref):
+        if isinstance(ref, str):
+            try:
+                value = buffers[ref]
+            except KeyError:
+                raise TranspileError("unknown buffer %r" % ref) from None
+        else:
+            value = ref
+        if isinstance(value, (list, np.ndarray)):
+            arr = np.asarray(value)
+            if arr.dtype == object or arr.dtype.kind in "if":
+                return arr.astype(np.float64)
+            return arr
+        if isinstance(value, tuple):
+            return tuple(value)
+        raise TranspileError("buffer %r has unsupported type" % ref)
+
+    layers: List[LayerSpec] = []
+    for op in flat["operators"]:
+        opcode = op.get("opcode")
+        if opcode not in OPCODE_TO_KIND:
+            raise TranspileError(
+                "unsupported opcode %r; supported: %d opcodes"
+                % (opcode, len(OPCODE_TO_KIND))
+            )
+        options = dict(op.get("options", {}))
+        # tflite stores kernel/pad tuples as lists; normalize
+        for key in ("kernel", "shape", "axes"):
+            if key in options and isinstance(options[key], list):
+                options[key] = tuple(options[key])
+        if "pad_width" in options:
+            options["pad_width"] = tuple(tuple(p) for p in options["pad_width"])
+        params = {
+            pname: resolve(ref) for pname, ref in op.get("params", {}).items()
+        }
+        layers.append(
+            LayerSpec(
+                name=op.get("name") or "op_%d" % len(layers),
+                kind=OPCODE_TO_KIND[opcode],
+                inputs=list(op.get("inputs", [])),
+                attrs=options,
+                params=params,
+            )
+        )
+
+    spec = ModelSpec(
+        name=flat["name"],
+        inputs={k: tuple(v) for k, v in flat["inputs"].items()},
+        layers=layers,
+        outputs=list(flat["outputs"]),
+    )
+    spec.validate()
+    return spec
+
+
+def export(spec: ModelSpec) -> Dict:
+    """Round-trip a ModelSpec back into the flat format."""
+    buffers: Dict[str, object] = {}
+    operators = []
+    for layer in spec.layers:
+        params = {}
+        for pname, value in layer.params.items():
+            ref = "%s/%s" % (layer.name, pname)
+            buffers[ref] = (
+                np.asarray(value).tolist()
+                if isinstance(value, np.ndarray)
+                else tuple(value)
+            )
+            params[pname] = ref
+        operators.append(
+            {
+                "opcode": KIND_TO_OPCODE[layer.kind],
+                "name": layer.name,
+                "inputs": list(layer.inputs),
+                "params": params,
+                "options": dict(layer.attrs),
+            }
+        )
+    return {
+        "name": spec.name,
+        "inputs": {k: list(v) for k, v in spec.inputs.items()},
+        "buffers": buffers,
+        "operators": operators,
+        "outputs": list(spec.outputs),
+    }

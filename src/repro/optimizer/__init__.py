@@ -1,0 +1,47 @@
+"""The ZKML optimizer: hardware profiles, cost model, Algorithm 1."""
+
+from repro.optimizer.cost_model import (
+    CostBreakdown,
+    estimate_cost,
+    estimate_proof_size,
+    estimate_verification_time,
+    extended_k,
+    num_ffts,
+    num_msms,
+)
+from repro.optimizer.hardware import (
+    PROFILES,
+    R6I_8XLARGE,
+    R6I_16XLARGE,
+    R6I_32XLARGE,
+    HardwareProfile,
+    benchmark_operations,
+    profile_for_model,
+)
+from repro.optimizer.search import (
+    Candidate,
+    OptimizationResult,
+    fixed_configuration_cost,
+    optimize_layout,
+)
+
+__all__ = [
+    "CostBreakdown",
+    "estimate_cost",
+    "estimate_proof_size",
+    "estimate_verification_time",
+    "num_ffts",
+    "num_msms",
+    "extended_k",
+    "HardwareProfile",
+    "benchmark_operations",
+    "profile_for_model",
+    "PROFILES",
+    "R6I_8XLARGE",
+    "R6I_16XLARGE",
+    "R6I_32XLARGE",
+    "optimize_layout",
+    "fixed_configuration_cost",
+    "OptimizationResult",
+    "Candidate",
+]

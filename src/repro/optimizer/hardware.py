@@ -1,0 +1,168 @@
+"""Hardware profiles and operation benchmarking (paper §7.4).
+
+The cost model needs, per proving machine: the time of a single FFT of
+size 2^k, a single MSM of size 2^k, lookup-table construction of size
+2^k, and a single field multiply-add.  ``benchmark_operations`` measures
+them *on this machine against this Python prover* (used for the §9.5
+rank-correlation experiment, where estimates are compared with real
+proving runs); the ``R6I_*`` profiles model the paper's AWS boxes, with
+constants calibrated so the headline magnitudes land near Table 6.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.commit import scheme_by_name
+from repro.field import GOLDILOCKS, PrimeField
+from repro.field.ntt import ntt
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """Per-machine operation costs, all in seconds."""
+
+    name: str
+    cores: int
+    ram_gb: int
+    #: k -> seconds for one size-2^k FFT.
+    t_fft: Dict[int, float]
+    #: k -> seconds for one size-2^k MSM.
+    t_msm: Dict[int, float]
+    #: k -> seconds to build one size-2^k lookup helper set.
+    t_lookup: Dict[int, float]
+    #: seconds for one field multiply-add.
+    t_field: float
+
+    def fft(self, k: int) -> float:
+        return self._interp(self.t_fft, k)
+
+    def msm(self, k: int) -> float:
+        return self._interp(self.t_msm, k)
+
+    def lookup(self, k: int) -> float:
+        return self._interp(self.t_lookup, k)
+
+    @staticmethod
+    def _interp(table: Dict[int, float], k: int) -> float:
+        if k in table:
+            return table[k]
+        below = [kk for kk in table if kk < k]
+        above = [kk for kk in table if kk > k]
+        if below and above:
+            lo, hi = max(below), min(above)
+            frac = (k - lo) / (hi - lo)
+            return table[lo] * (table[hi] / table[lo]) ** frac
+        if below:  # extrapolate doubling-per-k
+            lo = max(below)
+            return table[lo] * (2.1 ** (k - lo))
+        hi = min(above)
+        return table[hi] / (2.1 ** (hi - k))
+
+    def memory_bytes(self, k: int, total_columns: int, extension: int) -> int:
+        """Rough prover footprint: base + extended evaluations per column."""
+        return 32 * (1 << k) * total_columns * (1 + extension)
+
+    def fits_memory(self, k: int, total_columns: int, extension: int) -> bool:
+        return self.memory_bytes(k, total_columns, extension) <= (
+            self.ram_gb * (1 << 30)
+        )
+
+
+def _aws_profile(name: str, cores: int, ram_gb: int) -> HardwareProfile:
+    """A modeled AWS instance.
+
+    Constants are calibrated against the paper's Table 6 magnitudes on a
+    32-core baseline (MNIST ~2.5 s, GPT-2 ~1 h) and scaled by core count
+    with imperfect parallel efficiency.
+    """
+    scale = (32.0 / cores) ** 0.8
+    c_fft = 2.2e-9 * scale
+    c_msm = 2.6e-7 * scale
+    c_lookup = 1.2e-7 * scale
+    return HardwareProfile(
+        name=name,
+        cores=cores,
+        ram_gb=ram_gb,
+        t_fft={k: c_fft * k * (1 << k) for k in range(10, 31)},
+        t_msm={k: c_msm * (1 << k) for k in range(10, 29)},
+        t_lookup={k: c_lookup * (1 << k) for k in range(10, 29)},
+        t_field=2.0e-9 * scale,
+    )
+
+
+#: The paper's proving machines (§9.1).
+R6I_8XLARGE = _aws_profile("r6i.8xlarge", cores=32, ram_gb=256)
+R6I_16XLARGE = _aws_profile("r6i.16xlarge", cores=64, ram_gb=512)
+R6I_32XLARGE = _aws_profile("r6i.32xlarge", cores=128, ram_gb=1024)
+
+PROFILES = {
+    p.name: p for p in (R6I_8XLARGE, R6I_16XLARGE, R6I_32XLARGE)
+}
+
+
+def profile_for_model(model_name: str) -> HardwareProfile:
+    """The instance the paper used per model (§9.1)."""
+    if model_name in ("gpt2", "diffusion"):
+        return R6I_32XLARGE
+    if model_name == "mobilenet":
+        return R6I_16XLARGE
+    return R6I_8XLARGE
+
+
+_local_cache: Dict = {}
+
+
+def benchmark_operations(
+    field: PrimeField = GOLDILOCKS,
+    ks=(8, 9, 10, 11, 12),
+    scheme_name: str = "kzg",
+) -> HardwareProfile:
+    """Measure this machine's Python prover primitives (run once).
+
+    The paper's ``BenchmarkOperations(hardware)`` step: time one FFT, one
+    commitment ("MSM"), and one lookup-helper pass at several sizes, and
+    one field multiply-add; larger sizes extrapolate.
+    """
+    key = (field.name, tuple(ks), scheme_name)
+    cached = _local_cache.get(key)
+    if cached is not None:
+        return cached
+    scheme = scheme_by_name(scheme_name, field)
+    t_fft, t_msm, t_lookup = {}, {}, {}
+    for k in ks:
+        n = 1 << k
+        values = list(range(1, n + 1))
+        root = field.root_of_unity(k)
+        start = time.perf_counter()
+        ntt(field, values, root)
+        t_fft[k] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        scheme.commit(values)
+        t_msm[k] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        field.batch_inv(values)
+        t_lookup[k] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    acc = 1
+    reps = 20000
+    for i in range(reps):
+        acc = field.add(field.mul(acc, 1234567), 89)
+    t_field = (time.perf_counter() - start) / reps
+
+    profile = HardwareProfile(
+        name="local-python",
+        cores=1,
+        ram_gb=16,
+        t_fft=t_fft,
+        t_msm=t_msm,
+        t_lookup=t_lookup,
+        t_field=t_field,
+    )
+    _local_cache[key] = profile
+    return profile

@@ -1,0 +1,19 @@
+"""Fixed-point quantization.
+
+All tensor values inside a circuit are fixed-point numbers over the prime
+field (paper §4.1): a real ``x`` is represented by the signed integer
+``round(x * 2^scale_bits)``, encoded into the field with negatives
+wrapping.  ZKML *chooses* the scale factor per model: the pointwise
+non-linearities are lookup tables whose size is bounded by the grid
+length, so the activation range at a given precision dictates the minimum
+number of rows (§5.1) — a coupling the optimizer exploits.
+"""
+
+from repro.quantize.fixed_point import (
+    FixedPoint,
+    div_round,
+    max_table_input_bits,
+    requantize,
+)
+
+__all__ = ["FixedPoint", "div_round", "requantize", "max_table_input_bits"]

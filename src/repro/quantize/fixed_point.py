@@ -1,0 +1,89 @@
+"""Fixed-point encode/decode and rescaling helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def div_round(a: int, b: int) -> int:
+    """Rounded integer division, half rounding up (the paper's DivRound).
+
+    Exactly the circuit identity ``Round(a/b) = floor((2a + b) / 2b)`` used
+    by the DivRound and VarDiv gadgets (§5.1), so the Python reference and
+    the constraint system agree bit-for-bit, including at the .5 boundary
+    and for signed numerators (Python floor division already floors).
+    """
+    if b == 0:
+        raise ZeroDivisionError("div_round by zero")
+    if b < 0:
+        a, b = -a, -b
+    return (2 * a + b) // (2 * b)
+
+
+@dataclass(frozen=True)
+class FixedPoint:
+    """A fixed-point format with ``scale_bits`` fractional bits."""
+
+    scale_bits: int
+
+    def __post_init__(self) -> None:
+        if self.scale_bits < 0:
+            raise ValueError("scale_bits must be nonnegative")
+
+    @property
+    def factor(self) -> int:
+        """The scale factor SF = 2^scale_bits."""
+        return 1 << self.scale_bits
+
+    # -- scalars -------------------------------------------------------------
+
+    def encode(self, x: float) -> int:
+        """Quantize a real number to its fixed-point integer."""
+        return div_round(int(round(x * self.factor * 2)), 2)
+
+    def decode(self, v: int) -> float:
+        """The real number a fixed-point integer represents."""
+        return v / self.factor
+
+    # -- arrays --------------------------------------------------------------
+
+    def encode_array(self, x: np.ndarray) -> np.ndarray:
+        """Quantize a float array to object-dtype Python ints (exact)."""
+        scaled = np.rint(np.asarray(x, dtype=np.float64) * self.factor)
+        return scaled.astype(np.int64).astype(object)
+
+    def decode_array(self, v: np.ndarray) -> np.ndarray:
+        return np.asarray(v, dtype=np.float64) / self.factor
+
+    # -- fixed-point arithmetic helpers ---------------------------------------
+
+    def mul_rescale(self, a: int, b: int) -> int:
+        """Multiply two fixed-point values and rescale back (§5.1)."""
+        return div_round(a * b, self.factor)
+
+    def div_rescale(self, a: int, b: int) -> int:
+        """Divide two fixed-point values, keeping the scale."""
+        if b == 0:
+            raise ZeroDivisionError("fixed-point division by zero")
+        return div_round(a * self.factor, b)
+
+
+def requantize(value: int, from_bits: int, to_bits: int) -> int:
+    """Change a value's scale factor, rounding on downscale."""
+    if to_bits >= from_bits:
+        return value << (to_bits - from_bits)
+    return div_round(value, 1 << (from_bits - to_bits))
+
+
+def max_table_input_bits(k: int) -> int:
+    """Widest lookup-table input (in bits) a 2^k-row grid can host.
+
+    A pointwise non-linearity table enumerates every representable input,
+    so its row count — at most the grid length — caps the fixed-point
+    precision (§5.1).  One row is reserved for the gadgets' default tuple.
+    """
+    if k < 1:
+        raise ValueError("grid must have at least 2 rows")
+    return k - 1

@@ -1,0 +1,42 @@
+"""End-to-end runtime: prove/verify pipeline, estimates, prior-work baselines."""
+
+from repro.runtime.pipeline import (
+    BatchProveResult,
+    ProveResult,
+    prove_batch,
+    prove_model,
+    verify_model_proof,
+)
+from repro.runtime.estimate import estimate_model, EndToEndEstimate
+from repro.runtime.audit import (
+    AuditEntry,
+    AuditFinding,
+    AuditLog,
+    ModelCommitment,
+    audit,
+)
+from repro.runtime.baselines import (
+    BaselineEstimate,
+    supports_cnn_only,
+    vcnn_estimate,
+    zkcnn_estimate,
+)
+
+__all__ = [
+    "AuditLog",
+    "AuditEntry",
+    "AuditFinding",
+    "ModelCommitment",
+    "audit",
+    "prove_model",
+    "prove_batch",
+    "BatchProveResult",
+    "verify_model_proof",
+    "ProveResult",
+    "estimate_model",
+    "EndToEndEstimate",
+    "zkcnn_estimate",
+    "vcnn_estimate",
+    "supports_cnn_only",
+    "BaselineEstimate",
+]

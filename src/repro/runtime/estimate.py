@@ -1,0 +1,75 @@
+"""Paper-style end-to-end estimates for full-scale models.
+
+Bundles the optimizer and the cost model into one call that produces the
+row a Table 6/7 benchmark prints: proving time, verification time, and
+proof size for a zoo model on its paper hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.model.zoo import get_model
+from repro.optimizer import (
+    HardwareProfile,
+    OptimizationResult,
+    optimize_layout,
+    profile_for_model,
+)
+
+
+@dataclass
+class EndToEndEstimate:
+    """One row of a Table 6/7-style report."""
+
+    model: str
+    scheme_name: str
+    hardware: str
+    num_cols: int
+    k: int
+    proving_seconds: float
+    verification_seconds: float
+    proof_bytes: int
+    optimizer_seconds: float
+    result: OptimizationResult
+
+    def row(self) -> str:
+        return "%-10s %8.1f s %12.4f s %10d bytes  (%d cols x 2^%d)" % (
+            self.model, self.proving_seconds, self.verification_seconds,
+            self.proof_bytes, self.num_cols, self.k,
+        )
+
+
+def estimate_model(
+    name: str,
+    scheme_name: str = "kzg",
+    scale_bits: int = 12,
+    hardware: Optional[HardwareProfile] = None,
+    objective: str = "time",
+    include_freivalds: bool = False,
+    **kwargs,
+) -> EndToEndEstimate:
+    """Optimize a paper-scale zoo model and report the modeled costs.
+
+    ``include_freivalds`` defaults to False to mirror the configurations
+    the paper reports; pass True for the best our gadget set can do.
+    """
+    spec = get_model(name, "paper")
+    hardware = hardware or profile_for_model(name)
+    result = optimize_layout(
+        spec, hardware, scheme_name=scheme_name, scale_bits=scale_bits,
+        objective=objective, include_freivalds=include_freivalds, **kwargs,
+    )
+    return EndToEndEstimate(
+        model=name,
+        scheme_name=scheme_name,
+        hardware=hardware.name,
+        num_cols=result.layout.num_cols,
+        k=result.layout.k,
+        proving_seconds=result.proving_time,
+        verification_seconds=result.verification_time,
+        proof_bytes=result.proof_size,
+        optimizer_seconds=result.runtime_seconds,
+        result=result,
+    )

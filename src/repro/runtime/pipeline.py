@@ -1,0 +1,174 @@
+"""The user-facing prove/verify pipeline (paper §8's two stages).
+
+``prove_model`` synthesizes the circuit from a materialized model spec,
+exposes the model outputs as public inputs, runs keygen and the prover,
+and measures wall-clock times; ``verify_model_proof`` replays the
+verifier.  Proof artifacts pickle cleanly for the CLI's file workflow.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.commit import scheme_by_name
+from repro.compiler import SynthesizedModel, synthesize_model
+from repro.field import GOLDILOCKS, PrimeField
+from repro.halo2 import Proof, VerifyingKey, create_proof, keygen, verify_proof
+from repro.model.spec import ModelSpec
+
+
+@dataclass
+class ProveResult:
+    """Everything a proving run produces."""
+
+    spec_name: str
+    scheme_name: str
+    proof: Proof
+    vk: VerifyingKey
+    instance: List[List[int]]
+    outputs: Dict[str, np.ndarray]
+    num_cols: int
+    k: int
+    scale_bits: int
+    keygen_seconds: float
+    proving_seconds: float
+    modeled_proof_bytes: int
+
+    def verification_seconds(self, field: PrimeField = GOLDILOCKS) -> float:
+        scheme = scheme_by_name(self.scheme_name, field)
+        start = time.perf_counter()
+        ok = verify_proof(self.vk, self.proof, self.instance, scheme)
+        elapsed = time.perf_counter() - start
+        if not ok:
+            raise AssertionError("freshly created proof failed to verify")
+        return elapsed
+
+
+def prove_model(
+    spec: ModelSpec,
+    inputs: Dict[str, np.ndarray],
+    scheme_name: str = "kzg",
+    plan=None,
+    num_cols: int = 10,
+    scale_bits: int = 5,
+    lookup_bits: Optional[int] = None,
+    k: Optional[int] = None,
+    field: PrimeField = GOLDILOCKS,
+) -> ProveResult:
+    """Synthesize, keygen, and prove one inference of a model."""
+    result: SynthesizedModel = synthesize_model(
+        spec, inputs, plan=plan, num_cols=num_cols, scale_bits=scale_bits,
+        lookup_bits=lookup_bits, k=k,
+    )
+    for name in spec.outputs:
+        result.builder.expose(result.outputs[name].entries())
+
+    scheme = scheme_by_name(scheme_name, field)
+    start = time.perf_counter()
+    pk, vk = keygen(result.builder.cs, result.builder.asg, scheme)
+    keygen_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    proof = create_proof(pk, result.builder.asg, scheme)
+    proving_seconds = time.perf_counter() - start
+
+    return ProveResult(
+        spec_name=spec.name,
+        scheme_name=scheme_name,
+        proof=proof,
+        vk=vk,
+        instance=result.builder.asg.instance_values(),
+        outputs=result.output_values(),
+        num_cols=num_cols,
+        k=result.builder.k,
+        scale_bits=scale_bits,
+        keygen_seconds=keygen_seconds,
+        proving_seconds=proving_seconds,
+        modeled_proof_bytes=proof.modeled_size_bytes(scheme, result.builder.k),
+    )
+
+
+def verify_model_proof(
+    vk: VerifyingKey,
+    proof: Proof,
+    instance: List[List[int]],
+    scheme_name: str = "kzg",
+    field: PrimeField = GOLDILOCKS,
+) -> bool:
+    """Verify a model proof against its public inputs."""
+    scheme = scheme_by_name(scheme_name, field)
+    return verify_proof(vk, proof, instance, scheme)
+
+
+@dataclass
+class BatchProveResult:
+    """A single proof covering several inferences."""
+
+    spec_name: str
+    scheme_name: str
+    proof: Proof
+    vk: VerifyingKey
+    instance: List[List[int]]
+    batch_size: int
+    k: int
+    keygen_seconds: float
+    proving_seconds: float
+    modeled_proof_bytes: int
+    outputs: List[Dict[str, np.ndarray]]
+
+    def verify(self, field: PrimeField = GOLDILOCKS) -> bool:
+        scheme = scheme_by_name(self.scheme_name, field)
+        return verify_proof(self.vk, self.proof, self.instance, scheme)
+
+
+def prove_batch(
+    spec: ModelSpec,
+    batch_inputs: List[Dict[str, np.ndarray]],
+    scheme_name: str = "kzg",
+    plan=None,
+    num_cols: int = 10,
+    scale_bits: int = 5,
+    lookup_bits: Optional[int] = None,
+    field: PrimeField = GOLDILOCKS,
+) -> BatchProveResult:
+    """Prove several inferences of one model with a single proof.
+
+    The batch shares the weight commitment and the lookup tables; each
+    inference's outputs are exposed in its own instance column.
+    """
+    from repro.compiler import synthesize_batch
+
+    result = synthesize_batch(
+        spec, batch_inputs, plan=plan, num_cols=num_cols,
+        scale_bits=scale_bits, lookup_bits=lookup_bits,
+    )
+    for outputs in result.outputs:
+        for name in spec.outputs:
+            result.builder.expose(outputs[name].entries())
+
+    scheme = scheme_by_name(scheme_name, field)
+    start = time.perf_counter()
+    pk, vk = keygen(result.builder.cs, result.builder.asg, scheme)
+    keygen_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    proof = create_proof(pk, result.builder.asg, scheme)
+    proving_seconds = time.perf_counter() - start
+
+    return BatchProveResult(
+        spec_name=spec.name,
+        scheme_name=scheme_name,
+        proof=proof,
+        vk=vk,
+        instance=result.builder.asg.instance_values(),
+        batch_size=len(batch_inputs),
+        k=result.builder.k,
+        keygen_seconds=keygen_seconds,
+        proving_seconds=proving_seconds,
+        modeled_proof_bytes=proof.modeled_size_bytes(scheme,
+                                                     result.builder.k),
+        outputs=[result.output_values(i) for i in range(len(batch_inputs))],
+    )

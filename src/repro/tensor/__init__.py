@@ -1,0 +1,12 @@
+"""Cell-reference tensors.
+
+A :class:`Tensor` is an n-dimensional view over *entries*, where each
+entry carries a fixed-point value and (once materialized) the grid cell
+holding it.  Shape operations — reshape, transpose, slice, concat, pad,
+split — only rearrange entry references and are therefore free with
+respect to proving time (paper §5.1, "shape operations").
+"""
+
+from repro.tensor.tensor import Cell, Entry, Tensor
+
+__all__ = ["Cell", "Entry", "Tensor"]

@@ -1,0 +1,159 @@
+"""Tensors of grid-cell entries with free shape operations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.halo2.column import Column
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A concrete cell of the circuit grid."""
+
+    column: Column
+    row: int
+
+
+class Entry:
+    """One tensor element: a fixed-point value plus its grid cell.
+
+    ``cell`` is None until a gadget first materializes the value in the
+    grid; because shape operations share Entry objects, materializing a
+    value once makes every view of it copy-constrainable.
+    """
+
+    __slots__ = ("value", "cell")
+
+    def __init__(self, value: int, cell: Optional[Cell] = None):
+        self.value = value
+        self.cell = cell
+
+    def __repr__(self) -> str:
+        return "Entry(%d%s)" % (self.value, ", placed" if self.cell else "")
+
+
+class Tensor:
+    """An n-dimensional array of shared :class:`Entry` references."""
+
+    def __init__(self, entries: np.ndarray):
+        if entries.dtype != object:
+            raise TypeError("entries must be an object ndarray of Entry")
+        self._entries = entries
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_values(cls, values, shape: Optional[Sequence[int]] = None) -> "Tensor":
+        """Build a tensor of fresh entries from integer values."""
+        arr = np.asarray(values, dtype=object)
+        if shape is not None:
+            arr = arr.reshape(shape)
+        out = np.empty(arr.shape, dtype=object)
+        for idx in np.ndindex(arr.shape):
+            out[idx] = Entry(int(arr[idx]))
+        return cls(out)
+
+    @classmethod
+    def from_entries(cls, entries: Sequence[Entry], shape: Sequence[int]) -> "Tensor":
+        """Wrap existing entries (row-major) into a tensor view."""
+        arr = np.empty(len(entries), dtype=object)
+        for i, e in enumerate(entries):
+            arr[i] = e
+        return cls(arr.reshape(tuple(shape)))
+
+    @classmethod
+    def filled(cls, entry: Entry, shape: Sequence[int]) -> "Tensor":
+        """A tensor where every element references the *same* entry."""
+        out = np.empty(tuple(shape), dtype=object)
+        out[...] = entry
+        return cls(out)
+
+    # -- basic properties --------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._entries.shape
+
+    @property
+    def size(self) -> int:
+        return int(self._entries.size)
+
+    @property
+    def ndim(self) -> int:
+        return self._entries.ndim
+
+    def entries(self) -> List[Entry]:
+        """Entries in row-major order."""
+        return list(self._entries.reshape(-1))
+
+    def entry(self, *index: int) -> Entry:
+        return self._entries[tuple(index)]
+
+    def values(self) -> np.ndarray:
+        """Signed fixed-point values as an object ndarray."""
+        out = np.empty(self.shape, dtype=object)
+        for idx in np.ndindex(self.shape):
+            out[idx] = self._entries[idx].value
+        return out
+
+    def values_i64(self) -> np.ndarray:
+        """Values as int64 (raises on overflow) for numpy math."""
+        return self.values().astype(np.int64)
+
+    # -- free shape operations (paper §5.1) ----------------------------------------
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return Tensor(self._entries.reshape(shape))
+
+    def flatten(self) -> "Tensor":
+        return Tensor(self._entries.reshape(-1))
+
+    def transpose(self, axes: Optional[Sequence[int]] = None) -> "Tensor":
+        return Tensor(np.transpose(self._entries, axes))
+
+    def __getitem__(self, index) -> "Tensor":
+        sub = self._entries[index]
+        if not isinstance(sub, np.ndarray):
+            sub = np.array(sub, dtype=object).reshape(())
+        return Tensor(sub)
+
+    def squeeze(self, axis: Optional[int] = None) -> "Tensor":
+        return Tensor(np.squeeze(self._entries, axis=axis))
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        return Tensor(np.expand_dims(self._entries, axis))
+
+    def pad(self, pad_width, pad_entry: Entry) -> "Tensor":
+        """Pad with references to a shared constant entry (free)."""
+        padded = np.pad(
+            self._entries,
+            pad_width,
+            mode="constant",
+            constant_values=pad_entry,
+        )
+        return Tensor(padded)
+
+    @staticmethod
+    def concat(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        arrays = [t._entries for t in tensors]
+        return Tensor(np.concatenate(arrays, axis=axis))
+
+    def split(self, sections: int, axis: int = 0) -> List["Tensor"]:
+        return [Tensor(part) for part in np.split(self._entries, sections, axis)]
+
+    @staticmethod
+    def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        arrays = [t._entries for t in tensors]
+        return Tensor(np.stack(arrays, axis=axis))
+
+    def broadcast_to(self, shape: Sequence[int]) -> "Tensor":
+        return Tensor(np.broadcast_to(self._entries, tuple(shape)).copy())
+
+    def __repr__(self) -> str:
+        return "Tensor(shape=%r)" % (self.shape,)

@@ -1,0 +1,66 @@
+"""Tests for the Merkle tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.commit import MerkleTree, verify_merkle_path
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        MerkleTree([])
+
+
+def test_single_leaf():
+    t = MerkleTree([b"only"])
+    assert verify_merkle_path(t.root, 0, b"only", t.open(0))
+
+
+def test_all_paths_verify():
+    leaves = [bytes([i]) * 4 for i in range(7)]
+    t = MerkleTree(leaves)
+    for i, leaf in enumerate(leaves):
+        assert verify_merkle_path(t.root, i, leaf, t.open(i))
+
+
+def test_wrong_leaf_rejected():
+    leaves = [b"a", b"b", b"c", b"d"]
+    t = MerkleTree(leaves)
+    assert not verify_merkle_path(t.root, 1, b"x", t.open(1))
+
+
+def test_wrong_index_rejected():
+    leaves = [b"a", b"b", b"c", b"d"]
+    t = MerkleTree(leaves)
+    assert not verify_merkle_path(t.root, 2, b"b", t.open(1))
+
+
+def test_out_of_range_open():
+    t = MerkleTree([b"a", b"b"])
+    with pytest.raises(IndexError):
+        t.open(2)
+
+
+def test_roots_differ_for_different_content():
+    assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"a", b"c"]).root
+
+
+def test_leaf_node_domain_separation():
+    # A single leaf equal to the concatenation of two hashes must not
+    # collide with the two-leaf tree (second-preimage resistance shape).
+    t2 = MerkleTree([b"a", b"b"])
+    forged = MerkleTree([t2._levels[0][0] + t2._levels[0][1]])
+    assert forged.root != t2.root
+
+
+@given(
+    n=st.integers(min_value=1, max_value=20),
+    idx_frac=st.floats(min_value=0, max_value=0.999),
+)
+@settings(max_examples=25)
+def test_paths_verify_property(n, idx_frac):
+    leaves = [i.to_bytes(4, "little") for i in range(n)]
+    t = MerkleTree(leaves)
+    i = int(idx_frac * n)
+    assert verify_merkle_path(t.root, i, leaves[i], t.open(i))

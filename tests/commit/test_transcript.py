@@ -1,0 +1,51 @@
+"""Tests for the Fiat-Shamir transcript."""
+
+from repro.commit import Transcript
+from repro.field import GOLDILOCKS
+
+
+def test_deterministic_replay():
+    t1 = Transcript(GOLDILOCKS)
+    t2 = Transcript(GOLDILOCKS)
+    for t in (t1, t2):
+        t.append_scalar(b"a", 5)
+        t.append_message(b"b", b"hello")
+    assert t1.challenge_scalar(b"c") == t2.challenge_scalar(b"c")
+
+
+def test_different_messages_give_different_challenges():
+    t1 = Transcript(GOLDILOCKS)
+    t2 = Transcript(GOLDILOCKS)
+    t1.append_scalar(b"a", 5)
+    t2.append_scalar(b"a", 6)
+    assert t1.challenge_scalar(b"c") != t2.challenge_scalar(b"c")
+
+
+def test_label_separation():
+    t1 = Transcript(GOLDILOCKS)
+    t2 = Transcript(GOLDILOCKS)
+    assert t1.challenge_scalar(b"x") != t2.challenge_scalar(b"y")
+
+
+def test_sequential_challenges_differ():
+    t = Transcript(GOLDILOCKS)
+    assert t.challenge_scalar(b"c") != t.challenge_scalar(b"c")
+
+
+def test_challenge_in_field():
+    t = Transcript(GOLDILOCKS)
+    for _ in range(10):
+        assert 0 <= t.challenge_scalar(b"c") < GOLDILOCKS.p
+
+
+def test_challenge_nonzero():
+    t = Transcript(GOLDILOCKS)
+    assert t.challenge_nonzero(b"z") != 0
+
+
+def test_commitment_absorption_changes_state():
+    t1 = Transcript(GOLDILOCKS)
+    t2 = Transcript(GOLDILOCKS)
+    t1.append_commitment(b"com", b"\x01" * 32)
+    t2.append_commitment(b"com", b"\x02" * 32)
+    assert t1.challenge_scalar(b"c") != t2.challenge_scalar(b"c")

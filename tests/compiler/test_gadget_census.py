@@ -1,0 +1,88 @@
+"""Direct unit tests for the gadget census."""
+
+import pytest
+
+from repro.compiler import (
+    constraint_degree,
+    layer_gadgets,
+    lookups_for_gadget,
+    tables_for_gadget,
+)
+from repro.layers import (
+    AddLayer,
+    FullyConnectedLayer,
+    MulLayer,
+    SoftmaxLayer,
+    layer_registry,
+)
+from repro.layers.base import LayoutChoices
+
+C = LayoutChoices()
+
+
+class TestLayerGadgets:
+    def test_add_custom_vs_dotprod(self):
+        layer = AddLayer()
+        assert layer_gadgets(layer, C, 5, [(2, 2)]) == {("add", None)}
+        assert layer_gadgets(layer, C.replace(arithmetic="dotprod"), 5,
+                             [(2, 2)]) == {("dot_prod_bias", None)}
+
+    def test_mul_dotprod_needs_rescale(self):
+        keys = layer_gadgets(MulLayer(), C.replace(arithmetic="dotprod"),
+                             5, [(2, 2)])
+        assert ("div_round_const", 32) in keys
+
+    def test_fc_choices(self):
+        layer = FullyConnectedLayer(units=3)
+        shapes = [(1, 4)]
+        assert ("dot_prod_bias", None) in layer_gadgets(layer, C, 5, shapes)
+        assert ("sum", None) in layer_gadgets(
+            layer, C.replace(linear="dot_sum"), 5, shapes)
+
+    def test_softmax_division_width(self):
+        narrow = layer_gadgets(SoftmaxLayer(), C, 5, [(3,)])
+        wide = layer_gadgets(SoftmaxLayer(), C, 5, [(10,)])
+        assert ("var_div", None) in narrow
+        assert ("var_div_wide", None) in wide
+
+    def test_shape_layers_are_free(self):
+        for kind in ("reshape", "transpose", "pad", "identity"):
+            layer = layer_registry[kind](shape=(1,), pad_width=((0, 0),))
+            assert layer_gadgets(layer, C, 5, [(2, 2)]) == set()
+
+    def test_unknown_kind_raises(self):
+        class Fake:
+            kind = "quantum"
+
+        with pytest.raises(KeyError):
+            layer_gadgets(Fake(), C, 5, [(2,)])
+
+
+class TestLookupAndTableCounts:
+    def test_pointwise_lookups_scale_with_width(self):
+        assert lookups_for_gadget(("pointwise", "relu"), 8) == 4
+        assert lookups_for_gadget(("pointwise", "relu"), 16) == 8
+
+    def test_plain_gadgets_have_no_lookups(self):
+        for name in ("add", "sub", "sum", "dot_prod", "dot_prod_bias",
+                     "scale_const"):
+            assert lookups_for_gadget((name, None), 12) == 0
+
+    def test_tables(self):
+        assert tables_for_gadget(("mul", None), 5, 8) == {("range", 64)}
+        assert tables_for_gadget(("div_round_const", 9), 5, 8) == {
+            ("range", 18)}
+        assert tables_for_gadget(("pointwise", "tanh"), 5, 8) == {
+            ("nl", "tanh")}
+        assert tables_for_gadget(("var_div_wide", None), 5, 8) == {
+            ("range", 256)}
+        assert tables_for_gadget(("add", None), 5, 8) == set()
+
+
+class TestConstraintDegree:
+    def test_no_lookup_degree_three(self):
+        assert constraint_degree({("add", None), ("dot_prod", None)}) == 3
+
+    def test_any_lookup_degree_four(self):
+        assert constraint_degree({("add", None), ("mul", None)}) == 4
+        assert constraint_degree({("pointwise", "relu")}) == 4

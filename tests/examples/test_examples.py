@@ -1,0 +1,29 @@
+"""Every example script runs to completion (they contain their own asserts)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name):
+    spec = importlib.util.spec_from_file_location(
+        "example_%s" % name, EXAMPLES / ("%s.py" % name)
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "twitter_audit", "biometric_auth", "credit_score",
+     "training_step", "optimizer_tour", "audit_flow", "gpt2_inference"],
+)
+def test_example_runs(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert out.strip(), "example produced no output"

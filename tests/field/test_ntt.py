@@ -1,0 +1,107 @@
+"""Tests for the NTT and its coset variants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field import GOLDILOCKS
+from repro.field.ntt import coset_intt, coset_ntt, intt, ntt
+from repro.field.poly import poly_eval
+
+F = GOLDILOCKS
+
+
+def test_ntt_length_must_be_power_of_two():
+    with pytest.raises(ValueError):
+        ntt(F, [1, 2, 3], F.root_of_unity(2))
+
+
+def test_ntt_singleton():
+    assert ntt(F, [7], 1) == [7]
+
+
+def test_ntt_matches_naive_evaluation():
+    k = 3
+    n = 1 << k
+    root = F.root_of_unity(k)
+    coeffs = [random.randrange(F.p) for _ in range(n)]
+    evals = ntt(F, coeffs, root)
+    for i in range(n):
+        x = F.pow(root, i)
+        assert evals[i] == poly_eval(F, coeffs, x)
+
+
+def test_intt_inverts_ntt():
+    k = 6
+    n = 1 << k
+    root = F.root_of_unity(k)
+    coeffs = [random.randrange(F.p) for _ in range(n)]
+    assert intt(F, ntt(F, coeffs, root), root) == coeffs
+
+
+def test_coset_ntt_matches_naive():
+    k = 3
+    n = 1 << k
+    root = F.root_of_unity(k)
+    shift = F.generator
+    coeffs = [random.randrange(F.p) for _ in range(n)]
+    evals = coset_ntt(F, coeffs, root, shift)
+    for i in range(n):
+        x = F.mul(shift, F.pow(root, i))
+        assert evals[i] == poly_eval(F, coeffs, x)
+
+
+def test_coset_intt_inverts_coset_ntt():
+    k = 5
+    n = 1 << k
+    root = F.root_of_unity(k)
+    shift = F.generator
+    coeffs = [random.randrange(F.p) for _ in range(n)]
+    assert coset_intt(F, coset_ntt(F, coeffs, root, shift), root, shift) == coeffs
+
+
+@given(
+    k=st.integers(min_value=0, max_value=7),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25)
+def test_ntt_roundtrip_property(k, seed):
+    rng = random.Random(seed)
+    n = 1 << k
+    root = F.root_of_unity(k) if k else 1
+    coeffs = [rng.randrange(F.p) for _ in range(n)]
+    assert intt(F, ntt(F, coeffs, root), root) == coeffs
+
+
+def test_ntt_linearity():
+    k = 4
+    n = 1 << k
+    root = F.root_of_unity(k)
+    a = [random.randrange(F.p) for _ in range(n)]
+    b = [random.randrange(F.p) for _ in range(n)]
+    fa, fb = ntt(F, a, root), ntt(F, b, root)
+    summed = ntt(F, [F.add(x, y) for x, y in zip(a, b)], root)
+    assert summed == [F.add(x, y) for x, y in zip(fa, fb)]
+
+
+def test_bn254_ntt_roundtrip():
+    from repro.field import BN254_FR
+
+    k = 5
+    n = 1 << k
+    root = BN254_FR.root_of_unity(k)
+    coeffs = [random.randrange(BN254_FR.p) for _ in range(n)]
+    assert intt(BN254_FR, ntt(BN254_FR, coeffs, root), root) == coeffs
+
+
+def test_bn254_coset_roundtrip():
+    from repro.field import BN254_FR
+
+    k = 4
+    root = BN254_FR.root_of_unity(k)
+    shift = BN254_FR.generator
+    coeffs = [random.randrange(BN254_FR.p) for _ in range(1 << k)]
+    assert coset_intt(BN254_FR, coset_ntt(BN254_FR, coeffs, root, shift),
+                      root, shift) == coeffs

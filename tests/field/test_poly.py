@@ -1,0 +1,107 @@
+"""Tests for dense polynomial arithmetic."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field import GOLDILOCKS
+from repro.field.poly import (
+    divide_by_vanishing,
+    poly_add,
+    poly_degree,
+    poly_divmod,
+    poly_eval,
+    poly_mul,
+    poly_scale,
+    poly_sub,
+    poly_trim,
+)
+
+F = GOLDILOCKS
+
+
+def rand_poly(deg, rng=random):
+    return [rng.randrange(F.p) for _ in range(deg + 1)]
+
+
+def test_trim():
+    assert poly_trim([1, 2, 0, 0]) == [1, 2]
+    assert poly_trim([0, 0]) == []
+
+
+def test_degree():
+    assert poly_degree([]) == -1
+    assert poly_degree([5]) == 0
+    assert poly_degree([0, 0, 3, 0]) == 2
+
+
+def test_add_sub_roundtrip():
+    a, b = rand_poly(5), rand_poly(3)
+    assert poly_trim(poly_sub(F, poly_add(F, a, b), b)) == poly_trim(a)
+
+
+def test_scale():
+    a = [1, 2, 3]
+    assert poly_scale(F, a, 2) == [2, 4, 6]
+
+
+def test_mul_small_matches_eval():
+    a, b = rand_poly(4), rand_poly(6)
+    prod = poly_mul(F, a, b)
+    for _ in range(5):
+        x = random.randrange(F.p)
+        assert poly_eval(F, prod, x) == F.mul(poly_eval(F, a, x), poly_eval(F, b, x))
+
+
+def test_mul_large_uses_ntt_and_is_correct():
+    a, b = rand_poly(40), rand_poly(50)
+    prod = poly_mul(F, a, b)
+    assert len(poly_trim(prod)) == 91
+    x = random.randrange(F.p)
+    assert poly_eval(F, prod, x) == F.mul(poly_eval(F, a, x), poly_eval(F, b, x))
+
+
+def test_mul_by_zero():
+    assert poly_mul(F, [1, 2], []) == []
+
+
+def test_divmod_reconstructs():
+    a, b = rand_poly(9), rand_poly(3)
+    q, r = poly_divmod(F, a, b)
+    recon = poly_add(F, poly_mul(F, q, b), r)
+    assert poly_trim(recon) == poly_trim(a)
+    assert poly_degree(r) < poly_degree(b)
+
+
+def test_divmod_by_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        poly_divmod(F, [1, 2], [])
+
+
+def test_divide_by_vanishing_exact():
+    n = 8
+    q = rand_poly(5)
+    # a = q * (X^n - 1)
+    a = poly_sub(F, [0] * n + q, q)
+    recovered = divide_by_vanishing(F, a, n)
+    assert poly_trim(recovered) == poly_trim(q)
+
+
+def test_divide_by_vanishing_rejects_nondivisible():
+    with pytest.raises(ValueError):
+        divide_by_vanishing(F, [1, 2, 3], 8)
+
+
+@given(
+    deg_a=st.integers(min_value=0, max_value=12),
+    deg_b=st.integers(min_value=0, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25)
+def test_mul_commutative_property(deg_a, deg_b, seed):
+    rng = random.Random(seed)
+    a = rand_poly(deg_a, rng)
+    b = rand_poly(deg_b, rng)
+    assert poly_mul(F, a, b) == poly_mul(F, b, a)

@@ -1,0 +1,81 @@
+"""Edge-case tests for builder weight columns and public exposure."""
+
+import pytest
+
+from repro.gadgets import AddGadget, CircuitBuilder
+from repro.halo2 import MockProver
+from repro.halo2.column import ColumnType
+from repro.tensor import Entry
+
+
+class TestWeightColumns:
+    def test_weights_live_in_fixed_columns(self):
+        b = CircuitBuilder(k=4, num_cols=6, scale_bits=4)
+        entries = b.weight_entries([1, 2, 3])
+        assert all(e.cell.column.kind == ColumnType.FIXED for e in entries)
+        assert [e.value for e in entries] == [1, 2, 3]
+
+    def test_overflow_spills_to_next_column(self):
+        b = CircuitBuilder(k=3, num_cols=6, scale_bits=4)  # 8 rows
+        entries = b.weight_entries(list(range(20)))
+        columns = {e.cell.column.index for e in entries}
+        assert len(columns) == 3  # ceil(20 / 8)
+
+    def test_weight_use_is_copy_constrained(self):
+        b = CircuitBuilder(k=4, num_cols=6, scale_bits=4)
+        (w,) = b.weight_entries([5])
+        add = b.gadget(AddGadget)
+        (z,) = add.assign_row([(w, Entry(2))])
+        assert z.value == 7
+        assert len(b.asg.copies) == 1
+        b.mock_check()
+
+    def test_cheating_on_a_weight_fails(self):
+        b = CircuitBuilder(k=4, num_cols=6, scale_bits=4)
+        (w,) = b.weight_entries([5])
+        add = b.gadget(AddGadget)
+        (z,) = add.assign_row([(w, Entry(2))])
+        # prover swaps the weight's advice copy for a different value
+        b.asg.assign_advice(b.columns[0], z.cell.row, 9)
+        failures = MockProver(b.cs, b.asg).verify()
+        assert any(f.kind == "copy" for f in failures)
+
+    def test_vk_digest_binds_weights(self):
+        from repro.commit import scheme_by_name
+        from repro.field import GOLDILOCKS
+        from repro.halo2 import keygen
+
+        scheme = scheme_by_name("kzg", GOLDILOCKS)
+        digests = []
+        for value in (5, 6):
+            b = CircuitBuilder(k=4, num_cols=6, scale_bits=4)
+            (w,) = b.weight_entries([value])
+            add = b.gadget(AddGadget)
+            add.assign_row([(w, Entry(2))])
+            _, vk = keygen(b.cs, b.asg, scheme)
+            digests.append(vk.digest())
+        assert digests[0] != digests[1]
+
+
+class TestExpose:
+    def test_exposed_values_become_instance(self):
+        b = CircuitBuilder(k=4, num_cols=6, scale_bits=4)
+        add = b.gadget(AddGadget)
+        (z,) = add.assign_row([(Entry(3), Entry(4))])
+        b.expose([z])
+        assert b.cs.num_instance == 1
+        assert b.asg.instance_values()[0][0] == 7
+        b.mock_check()
+
+    def test_unplaced_entry_rejected(self):
+        b = CircuitBuilder(k=4, num_cols=6, scale_bits=4)
+        with pytest.raises(ValueError, match="unplaced"):
+            b.expose([Entry(1)])
+
+    def test_too_many_public_values(self):
+        b = CircuitBuilder(k=1, num_cols=6, scale_bits=2, lookup_bits=1)
+        add = b.gadget(AddGadget)
+        outs = add.assign_row([(Entry(1), Entry(1))])
+        outs += add.assign_row([(Entry(1), Entry(1))])
+        with pytest.raises(ValueError, match="too many"):
+            b.expose(outs + outs)

@@ -1,0 +1,111 @@
+"""Tests for lookup-table pointwise non-linearities."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gadgets import CircuitBuilder, NONLINEAR_FUNCTIONS, PointwiseGadget
+from repro.halo2 import MockProver
+from repro.tensor import Entry
+
+
+def builder(k=9, num_cols=8, scale_bits=5, lookup_bits=8):
+    return CircuitBuilder(k=k, num_cols=num_cols, scale_bits=scale_bits,
+                          lookup_bits=lookup_bits)
+
+
+class TestRelu:
+    def test_positive_passthrough(self):
+        b = builder()
+        g = b.gadget(PointwiseGadget, fn_name="relu")
+        (y,) = g.assign_row([(Entry(17),)])
+        assert y.value == 17
+        b.mock_check()
+
+    def test_negative_clamped(self):
+        b = builder()
+        g = b.gadget(PointwiseGadget, fn_name="relu")
+        (y,) = g.assign_row([(Entry(-17),)])
+        assert y.value == 0
+        b.mock_check()
+
+    def test_packs_pairs_per_row(self):
+        b = builder(num_cols=8)
+        g = b.gadget(PointwiseGadget, fn_name="relu")
+        outs = g.apply_vector([Entry(v) for v in (-3, -1, 0, 2, 9)])
+        assert [o.value for o in outs] == [0, 0, 0, 2, 9]
+        assert b.rows_used == 2  # 4 pairs per row
+        b.mock_check()
+
+    def test_cheating_output_fails_mock(self):
+        b = builder()
+        g = b.gadget(PointwiseGadget, fn_name="relu")
+        (y,) = g.assign_row([(Entry(-5),)])
+        b.asg.assign_advice(y.cell.column, y.cell.row, b.field.p - 5)
+        failures = MockProver(b.cs, b.asg).verify()
+        assert any(f.kind == "lookup" for f in failures)
+
+    def test_out_of_range_input_raises(self):
+        b = builder(lookup_bits=4)
+        g = b.gadget(PointwiseGadget, fn_name="relu")
+        with pytest.raises(ValueError, match="table range"):
+            g.assign_row([(Entry(100),)])
+
+
+@pytest.mark.parametrize(
+    "fn_name,x,expected",
+    [
+        ("sigmoid", 0.0, 0.5),
+        ("tanh", 1.0, math.tanh(1.0)),
+        ("exp", 0.5, math.exp(0.5)),
+        ("exp", -2.0, math.exp(-2.0)),
+        ("elu", -1.0, math.expm1(-1.0)),
+        ("gelu", 1.0, 0.5 * (1 + math.erf(1 / math.sqrt(2)))),
+        ("relu6", 3.0, 3.0),
+        ("silu", 1.0, 1 / (1 + math.exp(-1))),
+        ("sqrt", 2.25, 1.5),
+        ("rsqrt", 1.0, 1.0),
+        ("softplus", 0.0, math.log(2)),
+        ("leaky_relu", -2.0, -0.2),
+    ],
+)
+def test_functions_match_float_reference(fn_name, x, expected):
+    b = builder(k=10, scale_bits=5, lookup_bits=9)
+    g = b.gadget(PointwiseGadget, fn_name=fn_name)
+    x_fixed = b.fp.encode(x)
+    (y,) = g.assign_row([(Entry(x_fixed),)])
+    assert b.fp.decode(y.value) == pytest.approx(expected, abs=2 / b.fp.factor)
+    b.mock_check()
+
+
+def test_unknown_function_rejected():
+    b = builder()
+    with pytest.raises(KeyError):
+        b.gadget(PointwiseGadget, fn_name="warp_drive")
+
+
+def test_two_functions_share_grid():
+    b = builder()
+    relu = b.gadget(PointwiseGadget, fn_name="relu")
+    sig = b.gadget(PointwiseGadget, fn_name="sigmoid")
+    relu.assign_row([(Entry(-2),)])
+    sig.assign_row([(Entry(0),)])
+    b.mock_check()
+
+
+def test_registry_contents():
+    assert {"relu", "sigmoid", "tanh", "exp", "elu", "gelu"} <= set(
+        NONLINEAR_FUNCTIONS
+    )
+
+
+@given(x=st.integers(-128, 127))
+@settings(max_examples=20, deadline=None)
+def test_relu_property(x):
+    b = builder(lookup_bits=8)
+    g = b.gadget(PointwiseGadget, fn_name="relu")
+    (y,) = g.assign_row([(Entry(x),)])
+    assert y.value == max(x, 0)
+    b.mock_check()

@@ -1,0 +1,113 @@
+"""Tests for the max and variable-division gadgets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gadgets import CircuitBuilder, MaxGadget, VarDivGadget
+from repro.halo2 import MockProver
+from repro.quantize import div_round
+from repro.tensor import Entry
+
+
+def builder(k=9, num_cols=9, scale_bits=5, lookup_bits=8):
+    return CircuitBuilder(k=k, num_cols=num_cols, scale_bits=scale_bits,
+                          lookup_bits=lookup_bits)
+
+
+class TestMax:
+    def test_basic(self):
+        b = builder()
+        g = b.gadget(MaxGadget)
+        (c,) = g.assign_row([(Entry(5), Entry(9))])
+        assert c.value == 9
+        b.mock_check()
+
+    def test_negative_operands(self):
+        b = builder()
+        g = b.gadget(MaxGadget)
+        (c,) = g.assign_row([(Entry(-5), Entry(-9))])
+        assert c.value == -5
+        b.mock_check()
+
+    def test_equal_operands(self):
+        b = builder()
+        g = b.gadget(MaxGadget)
+        (c,) = g.assign_row([(Entry(4), Entry(4))])
+        assert c.value == 4
+        b.mock_check()
+
+    def test_claiming_smaller_value_fails(self):
+        b = builder()
+        g = b.gadget(MaxGadget)
+        (c,) = g.assign_row([(Entry(5), Entry(9))])
+        b.asg.assign_advice(c.cell.column, c.cell.row, 5)
+        failures = MockProver(b.cs, b.asg).verify()
+        assert any(f.kind == "lookup" for f in failures)
+
+    def test_claiming_unrelated_value_fails(self):
+        b = builder()
+        g = b.gadget(MaxGadget)
+        (c,) = g.assign_row([(Entry(5), Entry(9))])
+        b.asg.assign_advice(c.cell.column, c.cell.row, 11)
+        failures = MockProver(b.cs, b.asg).verify()
+        assert any(f.kind == "gate" for f in failures)
+
+    def test_max_vector_tournament(self):
+        b = builder()
+        g = b.gadget(MaxGadget)
+        values = [3, -2, 17, 0, 5, 16, -9]
+        m = g.max_vector([Entry(v) for v in values])
+        assert m.value == 17
+        b.mock_check()
+
+    def test_operand_gap_beyond_table_raises(self):
+        b = builder(lookup_bits=4)
+        g = b.gadget(MaxGadget)
+        with pytest.raises(ValueError, match="range table bound"):
+            g.assign_row([(Entry(-100), Entry(100))])
+
+
+class TestVarDiv:
+    def test_rounded_division(self):
+        b = builder()
+        g = b.gadget(VarDivGadget)
+        (c,) = g.assign_row([(Entry(7), Entry(25))])
+        assert c.value == div_round(25, 7)
+        b.mock_check()
+
+    def test_rounds_half_up(self):
+        b = builder()
+        g = b.gadget(VarDivGadget)
+        (c,) = g.assign_row([(Entry(2), Entry(5))])
+        assert c.value == 3
+        b.mock_check()
+
+    def test_zero_divisor_rejected(self):
+        b = builder()
+        g = b.gadget(VarDivGadget)
+        with pytest.raises(ValueError, match="positive"):
+            g.assign_row([(Entry(0), Entry(5))])
+
+    def test_large_divisor_rejected(self):
+        b = builder(lookup_bits=4)
+        g = b.gadget(VarDivGadget)
+        with pytest.raises(ValueError, match="limbs"):
+            g.assign_row([(Entry(100), Entry(5))])
+
+    def test_wrong_quotient_fails_mock(self):
+        b = builder()
+        g = b.gadget(VarDivGadget)
+        (c,) = g.assign_row([(Entry(7), Entry(25))])
+        b.asg.assign_advice(c.cell.column, c.cell.row, c.value + 1)
+        failures = MockProver(b.cs, b.asg).verify()
+        assert failures
+
+    @given(a=st.integers(1, 100), num=st.integers(0, 120))
+    @settings(max_examples=20, deadline=None)
+    def test_vardiv_property(self, a, num):
+        b = builder(lookup_bits=8)
+        g = b.gadget(VarDivGadget)
+        (c,) = g.assign_row([(Entry(a), Entry(num))])
+        assert c.value == div_round(num, a)
+        b.mock_check()

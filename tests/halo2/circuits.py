@@ -1,0 +1,83 @@
+"""Small reference circuits shared by the halo2 tests."""
+
+from repro.field import GOLDILOCKS
+from repro.halo2 import Assignment, ConstraintSystem, Ref
+
+F = GOLDILOCKS
+
+
+def mul_circuit(k=3, rows=None, tamper_row=None):
+    """c = a * b on a few rows; c of the last row exposed as public input.
+
+    Returns (cs, assignment).
+    """
+    cs = ConstraintSystem(F)
+    a, b, c = cs.advice_column(), cs.advice_column(), cs.advice_column()
+    sel = cs.selector()
+    inst = cs.instance_column()
+    cs.enable_equality(c)
+    cs.enable_equality(inst)
+    cs.create_gate("mul", [Ref(a) * Ref(b) - Ref(c)], selector=sel)
+
+    rows = rows or [(2, 3), (4, 5), (7, 7)]
+    asg = Assignment(cs, k)
+    for row, (x, y) in enumerate(rows):
+        asg.assign_advice(a, row, x)
+        asg.assign_advice(b, row, y)
+        product = x * y
+        if tamper_row == row:
+            product += 1
+        asg.assign_advice(c, row, product)
+        asg.enable_selector(sel, row)
+    last = len(rows) - 1
+    asg.assign_instance(inst, 0, rows[last][0] * rows[last][1])
+    asg.copy(c, last, inst, 0)
+    return cs, asg
+
+
+def copy_circuit(k=3, break_copy=False):
+    """Two advice columns with a copy constraint between two cells."""
+    cs = ConstraintSystem(F)
+    a, b = cs.advice_column(), cs.advice_column()
+    cs.enable_equality(a)
+    cs.enable_equality(b)
+    asg = Assignment(cs, k)
+    asg.assign_advice(a, 1, 42)
+    asg.assign_advice(b, 5, 43 if break_copy else 42)
+    asg.copy(a, 1, b, 5)
+    return cs, asg
+
+
+def range_check_circuit(k=4, values=(0, 1, 5, 15), bound=16):
+    """Each value must lie in [0, bound) via a lookup into a fixed table."""
+    cs = ConstraintSystem(F)
+    a = cs.advice_column()
+    table = cs.fixed_column()
+    cs.add_lookup("range", inputs=[Ref(a)], table=[Ref(table)])
+    asg = Assignment(cs, k)
+    for row in range(asg.n):
+        asg.assign_fixed(table, row, row if row < bound else 0)
+    for row, v in enumerate(values):
+        asg.assign_advice(a, row, v)
+    # unassigned advice rows read as 0, which the table contains
+    return cs, asg
+
+
+def relu_lookup_circuit(k=5, pairs=((3, 3), (0, 0), (-4, 0))):
+    """(x, relu(x)) pairs checked against a two-column lookup table."""
+    cs = ConstraintSystem(F)
+    x_col, y_col = cs.advice_column(), cs.advice_column()
+    t_in, t_out = cs.fixed_column(), cs.fixed_column()
+    cs.add_lookup("relu", inputs=[Ref(x_col), Ref(y_col)], table=[Ref(t_in), Ref(t_out)])
+    asg = Assignment(cs, k)
+    half = asg.n // 2
+    # table covers x in [-half, half)
+    for row in range(asg.n):
+        x = row - half
+        asg.assign_fixed(t_in, row, x)
+        asg.assign_fixed(t_out, row, max(x, 0))
+    for row, (x, y) in enumerate(pairs):
+        asg.assign_advice(x_col, row, x)
+        asg.assign_advice(y_col, row, y)
+    # remaining rows: (0, 0) is in the table
+    return cs, asg

@@ -1,0 +1,86 @@
+"""Tests for the MockProver."""
+
+import pytest
+
+from repro.halo2 import MockProver
+
+from tests.halo2.circuits import (
+    copy_circuit,
+    mul_circuit,
+    range_check_circuit,
+    relu_lookup_circuit,
+)
+
+
+def test_satisfied_mul_circuit():
+    cs, asg = mul_circuit()
+    MockProver(cs, asg).assert_satisfied()
+
+
+def test_gate_violation_reported_with_row():
+    cs, asg = mul_circuit(tamper_row=1)
+    failures = MockProver(cs, asg).verify()
+    gate_failures = [f for f in failures if f.kind == "gate"]
+    assert len(gate_failures) == 1
+    assert gate_failures[0].row == 1
+    assert "mul" in gate_failures[0].name
+
+
+def test_assert_satisfied_raises_with_report():
+    cs, asg = mul_circuit(tamper_row=0)
+    with pytest.raises(AssertionError, match="mul"):
+        MockProver(cs, asg).assert_satisfied()
+
+
+def test_copy_satisfied():
+    cs, asg = copy_circuit()
+    MockProver(cs, asg).assert_satisfied()
+
+
+def test_copy_violation():
+    cs, asg = copy_circuit(break_copy=True)
+    failures = MockProver(cs, asg).verify()
+    assert any(f.kind == "copy" for f in failures)
+
+
+def test_lookup_satisfied():
+    cs, asg = range_check_circuit()
+    MockProver(cs, asg).assert_satisfied()
+
+
+def test_lookup_out_of_range():
+    cs, asg = range_check_circuit(values=(0, 99))
+    failures = MockProver(cs, asg).verify()
+    assert any(f.kind == "lookup" and f.row == 1 for f in failures)
+
+
+def test_two_column_lookup_satisfied():
+    cs, asg = relu_lookup_circuit()
+    MockProver(cs, asg).assert_satisfied()
+
+
+def test_two_column_lookup_wrong_output():
+    cs, asg = relu_lookup_circuit(pairs=((3, 4),))
+    failures = MockProver(cs, asg).verify()
+    assert any(f.kind == "lookup" for f in failures)
+
+
+def test_selector_limits_gate_rows():
+    # Gate active only on selected rows: garbage on unselected rows is fine.
+    cs, asg = mul_circuit()
+    a = cs.gates[0].constraints[0]
+    asg.assign_advice(list(a.refs())[0][0], 7, 999)  # unselected row
+    MockProver(cs, asg).assert_satisfied()
+
+
+def test_max_failures_truncation():
+    cs, asg = range_check_circuit(values=tuple([99] * 10))
+    failures = MockProver(cs, asg).verify(max_failures=3)
+    assert len(failures) == 3
+
+
+def test_mismatched_assignment_rejected():
+    cs1, _ = mul_circuit()
+    _, asg2 = mul_circuit()
+    with pytest.raises(ValueError):
+        MockProver(cs1, asg2)

@@ -1,0 +1,117 @@
+"""End-to-end prove/verify tests, including negative paths."""
+
+import pytest
+
+from repro.commit import scheme_by_name
+from repro.commit.scheme import Commitment
+from repro.field import GOLDILOCKS
+from repro.halo2 import create_proof, keygen, verify_proof
+from repro.halo2.prover import ProvingError
+
+from tests.halo2.circuits import (
+    copy_circuit,
+    mul_circuit,
+    range_check_circuit,
+    relu_lookup_circuit,
+)
+
+F = GOLDILOCKS
+
+
+@pytest.fixture(params=["kzg", "ipa"])
+def scheme(request):
+    return scheme_by_name(request.param, F)
+
+
+def prove_and_verify(builder, scheme, **kwargs):
+    cs, asg = builder(**kwargs)
+    pk, vk = keygen(cs, asg, scheme)
+    proof = create_proof(pk, asg, scheme)
+    ok = verify_proof(vk, proof, asg.instance_values(), scheme)
+    return ok, (cs, asg, pk, vk, proof)
+
+
+class TestHonestProofs:
+    def test_mul_circuit(self, scheme):
+        ok, _ = prove_and_verify(mul_circuit, scheme)
+        assert ok
+
+    def test_copy_circuit(self, scheme):
+        ok, _ = prove_and_verify(copy_circuit, scheme)
+        assert ok
+
+    def test_range_check(self, scheme):
+        ok, _ = prove_and_verify(range_check_circuit, scheme)
+        assert ok
+
+    def test_relu_lookup(self, scheme):
+        ok, _ = prove_and_verify(relu_lookup_circuit, scheme)
+        assert ok
+
+
+class TestDishonestWitnesses:
+    def test_gate_violation_rejected(self, scheme):
+        ok, _ = prove_and_verify(mul_circuit, scheme, tamper_row=1)
+        assert not ok
+
+    def test_copy_violation_rejected(self, scheme):
+        ok, _ = prove_and_verify(copy_circuit, scheme, break_copy=True)
+        assert not ok
+
+    def test_lookup_violation_raises_in_prover(self, scheme):
+        cs, asg = range_check_circuit(values=(0, 99))
+        pk, vk = keygen(cs, asg, scheme)
+        with pytest.raises(ProvingError, match="not in the table"):
+            create_proof(pk, asg, scheme)
+
+
+class TestTamperedProofs:
+    def test_wrong_instance_rejected(self, scheme):
+        ok, (cs, asg, pk, vk, proof) = prove_and_verify(mul_circuit, scheme)
+        assert ok
+        instance = asg.instance_values()
+        instance[0][0] = F.add(instance[0][0], 1)
+        assert not verify_proof(vk, proof, instance, scheme)
+
+    def test_tampered_commitment_rejected(self, scheme):
+        ok, (cs, asg, pk, vk, proof) = prove_and_verify(mul_circuit, scheme)
+        digest = bytearray(proof.advice_commitments[0].digest)
+        digest[0] ^= 1
+        proof.advice_commitments[0] = Commitment(bytes(digest))
+        assert not verify_proof(vk, proof, asg.instance_values(), scheme)
+
+    def test_tampered_opening_value_rejected(self, scheme):
+        ok, (cs, asg, pk, vk, proof) = prove_and_verify(mul_circuit, scheme)
+        key = next(iter(proof.advice_openings))
+        opening = proof.advice_openings[key]
+        proof.advice_openings[key] = type(opening)(
+            point=opening.point,
+            value=F.add(opening.value, 1),
+            witness=opening.witness,
+        )
+        assert not verify_proof(vk, proof, asg.instance_values(), scheme)
+
+    def test_dropped_quotient_piece_rejected(self, scheme):
+        ok, (cs, asg, pk, vk, proof) = prove_and_verify(mul_circuit, scheme)
+        proof.quotient_commitments = proof.quotient_commitments[:-1]
+        proof.quotient_openings = proof.quotient_openings[:-1]
+        assert not verify_proof(vk, proof, asg.instance_values(), scheme)
+
+
+class TestProofShape:
+    def test_modeled_size_positive_and_backend_dependent(self):
+        kzg = scheme_by_name("kzg", F)
+        ipa = scheme_by_name("ipa", F)
+        _, (_, asg, _, vk_k, proof_k) = prove_and_verify(mul_circuit, kzg)
+        _, (_, _, _, vk_i, proof_i) = prove_and_verify(mul_circuit, ipa)
+        size_k = proof_k.modeled_size_bytes(kzg, vk_k.k)
+        size_i = proof_i.modeled_size_bytes(ipa, vk_i.k)
+        assert size_k > 0
+        assert size_i > size_k  # IPA openings grow with k
+
+    def test_wrong_k_assignment_rejected(self, scheme):
+        cs, asg = mul_circuit(k=3)
+        pk, vk = keygen(cs, asg, scheme)
+        _, asg4 = mul_circuit(k=4)
+        with pytest.raises(ValueError):
+            create_proof(pk, asg4, scheme)

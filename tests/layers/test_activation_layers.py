@@ -1,0 +1,74 @@
+"""Tests for activation layers across implementations."""
+
+import numpy as np
+import pytest
+
+from repro.layers import ACTIVATION_LAYERS
+from repro.layers.base import LayoutChoices
+
+from tests.layers.harness import assert_close_to_float, run_layer
+
+rng = np.random.default_rng(3)
+
+
+@pytest.mark.parametrize(
+    "fn_name", ["relu", "sigmoid", "tanh", "gelu", "elu", "silu", "relu6",
+                "exp", "softplus", "leaky_relu", "hard_sigmoid", "hard_swish",
+                "erf", "mish"]
+)
+def test_activation_matches_reference(fn_name):
+    layer = ACTIVATION_LAYERS[fn_name]()
+    x = rng.uniform(-2, 2, (3, 4))
+    got, _, _ = run_layer(layer, [x])
+    # exp amplifies input quantization error by up to e^2
+    tol = 0.25 if fn_name == "exp" else 0.1
+    assert_close_to_float(layer, [x], {}, got, tol=tol)
+
+
+@pytest.mark.parametrize(
+    "fn_name,domain", [("sqrt", (0.1, 4)), ("rsqrt", (0.3, 4)),
+                       ("log", (0.2, 4)), ("reciprocal", (0.3, 4))]
+)
+def test_positive_domain_activations(fn_name, domain):
+    layer = ACTIVATION_LAYERS[fn_name]()
+    x = rng.uniform(*domain, (5,))
+    got, _, _ = run_layer(layer, [x], scale_bits=5, k=11)
+    assert_close_to_float(layer, [x], {}, got, tol=0.25)
+
+
+class TestReluChoices:
+    def test_bitdecomp_matches_lookup(self):
+        layer = ACTIVATION_LAYERS["relu"]()
+        x = rng.uniform(-2, 2, (2, 6))
+        lookup, _, _ = run_layer(layer, [x], choices=LayoutChoices(relu="lookup"))
+        bitd, _, _ = run_layer(
+            layer, [x],
+            choices=LayoutChoices(relu="bitdecomp", relu_bits=10),
+            num_cols=13,
+        )
+        assert (lookup == bitd).all()
+
+    def test_bitdecomp_needs_no_table(self):
+        layer = ACTIVATION_LAYERS["relu"]()
+        tables = layer.tables(
+            LayoutChoices(relu="bitdecomp"), 5, [(2, 2)]
+        )
+        assert tables == set()
+
+    def test_lookup_needs_table(self):
+        layer = ACTIVATION_LAYERS["relu"]()
+        assert layer.tables(LayoutChoices(), 5, [(2, 2)]) == {("nl", "relu")}
+
+    def test_bitdecomp_only_affects_relu(self):
+        layer = ACTIVATION_LAYERS["sigmoid"]()
+        assert layer.tables(
+            LayoutChoices(relu="bitdecomp"), 5, [(2,)]
+        ) == {("nl", "sigmoid")}
+
+    def test_bitdecomp_costs_more_rows_when_narrow(self):
+        layer = ACTIVATION_LAYERS["relu"]()
+        lookup_rows = layer.count_rows(12, [(8, 8)], LayoutChoices(), 5)
+        bitd_rows = layer.count_rows(
+            12, [(8, 8)], LayoutChoices(relu="bitdecomp", relu_bits=10), 5
+        )
+        assert bitd_rows > lookup_rows

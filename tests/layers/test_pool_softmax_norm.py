@@ -1,0 +1,103 @@
+"""Tests for pooling, softmax, and normalization layers."""
+
+import numpy as np
+import pytest
+
+from repro.layers import (
+    AvgPool2DLayer,
+    BatchNormLayer,
+    GlobalAvgPoolLayer,
+    LayerNormLayer,
+    MaxPool2DLayer,
+    RMSNormLayer,
+    SoftmaxLayer,
+)
+
+from tests.layers.harness import assert_close_to_float, run_layer
+
+rng = np.random.default_rng(23)
+
+
+class TestPooling:
+    def test_max_pool(self):
+        layer = MaxPool2DLayer(pool=2, stride=2)
+        x = rng.uniform(-2, 2, (4, 4, 3))
+        got, _, _ = run_layer(layer, [x])
+        assert got.shape == (2, 2, 3)
+        assert_close_to_float(layer, [x], {}, got)
+
+    def test_max_pool_stride1(self):
+        layer = MaxPool2DLayer(pool=2, stride=1)
+        x = rng.uniform(-2, 2, (3, 3, 1))
+        got, _, _ = run_layer(layer, [x])
+        assert got.shape == (2, 2, 1)
+
+    def test_avg_pool(self):
+        layer = AvgPool2DLayer(pool=2, stride=2)
+        x = rng.uniform(-2, 2, (4, 4, 2))
+        got, _, _ = run_layer(layer, [x])
+        assert got.shape == (2, 2, 2)
+        assert_close_to_float(layer, [x], {}, got, tol=0.1)
+
+    def test_global_avg_pool(self):
+        layer = GlobalAvgPoolLayer()
+        x = rng.uniform(-2, 2, (3, 3, 4))
+        got, _, _ = run_layer(layer, [x])
+        assert got.shape == (4,)
+        assert_close_to_float(layer, [x], {}, got, tol=0.1)
+
+
+class TestSoftmax:
+    def test_vector(self):
+        layer = SoftmaxLayer()
+        x = rng.uniform(-2, 2, (4,))
+        got, _, _ = run_layer(layer, [x], scale_bits=5, num_cols=10)
+        assert_close_to_float(layer, [x], {}, got, tol=0.1)
+
+    def test_rows_sum_to_one(self):
+        layer = SoftmaxLayer()
+        x = rng.uniform(-2, 2, (3, 4))
+        got, _, _ = run_layer(layer, [x], scale_bits=5)
+        sums = got.astype(np.float64).sum(axis=-1) / 32.0
+        assert np.allclose(sums, 1.0, atol=0.15)
+
+    def test_shift_invariance(self):
+        layer = SoftmaxLayer()
+        x = np.array([0.5, -0.25, 1.0, 0.0])
+        got1, _, _ = run_layer(layer, [x])
+        got2, _, _ = run_layer(layer, [x + 1.0])
+        assert np.abs(got1.astype(np.int64) - got2.astype(np.int64)).max() <= 2
+
+    def test_batched(self):
+        layer = SoftmaxLayer()
+        x = rng.uniform(-1, 1, (2, 3))
+        got, _, _ = run_layer(layer, [x])
+        assert got.shape == (2, 3)
+
+
+class TestNormalization:
+    def test_batch_norm(self):
+        layer = BatchNormLayer(eps=1e-3)
+        x = rng.uniform(-2, 2, (3, 4))
+        params = {
+            "gamma": rng.uniform(0.5, 1.5, (4,)),
+            "beta": rng.uniform(-0.5, 0.5, (4,)),
+            "mean": rng.uniform(-0.5, 0.5, (4,)),
+            "variance": rng.uniform(0.5, 2.0, (4,)),
+        }
+        got, _, _ = run_layer(layer, [x], params)
+        assert_close_to_float(layer, [x], params, got, tol=0.3)
+
+    def test_layer_norm(self):
+        layer = LayerNormLayer(eps=1e-2)
+        x = rng.uniform(-1, 1, (2, 6))
+        params = {"gamma": np.ones(6), "beta": np.zeros(6)}
+        got, _, _ = run_layer(layer, [x], params, scale_bits=5, k=11)
+        assert_close_to_float(layer, [x], params, got, tol=0.6)
+
+    def test_rms_norm(self):
+        layer = RMSNormLayer(eps=1e-2)
+        x = rng.uniform(-1, 1, (2, 5))
+        params = {"gamma": np.ones(5)}
+        got, _, _ = run_layer(layer, [x], params, scale_bits=5, k=11)
+        assert_close_to_float(layer, [x], params, got, tol=0.6)

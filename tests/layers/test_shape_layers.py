@@ -1,0 +1,111 @@
+"""Tests for free shape layers: no rows, reference-correct."""
+
+import numpy as np
+import pytest
+
+from repro.gadgets import CircuitBuilder
+from repro.layers import (
+    ConcatLayer,
+    ExpandDimsLayer,
+    FlattenLayer,
+    GatherLayer,
+    IdentityLayer,
+    PadLayer,
+    ReshapeLayer,
+    SliceLayer,
+    SplitLayer,
+    SqueezeLayer,
+    TransposeLayer,
+    supported_layer_kinds,
+)
+from repro.tensor import Tensor
+
+rng = np.random.default_rng(5)
+
+
+def synth(layer, arrays, params=None):
+    builder = CircuitBuilder(k=8, num_cols=6, scale_bits=4)
+    tensors = [Tensor.from_values(np.asarray(a, dtype=object)) for a in arrays]
+    param_tensors = {
+        k: Tensor.from_values(np.asarray(v, dtype=object))
+        for k, v in (params or {}).items()
+    }
+    out = layer.synthesize(builder, tensors, param_tensors, None)
+    assert builder.rows_used == 0, "shape ops must be free"
+    return out.values()
+
+
+def test_reshape():
+    x = np.arange(12).reshape(3, 4)
+    got = synth(ReshapeLayer(shape=(2, 6)), [x])
+    assert got.tolist() == x.reshape(2, 6).tolist()
+
+
+def test_reshape_infers_minus_one():
+    layer = ReshapeLayer(shape=(2, -1))
+    assert layer.output_shape([(3, 4)]) == (2, 6)
+
+
+def test_flatten():
+    x = np.arange(6).reshape(2, 3)
+    assert synth(FlattenLayer(), [x]).tolist() == list(range(6))
+
+
+def test_transpose():
+    x = np.arange(6).reshape(2, 3)
+    got = synth(TransposeLayer(), [x])
+    assert got.tolist() == x.T.tolist()
+
+
+def test_transpose_axes():
+    x = np.arange(24).reshape(2, 3, 4)
+    got = synth(TransposeLayer(axes=(1, 0, 2)), [x])
+    assert got.tolist() == np.transpose(x, (1, 0, 2)).tolist()
+
+
+def test_squeeze_expand():
+    x = np.arange(3).reshape(1, 3)
+    assert synth(SqueezeLayer(axis=0), [x]).shape == (3,)
+    assert synth(ExpandDimsLayer(axis=1), [x]).shape == (1, 1, 3)
+
+
+def test_concat():
+    a, b = np.arange(4).reshape(2, 2), np.arange(4, 8).reshape(2, 2)
+    got = synth(ConcatLayer(axis=1), [a, b])
+    assert got.tolist() == np.concatenate([a, b], axis=1).tolist()
+
+
+def test_slice():
+    x = np.arange(16).reshape(4, 4)
+    got = synth(SliceLayer(slices=[(1, 3), None]), [x])
+    assert got.tolist() == x[1:3].tolist()
+
+
+def test_pad():
+    x = np.arange(4).reshape(2, 2)
+    got = synth(PadLayer(pad_width=[(1, 1), (0, 2)]), [x])
+    assert got.shape == (4, 4)
+    assert got[0].tolist() == [0, 0, 0, 0]
+
+
+def test_gather():
+    table = np.arange(20).reshape(5, 4)
+    layer = GatherLayer(indices=[3, 0, 3], table_shape=(5, 4))
+    got = synth(layer, [], {"table": table})
+    assert got.tolist() == table[[3, 0, 3]].tolist()
+
+
+def test_identity():
+    x = np.arange(4)
+    assert synth(IdentityLayer(), [x]).tolist() == x.tolist()
+
+
+def test_split():
+    x = np.arange(12).reshape(4, 3)
+    got = synth(SplitLayer(sections=2, axis=0, index=1), [x])
+    assert got.tolist() == x[2:].tolist()
+
+
+def test_paper_layer_count_supported():
+    # the paper claims 43 supported layers; we register at least that many
+    assert len(supported_layer_kinds()) >= 43

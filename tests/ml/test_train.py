@@ -1,0 +1,75 @@
+"""Tests for the numpy trainer and synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.ml import MLPClassifier, synthetic_cifar, synthetic_digits
+from repro.model import fixed_outputs_decoded, run_float
+
+
+class TestDatasets:
+    def test_shapes(self):
+        x, y = synthetic_digits(50)
+        assert x.shape == (50, 8, 8, 1)
+        assert y.shape == (50,)
+        assert set(np.unique(y)) <= set(range(10))
+
+    def test_deterministic(self):
+        x1, y1 = synthetic_digits(20, seed=5)
+        x2, y2 = synthetic_digits(20, seed=5)
+        assert np.array_equal(x1, x2) and np.array_equal(y1, y2)
+
+    def test_cifar_variant(self):
+        x, y = synthetic_cifar(30)
+        assert x.shape == (30, 10, 10, 3)
+
+    def test_classes_distinguishable(self):
+        x, y = synthetic_digits(200, seed=2)
+        # nearest-template classification should beat chance easily
+        means = np.stack([x[y == c].mean(axis=0) for c in range(10)])
+        preds = np.array([
+            np.argmin(((means - img) ** 2).sum(axis=(1, 2, 3))) for img in x
+        ])
+        assert (preds == y).mean() > 0.5
+
+
+class TestTraining:
+    def test_mlp_learns(self):
+        x, y = synthetic_digits(400, seed=1)
+        clf = MLPClassifier([64, 48, 10]).fit(x, y, epochs=40)
+        assert clf.accuracy(x, y) > 0.9
+
+    def test_generalizes(self):
+        x, y = synthetic_digits(400, seed=1)
+        xt, yt = synthetic_digits(100, seed=99)
+        clf = MLPClassifier([64, 48, 10]).fit(x, y, epochs=40)
+        assert clf.accuracy(xt, yt) > 0.8
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(ValueError):
+            MLPClassifier([10])
+
+
+class TestExport:
+    def test_exported_spec_matches_logits(self):
+        x, y = synthetic_digits(100, seed=3)
+        clf = MLPClassifier([64, 16, 10]).fit(x, y, epochs=5)
+        spec = clf.to_model_spec("digits", (8, 8, 1))
+        sample = x[0]
+        expected = clf.logits(sample[None])[0]
+        got = run_float(spec, {"image": sample})[spec.outputs[0]][0]
+        assert np.allclose(got, expected, atol=1e-9)
+
+    def test_fixed_point_accuracy_close(self):
+        # the Table 8 experiment in miniature
+        x, y = synthetic_digits(150, seed=4)
+        clf = MLPClassifier([64, 24, 10]).fit(x, y, epochs=15)
+        spec = clf.to_model_spec("digits", (8, 8, 1))
+        float_acc = clf.accuracy(x, y)
+        hits = 0
+        for img, label in zip(x[:40], y[:40]):
+            out = fixed_outputs_decoded(spec, {"image": img}, 12)
+            pred = np.argmax(out[spec.outputs[0]])
+            hits += int(pred == label)
+        fixed_acc = hits / 40
+        assert abs(fixed_acc - float_acc) < 0.15

@@ -1,0 +1,81 @@
+"""Tests for the float and fixed-point reference executors."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    GraphBuilder,
+    fixed_outputs_decoded,
+    get_model,
+    run_fixed,
+    run_float,
+)
+
+rng = np.random.default_rng(2)
+
+
+def mlp_model():
+    gb = GraphBuilder("exec-test", materialize=True)
+    x = gb.input("x", (1, 6))
+    x = gb.fully_connected(x, 6, 4)
+    x = gb.activation(x, "relu")
+    x = gb.fully_connected(x, 4, 3)
+    return gb.build([x])
+
+
+class TestRunFloat:
+    def test_basic(self):
+        spec = mlp_model()
+        out = run_float(spec, {"x": rng.uniform(-1, 1, (1, 6))})
+        assert out[spec.outputs[0]].shape == (1, 3)
+
+    def test_shape_only_rejected(self):
+        spec = get_model("gpt2", "paper")
+        with pytest.raises(ValueError, match="shape-only"):
+            run_float(spec, {})
+
+
+class TestRunFixed:
+    def test_close_to_float(self):
+        spec = mlp_model()
+        x = rng.uniform(-1, 1, (1, 6))
+        f = run_float(spec, {"x": x})[spec.outputs[0]]
+        q = fixed_outputs_decoded(spec, {"x": x}, scale_bits=10)[spec.outputs[0]]
+        assert np.allclose(f, q, atol=0.05)
+
+    def test_returns_object_ints(self):
+        spec = mlp_model()
+        out = run_fixed(spec, {"x": rng.uniform(-1, 1, (1, 6))}, 8)
+        arr = out[spec.outputs[0]]
+        assert arr.dtype == object
+        assert all(isinstance(v, int) for v in arr.reshape(-1))
+
+    def test_precision_improves_with_scale(self):
+        spec = mlp_model()
+        x = rng.uniform(-1, 1, (1, 6))
+        f = run_float(spec, {"x": x})[spec.outputs[0]]
+        err = []
+        for bits in (4, 8, 12):
+            q = fixed_outputs_decoded(spec, {"x": x}, bits)[spec.outputs[0]]
+            err.append(np.abs(f - q).max())
+        assert err[0] > err[2]
+
+
+class TestZooMiniModels:
+    @pytest.mark.parametrize(
+        "name", ["mnist", "resnet18", "vgg16", "mobilenet", "dlrm",
+                 "twitter", "gpt2", "diffusion"]
+    )
+    def test_mini_models_execute(self, name):
+        spec = get_model(name, "mini")
+        assert spec.materialized
+        inputs = {
+            k: rng.uniform(-0.5, 0.5, shape) for k, shape in spec.inputs.items()
+        }
+        f = run_float(spec, inputs)
+        q = fixed_outputs_decoded(spec, inputs, scale_bits=9)
+        for out in spec.outputs:
+            assert np.shape(f[out]) == np.shape(q[out])
+            assert np.allclose(f[out], q[out], atol=0.25), (
+                "fixed-point drift %.3f" % np.abs(f[out] - q[out]).max()
+            )

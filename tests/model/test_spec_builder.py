@@ -1,0 +1,101 @@
+"""Tests for ModelSpec validation, shapes, stats, and GraphBuilder."""
+
+import numpy as np
+import pytest
+
+from repro.model import GraphBuilder, ModelSpec
+from repro.model.spec import LayerSpec
+
+
+def small_model(materialize=True):
+    gb = GraphBuilder("toy", materialize=materialize)
+    x = gb.input("image", (4, 4, 1))
+    x = gb.conv2d(x, 1, 2, kernel=(3, 3))
+    x = gb.activation(x, "relu")
+    x = gb.flatten(x)
+    x = gb.fully_connected(x, 32, 5)
+    x = gb.softmax(x)
+    return gb.build([x])
+
+
+class TestValidation:
+    def test_valid_model(self):
+        small_model().validate()
+
+    def test_undefined_input_rejected(self):
+        spec = ModelSpec(
+            name="bad", inputs={},
+            layers=[LayerSpec("a", "relu", ["ghost"])], outputs=["a"]
+        )
+        with pytest.raises(ValueError, match="ghost"):
+            spec.validate()
+
+    def test_duplicate_name_rejected(self):
+        spec = ModelSpec(
+            name="bad", inputs={"x": (2,)},
+            layers=[LayerSpec("x", "relu", ["x"])], outputs=["x"]
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            spec.validate()
+
+    def test_unknown_kind_rejected(self):
+        spec = ModelSpec(
+            name="bad", inputs={"x": (2,)},
+            layers=[LayerSpec("y", "quantum_layer", ["x"])], outputs=["y"]
+        )
+        with pytest.raises(KeyError, match="quantum_layer"):
+            spec.validate()
+
+    def test_missing_output_rejected(self):
+        spec = ModelSpec(name="bad", inputs={"x": (2,)}, layers=[],
+                         outputs=["nope"])
+        with pytest.raises(ValueError, match="nope"):
+            spec.validate()
+
+
+class TestShapesAndStats:
+    def test_shapes_propagate(self):
+        spec = small_model()
+        shapes = spec.shapes()
+        assert shapes["image"] == (4, 4, 1)
+        assert shapes[spec.outputs[0]] == (5,)
+
+    def test_param_count(self):
+        spec = small_model()
+        # conv: 3*3*1*2 + 2; fc: 32*5 + 5
+        assert spec.param_count() == 18 + 2 + 160 + 5
+
+    def test_param_count_shape_only(self):
+        spec = small_model(materialize=False)
+        assert spec.param_count() == small_model().param_count()
+        assert not spec.materialized
+
+    def test_flops_positive_and_conv_dominated(self):
+        spec = small_model()
+        assert spec.flops() > 2 * 16 * 9 * 2  # conv MACs
+
+    def test_summary_mentions_layers(self):
+        text = small_model().summary()
+        assert "conv2d" in text and "softmax" in text
+
+
+class TestGraphBuilderDeterminism:
+    def test_same_name_same_weights(self):
+        a, b = small_model(), small_model()
+        wa = a.layers[0].params["weight"]
+        wb = b.layers[0].params["weight"]
+        assert np.array_equal(wa, wb)
+
+    def test_different_names_differ(self):
+        gb1 = GraphBuilder("alpha")
+        gb2 = GraphBuilder("beta")
+        w1 = gb1._param((3, 3))
+        w2 = gb2._param((3, 3))
+        assert not np.array_equal(w1, w2)
+
+    def test_attention_block_shapes(self):
+        gb = GraphBuilder("attn-test", materialize=True)
+        x = gb.input("h", (4, 8))
+        out = gb.attention_block(x, seq=4, dim=8, heads=2)
+        spec = gb.build([out])
+        assert spec.shapes()[out] == (4, 8)

@@ -1,0 +1,80 @@
+"""Tests for the tflite-like transpiler."""
+
+import numpy as np
+import pytest
+
+from repro.model import TranspileError, export, get_model, run_float, transpile
+
+FLAT = {
+    "name": "tiny",
+    "inputs": {"image": [4, 4, 1]},
+    "buffers": {
+        "w0": np.random.default_rng(0).uniform(-1, 1, (3, 3, 1, 2)).tolist(),
+        "b0": [0.1, -0.1],
+        "w1": np.random.default_rng(1).uniform(-1, 1, (32, 3)).tolist(),
+        "b1": [0.0, 0.0, 0.0],
+    },
+    "operators": [
+        {"opcode": "CONV_2D", "name": "conv", "inputs": ["image"],
+         "params": {"weight": "w0", "bias": "b0"},
+         "options": {"kernel": [3, 3], "filters": 2, "stride": 1,
+                     "padding": "same"}},
+        {"opcode": "RELU", "name": "act", "inputs": ["conv"]},
+        {"opcode": "RESHAPE", "name": "flat", "inputs": ["act"],
+         "options": {"shape": [1, 32]}},
+        {"opcode": "FULLY_CONNECTED", "name": "fc", "inputs": ["flat"],
+         "params": {"weight": "w1", "bias": "b1"},
+         "options": {"units": 3}},
+        {"opcode": "SOFTMAX", "name": "probs", "inputs": ["fc"]},
+    ],
+    "outputs": ["probs"],
+}
+
+
+def test_transpile_valid_model():
+    spec = transpile(FLAT)
+    assert spec.name == "tiny"
+    assert [l.kind for l in spec.layers] == [
+        "conv2d", "relu", "reshape", "fully_connected", "softmax"
+    ]
+    out = run_float(spec, {"image": np.zeros((4, 4, 1))})
+    assert out["probs"].shape == (1, 3)
+
+
+def test_missing_key_rejected():
+    with pytest.raises(TranspileError, match="outputs"):
+        transpile({"name": "x", "inputs": {}, "operators": []})
+
+
+def test_unknown_opcode_rejected():
+    bad = dict(FLAT, operators=[{"opcode": "QUANTUM", "inputs": []}])
+    with pytest.raises(TranspileError, match="QUANTUM"):
+        transpile(bad)
+
+
+def test_unknown_buffer_rejected():
+    bad = dict(FLAT)
+    bad = {**FLAT, "operators": [
+        {"opcode": "FULLY_CONNECTED", "name": "fc", "inputs": ["image"],
+         "params": {"weight": "missing", "bias": "b1"},
+         "options": {"units": 3}}]}
+    with pytest.raises(TranspileError, match="missing"):
+        transpile(bad)
+
+
+def test_export_round_trip():
+    spec = transpile(FLAT)
+    flat2 = export(spec)
+    spec2 = transpile(flat2)
+    assert [l.kind for l in spec2.layers] == [l.kind for l in spec.layers]
+    x = np.random.default_rng(3).uniform(-1, 1, (4, 4, 1))
+    out1 = run_float(spec, {"image": x})["probs"]
+    out2 = run_float(spec2, {"image": x})["probs"]
+    assert np.allclose(out1, out2)
+
+
+def test_zoo_models_round_trip_through_flat_format():
+    spec = get_model("mnist", "mini")
+    flat = export(spec)
+    again = transpile(flat)
+    assert again.param_count() == spec.param_count()

@@ -1,0 +1,107 @@
+"""Tests for fixed-point quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantize import FixedPoint, div_round, max_table_input_bits, requantize
+
+
+class TestDivRound:
+    def test_exact(self):
+        assert div_round(10, 5) == 2
+
+    def test_rounds_up_at_half(self):
+        assert div_round(5, 2) == 3
+        assert div_round(3, 2) == 2
+
+    def test_rounds_down_below_half(self):
+        assert div_round(4, 3) == 1
+
+    def test_negative_numerator_rounds_half_up(self):
+        assert div_round(-5, 2) == -2  # -2.5 -> -2 (half up)
+        assert div_round(-4, 3) == -1
+        assert div_round(-3, 2) == -1  # -1.5 -> -1
+
+    def test_negative_denominator(self):
+        assert div_round(5, -2) == -2  # -2.5 -> -2
+
+    def test_zero_denominator(self):
+        with pytest.raises(ZeroDivisionError):
+            div_round(1, 0)
+
+    @given(a=st.integers(-10**9, 10**9), b=st.integers(1, 10**6))
+    @settings(max_examples=100)
+    def test_matches_floor_identity(self, a, b):
+        # the defining circuit identity: floor((2a + b) / 2b)
+        assert div_round(a, b) == (2 * a + b) // (2 * b)
+
+    @given(a=st.integers(-10**6, 10**6), b=st.integers(1, 10**4))
+    @settings(max_examples=100)
+    def test_error_at_most_half(self, a, b):
+        assert abs(div_round(a, b) - a / b) <= 0.5
+
+
+class TestFixedPoint:
+    def test_factor(self):
+        assert FixedPoint(8).factor == 256
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPoint(-1)
+
+    def test_encode_decode_roundtrip(self):
+        fp = FixedPoint(12)
+        for x in (0.0, 1.0, -1.5, 3.14159, -0.0002):
+            assert abs(fp.decode(fp.encode(x)) - x) <= 1 / fp.factor
+
+    def test_encode_array_exact_ints(self):
+        fp = FixedPoint(4)
+        arr = fp.encode_array(np.array([0.5, -0.25, 1.0]))
+        assert list(arr) == [8, -4, 16]
+
+    def test_decode_array(self):
+        fp = FixedPoint(4)
+        out = fp.decode_array(np.array([8, -4, 16], dtype=object))
+        assert np.allclose(out, [0.5, -0.25, 1.0])
+
+    def test_mul_rescale(self):
+        fp = FixedPoint(8)
+        a, b = fp.encode(1.5), fp.encode(2.0)
+        assert fp.decode(fp.mul_rescale(a, b)) == pytest.approx(3.0, abs=1e-2)
+
+    def test_div_rescale(self):
+        fp = FixedPoint(8)
+        a, b = fp.encode(3.0), fp.encode(2.0)
+        assert fp.decode(fp.div_rescale(a, b)) == pytest.approx(1.5, abs=1e-2)
+
+    def test_div_rescale_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            FixedPoint(8).div_rescale(1, 0)
+
+
+class TestRequantize:
+    def test_upscale_exact(self):
+        assert requantize(3, 4, 8) == 48
+
+    def test_downscale_rounds(self):
+        assert requantize(48, 8, 4) == 3
+        assert requantize(40, 8, 4) == 3  # 2.5 rounds away from zero
+
+    def test_identity(self):
+        assert requantize(7, 6, 6) == 7
+
+    @given(v=st.integers(-10**6, 10**6), bits=st.integers(0, 12))
+    @settings(max_examples=50)
+    def test_up_then_down_is_identity(self, v, bits):
+        assert requantize(requantize(v, 4, 4 + bits), 4 + bits, 4) == v
+
+
+class TestTableBits:
+    def test_basic(self):
+        assert max_table_input_bits(16) == 15
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            max_table_input_bits(0)

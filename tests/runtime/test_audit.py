@@ -1,0 +1,101 @@
+"""Tests for the end-to-end audit flow (paper Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.model import GraphBuilder, get_model
+from repro.runtime import AuditLog, ModelCommitment, audit
+
+rng = np.random.default_rng(51)
+
+
+def scoring_model(seed=1):
+    gb = GraphBuilder("audited", materialize=True, seed=seed)
+    x = gb.input("features", (1, 4))
+    h = gb.fully_connected(x, 4, 3)
+    h = gb.activation(h, "relu")
+    out = gb.fully_connected(h, 3, 1)
+    return gb.build([out])
+
+
+@pytest.fixture(scope="module")
+def served_log():
+    spec = scoring_model()
+    log = AuditLog(spec, scheme_name="kzg", num_cols=10, scale_bits=5)
+    for _ in range(3):
+        log.serve({"features": rng.uniform(-1, 1, (1, 4))})
+    return spec, log
+
+
+class TestModelCommitment:
+    def test_deterministic(self):
+        spec = scoring_model()
+        assert (ModelCommitment.commit(spec).digest
+                == ModelCommitment.commit(scoring_model()).digest)
+
+    def test_binds_weights(self):
+        a = ModelCommitment.commit(scoring_model(seed=1))
+        b = ModelCommitment.commit(scoring_model(seed=2))
+        assert a.digest != b.digest
+
+    def test_shape_only_rejected(self):
+        with pytest.raises(ValueError):
+            ModelCommitment.commit(get_model("gpt2", "paper"))
+
+    def test_hex(self):
+        assert len(ModelCommitment.commit(scoring_model()).hex()) == 64
+
+
+class TestCleanAudit:
+    def test_no_findings(self, served_log):
+        spec, log = served_log
+        findings = audit(log, ModelCommitment.commit(spec))
+        assert findings == []
+
+    def test_entries_chained(self, served_log):
+        _, log = served_log
+        digests = [e.chain_digest for e in log.entries]
+        assert len(set(digests)) == len(digests)
+
+
+class TestDishonestProvider:
+    def test_wrong_model_commitment_flagged(self, served_log):
+        _, log = served_log
+        other = ModelCommitment.commit(scoring_model(seed=9))
+        findings = audit(log, other)
+        assert any(f.kind == "model" for f in findings)
+
+    def test_forged_output_flagged(self, served_log):
+        spec, log = served_log
+        victim = log.entries[1].result
+        original = victim.instance
+        victim.instance = [list(col) for col in original]
+        victim.instance[0][0] += 1
+        findings = audit(log, ModelCommitment.commit(spec))
+        victim.instance = original
+        assert any(f.kind == "proof" and f.index == 1 for f in findings)
+
+    def test_dropped_entry_breaks_chain(self, served_log):
+        spec, log = served_log
+        removed = log.entries.pop(1)
+        try:
+            findings = audit(log, ModelCommitment.commit(spec))
+        finally:
+            log.entries.insert(1, removed)
+        assert any(f.kind == "chain" for f in findings)
+
+    def test_swapped_circuit_flagged(self):
+        spec = scoring_model()
+        log = AuditLog(spec, num_cols=10, scale_bits=5)
+        log.serve({"features": rng.uniform(-1, 1, (1, 4))})
+        other_log = AuditLog(scoring_model(seed=9), num_cols=10,
+                             scale_bits=5)
+        foreign = other_log.serve({"features": rng.uniform(-1, 1, (1, 4))})
+        log.entries.append(foreign)
+        findings = audit(log, ModelCommitment.commit(spec))
+        assert any("different circuits" in f.detail for f in findings)
+
+    def test_finding_str(self, served_log):
+        spec, log = served_log
+        findings = audit(log, ModelCommitment.commit(scoring_model(seed=9)))
+        assert "model" in str(findings[0])

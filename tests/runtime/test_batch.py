@@ -1,0 +1,68 @@
+"""Tests for batch proving (one proof, many inferences)."""
+
+import numpy as np
+import pytest
+
+from repro.model import GraphBuilder, run_fixed
+from repro.runtime import prove_batch
+
+rng = np.random.default_rng(61)
+
+
+def small_model():
+    gb = GraphBuilder("batched", materialize=True, seed=2)
+    x = gb.input("x", (1, 4))
+    h = gb.fully_connected(x, 4, 3)
+    h = gb.activation(h, "relu")
+    out = gb.fully_connected(h, 3, 2)
+    return gb.build([out])
+
+
+@pytest.fixture(scope="module")
+def batch_result():
+    spec = small_model()
+    inputs = [{"x": rng.uniform(-1, 1, (1, 4))} for _ in range(3)]
+    return spec, inputs, prove_batch(spec, inputs, num_cols=10, scale_bits=6)
+
+
+class TestBatchProve:
+    def test_single_proof_verifies(self, batch_result):
+        _, _, result = batch_result
+        assert result.batch_size == 3
+        assert result.verify()
+
+    def test_outputs_match_fixed_reference(self, batch_result):
+        spec, inputs, result = batch_result
+        for i, inp in enumerate(inputs):
+            reference = run_fixed(spec, inp, 6)
+            for name in spec.outputs:
+                got = result.outputs[i][name]
+                want = np.asarray(reference[name], dtype=object)
+                assert (got == want).all()
+
+    def test_each_inference_has_instance_column(self, batch_result):
+        _, _, result = batch_result
+        assert len(result.instance) == result.batch_size
+
+    def test_tampering_any_inference_rejected(self, batch_result):
+        _, _, result = batch_result
+        for victim in range(result.batch_size):
+            forged = [list(col) for col in result.instance]
+            forged[victim][0] = (forged[victim][0] + 1) % result.vk.field.p
+            from repro.runtime import verify_model_proof
+
+            assert not verify_model_proof(result.vk, result.proof, forged,
+                                          result.scheme_name)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            prove_batch(small_model(), [], num_cols=10, scale_bits=6)
+
+    def test_weights_shared_across_batch(self, batch_result):
+        # the batch circuit holds the parameters once: its weight fixed
+        # columns match a single-inference circuit's
+        spec, inputs, result = batch_result
+        from repro.runtime import prove_model
+
+        single = prove_model(spec, inputs[0], num_cols=10, scale_bits=6)
+        assert result.vk.cs.num_fixed == single.vk.cs.num_fixed

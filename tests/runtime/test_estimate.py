@@ -1,0 +1,42 @@
+"""Tests for the full-scale end-to-end estimator."""
+
+import pytest
+
+from repro.optimizer import R6I_8XLARGE
+from repro.runtime import estimate_model
+from repro.runtime.estimate import EndToEndEstimate
+
+
+class TestEstimateModel:
+    def test_defaults_use_paper_hardware(self):
+        est = estimate_model("mnist", "kzg", scale_bits=10)
+        assert est.hardware == "r6i.8xlarge"
+        assert est.model == "mnist"
+        assert est.scheme_name == "kzg"
+
+    def test_custom_hardware(self):
+        est = estimate_model("gpt2", "kzg", scale_bits=10,
+                             hardware=R6I_8XLARGE, include_freivalds=True)
+        assert est.hardware == "r6i.8xlarge"
+
+    def test_row_formats(self):
+        est = estimate_model("dlrm", "kzg", scale_bits=10)
+        row = est.row()
+        assert "dlrm" in row and "bytes" in row
+
+    def test_size_objective(self):
+        t = estimate_model("dlrm", "kzg", scale_bits=10, objective="time")
+        s = estimate_model("dlrm", "kzg", scale_bits=10, objective="size")
+        assert s.proof_bytes <= t.proof_bytes
+
+    def test_freivalds_flag_plumbs_through(self):
+        with_f = estimate_model("gpt2", "kzg", scale_bits=10,
+                                include_freivalds=True)
+        without = estimate_model("gpt2", "kzg", scale_bits=10,
+                                 include_freivalds=False)
+        assert with_f.proving_seconds <= without.proving_seconds
+
+    def test_optimizer_runtime_recorded(self):
+        est = estimate_model("mnist", "kzg", scale_bits=10)
+        assert est.optimizer_seconds > 0
+        assert len(est.result.candidates) > 10

@@ -1,0 +1,57 @@
+"""Tests for the end-to-end prove/verify pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.model import get_model
+from repro.runtime import prove_model, verify_model_proof
+
+rng = np.random.default_rng(41)
+
+
+def mini_inputs(spec):
+    return {k: rng.uniform(-0.5, 0.5, s) for k, s in spec.inputs.items()}
+
+
+@pytest.fixture(scope="module")
+def mnist_result():
+    spec = get_model("mnist", "mini")
+    return spec, prove_model(spec, mini_inputs(spec), scheme_name="kzg",
+                             num_cols=10, scale_bits=5)
+
+
+class TestProveModel:
+    def test_proof_verifies(self, mnist_result):
+        _, result = mnist_result
+        assert result.verification_seconds() > 0  # raises if invalid
+
+    def test_outputs_are_public(self, mnist_result):
+        spec, result = mnist_result
+        flat_outputs = [
+            int(v) for name in spec.outputs
+            for v in result.outputs[name].reshape(-1)
+        ]
+        exposed = result.instance[0][: len(flat_outputs)]
+        field_p = result.vk.field.p
+        decoded = [v - field_p if v > field_p // 2 else v for v in exposed]
+        assert decoded == flat_outputs
+
+    def test_wrong_instance_rejected(self, mnist_result):
+        _, result = mnist_result
+        instance = [list(col) for col in result.instance]
+        instance[0][0] += 1
+        assert not verify_model_proof(result.vk, result.proof, instance,
+                                      result.scheme_name)
+
+    def test_times_recorded(self, mnist_result):
+        _, result = mnist_result
+        assert result.proving_seconds > 0
+        assert result.keygen_seconds > 0
+        assert result.modeled_proof_bytes > 1000
+
+    def test_ipa_backend_roundtrip(self):
+        spec = get_model("dlrm", "mini")
+        result = prove_model(spec, mini_inputs(spec), scheme_name="ipa",
+                             num_cols=10, scale_bits=5)
+        assert verify_model_proof(result.vk, result.proof, result.instance,
+                                  "ipa")

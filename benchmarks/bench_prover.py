@@ -1,0 +1,38 @@
+"""Standalone prover benchmark (thin wrapper over ``repro.perf.bench``).
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_prover.py [--jobs N] [--models ...]
+
+Proves the default mini zoo trio, prints the per-phase breakdown, and
+writes ``BENCH_prover.json``.  Same engine as ``zkml bench``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perf.bench import DEFAULT_MODELS, run_bench
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--models", nargs="+", default=list(DEFAULT_MODELS))
+    parser.add_argument("--backend", default="kzg", choices=["kzg", "ipa"])
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_prover.json")
+    args = parser.parse_args(argv)
+    run_bench(
+        models=args.models,
+        scheme_name=args.backend,
+        jobs=args.jobs,
+        seed=args.seed,
+        output_path=args.out or None,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

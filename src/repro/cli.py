@@ -8,6 +8,8 @@ Subcommands:
 - ``zkml prove --model NAME``           — prove one inference of a mini
   model, writing proof/vk artifacts.
 - ``zkml verify --artifact FILE``       — verify a saved proof artifact.
+- ``zkml bench``                        — benchmark the prover on mini
+  models and write ``BENCH_prover.json``.
 - ``zkml transpile --flat FILE``        — import a tflite-like flat JSON
   model and report its circuit statistics.
 """
@@ -108,7 +110,8 @@ def _cmd_prove(args) -> int:
         for name, shape in spec.inputs.items()
     }
     result = prove_model(spec, inputs, scheme_name=args.backend,
-                         num_cols=args.columns, scale_bits=args.scale_bits)
+                         num_cols=args.columns, scale_bits=args.scale_bits,
+                         jobs=args.jobs)
     verify_seconds = result.verification_seconds()
     print("model:       ", result.spec_name)
     print("backend:     ", result.scheme_name)
@@ -117,6 +120,13 @@ def _cmd_prove(args) -> int:
     print("proving:     ", "%.2f s" % result.proving_seconds)
     print("verification:", "%.4f s" % verify_seconds)
     print("proof size:  ", "%d bytes (modeled)" % result.modeled_proof_bytes)
+    if args.profile:
+        print("prover phase breakdown:")
+        total = sum(result.phase_seconds.values())
+        for phase, secs in sorted(result.phase_seconds.items(),
+                                  key=lambda kv: -kv[1]):
+            share = 100.0 * secs / total if total else 0.0
+            print("  %-10s %8.3f s  %5.1f%%" % (phase, secs, share))
     if args.out:
         with open(args.out, "wb") as f:
             pickle.dump(
@@ -125,6 +135,19 @@ def _cmd_prove(args) -> int:
                  "scheme": result.scheme_name}, f,
             )
         print("artifact:    ", args.out)
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.perf.bench import DEFAULT_MODELS, run_bench
+
+    run_bench(
+        models=args.models or DEFAULT_MODELS,
+        scheme_name=args.backend,
+        jobs=args.jobs,
+        seed=args.seed,
+        output_path=args.out or None,
+    )
     return 0
 
 
@@ -181,7 +204,24 @@ def build_parser() -> argparse.ArgumentParser:
     prove.add_argument("--scale-bits", type=int, default=5)
     prove.add_argument("--seed", type=int, default=0)
     prove.add_argument("--out", default=None, help="artifact output path")
+    prove.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for the prover "
+                            "(default: ZKML_JOBS env, else serial)")
+    prove.add_argument("--profile", action="store_true",
+                       help="print the prover's per-phase time breakdown")
     prove.set_defaults(func=_cmd_prove)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark the prover on mini zoo models")
+    bench.add_argument("--models", nargs="+", default=None,
+                       choices=model_names(),
+                       help="models to prove (default: dlrm mnist twitter)")
+    bench.add_argument("--backend", default="kzg", choices=["kzg", "ipa"])
+    bench.add_argument("--jobs", type=int, default=None)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--out", default="BENCH_prover.json",
+                       help="report path ('' to skip writing)")
+    bench.set_defaults(func=_cmd_bench)
 
     verify = sub.add_parser("verify", help="verify a proof artifact")
     verify.add_argument("--artifact", required=True)

@@ -31,13 +31,17 @@ class MerkleTree:
         n = 1
         while n < len(leaves):
             n <<= 1
-        level = [_hash_leaf(leaf) for leaf in leaves]
-        level += [_hash_leaf(b"")] * (n - len(leaves))
+        empty = _hash_leaf(b"")
+        level = [empty] * n
+        for i, leaf in enumerate(leaves):
+            level[i] = _hash_leaf(leaf)
         self._levels: List[List[bytes]] = [level]
         while len(level) > 1:
-            level = [
-                _hash_node(level[i], level[i + 1]) for i in range(0, len(level), 2)
-            ]
+            half = len(level) >> 1
+            parents = [b""] * half
+            for i in range(half):
+                parents[i] = _hash_node(level[2 * i], level[2 * i + 1])
+            level = parents
             self._levels.append(level)
 
     @property

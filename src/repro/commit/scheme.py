@@ -16,6 +16,11 @@ from typing import Sequence, Tuple
 from repro.field.poly import poly_eval
 from repro.field.prime_field import PrimeField
 
+try:  # serialization fast path for numpy-backed coefficient vectors
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 #: Size of one commitment (a compressed curve point on BN254) in bytes.
 COMMITMENT_BYTES = 32
 #: Size of one field element in a serialized proof, in bytes.
@@ -47,6 +52,10 @@ class OpeningProof:
 
 
 def _serialize_coeffs(coeffs: Sequence[int]) -> bytes:
+    if _np is not None and isinstance(coeffs, _np.ndarray):
+        from repro.field import gl64
+
+        return gl64.serialize_scalars(coeffs)
     return b"".join(c.to_bytes(32, "little") for c in coeffs)
 
 
@@ -73,6 +82,10 @@ class CommitmentScheme:
 
     def open(self, coeffs: Sequence[int], point: int) -> OpeningProof:
         """Open a committed polynomial at ``point``."""
+        if _np is not None and isinstance(coeffs, _np.ndarray):
+            # Proofs are pickled and compared byte-wise; the witness must
+            # hold plain Python ints regardless of the prover's backend.
+            coeffs = coeffs.tolist()
         value = poly_eval(self.field, coeffs, point)
         return OpeningProof(point=point, value=value, witness=tuple(coeffs))
 

@@ -34,6 +34,20 @@ class Transcript:
         """Absorb a field element."""
         self.append_message(label, scalar.to_bytes(32, "little"))
 
+    def append_scalar_vector(self, label: bytes, scalars) -> None:
+        """Absorb a whole vector of field elements as one message.
+
+        The payload is the element count (8-byte LE) followed by the
+        concatenated 32-byte LE scalars — one ``append_message`` per column
+        instead of one per scalar.  Note this domain-separates differently
+        from a loop of :meth:`append_scalar`, so the two are not
+        interchangeable mid-protocol.
+        """
+        payload = len(scalars).to_bytes(8, "little") + b"".join(
+            int(s).to_bytes(32, "little") for s in scalars
+        )
+        self.append_message(label, payload)
+
     def append_commitment(self, label: bytes, digest: bytes) -> None:
         """Absorb a commitment digest."""
         self.append_message(label, digest)

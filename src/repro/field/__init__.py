@@ -23,6 +23,7 @@ from repro.field.poly import (
     poly_scale,
     poly_sub,
 )
+from repro.field.vector import GL64Backend, ListBackend, vector_backend
 
 __all__ = [
     "BN254_FR",
@@ -38,4 +39,7 @@ __all__ = [
     "poly_scale",
     "poly_eval",
     "poly_divmod",
+    "ListBackend",
+    "GL64Backend",
+    "vector_backend",
 ]

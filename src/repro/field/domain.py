@@ -4,14 +4,27 @@ A circuit with ``2^k`` rows is interpolated over the multiplicative
 subgroup of order ``2^k``.  The quotient argument additionally needs an
 *extended* coset domain whose size covers the constraint degree, exactly as
 in halo2: ``k' = k + ceil(log2(d_max - 1))``.
+
+Every derived quantity a transform needs — per-stage twiddle tables
+(forward and inverse, base and extended), coset power tables, the
+vanishing polynomial on the extended coset and its batch inverse, rotation
+powers — is computed once and cached on the domain, so repeated transforms
+(one per column, hundreds per proof) never redo the ``pow`` chains.  On
+the Goldilocks field all transforms run through the numpy kernel in
+:mod:`repro.field.gl64`; the ``*_vec`` / ``*_batch`` entry points keep
+columns in backend representation end to end.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.field.ntt import coset_intt, coset_ntt, intt, ntt
+import numpy as np
+
+from repro.field import gl64
+from repro.field.ntt import coset_intt, coset_ntt, intt, ntt, power_table, stage_twiddles
 from repro.field.prime_field import PrimeField
+from repro.field.vector import vector_backend
 
 
 class EvaluationDomain:
@@ -38,36 +51,133 @@ class EvaluationDomain:
         # Coset shift: the field generator keeps the coset disjoint from the
         # base subgroup, so the vanishing polynomial never hits zero on it.
         self.coset_shift = field.generator
+        self.backend = vector_backend(field)
+        self._use_gl64 = gl64.is_goldilocks(field.p)
+        # numpy twiddle/permutation caches, built lazily per transform size
+        self._np_stages: Dict[tuple, List[np.ndarray]] = {}
+        self._np_rev: Dict[int, np.ndarray] = {}
+        self._np_powers: Dict[tuple, np.ndarray] = {}
+        self._vanishing: Optional[List[int]] = None
+        self._inv_vanishing_vec = None
+        self._rotation_cache: Dict[int, int] = {}
 
-    # -- transforms ---------------------------------------------------------
+    # -- cached numpy tables -------------------------------------------------
 
-    def lagrange_to_coeff(self, evals: Sequence[int]) -> List[int]:
-        """Interpolate evaluations over the base domain into coefficients."""
+    def _gl64_stages(self, root: int, n: int) -> List[np.ndarray]:
+        key = (root, n)
+        cached = self._np_stages.get(key)
+        if cached is None:
+            cached = [
+                np.array(tw, dtype=np.uint64)
+                for tw in stage_twiddles(self.field.p, root, n)
+            ]
+            self._np_stages[key] = cached
+        return cached
+
+    def _gl64_rev(self, n: int) -> np.ndarray:
+        cached = self._np_rev.get(n)
+        if cached is None:
+            cached = gl64.bit_reverse_indices(n)
+            self._np_rev[n] = cached
+        return cached
+
+    def _gl64_powers(self, base: int, n: int) -> np.ndarray:
+        key = (base, n)
+        cached = self._np_powers.get(key)
+        if cached is None:
+            cached = np.array(power_table(self.field.p, base, n), dtype=np.uint64)
+            self._np_powers[key] = cached
+        return cached
+
+    def _gl64_ntt(self, vec: np.ndarray, root: int) -> np.ndarray:
+        n = len(vec)
+        if n == 1:
+            return vec.copy()
+        return gl64.ntt(vec, self._gl64_stages(root, n), self._gl64_rev(n))
+
+    # -- vector-native transforms -------------------------------------------
+    #
+    # These accept and return backend vectors (numpy arrays on Goldilocks,
+    # lists elsewhere) without converting elements through Python ints.
+
+    def _pad_vec(self, vec, n: int):
+        if len(vec) == n:
+            return vec
+        if len(vec) > n:
+            raise ValueError("polynomial degree exceeds domain size")
+        if isinstance(vec, np.ndarray):
+            out = np.zeros(n, dtype=np.uint64)
+            out[: len(vec)] = vec
+            return out
+        return list(vec) + [0] * (n - len(vec))
+
+    def lagrange_to_coeff_vec(self, evals):
+        """Interpolate base-domain evaluations; backend vector in and out."""
         if len(evals) != self.n:
             raise ValueError("expected %d evaluations, got %d" % (self.n, len(evals)))
+        if self._use_gl64:
+            vec = gl64.from_ints(evals)
+            out = self._gl64_ntt(vec, self.field.inv(self.omega))
+            return gl64.mul(out, self.field.inv(self.n))
         return intt(self.field, evals, self.omega)
 
-    def coeff_to_lagrange(self, coeffs: Sequence[int]) -> List[int]:
+    def coeff_to_lagrange_vec(self, coeffs):
         """Evaluate a coefficient vector over the base domain."""
-        padded = list(coeffs) + [0] * (self.n - len(coeffs))
-        if len(padded) != self.n:
-            raise ValueError("polynomial degree exceeds domain size")
+        padded = self._pad_vec(coeffs, self.n)
+        if self._use_gl64:
+            return self._gl64_ntt(gl64.from_ints(padded), self.omega)
         return ntt(self.field, padded, self.omega)
 
-    def coeff_to_extended(self, coeffs: Sequence[int]) -> List[int]:
+    def coeff_to_extended_vec(self, coeffs):
         """Evaluate a coefficient vector over the extended coset domain."""
-        padded = list(coeffs) + [0] * (self.extended_n - len(coeffs))
-        if len(padded) != self.extended_n:
-            raise ValueError("polynomial degree exceeds extended domain size")
+        padded = self._pad_vec(coeffs, self.extended_n)
+        if self._use_gl64:
+            vec = gl64.from_ints(padded)
+            shifted = gl64.mul(vec, self._gl64_powers(self.coset_shift, self.extended_n))
+            return self._gl64_ntt(shifted, self.extended_omega)
         return coset_ntt(self.field, padded, self.extended_omega, self.coset_shift)
 
-    def extended_to_coeff(self, evals: Sequence[int]) -> List[int]:
+    def extended_to_coeff_vec(self, evals):
         """Interpolate extended-coset evaluations back to coefficients."""
         if len(evals) != self.extended_n:
             raise ValueError(
                 "expected %d evaluations, got %d" % (self.extended_n, len(evals))
             )
+        if self._use_gl64:
+            vec = gl64.from_ints(evals)
+            out = self._gl64_ntt(vec, self.field.inv(self.extended_omega))
+            out = gl64.mul(out, self.field.inv(self.extended_n))
+            inv_shift = self.field.inv(self.coset_shift)
+            return gl64.mul(out, self._gl64_powers(inv_shift, self.extended_n))
         return coset_intt(self.field, evals, self.extended_omega, self.coset_shift)
+
+    # -- batch transforms ----------------------------------------------------
+
+    def lagrange_to_coeff_batch(self, columns: Sequence) -> List:
+        """Interpolate many base-domain columns (backend vectors out)."""
+        return [self.lagrange_to_coeff_vec(col) for col in columns]
+
+    def coeff_to_extended_batch(self, polys: Sequence) -> List:
+        """Extend many coefficient vectors to the extended coset."""
+        return [self.coeff_to_extended_vec(poly) for poly in polys]
+
+    # -- transforms (int-list API, kept for callers outside the prover) ------
+
+    def lagrange_to_coeff(self, evals: Sequence[int]) -> List[int]:
+        """Interpolate evaluations over the base domain into coefficients."""
+        return self.backend.to_ints(self.lagrange_to_coeff_vec(evals))
+
+    def coeff_to_lagrange(self, coeffs: Sequence[int]) -> List[int]:
+        """Evaluate a coefficient vector over the base domain."""
+        return self.backend.to_ints(self.coeff_to_lagrange_vec(coeffs))
+
+    def coeff_to_extended(self, coeffs: Sequence[int]) -> List[int]:
+        """Evaluate a coefficient vector over the extended coset domain."""
+        return self.backend.to_ints(self.coeff_to_extended_vec(coeffs))
+
+    def extended_to_coeff(self, evals: Sequence[int]) -> List[int]:
+        """Interpolate extended-coset evaluations back to coefficients."""
+        return self.backend.to_ints(self.extended_to_coeff_vec(evals))
 
     # -- vanishing polynomial ------------------------------------------------
 
@@ -77,20 +187,33 @@ class EvaluationDomain:
 
     def vanishing_on_extended(self) -> List[int]:
         """Evaluations of ``Z_H`` over the extended coset (all nonzero)."""
-        field = self.field
-        shift_n = field.pow(self.coset_shift, self.n)
-        omega_ext_n = field.pow(self.extended_omega, self.n)
-        out = []
-        acc = shift_n
-        for _ in range(self.extended_n):
-            out.append(field.sub(acc, 1))
-            acc = field.mul(acc, omega_ext_n)
-        return out
+        if self._vanishing is None:
+            field = self.field
+            p = field.p
+            shift_n = field.pow(self.coset_shift, self.n)
+            omega_ext_n = field.pow(self.extended_omega, self.n)
+            out = []
+            acc = shift_n
+            for _ in range(self.extended_n):
+                out.append(acc - 1 if acc else p - 1)
+                acc = acc * omega_ext_n % p
+            self._vanishing = out
+        return list(self._vanishing)
+
+    def vanishing_inverse_vec(self):
+        """Cached batch inverse of ``Z_H`` on the extended coset."""
+        if self._inv_vanishing_vec is None:
+            inv = self.field.batch_inv(self.vanishing_on_extended())
+            self._inv_vanishing_vec = self.backend.from_ints(inv)
+        return self._inv_vanishing_vec
 
     def rotate(self, x: int, rotation: int) -> int:
         """Multiply a point by ``omega^rotation`` (for shifted openings)."""
-        if rotation >= 0:
-            return self.field.mul(x, self.field.pow(self.omega, rotation))
-        return self.field.mul(
-            x, self.field.inv(self.field.pow(self.omega, -rotation))
-        )
+        power = self._rotation_cache.get(rotation)
+        if power is None:
+            if rotation >= 0:
+                power = self.field.pow(self.omega, rotation)
+            else:
+                power = self.field.inv(self.field.pow(self.omega, -rotation))
+            self._rotation_cache[rotation] = power
+        return self.field.mul(x, power)

@@ -1,0 +1,165 @@
+"""Vectorized Goldilocks arithmetic on numpy ``uint64`` arrays.
+
+The Goldilocks prime ``p = 2^64 - 2^32 + 1`` admits branch-light modular
+arithmetic entirely inside 64-bit words: ``2^64 ≡ 2^32 - 1 (mod p)`` and
+``2^96 ≡ -1 (mod p)``, so a 128-bit product folds back into one word with
+two shifted adds.  That turns every per-row interpreter loop in the prover
+into a handful of numpy passes — the same trick plonky2 uses to keep its
+field arithmetic in scalar registers.
+
+All functions are *exact*: results are canonical residues in ``[0, p)``
+and agree bit-for-bit with the pure-Python reference in
+:mod:`repro.field.prime_field` (property-tested in
+``tests/field/test_gl64.py``).  Inputs must already be canonical.
+
+Only Goldilocks gets this backend; other fields (BN254) fall back to the
+list-based path everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+#: The Goldilocks modulus.
+P = (1 << 64) - (1 << 32) + 1
+
+_P = np.uint64(P)
+#: 2^64 mod p — the correction term for wrapping adds/subs.
+_EPS = np.uint64((1 << 32) - 1)
+_MASK32 = np.uint64(0xFFFFFFFF)
+_SH32 = np.uint64(32)
+_ZERO = np.uint64(0)
+
+
+def is_goldilocks(p: int) -> bool:
+    """True iff ``p`` is the Goldilocks prime this module accelerates."""
+    return p == P
+
+
+def from_ints(values: Sequence[int]) -> np.ndarray:
+    """Pack canonical residues into a ``uint64`` array."""
+    if isinstance(values, np.ndarray) and values.dtype == np.uint64:
+        return values
+    return np.array(values, dtype=np.uint64)
+
+
+def to_ints(vec: np.ndarray) -> List[int]:
+    """Unpack a ``uint64`` array into plain Python ints."""
+    return vec.tolist()
+
+
+def add(a: np.ndarray, b) -> np.ndarray:
+    """Elementwise ``(a + b) mod p``; ``b`` may be an array or a scalar."""
+    if not isinstance(b, np.ndarray):
+        b = np.uint64(b)
+    t = a + b
+    t = t + np.where(t < a, _EPS, _ZERO)
+    return np.where(t >= _P, t - _P, t)
+
+
+def sub(a, b) -> np.ndarray:
+    """Elementwise ``(a - b) mod p``; either side may be a scalar."""
+    if not isinstance(a, np.ndarray):
+        a = np.uint64(a)
+    if not isinstance(b, np.ndarray):
+        b = np.uint64(b)
+    d = a - b
+    return d - np.where(a < b, _EPS, _ZERO)
+
+
+def neg(a: np.ndarray) -> np.ndarray:
+    """Elementwise ``-a mod p`` (canonical: ``-0 = 0``)."""
+    return np.where(a == _ZERO, _ZERO, _P - a)
+
+
+def mul(a: np.ndarray, b) -> np.ndarray:
+    """Elementwise ``(a * b) mod p`` via 32-bit limb products.
+
+    The 128-bit product ``x`` is assembled as ``(x_hi, x_lo)`` word pairs
+    with explicit carry tracking, then folded using
+    ``x ≡ x_lo + (x_hi mod 2^32)(2^32 - 1) - (x_hi >> 32)  (mod p)``.
+    """
+    if not isinstance(b, np.ndarray):
+        b = np.uint64(b)
+    a_lo = a & _MASK32
+    a_hi = a >> _SH32
+    b_lo = b & _MASK32
+    b_hi = b >> _SH32
+    ll = a_lo * b_lo
+    hl = a_hi * b_lo
+    lh = a_lo * b_hi
+    hh = a_hi * b_hi
+    mid = hl + lh
+    carry_mid = (mid < hl).astype(np.uint64)
+    x_lo = ll + ((mid & _MASK32) << _SH32)
+    carry_lo = (x_lo < ll).astype(np.uint64)
+    x_hi = hh + (mid >> _SH32) + (carry_mid << _SH32) + carry_lo
+    # fold (x_hi, x_lo) mod p
+    x_hi_hi = x_hi >> _SH32
+    x_hi_lo = x_hi & _MASK32
+    t0 = x_lo - x_hi_hi
+    t0 = t0 - np.where(x_lo < x_hi_hi, _EPS, _ZERO)
+    t1 = x_hi_lo * _EPS
+    t2 = t0 + t1
+    t2 = t2 + np.where(t2 < t1, _EPS, _ZERO)
+    return np.where(t2 >= _P, t2 - _P, t2)
+
+
+def fold(acc: np.ndarray, y: int, values) -> np.ndarray:
+    """``acc * y + values`` elementwise — the constraint-folding step."""
+    return add(mul(acc, y), values)
+
+
+def serialize_scalars(vec: np.ndarray, width: int = 32) -> bytes:
+    """Concatenated ``width``-byte little-endian encodings of each element.
+
+    Matches ``b"".join(int(v).to_bytes(width, "little") for v in vec)``
+    without the per-element Python loop.
+    """
+    n = len(vec)
+    words = width // 8
+    buf = np.zeros((n, words), dtype="<u8")
+    buf[:, 0] = vec
+    return buf.tobytes()
+
+
+# -- NTT kernel --------------------------------------------------------------
+
+
+def bit_reverse_indices(n: int) -> np.ndarray:
+    """Permutation indices that bit-reverse ``log2(n)``-bit positions."""
+    k = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
+    rev = np.zeros(n, dtype=np.int64)
+    for b in range(k):
+        rev |= ((idx >> b) & 1) << (k - 1 - b)
+    return rev
+
+
+def ntt(values: np.ndarray, stages: Sequence[np.ndarray], rev: np.ndarray) -> np.ndarray:
+    """Iterative radix-2 NTT driven by precomputed per-stage twiddle rows.
+
+    ``stages[s]`` holds the ``2^s`` twiddles of the stage with butterfly
+    span ``2^s`` (so ``stages[0] == [1]``); ``rev`` is the bit-reversal
+    permutation for the input ordering.  Both come from the caches on
+    :class:`repro.field.domain.EvaluationDomain`.
+    """
+    out = values[rev]
+    length = 2
+    for tw in stages:
+        half = length >> 1
+        m = out.reshape(-1, length)
+        u = m[:, :half]
+        v = m[:, half:]
+        if length > 2:
+            v = mul(v, tw[None, :])
+        else:
+            v = v.copy()
+        s = add(u, v)
+        d = sub(u, v)
+        m[:, :half] = s
+        m[:, half:] = d
+        length <<= 1
+    return out

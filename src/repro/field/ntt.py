@@ -2,13 +2,29 @@
 
 The prover converts columns between coefficient and evaluation form with
 these transforms; the optimizer's cost model charges ``t_FFT(k)`` for each.
+
+Twiddle factors are precomputed once per ``(modulus, root, size)`` and
+reused across every transform on the same domain (the tables are tiny:
+``n - 1`` field elements).  The butterfly loops run as slice-based list
+comprehensions — for stages with few distinct twiddles the butterflies are
+strided across all blocks at once, for later stages they run block by
+block — which is substantially faster than an index-juggling interpreted
+loop.  Goldilocks-field callers normally go through the numpy kernel in
+:mod:`repro.field.gl64` instead (see ``EvaluationDomain``); this module is
+the exact reference path and serves every other field.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from repro.field.prime_field import PrimeField
+
+#: Per-stage twiddle tables keyed by (modulus, root, size).
+_TWIDDLE_CACHE: Dict[Tuple[int, int, int], List[List[int]]] = {}
+
+#: Power tables (1, s, s^2, ..., s^(n-1)) keyed by (modulus, base, size).
+_POWER_CACHE: Dict[Tuple[int, int, int], List[int]] = {}
 
 
 def _bit_reverse_permute(values: List[int]) -> None:
@@ -22,6 +38,78 @@ def _bit_reverse_permute(values: List[int]) -> None:
         j |= bit
         if i < j:
             values[i], values[j] = values[j], values[i]
+
+
+def stage_twiddles(p: int, root: int, n: int) -> List[List[int]]:
+    """Cached per-stage twiddle tables for a size-``n`` NTT.
+
+    Entry ``s`` holds ``[w^0, w^1, ..., w^(2^s - 1)]`` for the stage with
+    butterfly span ``2^s``, where ``w = root^(n / 2^(s+1))``.
+    """
+    key = (p, root, n)
+    cached = _TWIDDLE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    stages: List[List[int]] = []
+    length = 2
+    while length <= n:
+        half = length >> 1
+        w_step = pow(root, n // length, p)
+        tw = [1] * half
+        for i in range(1, half):
+            tw[i] = tw[i - 1] * w_step % p
+        stages.append(tw)
+        length <<= 1
+    _TWIDDLE_CACHE[key] = stages
+    return stages
+
+
+def power_table(p: int, base: int, n: int) -> List[int]:
+    """Cached ``[base^0, base^1, ..., base^(n-1)] mod p`` (coset scalings)."""
+    key = (p, base, n)
+    cached = _POWER_CACHE.get(key)
+    if cached is not None:
+        return cached
+    powers = [1] * n
+    for i in range(1, n):
+        powers[i] = powers[i - 1] * base % p
+    _POWER_CACHE[key] = powers
+    return powers
+
+
+def _ntt_core(out: List[int], p: int, stages: List[List[int]]) -> None:
+    """In-place iterative NTT of a bit-reverse-permuted vector."""
+    n = len(out)
+    length = 2
+    for tw in stages:
+        half = length >> 1
+        if length * length <= n:
+            # Few distinct twiddles, many blocks: stride each twiddle's
+            # butterflies across every block in one pass.
+            for j in range(half):
+                w = tw[j]
+                a = out[j::length]
+                b = out[j + half::length]
+                if w != 1:
+                    b = [x * w % p for x in b]
+                out[j::length] = [
+                    s - p if (s := x + y) >= p else s for x, y in zip(a, b)
+                ]
+                out[j + half::length] = [
+                    d + p if (d := x - y) < 0 else d for x, y in zip(a, b)
+                ]
+        else:
+            for start in range(0, n, length):
+                mid = start + half
+                a = out[start:mid]
+                b = [x * w % p for x, w in zip(out[mid:start + length], tw)]
+                out[start:mid] = [
+                    s - p if (s := x + y) >= p else s for x, y in zip(a, b)
+                ]
+                out[mid:start + length] = [
+                    d + p if (d := x - y) < 0 else d for x, y in zip(a, b)
+                ]
+        length <<= 1
 
 
 def ntt(field: PrimeField, values: Sequence[int], root: int) -> List[int]:
@@ -42,22 +130,7 @@ def ntt(field: PrimeField, values: Sequence[int], root: int) -> List[int]:
     if n == 1:
         return out
     _bit_reverse_permute(out)
-    p = field.p
-    length = 2
-    while length <= n:
-        w_step = pow(root, n // length, p)
-        half = length >> 1
-        for start in range(0, n, length):
-            w = 1
-            for i in range(start, start + half):
-                u = out[i]
-                v = out[i + half] * w % p
-                s = u + v
-                out[i] = s - p if s >= p else s
-                d = u - v
-                out[i + half] = d + p if d < 0 else d
-                w = w * w_step % p
-        length <<= 1
+    _ntt_core(out, field.p, stage_twiddles(field.p, root, n))
     return out
 
 
@@ -74,11 +147,8 @@ def intt(field: PrimeField, values: Sequence[int], root: int) -> List[int]:
 def coset_ntt(field: PrimeField, values: Sequence[int], root: int, shift: int) -> List[int]:
     """Evaluate a coefficient vector on the coset ``shift * <root>``."""
     p = field.p
-    shifted = []
-    power = 1
-    for v in values:
-        shifted.append(v * power % p)
-        power = power * shift % p
+    powers = power_table(p, shift, len(values))
+    shifted = [v * s % p for v, s in zip(values, powers)]
     return ntt(field, shifted, root)
 
 
@@ -87,9 +157,5 @@ def coset_intt(field: PrimeField, values: Sequence[int], root: int, shift: int) 
     coeffs = intt(field, values, root)
     p = field.p
     inv_shift = field.inv(shift)
-    out = []
-    power = 1
-    for c in coeffs:
-        out.append(c * power % p)
-        power = power * inv_shift % p
-    return out
+    powers = power_table(p, inv_shift, len(coeffs))
+    return [c * s % p for c, s in zip(coeffs, powers)]

@@ -9,7 +9,13 @@ two-adicity, and the corresponding ``2^two_adicity``-th root of unity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Sequence
+
+
+@lru_cache(maxsize=4096)
+def _cached_inv(p: int, a: int) -> int:
+    return pow(a, p - 2, p)
 
 
 @dataclass(frozen=True)
@@ -62,10 +68,14 @@ class PrimeField:
         return pow(a, e, self.p)
 
     def inv(self, a: int) -> int:
-        """Multiplicative inverse; raises ZeroDivisionError on zero."""
+        """Multiplicative inverse; raises ZeroDivisionError on zero.
+
+        Backed by a small LRU: the prover inverts the same handful of
+        constants (``n``, roots of unity, coset shifts) over and over.
+        """
         if a == 0:
             raise ZeroDivisionError("inverse of zero in %s" % self.name)
-        return pow(a, self.p - 2, self.p)
+        return _cached_inv(self.p, a)
 
     def div(self, a: int, b: int) -> int:
         return self.mul(a, self.inv(b))

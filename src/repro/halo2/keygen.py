@@ -207,10 +207,14 @@ def keygen(
         t = _compress(lk.table, theta)
         h, m, s = Ref(helpers.h_col), Ref(helpers.m_col), Ref(helpers.s_col)
         s_next = Ref(helpers.s_col, 1)
+        # bind the shifted input/table once so both occurrences are the
+        # *same* node — the prover's evaluator memoizes by node identity
+        alpha_f = alpha + f
+        alpha_t = alpha + t
         constraints.append(
             (
                 "lookup:%s/inverse" % lk.name,
-                h * (alpha + f) * (alpha + t) - (alpha + t) + m * (alpha + f),
+                h * alpha_f * alpha_t - alpha_t + m * alpha_f,
             )
         )
         constraints.append(("lookup:%s/sum" % lk.name, s_next - s - h))

@@ -12,19 +12,35 @@ Follows the halo2 recipe (paper §3 and §7.4):
 
 The FFTs and commitments performed here are the operations the optimizer's
 cost model counts (Eqs. 1–2).
+
+Implementation notes: every per-row loop runs columnwise through the
+vector backend of the evaluation domain (numpy on Goldilocks, lists
+elsewhere); helper columns are built with
+:func:`~repro.halo2.expression.evaluate_on_lagrange`, the quotient with a
+memoizing :class:`~repro.halo2.expression.VectorEvaluator`.  Independent
+column interpolations/commitments can fan out over worker processes
+(``jobs`` argument or ``ZKML_JOBS``); result order is fixed, so parallel
+proofs are byte-identical to serial ones.  A
+:class:`~repro.perf.timer.PhaseTimer` may be passed to record the
+commit / helpers / quotient / openings phase breakdown.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.commit.scheme import CommitmentScheme
 from repro.commit.transcript import Transcript
+from repro.field.domain import EvaluationDomain
 from repro.halo2.circuit import Assignment
 from repro.halo2.column import Column, ColumnType
-from repro.halo2.expression import evaluate_on_domain
+from repro.halo2.expression import VectorEvaluator, evaluate_on_lagrange
 from repro.halo2.keygen import ALPHA, BETA, GAMMA, THETA, ProvingKey
 from repro.halo2.proof import Proof
+# leaf-module imports: repro.perf's package init pulls in the pk cache,
+# which imports repro.halo2 and would close an import cycle through here
+from repro.perf.parallel import parallel_map, resolve_jobs
+from repro.perf.timer import NULL_TIMER
 
 
 class ProvingError(ValueError):
@@ -32,17 +48,52 @@ class ProvingError(ValueError):
     input that is missing from its table)."""
 
 
-def _compress_row_values(field, values: List[int], theta: int) -> int:
-    acc = values[-1]
-    for v in reversed(values[:-1]):
-        acc = (acc * theta + v) % field.p
-    return acc
+# -- multiprocess workers ----------------------------------------------------
+#
+# Workers get the (domain, scheme) pair once through the pool initializer;
+# per-item payloads are bare column vectors.  Module level so they pickle
+# by reference.  The serial path runs the same functions in-process.
+
+_WORKER_DOMAIN: Optional[EvaluationDomain] = None
+_WORKER_SCHEME: Optional[CommitmentScheme] = None
+
+
+def _pool_init(domain: EvaluationDomain, scheme: CommitmentScheme) -> None:
+    global _WORKER_DOMAIN, _WORKER_SCHEME
+    _WORKER_DOMAIN = domain
+    _WORKER_SCHEME = scheme
+
+
+def _interpolate_and_commit(evals):
+    """Base-domain column -> (coefficient vector, commitment)."""
+    poly = _WORKER_DOMAIN.lagrange_to_coeff_vec(evals)
+    return poly, _WORKER_SCHEME.commit(poly)
+
+
+def _commit_piece(piece):
+    """Quotient piece (coefficient vector) -> commitment."""
+    return _WORKER_SCHEME.commit(piece)
 
 
 def create_proof(
-    pk: ProvingKey, assignment: Assignment, scheme: CommitmentScheme
+    pk: ProvingKey,
+    assignment: Assignment,
+    scheme: CommitmentScheme,
+    jobs: Optional[int] = None,
+    timer=None,
 ) -> Proof:
-    """Produce a proof that ``assignment`` satisfies the circuit."""
+    """Produce a proof that ``assignment`` satisfies the circuit.
+
+    Args:
+        pk: The proving key from keygen.
+        assignment: The witness grid.
+        scheme: The commitment backend.
+        jobs: Worker processes for independent column work (default: the
+            ``ZKML_JOBS`` environment variable, else serial).  Any value
+            produces byte-identical proofs.
+        timer: An optional :class:`repro.perf.PhaseTimer` that receives the
+            commit/helpers/quotient/openings wall-clock breakdown.
+    """
     vk = pk.vk
     field = vk.field
     domain = vk.domain
@@ -50,25 +101,34 @@ def create_proof(
     cs = vk.cs
     if assignment.k != vk.k:
         raise ValueError("assignment has k=%d but keys expect k=%d" % (assignment.k, vk.k))
+    timer = timer if timer is not None else NULL_TIMER
+    jobs = resolve_jobs(jobs)
+    backend = domain.backend
 
     transcript = Transcript(field)
     transcript.append_message(b"vk", vk.digest())
     for col_values in assignment.instance_values():
-        for v in col_values:
-            transcript.append_scalar(b"instance", v)
+        transcript.append_scalar_vector(b"instance", col_values)
 
     # ---- phase 1: user advice commitments ---------------------------------
-    advice_evals: Dict[int, List[int]] = {}
-    advice_polys: Dict[int, List[int]] = {}
-    advice_commitments = []
-    for i in range(cs.num_advice):
-        evals = assignment.column_values(Column(ColumnType.ADVICE, i))
-        advice_evals[i] = evals
-        poly = domain.lagrange_to_coeff(evals)
-        advice_polys[i] = poly
-        com = scheme.commit(poly)
-        advice_commitments.append(com)
-        transcript.append_commitment(b"advice", com.digest)
+    with timer.phase("commit"):
+        advice_vecs: Dict[int, object] = {}
+        for i in range(cs.num_advice):
+            col = Column(ColumnType.ADVICE, i)
+            advice_vecs[i] = backend.from_ints(assignment.column_values(col))
+        results = parallel_map(
+            _interpolate_and_commit,
+            [advice_vecs[i] for i in range(cs.num_advice)],
+            jobs=jobs,
+            initializer=_pool_init,
+            initargs=(domain, scheme),
+        )
+        advice_polys: Dict[int, object] = {}
+        advice_commitments = []
+        for i, (poly, com) in enumerate(results):
+            advice_polys[i] = poly
+            advice_commitments.append(com)
+            transcript.append_commitment(b"advice", com.digest)
 
     challenges = {
         THETA: transcript.challenge_scalar(b"theta"),
@@ -78,165 +138,181 @@ def create_proof(
     }
 
     # ---- phase 2: helper columns -------------------------------------------
-    def read_user(col: Column, row: int) -> int:
-        if col.kind == ColumnType.ADVICE:
-            evals = advice_evals.get(col.index)
-            if evals is None:
-                raise ProvingError("helper expression reads helper column %r" % col)
-            return evals[row % n]
-        if col.kind == ColumnType.INSTANCE:
-            return assignment.value(col, row)
-        return pk.fixed_evals[col][row % n]
+    with timer.phase("helpers"):
+        lagrange_cache: Dict[Column, object] = {}
 
-    helper_evals: Dict[int, List[int]] = {}
+        def read_lagrange(col: Column):
+            """Base-domain evaluations of a user column, as a backend vector."""
+            cached = lagrange_cache.get(col)
+            if cached is not None:
+                return cached
+            if col.kind == ColumnType.ADVICE:
+                vec = advice_vecs.get(col.index)
+                if vec is None:
+                    raise ProvingError("helper expression reads helper column %r" % col)
+            elif col.kind == ColumnType.INSTANCE:
+                vec = backend.from_ints(assignment.column_values(col))
+            else:
+                vec = backend.from_ints(pk.fixed_evals[col])
+            lagrange_cache[col] = vec
+            return vec
 
-    for helpers in vk.lookups:
-        lk = helpers.argument
-        theta = challenges[THETA]
-        f_vals, t_vals = [], []
-        for row in range(n):
-            def read(col, rot, _row=row):
-                return read_user(col, _row + rot)
-
-            f_vals.append(
-                _compress_row_values(
-                    field, [e.evaluate(field, read) for e in lk.inputs], theta
-                )
-            )
-            t_vals.append(
-                _compress_row_values(
-                    field, [e.evaluate(field, read) for e in lk.table], theta
-                )
-            )
-        first_row_of = {}
-        for row, t in enumerate(t_vals):
-            first_row_of.setdefault(t, row)
-        m_vals = [0] * n
-        for row, f in enumerate(f_vals):
-            target = first_row_of.get(f)
-            if target is None:
-                raise ProvingError(
-                    "lookup %r: input %d at row %d is not in the table"
-                    % (lk.name, field.decode_signed(f), row)
-                )
-            m_vals[target] += 1
-        alpha = challenges[ALPHA]
-        inv_f = field.batch_inv([field.add(alpha, f) for f in f_vals])
-        inv_t = field.batch_inv([field.add(alpha, t) for t in t_vals])
-        h_vals = [
-            field.sub(fi, field.mul(m, ti))
-            for fi, ti, m in zip(inv_f, inv_t, m_vals)
-        ]
-        s_vals = [0] * n
-        for row in range(n - 1):
-            s_vals[row + 1] = field.add(s_vals[row], h_vals[row])
-        helper_evals[helpers.m_col.index] = m_vals
-        helper_evals[helpers.h_col.index] = h_vals
-        helper_evals[helpers.s_col.index] = s_vals
-
-    if vk.permutation is not None:
-        perm = vk.permutation
-        beta, gamma = challenges[BETA], challenges[GAMMA]
-        total_h = [0] * n
-        for col, id_col, sigma_col, h_col in zip(
-            perm.columns, perm.id_cols, perm.sigma_cols, perm.helper_cols
-        ):
-            v_vals = (
-                advice_evals[col.index]
-                if col.kind == ColumnType.ADVICE
-                else [read_user(col, r) for r in range(n)]
-            )
-            ids = pk.fixed_evals[id_col]
-            sigmas = pk.fixed_evals[sigma_col]
-            d_id = [
-                (gamma + v + beta * i) % field.p for v, i in zip(v_vals, ids)
+        def compress_columns(exprs, theta: int):
+            """Columnwise random-linear combination by powers of theta."""
+            parts = [
+                evaluate_on_lagrange(e, backend, read_lagrange, n, challenges)
+                for e in exprs
             ]
-            d_sigma = [
-                (gamma + v + beta * s) % field.p for v, s in zip(v_vals, sigmas)
-            ]
-            inv_id = field.batch_inv(d_id)
-            inv_sigma = field.batch_inv(d_sigma)
-            h_vals = [field.sub(a, b) for a, b in zip(inv_id, inv_sigma)]
-            helper_evals[h_col.index] = h_vals
-            total_h = [field.add(a, b) for a, b in zip(total_h, h_vals)]
-        s_vals = [0] * n
-        for row in range(n - 1):
-            s_vals[row + 1] = field.add(s_vals[row], total_h[row])
-        helper_evals[perm.sum_col.index] = s_vals
+            acc = parts[-1]
+            for part in reversed(parts[:-1]):
+                acc = backend.fold(acc, theta, part)
+            return acc
 
-    helper_commitments = []
-    for idx in sorted(helper_evals):
-        poly = domain.lagrange_to_coeff(helper_evals[idx])
-        advice_polys[idx] = poly
-        advice_evals[idx] = helper_evals[idx]
-        com = scheme.commit(poly)
-        helper_commitments.append(com)
-        transcript.append_commitment(b"helper", com.digest)
+        helper_evals: Dict[int, object] = {}
+
+        for helpers in vk.lookups:
+            lk = helpers.argument
+            theta = challenges[THETA]
+            f_vec = compress_columns(lk.inputs, theta)
+            t_vec = compress_columns(lk.table, theta)
+            f_vals = backend.to_ints(f_vec)
+            t_vals = backend.to_ints(t_vec)
+            first_row_of = {}
+            for row, t in enumerate(t_vals):
+                first_row_of.setdefault(t, row)
+            m_vals = [0] * n
+            for row, f in enumerate(f_vals):
+                target = first_row_of.get(f)
+                if target is None:
+                    raise ProvingError(
+                        "lookup %r: input %d at row %d is not in the table"
+                        % (lk.name, field.decode_signed(f), row)
+                    )
+                m_vals[target] += 1
+            alpha = challenges[ALPHA]
+            inv_f = backend.batch_inv(backend.add_scalar(f_vec, alpha))
+            inv_t = backend.batch_inv(backend.add_scalar(t_vec, alpha))
+            m_vec = backend.from_ints(m_vals)
+            h_vec = backend.sub(inv_f, backend.mul(m_vec, inv_t))
+            h_vals = backend.to_ints(h_vec)
+            s_vals = [0] * n
+            for row in range(n - 1):
+                s_vals[row + 1] = field.add(s_vals[row], h_vals[row])
+            helper_evals[helpers.m_col.index] = m_vec
+            helper_evals[helpers.h_col.index] = h_vec
+            helper_evals[helpers.s_col.index] = backend.from_ints(s_vals)
+
+        if vk.permutation is not None:
+            perm = vk.permutation
+            beta, gamma = challenges[BETA], challenges[GAMMA]
+            total_h = backend.zeros(n)
+            for col, id_col, sigma_col, h_col in zip(
+                perm.columns, perm.id_cols, perm.sigma_cols, perm.helper_cols
+            ):
+                v_vec = read_lagrange(col)
+                ids = backend.from_ints(pk.fixed_evals[id_col])
+                sigmas = backend.from_ints(pk.fixed_evals[sigma_col])
+                d_id = backend.add_scalar(
+                    backend.add(v_vec, backend.mul_scalar(ids, beta)), gamma
+                )
+                d_sigma = backend.add_scalar(
+                    backend.add(v_vec, backend.mul_scalar(sigmas, beta)), gamma
+                )
+                h_vec = backend.sub(backend.batch_inv(d_id), backend.batch_inv(d_sigma))
+                helper_evals[h_col.index] = h_vec
+                total_h = backend.add(total_h, h_vec)
+            total_vals = backend.to_ints(total_h)
+            s_vals = [0] * n
+            for row in range(n - 1):
+                s_vals[row + 1] = field.add(s_vals[row], total_vals[row])
+            helper_evals[perm.sum_col.index] = backend.from_ints(s_vals)
+
+        helper_order = sorted(helper_evals)
+        results = parallel_map(
+            _interpolate_and_commit,
+            [helper_evals[idx] for idx in helper_order],
+            jobs=jobs,
+            initializer=_pool_init,
+            initargs=(domain, scheme),
+        )
+        helper_commitments = []
+        for idx, (poly, com) in zip(helper_order, results):
+            advice_polys[idx] = poly
+            advice_vecs[idx] = helper_evals[idx]
+            helper_commitments.append(com)
+            transcript.append_commitment(b"helper", com.digest)
 
     y = transcript.challenge_scalar(b"y")
 
     # ---- phase 3: quotient ---------------------------------------------------
-    ext_n = domain.extended_n
-    extension = ext_n // n
-    extended_cache: Dict[Column, List[int]] = {}
+    with timer.phase("quotient"):
+        ext_n = domain.extended_n
+        extension = ext_n // n
+        extended_cache: Dict[Column, object] = {}
+        rotated_cache: Dict[Tuple[Column, int], object] = {}
 
-    def extended_evals(col: Column) -> List[int]:
-        cached = extended_cache.get(col)
-        if cached is not None:
-            return cached
-        if col.kind == ColumnType.ADVICE:
-            poly = advice_polys[col.index]
-        elif col.kind == ColumnType.INSTANCE:
-            poly = domain.lagrange_to_coeff(
-                assignment.column_values(col)
-            )
-        else:
-            poly = vk.fixed_polys[col]
-        ext = domain.coeff_to_extended(poly)
-        extended_cache[col] = ext
-        return ext
-
-    def read_vec(col: Column, rot: int) -> List[int]:
-        ext = extended_evals(col)
-        if rot == 0:
+        def extended_evals(col: Column):
+            cached = extended_cache.get(col)
+            if cached is not None:
+                return cached
+            if col.kind == ColumnType.ADVICE:
+                poly = advice_polys[col.index]
+            elif col.kind == ColumnType.INSTANCE:
+                poly = domain.lagrange_to_coeff_vec(
+                    backend.from_ints(assignment.column_values(col))
+                )
+            else:
+                poly = vk.fixed_polys[col]
+            ext = domain.coeff_to_extended_vec(poly)
+            extended_cache[col] = ext
             return ext
-        shift = (rot * extension) % ext_n
-        return ext[shift:] + ext[:shift]
 
-    p = field.p
-    folded = [0] * ext_n
-    for _, expr in vk.constraints:
-        values = evaluate_on_domain(expr, field, read_vec, ext_n, challenges)
-        folded = [(a * y + b) % p for a, b in zip(folded, values)]
+        def read_vec(col: Column, rot: int):
+            key = (col, rot)
+            cached = rotated_cache.get(key)
+            if cached is not None:
+                return cached
+            vec = backend.rotate(extended_evals(col), rot * extension)
+            rotated_cache[key] = vec
+            return vec
 
-    vanishing = domain.vanishing_on_extended()
-    inv_vanishing = field.batch_inv(vanishing)
-    q_ext = [a * b % p for a, b in zip(folded, inv_vanishing)]
-    q_coeffs = domain.extended_to_coeff(q_ext)
+        evaluator = VectorEvaluator(backend, ext_n, read_vec, challenges)
+        folded = evaluator.fold([expr for _, expr in vk.constraints], y)
 
-    num_pieces = vk.num_quotient_pieces
-    pieces = []
-    for j in range(num_pieces):
-        piece = q_coeffs[j * n : (j + 1) * n]
-        piece += [0] * (n - len(piece))
-        pieces.append(piece)
+        q_ext = backend.mul(folded, domain.vanishing_inverse_vec())
+        q_coeffs = domain.extended_to_coeff_vec(q_ext)
 
-    quotient_commitments = []
-    for piece in pieces:
-        com = scheme.commit(piece)
-        quotient_commitments.append(com)
-        transcript.append_commitment(b"quotient", com.digest)
+        num_pieces = vk.num_quotient_pieces
+        pieces = []
+        for j in range(num_pieces):
+            piece = q_coeffs[j * n : (j + 1) * n]
+            if len(piece) < n:
+                padded = backend.zeros(n)
+                padded[: len(piece)] = piece
+                piece = padded
+            pieces.append(piece)
+
+        quotient_commitments = parallel_map(
+            _commit_piece,
+            pieces,
+            jobs=jobs,
+            initializer=_pool_init,
+            initargs=(domain, scheme),
+        )
+        for com in quotient_commitments:
+            transcript.append_commitment(b"quotient", com.digest)
 
     x = transcript.challenge_nonzero(b"x")
 
     # ---- phase 4: openings -----------------------------------------------------
-    advice_openings: Dict[Tuple[int, int], "OpeningProof"] = {}
-    for col, rot in vk.advice_queries:
-        point = domain.rotate(x, rot)
-        advice_openings[(col.index, rot)] = scheme.open(
-            advice_polys[col.index], point
-        )
-    quotient_openings = [scheme.open(piece, x) for piece in pieces]
+    with timer.phase("openings"):
+        advice_openings: Dict[Tuple[int, int], "OpeningProof"] = {}
+        for col, rot in vk.advice_queries:
+            point = domain.rotate(x, rot)
+            advice_openings[(col.index, rot)] = scheme.open(
+                advice_polys[col.index], point
+            )
+        quotient_openings = [scheme.open(piece, x) for piece in pieces]
 
     return Proof(
         advice_commitments=advice_commitments,

@@ -55,8 +55,7 @@ def verify_proof(
     for col_values in instance:
         if len(col_values) != n:
             return False
-        for v in col_values:
-            transcript.append_scalar(b"instance", v)
+        transcript.append_scalar_vector(b"instance", col_values)
     for com in proof.advice_commitments:
         transcript.append_commitment(b"advice", com.digest)
     challenges = {

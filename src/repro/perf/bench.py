@@ -1,0 +1,135 @@
+"""Prover benchmark harness.
+
+Proves a handful of mini zoo models end to end, records keygen / prove /
+verify wall-clock plus the per-phase breakdown from the prover's
+:class:`~repro.perf.timer.PhaseTimer`, and writes the result to
+``BENCH_prover.json`` so the perf trajectory is tracked in-repo.
+
+``SEED_BASELINE_SECONDS`` holds the serial prove times measured on the
+repo seed (pre-vectorization) on this container's single core, with the
+same deterministic inputs this harness generates; ``speedup_vs_seed``
+reports current/baseline per model.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.model.zoo import get_model
+from repro.runtime.pipeline import prove_model
+
+#: JSON schema tag for ``BENCH_prover.json``.
+SCHEMA = "zkml-bench-prover/v1"
+
+#: Serial mini-model prove seconds measured at the repo seed (same inputs,
+#: same default config: kzg, num_cols=10, scale_bits=5, rng seed 0).
+SEED_BASELINE_SECONDS: Dict[str, float] = {
+    "mnist": 1.69,
+    "dlrm": 1.26,
+    "twitter": 1.91,
+}
+
+#: Models the default bench run proves, smallest first.
+DEFAULT_MODELS = ("dlrm", "mnist", "twitter")
+
+
+def bench_inputs(spec, seed: int = 0) -> Dict[str, np.ndarray]:
+    """Deterministic standard-normal inputs for a model spec."""
+    rng = np.random.default_rng(seed)
+    return {
+        name: rng.standard_normal(shape).astype(np.float32)
+        for name, shape in spec.inputs.items()
+    }
+
+
+def bench_model(
+    name: str,
+    scheme_name: str = "kzg",
+    jobs: Optional[int] = None,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Prove one mini zoo model and return its benchmark record."""
+    spec = get_model(name, scale="mini")
+    result = prove_model(
+        spec, bench_inputs(spec, seed), scheme_name=scheme_name, jobs=jobs
+    )
+    verify_seconds = result.verification_seconds()
+    baseline = SEED_BASELINE_SECONDS.get(name)
+    record: Dict[str, object] = {
+        "model": name,
+        "k": result.k,
+        "num_cols": result.num_cols,
+        "scheme": result.scheme_name,
+        "keygen_seconds": round(result.keygen_seconds, 4),
+        "prove_seconds": round(result.proving_seconds, 4),
+        "verify_seconds": round(verify_seconds, 4),
+        "phase_seconds": {
+            phase: round(secs, 4) for phase, secs in result.phase_seconds.items()
+        },
+        "modeled_proof_bytes": result.modeled_proof_bytes,
+    }
+    if baseline is not None:
+        record["seed_baseline_seconds"] = baseline
+        if result.proving_seconds > 0:
+            record["speedup_vs_seed"] = round(
+                baseline / result.proving_seconds, 2
+            )
+    return record
+
+
+def run_bench(
+    models: Iterable[str] = DEFAULT_MODELS,
+    scheme_name: str = "kzg",
+    jobs: Optional[int] = None,
+    seed: int = 0,
+    output_path: Optional[str] = "BENCH_prover.json",
+    stream=None,
+) -> Dict[str, object]:
+    """Prove each model, print the breakdown, and write the JSON report."""
+    stream = stream if stream is not None else sys.stdout
+    records: List[Dict[str, object]] = []
+    for name in models:
+        record = bench_model(name, scheme_name=scheme_name, jobs=jobs, seed=seed)
+        records.append(record)
+        print(
+            "%-10s k=%-3s prove %6.2f s  keygen %5.2f s  verify %5.2f s%s"
+            % (
+                record["model"],
+                record["k"],
+                record["prove_seconds"],
+                record["keygen_seconds"],
+                record["verify_seconds"],
+                "  (%.2fx vs seed)" % record["speedup_vs_seed"]
+                if "speedup_vs_seed" in record
+                else "",
+            ),
+            file=stream,
+        )
+        for phase, secs in sorted(
+            record["phase_seconds"].items(), key=lambda kv: -kv[1]
+        ):
+            print("    %-10s %6.3f s" % (phase, secs), file=stream)
+    report: Dict[str, object] = {
+        "schema": SCHEMA,
+        "config": {
+            "scheme": scheme_name,
+            "jobs": jobs,
+            "seed": seed,
+            "python": platform.python_version(),
+        },
+        "models": records,
+        "total_prove_seconds": round(
+            sum(r["prove_seconds"] for r in records), 4
+        ),
+    }
+    if output_path:
+        with open(output_path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("wrote %s" % output_path, file=stream)
+    return report

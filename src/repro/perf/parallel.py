@@ -1,0 +1,71 @@
+"""Opt-in multiprocess dispatch for independent prover work items.
+
+Column interpolations, Merkle/commitment digests, and quotient-piece
+commits are embarrassingly parallel; :func:`parallel_map` fans them out
+over a ``ProcessPoolExecutor`` while preserving item order, so a parallel
+proof is *byte-identical* to a serial one (the transcript absorbs results
+in the same order either way).
+
+Parallelism is opt-in: ``jobs=`` wins, else the ``ZKML_JOBS`` environment
+variable, else serial.  The serial path runs the initializer in-process
+and maps directly — no pool, no pickling — which is also the fallback
+whenever a pool cannot be spawned.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Sequence
+
+#: Environment variable holding the default worker count.
+JOBS_ENV = "ZKML_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """The effective worker count: ``jobs`` arg, else ``ZKML_JOBS``, else 1."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get(JOBS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+def parallel_map(
+    fn: Callable,
+    items: Sequence,
+    jobs: Optional[int] = None,
+    initializer: Optional[Callable] = None,
+    initargs: tuple = (),
+) -> List:
+    """Map ``fn`` over ``items``, optionally across worker processes.
+
+    Results always come back in input order.  ``fn`` and each item must be
+    picklable when ``jobs > 1``; ``initializer(*initargs)`` runs once per
+    worker (and once in-process on the serial path) to install shared
+    state such as the evaluation domain.
+    """
+    jobs = resolve_jobs(jobs)
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(item) for item in items]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(items)),
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            chunksize = max(1, len(items) // (jobs * 4))
+            return list(pool.map(fn, items, chunksize=chunksize))
+    except (OSError, ImportError):
+        # sandboxes without fork/spawn: degrade to the serial path
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(item) for item in items]

@@ -1,0 +1,103 @@
+"""Proving-key cache keyed by circuit digest.
+
+Keygen only reads witness-independent data — the constraint system, fixed
+and selector values, and the copy-constraint list.  Two proves of the same
+model with different inputs therefore share keys; the cache detects that
+with a structural digest and skips preprocessing entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.commit.scheme import CommitmentScheme
+from repro.halo2.circuit import Assignment, ConstraintSystem
+from repro.halo2.column import Column, ColumnType
+from repro.halo2.keygen import ProvingKey, VerifyingKey, keygen
+
+
+def circuit_digest(
+    cs: ConstraintSystem, assignment: Assignment, scheme_name: str
+) -> str:
+    """A binding digest of everything keygen consumes.
+
+    Covers the circuit shape (columns, gates, lookups, equality set), the
+    fixed/selector grids, and the copy constraints — but *not* advice or
+    instance values, which keygen never reads.
+    """
+    h = hashlib.blake2b(digest_size=32)
+
+    def put(tag: str, payload: str) -> None:
+        data = payload.encode()
+        h.update(tag.encode())
+        h.update(len(data).to_bytes(8, "little"))
+        h.update(data)
+
+    put("scheme", scheme_name)
+    put(
+        "shape",
+        "%d:%d:%d:%d:%d:%d"
+        % (
+            assignment.k,
+            cs.num_advice,
+            cs.num_fixed,
+            cs.num_instance,
+            cs.num_selectors,
+            cs.field.p,
+        ),
+    )
+    for gate in cs.gates:
+        put("gate", "%s|%r|%r" % (gate.name, gate.selector, gate.constraints))
+    for lk in cs.lookups:
+        put("lookup", "%s|%r|%r" % (lk.name, lk.inputs, lk.table))
+    put("equality", repr(cs.permuted_columns()))
+    for i in range(cs.num_fixed):
+        put("fixed:%d" % i, repr(assignment.column_values(Column(ColumnType.FIXED, i))))
+    for i, sel in enumerate(assignment.selectors):
+        put("selector:%d" % i, repr(sel))
+    put("copies", repr(assignment.copies))
+    return h.hexdigest()
+
+
+class ProvingKeyCache:
+    """A small LRU of ``(pk, vk)`` pairs keyed by :func:`circuit_digest`."""
+
+    def __init__(self, maxsize: int = 4):
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, Tuple[ProvingKey, VerifyingKey]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_create(
+        self,
+        cs: ConstraintSystem,
+        assignment: Assignment,
+        scheme: CommitmentScheme,
+        digest: Optional[str] = None,
+    ) -> Tuple[ProvingKey, VerifyingKey, bool]:
+        """Return cached keys for this circuit, running keygen on a miss.
+
+        The third element reports whether keygen was skipped.
+        """
+        if digest is None:
+            digest = circuit_digest(cs, assignment, scheme.name)
+        entry = self._entries.get(digest)
+        if entry is not None:
+            self._entries.move_to_end(digest)
+            self.hits += 1
+            return entry[0], entry[1], True
+        pk, vk = keygen(cs, assignment, scheme)
+        self._entries[digest] = (pk, vk)
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        self.misses += 1
+        return pk, vk, False
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: Process-wide default cache used by the runtime pipeline.
+GLOBAL_PK_CACHE = ProvingKeyCache()

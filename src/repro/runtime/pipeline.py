@@ -9,7 +9,7 @@ verifier.  Proof artifacts pickle cleanly for the CLI's file workflow.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -19,6 +19,8 @@ from repro.compiler import SynthesizedModel, synthesize_model
 from repro.field import GOLDILOCKS, PrimeField
 from repro.halo2 import Proof, VerifyingKey, create_proof, keygen, verify_proof
 from repro.model.spec import ModelSpec
+from repro.perf.pkcache import GLOBAL_PK_CACHE
+from repro.perf.timer import PhaseTimer
 
 
 @dataclass
@@ -37,6 +39,10 @@ class ProveResult:
     keygen_seconds: float
     proving_seconds: float
     modeled_proof_bytes: int
+    #: Wall-clock seconds per prover phase (commit/helpers/quotient/openings).
+    phase_seconds: Dict[str, float] = dataclass_field(default_factory=dict)
+    #: Whether keygen was skipped via the proving-key cache.
+    pk_cache_hit: bool = False
 
     def verification_seconds(self, field: PrimeField = GOLDILOCKS) -> float:
         scheme = scheme_by_name(self.scheme_name, field)
@@ -58,8 +64,15 @@ def prove_model(
     lookup_bits: Optional[int] = None,
     k: Optional[int] = None,
     field: PrimeField = GOLDILOCKS,
+    jobs: Optional[int] = None,
+    use_pk_cache: bool = True,
 ) -> ProveResult:
-    """Synthesize, keygen, and prove one inference of a model."""
+    """Synthesize, keygen, and prove one inference of a model.
+
+    ``jobs`` fans independent prover work over worker processes (see
+    ``repro.perf``); with ``use_pk_cache`` repeated proves of the same
+    circuit skip keygen via the global proving-key cache.
+    """
     result: SynthesizedModel = synthesize_model(
         spec, inputs, plan=plan, num_cols=num_cols, scale_bits=scale_bits,
         lookup_bits=lookup_bits, k=k,
@@ -69,11 +82,18 @@ def prove_model(
 
     scheme = scheme_by_name(scheme_name, field)
     start = time.perf_counter()
-    pk, vk = keygen(result.builder.cs, result.builder.asg, scheme)
+    if use_pk_cache:
+        pk, vk, pk_cache_hit = GLOBAL_PK_CACHE.get_or_create(
+            result.builder.cs, result.builder.asg, scheme
+        )
+    else:
+        pk, vk = keygen(result.builder.cs, result.builder.asg, scheme)
+        pk_cache_hit = False
     keygen_seconds = time.perf_counter() - start
 
+    timer = PhaseTimer()
     start = time.perf_counter()
-    proof = create_proof(pk, result.builder.asg, scheme)
+    proof = create_proof(pk, result.builder.asg, scheme, jobs=jobs, timer=timer)
     proving_seconds = time.perf_counter() - start
 
     return ProveResult(
@@ -89,6 +109,8 @@ def prove_model(
         keygen_seconds=keygen_seconds,
         proving_seconds=proving_seconds,
         modeled_proof_bytes=proof.modeled_size_bytes(scheme, result.builder.k),
+        phase_seconds=dict(timer.seconds),
+        pk_cache_hit=pk_cache_hit,
     )
 
 
@@ -119,6 +141,8 @@ class BatchProveResult:
     proving_seconds: float
     modeled_proof_bytes: int
     outputs: List[Dict[str, np.ndarray]]
+    #: Wall-clock seconds per prover phase (commit/helpers/quotient/openings).
+    phase_seconds: Dict[str, float] = dataclass_field(default_factory=dict)
 
     def verify(self, field: PrimeField = GOLDILOCKS) -> bool:
         scheme = scheme_by_name(self.scheme_name, field)
@@ -134,6 +158,7 @@ def prove_batch(
     scale_bits: int = 5,
     lookup_bits: Optional[int] = None,
     field: PrimeField = GOLDILOCKS,
+    jobs: Optional[int] = None,
 ) -> BatchProveResult:
     """Prove several inferences of one model with a single proof.
 
@@ -154,8 +179,9 @@ def prove_batch(
     start = time.perf_counter()
     pk, vk = keygen(result.builder.cs, result.builder.asg, scheme)
     keygen_seconds = time.perf_counter() - start
+    timer = PhaseTimer()
     start = time.perf_counter()
-    proof = create_proof(pk, result.builder.asg, scheme)
+    proof = create_proof(pk, result.builder.asg, scheme, jobs=jobs, timer=timer)
     proving_seconds = time.perf_counter() - start
 
     return BatchProveResult(
@@ -171,4 +197,5 @@ def prove_batch(
         modeled_proof_bytes=proof.modeled_size_bytes(scheme,
                                                      result.builder.k),
         outputs=[result.output_values(i) for i in range(len(batch_inputs))],
+        phase_seconds=dict(timer.seconds),
     )

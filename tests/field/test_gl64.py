@@ -1,0 +1,84 @@
+"""Property tests for the numpy Goldilocks kernels against PrimeField."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field import GOLDILOCKS
+from repro.field import gl64
+from repro.field.ntt import ntt as py_ntt
+from repro.field.ntt import stage_twiddles
+
+F = GOLDILOCKS
+P = F.p
+
+# adversarial residues: zero, one, 32-bit limb boundaries, top of the field
+EDGES = [0, 1, 2**32 - 1, 2**32, 2**32 + 1, P - 2, P - 1]
+
+elements = st.integers(min_value=0, max_value=P - 1)
+vectors = st.lists(elements, min_size=1, max_size=32)
+
+
+def test_is_goldilocks():
+    assert gl64.is_goldilocks(P)
+    assert not gl64.is_goldilocks(2**61 - 1)
+
+
+def test_roundtrip_edges():
+    vec = gl64.from_ints(EDGES)
+    assert gl64.to_ints(vec) == EDGES
+    assert all(isinstance(v, int) for v in gl64.to_ints(vec))
+
+
+@given(vectors, vectors)
+@settings(max_examples=100, deadline=None)
+def test_elementwise_ops_match_prime_field(xs, ys):
+    n = min(len(xs), len(ys))
+    xs, ys = xs[:n], ys[:n]
+    a, b = gl64.from_ints(xs), gl64.from_ints(ys)
+    assert gl64.to_ints(gl64.add(a, b)) == [F.add(x, y) for x, y in zip(xs, ys)]
+    assert gl64.to_ints(gl64.sub(a, b)) == [F.sub(x, y) for x, y in zip(xs, ys)]
+    assert gl64.to_ints(gl64.mul(a, b)) == [F.mul(x, y) for x, y in zip(xs, ys)]
+    assert gl64.to_ints(gl64.neg(a)) == [F.neg(x) for x in xs]
+
+
+def test_mul_edge_cross_product():
+    a = gl64.from_ints([x for x in EDGES for _ in EDGES])
+    b = gl64.from_ints(EDGES * len(EDGES))
+    expect = [F.mul(x, y) for x in EDGES for y in EDGES]
+    assert gl64.to_ints(gl64.mul(a, b)) == expect
+
+
+@given(vectors, elements, vectors)
+@settings(max_examples=50, deadline=None)
+def test_fold_matches_scalar_recurrence(accs, y, vals):
+    n = min(len(accs), len(vals))
+    accs, vals = accs[:n], vals[:n]
+    got = gl64.to_ints(gl64.fold(gl64.from_ints(accs), np.uint64(y), gl64.from_ints(vals)))
+    assert got == [F.add(F.mul(a, y), v) for a, v in zip(accs, vals)]
+
+
+@given(vectors)
+@settings(max_examples=50, deadline=None)
+def test_serialize_matches_int_to_bytes(xs):
+    vec = gl64.from_ints(xs)
+    expect = b"".join(x.to_bytes(32, "little") for x in xs)
+    assert gl64.serialize_scalars(vec) == expect
+
+
+@pytest.mark.parametrize("k", [0, 1, 2, 3, 5, 8])
+def test_ntt_matches_pure_python(k):
+    n = 1 << k
+    root = F.root_of_unity(k)
+    rng = np.random.default_rng(k)
+    values = [int(v) % P for v in rng.integers(0, 2**63, size=n)]
+    stages = [gl64.from_ints(tw) for tw in stage_twiddles(P, root, n)]
+    rev = gl64.bit_reverse_indices(n)
+    got = gl64.to_ints(gl64.ntt(gl64.from_ints(values), stages, rev))
+    assert got == py_ntt(F, values, root)
+
+
+def test_bit_reverse_indices():
+    assert gl64.bit_reverse_indices(8).tolist() == [0, 4, 2, 6, 1, 5, 3, 7]
+    assert gl64.bit_reverse_indices(1).tolist() == [0]

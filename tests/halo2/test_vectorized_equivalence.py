@@ -1,0 +1,239 @@
+"""The vectorized prover paths must match the per-row reference exactly.
+
+Three layers of equivalence:
+
+- ``evaluate_on_lagrange`` (columnwise helper construction) against a
+  per-row ``Expression.evaluate`` loop, on both vector backends;
+- ``VectorEvaluator.fold`` (the quotient fold) against per-row evaluation
+  plus a scalar Horner fold over the extended coset;
+- whole proofs: the numpy Goldilocks backend vs the exact list backend,
+  and ``jobs>1`` vs ``jobs=1``, must pickle to identical bytes.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.commit import scheme_by_name
+from repro.field import GOLDILOCKS
+from repro.field.vector import GL64Backend, ListBackend
+from repro.halo2 import create_proof, keygen, verify_proof
+from repro.halo2.column import Column, ColumnType
+from repro.halo2.expression import VectorEvaluator, evaluate_on_lagrange
+from repro.halo2.keygen import ALPHA, BETA, GAMMA, THETA
+
+from tests.halo2.circuits import (
+    mul_circuit,
+    range_check_circuit,
+    relu_lookup_circuit,
+)
+
+F = GOLDILOCKS
+
+CHALLENGES = {THETA: 1234567, BETA: 7654321, GAMMA: 31337, ALPHA: 424242}
+
+
+def _column_values(pk, asg):
+    """Base-domain evaluations of every user column, as plain int lists."""
+    vk = pk.vk
+    values = {}
+    for col in set(pk.fixed_evals):
+        values[col] = list(pk.fixed_evals[col])
+    for i in range(vk.cs.num_advice):
+        col = Column(ColumnType.ADVICE, i)
+        values[col] = asg.column_values(col)
+    for i in range(vk.cs.num_instance):
+        col = Column(ColumnType.INSTANCE, i)
+        values[col] = asg.column_values(col)
+    return values
+
+
+def _fill_missing(values, exprs, n):
+    """Deterministic pseudo-random data for columns without assignments.
+
+    Helper columns (lookup m/h/s, permutation products) are only computed
+    inside the prover; the evaluator equivalences hold for *any* column
+    contents, so arbitrary residues are fine here.
+    """
+    import random
+
+    rng = random.Random(0xC0FFEE)
+    for expr in exprs:
+        for col, _rot in expr.refs():
+            if col not in values:
+                values[col] = [rng.randrange(F.p) for _ in range(n)]
+
+
+def _per_row_reference(expr, values, n, challenges):
+    out = []
+    for row in range(n):
+        def read(col, rot, row=row):
+            return values[col][(row + rot) % n]
+
+        out.append(expr.evaluate(F, read, challenges))
+    return out
+
+
+def _helper_expressions(vk):
+    """Every expression the prover evaluates columnwise in phase 2."""
+    exprs = []
+    for helpers in vk.lookups:
+        exprs.extend(helpers.argument.inputs)
+        exprs.extend(helpers.argument.table)
+    return exprs
+
+
+CIRCUITS = [
+    mul_circuit(),
+    range_check_circuit(),
+    relu_lookup_circuit(),
+]
+
+
+@pytest.mark.parametrize("circuit", CIRCUITS, ids=["mul", "range", "relu"])
+@pytest.mark.parametrize("backend_cls", [ListBackend, GL64Backend])
+def test_evaluate_on_lagrange_matches_per_row(circuit, backend_cls):
+    cs, asg = circuit
+    scheme = scheme_by_name("kzg", F)
+    pk, vk = keygen(cs, asg, scheme)
+    backend = backend_cls(F)
+    values = _column_values(pk, asg)
+    exprs = _helper_expressions(vk) or [expr for _, expr in vk.constraints]
+    _fill_missing(values, exprs, vk.n)
+    for expr in exprs:
+        got = backend.to_ints(
+            evaluate_on_lagrange(
+                expr,
+                backend,
+                lambda col: backend.from_ints(values[col]),
+                vk.n,
+                CHALLENGES,
+            )
+        )
+        assert got == _per_row_reference(expr, values, vk.n, CHALLENGES)
+
+
+@pytest.mark.parametrize("circuit", CIRCUITS, ids=["mul", "range", "relu"])
+@pytest.mark.parametrize("backend_cls", [ListBackend, GL64Backend])
+def test_quotient_fold_matches_per_row(circuit, backend_cls):
+    cs, asg = circuit
+    scheme = scheme_by_name("kzg", F)
+    pk, vk = keygen(cs, asg, scheme)
+    domain = vk.domain
+    n, ext_n = vk.n, domain.extended_n
+    extension = ext_n // n
+    backend = backend_cls(F)
+
+    # extended-coset evaluations of every referenced column, via the
+    # public int-list domain API (independent of the prover's caches)
+    base_values = _column_values(pk, asg)
+    _fill_missing(base_values, [expr for _, expr in vk.constraints], n)
+    extended = {}
+    for _, expr in vk.constraints:
+        for col, _rot in expr.refs():
+            if col not in extended:
+                poly = domain.lagrange_to_coeff(base_values[col])
+                extended[col] = domain.coeff_to_extended(poly)
+
+    def read_vec(col, rot):
+        shift = (rot * extension) % ext_n
+        ext = extended[col]
+        return backend.from_ints(ext[shift:] + ext[:shift])
+
+    y = 987654321
+    evaluator = VectorEvaluator(backend, ext_n, read_vec, CHALLENGES)
+    folded = backend.to_ints(
+        evaluator.fold([expr for _, expr in vk.constraints], y)
+    )
+
+    reference = [0] * ext_n
+    for _, expr in vk.constraints:
+        for row in range(ext_n):
+            def read(col, rot, row=row):
+                return extended[col][(row + rot * extension) % ext_n]
+
+            value = expr.evaluate(F, read, CHALLENGES)
+            reference[row] = F.add(F.mul(reference[row], y), value)
+
+    assert folded == reference
+
+
+def _force_list_backend(pk):
+    """Downgrade a proving key's domain to the exact list backend."""
+    domain = pk.vk.domain
+    domain.backend = ListBackend(F)
+    domain._use_gl64 = False
+    domain._inv_vanishing_vec = None
+
+
+@pytest.mark.parametrize(
+    "circuit", [mul_circuit(), relu_lookup_circuit()], ids=["mul", "relu"]
+)
+def test_gl64_proof_matches_list_backend(circuit):
+    cs, asg = circuit
+    scheme = scheme_by_name("kzg", F)
+
+    pk_fast, vk_fast = keygen(cs, asg, scheme)
+    proof_fast = create_proof(pk_fast, asg, scheme)
+
+    pk_ref, vk_ref = keygen(cs, asg, scheme)
+    _force_list_backend(pk_ref)
+    proof_ref = create_proof(pk_ref, asg, scheme)
+
+    assert pickle.dumps(proof_fast) == pickle.dumps(proof_ref)
+    assert verify_proof(vk_fast, proof_fast, asg.instance_values(), scheme)
+
+
+def test_parallel_proof_is_byte_identical():
+    cs, asg = mul_circuit()
+    scheme = scheme_by_name("kzg", F)
+    pk, vk = keygen(cs, asg, scheme)
+    serial = create_proof(pk, asg, scheme, jobs=1)
+    parallel = create_proof(pk, asg, scheme, jobs=2)
+    assert pickle.dumps(serial) == pickle.dumps(parallel)
+    assert verify_proof(vk, parallel, asg.instance_values(), scheme)
+
+
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.integers(min_value=-100, max_value=100),
+            st.integers(min_value=-100, max_value=100),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+@settings(max_examples=10, deadline=None)
+def test_random_mul_circuits_prove_identically(rows):
+    cs, asg = mul_circuit(rows=rows)
+    scheme = scheme_by_name("kzg", F)
+
+    pk_fast, vk_fast = keygen(cs, asg, scheme)
+    proof_fast = create_proof(pk_fast, asg, scheme)
+    assert verify_proof(vk_fast, proof_fast, asg.instance_values(), scheme)
+
+    pk_ref, _ = keygen(cs, asg, scheme)
+    _force_list_backend(pk_ref)
+    proof_ref = create_proof(pk_ref, asg, scheme)
+    assert pickle.dumps(proof_fast) == pickle.dumps(proof_ref)
+
+
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=8)
+)
+@settings(max_examples=10, deadline=None)
+def test_random_lookup_circuits_prove_identically(values):
+    cs, asg = range_check_circuit(values=tuple(values))
+    scheme = scheme_by_name("kzg", F)
+
+    pk_fast, vk_fast = keygen(cs, asg, scheme)
+    proof_fast = create_proof(pk_fast, asg, scheme)
+    assert verify_proof(vk_fast, proof_fast, asg.instance_values(), scheme)
+
+    pk_ref, _ = keygen(cs, asg, scheme)
+    _force_list_backend(pk_ref)
+    proof_ref = create_proof(pk_ref, asg, scheme)
+    assert pickle.dumps(proof_fast) == pickle.dumps(proof_ref)

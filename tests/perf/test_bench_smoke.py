@@ -1,0 +1,69 @@
+"""Tier-1 smoke test for the prover benchmark harness.
+
+Proves the smallest mini model through ``repro.perf.bench`` once, with a
+deliberately generous wall-clock ceiling (this guards against pathological
+regressions, not jitter), and validates the ``BENCH_prover.json`` schema.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.perf.bench import SCHEMA, SEED_BASELINE_SECONDS, run_bench
+
+#: Far above the expected ~0.5 s — only catastrophic slowdowns trip this.
+PROVE_CEILING_SECONDS = 60.0
+
+PHASES = {"commit", "helpers", "quotient", "openings"}
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_prover.json"
+    stream = io.StringIO()
+    run_bench(models=["dlrm"], output_path=str(out), stream=stream)
+    with open(out) as fh:
+        return json.load(fh), stream.getvalue()
+
+
+def test_report_schema(report):
+    data, _ = report
+    assert data["schema"] == SCHEMA
+    assert data["config"]["scheme"] == "kzg"
+    assert data["total_prove_seconds"] > 0
+    (record,) = data["models"]
+    assert record["model"] == "dlrm"
+    assert record["k"] >= 1
+    assert record["keygen_seconds"] >= 0
+    assert record["verify_seconds"] > 0
+    assert record["modeled_proof_bytes"] > 0
+
+
+def test_phase_breakdown_recorded(report):
+    data, _ = report
+    (record,) = data["models"]
+    phases = record["phase_seconds"]
+    assert set(phases) == PHASES
+    assert all(secs >= 0 for secs in phases.values())
+    # the phases account for most of the prove wall-clock
+    assert sum(phases.values()) <= record["prove_seconds"] + 0.5
+
+
+def test_prove_under_ceiling(report):
+    data, _ = report
+    (record,) = data["models"]
+    assert record["prove_seconds"] < PROVE_CEILING_SECONDS
+
+
+def test_speedup_vs_seed_reported(report):
+    data, _ = report
+    (record,) = data["models"]
+    assert record["seed_baseline_seconds"] == SEED_BASELINE_SECONDS["dlrm"]
+    assert record["speedup_vs_seed"] > 0
+
+
+def test_breakdown_printed(report):
+    _, printed = report
+    assert "dlrm" in printed
+    assert "wrote" in printed

@@ -1,0 +1,106 @@
+"""Unit tests for the perf substrate: timer, parallel map, pk cache."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.commit import scheme_by_name
+from repro.field import GOLDILOCKS
+from repro.perf import (
+    NULL_TIMER,
+    PhaseTimer,
+    ProvingKeyCache,
+    circuit_digest,
+    parallel_map,
+    resolve_jobs,
+)
+from repro.perf.parallel import JOBS_ENV
+
+from tests.halo2.circuits import mul_circuit, range_check_circuit
+
+F = GOLDILOCKS
+
+
+def test_phase_timer_accumulates():
+    timer = PhaseTimer()
+    with timer.phase("a"):
+        pass
+    with timer.phase("a"):
+        pass
+    with timer.phase("b"):
+        pass
+    assert set(timer.seconds) == {"a", "b"}
+    assert timer.total == pytest.approx(sum(timer.seconds.values()))
+    assert "a" in timer.breakdown()
+
+
+def test_null_timer_is_inert():
+    with NULL_TIMER.phase("anything"):
+        pass
+    assert NULL_TIMER.total == 0.0
+
+
+def _square(x):
+    return x * x
+
+
+def test_parallel_map_serial_and_parallel_agree():
+    items = list(range(20))
+    expect = [x * x for x in items]
+    assert parallel_map(_square, items, jobs=1) == expect
+    assert parallel_map(_square, items, jobs=2) == expect
+
+
+def test_parallel_map_runs_initializer_in_serial_path():
+    calls = []
+    parallel_map(_square, [1, 2], jobs=1, initializer=calls.append, initargs=(7,))
+    assert calls == [7]
+
+
+def test_resolve_jobs_env(monkeypatch):
+    monkeypatch.delenv(JOBS_ENV, raising=False)
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(3) == 3
+    monkeypatch.setenv(JOBS_ENV, "4")
+    assert resolve_jobs(None) == 4
+    assert resolve_jobs(2) == 2
+    monkeypatch.setenv(JOBS_ENV, "junk")
+    assert resolve_jobs(None) == 1
+
+
+def test_pk_cache_hits_on_same_circuit():
+    cs, asg = mul_circuit()
+    scheme = scheme_by_name("kzg", F)
+    cache = ProvingKeyCache()
+    pk1, vk1, hit1 = cache.get_or_create(cs, asg, scheme)
+    pk2, vk2, hit2 = cache.get_or_create(cs, asg, scheme)
+    assert (hit1, hit2) == (False, True)
+    assert pk1 is pk2 and vk1 is vk2
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_pk_cache_digest_ignores_witness():
+    cs, asg1 = mul_circuit(rows=[(2, 3)])
+    _, asg2 = mul_circuit(rows=[(5, 6)])
+    d1 = circuit_digest(cs, asg1, "kzg")
+    d2 = circuit_digest(cs, asg2, "kzg")
+    assert d1 == d2  # advice/instance differ, keygen inputs do not
+
+
+def test_pk_cache_digest_separates_circuits_and_schemes():
+    cs1, asg1 = mul_circuit()
+    cs2, asg2 = range_check_circuit()
+    assert circuit_digest(cs1, asg1, "kzg") != circuit_digest(cs2, asg2, "kzg")
+    assert circuit_digest(cs1, asg1, "kzg") != circuit_digest(cs1, asg1, "ipa")
+
+
+def test_pk_cache_lru_eviction():
+    scheme = scheme_by_name("kzg", F)
+    cache = ProvingKeyCache(maxsize=1)
+    cs1, asg1 = mul_circuit()
+    cs2, asg2 = range_check_circuit()
+    cache.get_or_create(cs1, asg1, scheme)
+    cache.get_or_create(cs2, asg2, scheme)
+    _, _, hit = cache.get_or_create(cs1, asg1, scheme)
+    assert not hit  # evicted by the range circuit

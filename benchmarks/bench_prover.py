@@ -5,15 +5,24 @@ Run from the repo root:
     PYTHONPATH=src python benchmarks/bench_prover.py [--jobs N] [--models ...]
 
 Proves the default mini zoo trio, prints the per-phase breakdown, and
-writes ``BENCH_prover.json``.  Same engine as ``zkml bench``.
+writes ``BENCH_prover.json`` plus a Chrome trace and a Prometheus
+metrics file next to it.  Each model is additionally re-proved with
+worker processes; the script exits non-zero if the parallel proof bytes
+diverge from the serial ones.  Same engine as ``zkml bench``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.perf.bench import DEFAULT_MODELS, run_bench
+
+
+def _sibling(path: str, suffix: str) -> str:
+    root, _ = os.path.splitext(path)
+    return root + suffix
 
 
 def main(argv=None) -> int:
@@ -23,14 +32,30 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=None)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", default="BENCH_prover.json")
+    parser.add_argument("--trace", default=None,
+                        help="Chrome trace output (default: <out>.trace.json)")
+    parser.add_argument("--metrics", default=None,
+                        help="metrics output (default: <out>.metrics.prom)")
+    parser.add_argument("--no-check-parallel", action="store_true",
+                        help="skip the serial-vs-parallel proof byte check")
     args = parser.parse_args(argv)
-    run_bench(
+    out = args.out or None
+    trace_path = args.trace or (out and _sibling(out, ".trace.json"))
+    metrics_path = args.metrics or (out and _sibling(out, ".metrics.prom"))
+    report = run_bench(
         models=args.models,
         scheme_name=args.backend,
         jobs=args.jobs,
         seed=args.seed,
-        output_path=args.out or None,
+        output_path=out,
+        trace_path=trace_path,
+        metrics_path=metrics_path,
+        check_parallel=not args.no_check_parallel,
     )
+    if report.get("parallel_proofs_identical") is False:
+        print("FAIL: serial and parallel proof bytes diverge",
+              file=sys.stderr)
+        return 1
     return 0
 
 

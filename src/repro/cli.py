@@ -3,21 +3,31 @@
 Subcommands:
 
 - ``zkml models``                       — list the zoo.
-- ``zkml inspect --model NAME``         — circuit statistics for a model.
+- ``zkml inspect --model NAME``         — circuit statistics for a model
+  (``--json`` for machine-readable output).
 - ``zkml optimize --model NAME``        — run the layout optimizer.
 - ``zkml prove --model NAME``           — prove one inference of a mini
   model, writing proof/vk artifacts.
 - ``zkml verify --artifact FILE``       — verify a saved proof artifact.
+- ``zkml diagnose --model NAME``        — mock-verify a mini model with
+  region-attributed failure reports (``--tamper-row`` breaks a cell).
 - ``zkml bench``                        — benchmark the prover on mini
-  models and write ``BENCH_prover.json``.
+  models and write ``BENCH_prover.json`` (``--quick`` for CI smoke).
 - ``zkml transpile --flat FILE``        — import a tflite-like flat JSON
   model and report its circuit statistics.
+
+Observability flags available on every subcommand: ``--trace PATH``
+(span tree, Chrome trace_event JSON or ``.jsonl``; the ``ZKML_TRACE``
+environment variable is the flag's default), ``--metrics PATH``
+(Prometheus text format), ``-v`` / ``--quiet`` for log verbosity
+(``ZKML_LOG_LEVEL`` also applies).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pickle
 import sys
 
@@ -26,46 +36,104 @@ import numpy as np
 from repro.compiler import build_physical_layout
 from repro.layers.base import LayoutChoices
 from repro.model import get_model, model_names, transpile
+from repro.obs import log as obs_log
+from repro.obs.metrics import (
+    MetricsRegistry,
+    record_circuit_stats,
+    render_predicted_vs_actual,
+)
+from repro.obs.trace import Tracer, use_tracer
 from repro.optimizer import PROFILES
 from repro.runtime import estimate_model, prove_model, verify_model_proof
+
+log = obs_log.get_logger("cli")
 
 
 def _cmd_models(args) -> int:
     for name in model_names():
         paper = get_model(name, "paper")
-        print("%-10s %12d params %16d flops" % (name, paper.param_count(),
-                                                paper.flops()))
+        log.info("%-10s %12d params %16d flops", name, paper.param_count(),
+                 paper.flops())
     return 0
 
 
 def _describe_spec(spec, num_cols: int, scale_bits: int) -> None:
     layout = build_physical_layout(spec, LayoutChoices(), num_cols,
                                    scale_bits=scale_bits)
-    print("model:          ", spec.name)
-    print("layers:         ", len(spec.layers))
-    print("parameters:     ", "{:,}".format(spec.param_count()))
-    print("flops:          ", "{:,}".format(spec.flops()))
-    print("grid (at %d cols):" % num_cols,
-          "2^%d rows (%s gadget rows, %s table rows)"
-          % (layout.k, "{:,}".format(layout.gadget_rows),
-             "{:,}".format(layout.table_rows)))
-    print("lookup args:    ", layout.num_lookups)
-    print("selectors:      ", layout.num_selectors)
-    print("fixed columns:  ", layout.num_fixed,
-          "(%d weight columns)" % layout.num_weight_columns)
-    print("constraint deg: ", layout.d_max)
+    log.info("model:           %s", spec.name)
+    log.info("layers:          %d", len(spec.layers))
+    log.info("parameters:      %s", "{:,}".format(spec.param_count()))
+    log.info("flops:           %s", "{:,}".format(spec.flops()))
+    log.info("grid (at %d cols): 2^%d rows (%s gadget rows, %s table rows)",
+             num_cols, layout.k, "{:,}".format(layout.gadget_rows),
+             "{:,}".format(layout.table_rows))
+    log.info("lookup args:     %d", layout.num_lookups)
+    log.info("selectors:       %d", layout.num_selectors)
+    log.info("fixed columns:   %d (%d weight columns)", layout.num_fixed,
+             layout.num_weight_columns)
+    log.info("constraint deg:  %d", layout.d_max)
+
+
+def _inspect_info(spec, scale: str, num_cols: int, scale_bits: int) -> dict:
+    """The machine-readable form of ``zkml inspect`` (``--json``)."""
+    layout = build_physical_layout(spec, LayoutChoices(), num_cols,
+                                   scale_bits=scale_bits)
+    info = {
+        "model": spec.name,
+        "scale": scale,
+        "layers": len(spec.layers),
+        "parameters": spec.param_count(),
+        "flops": spec.flops(),
+        "layout": {
+            "k": layout.k,
+            "num_cols": num_cols,
+            "rows": 1 << layout.k,
+            "gadget_rows": layout.gadget_rows,
+            "table_rows": layout.table_rows,
+            "num_lookups": layout.num_lookups,
+            "num_selectors": layout.num_selectors,
+            "num_fixed": layout.num_fixed,
+            "num_weight_columns": layout.num_weight_columns,
+            "d_max": layout.d_max,
+            "per_layer_rows": dict(layout.per_layer_rows),
+        },
+    }
+    if spec.materialized:
+        # Mini models can be synthesized for exact cell/row counters — the
+        # circuit structure is input-independent, so zeros suffice.  These
+        # are the same counters ``zkml prove --metrics`` records.
+        from repro.compiler import synthesize_model
+
+        synthesized = synthesize_model(
+            spec,
+            {name: np.zeros(shape) for name, shape in spec.inputs.items()},
+            num_cols=num_cols, scale_bits=scale_bits,
+        )
+        # expose outputs exactly like prove_model does, so the instance
+        # cell and copy-constraint counters match a prove run's metrics
+        for name in spec.outputs:
+            synthesized.builder.expose(synthesized.outputs[name].entries())
+        registry = MetricsRegistry()
+        record_circuit_stats(registry, synthesized, model=spec.name)
+        info["metrics"] = registry.as_dict()
+    return info
 
 
 def _cmd_inspect(args) -> int:
     spec = get_model(args.model, args.scale)
+    if args.json:
+        print(json.dumps(_inspect_info(spec, args.scale, args.columns,
+                                       args.scale_bits),
+                         indent=2, sort_keys=True))
+        return 0
     _describe_spec(spec, args.columns, args.scale_bits)
     if args.per_layer:
         from repro.compiler import render_breakdown
 
         layout = build_physical_layout(spec, LayoutChoices(), args.columns,
                                        scale_bits=args.scale_bits)
-        print()
-        print(render_breakdown(layout))
+        log.info("")
+        log.info("%s", render_breakdown(layout))
     return 0
 
 
@@ -73,8 +141,8 @@ def _cmd_transpile(args) -> int:
     with open(args.flat) as f:
         flat = json.load(f)
     spec = transpile(flat)
-    print("transpiled %r: %d layers, all kinds supported" %
-          (spec.name, len(spec.layers)))
+    log.info("transpiled %r: %d layers, all kinds supported",
+             spec.name, len(spec.layers))
     _describe_spec(spec, args.columns, args.scale_bits)
     return 0
 
@@ -89,16 +157,16 @@ def _cmd_optimize(args) -> int:
         objective=args.objective,
         include_freivalds=args.freivalds,
     )
-    print("model:        ", est.model)
-    print("backend:      ", est.scheme_name)
-    print("hardware:     ", est.hardware)
-    print("layout:       ", "%d columns x 2^%d rows" % (est.num_cols, est.k))
-    print("plan:         ", est.result.layout.plan)
-    print("est. proving: ", "%.2f s" % est.proving_seconds)
-    print("est. verify:  ", "%.4f s" % est.verification_seconds)
-    print("est. proof:   ", "%d bytes" % est.proof_bytes)
-    print("optimizer ran:", "%.2f s over %d layouts"
-          % (est.optimizer_seconds, len(est.result.candidates)))
+    log.info("model:         %s", est.model)
+    log.info("backend:       %s", est.scheme_name)
+    log.info("hardware:      %s", est.hardware)
+    log.info("layout:        %d columns x 2^%d rows", est.num_cols, est.k)
+    log.info("plan:          %s", est.result.layout.plan)
+    log.info("est. proving:  %.2f s", est.proving_seconds)
+    log.info("est. verify:   %.4f s", est.verification_seconds)
+    log.info("est. proof:    %d bytes", est.proof_bytes)
+    log.info("optimizer ran: %.2f s over %d layouts",
+             est.optimizer_seconds, len(est.result.candidates))
     return 0
 
 
@@ -111,22 +179,25 @@ def _cmd_prove(args) -> int:
     }
     result = prove_model(spec, inputs, scheme_name=args.backend,
                          num_cols=args.columns, scale_bits=args.scale_bits,
-                         jobs=args.jobs)
+                         jobs=args.jobs, metrics=args.obs_registry)
     verify_seconds = result.verification_seconds()
-    print("model:       ", result.spec_name)
-    print("backend:     ", result.scheme_name)
-    print("grid:        ", "%d columns x 2^%d rows" % (result.num_cols, result.k))
-    print("keygen:      ", "%.2f s" % result.keygen_seconds)
-    print("proving:     ", "%.2f s" % result.proving_seconds)
-    print("verification:", "%.4f s" % verify_seconds)
-    print("proof size:  ", "%d bytes (modeled)" % result.modeled_proof_bytes)
+    log.info("model:        %s", result.spec_name)
+    log.info("backend:      %s", result.scheme_name)
+    log.info("grid:         %d columns x 2^%d rows", result.num_cols, result.k)
+    log.info("keygen:       %.2f s", result.keygen_seconds)
+    log.info("proving:      %.2f s", result.proving_seconds)
+    log.info("verification: %.4f s", verify_seconds)
+    log.info("proof size:   %d bytes (modeled)", result.modeled_proof_bytes)
     if args.profile:
-        print("prover phase breakdown:")
+        log.info("prover phase breakdown:")
         total = sum(result.phase_seconds.values())
         for phase, secs in sorted(result.phase_seconds.items(),
                                   key=lambda kv: -kv[1]):
             share = 100.0 * secs / total if total else 0.0
-            print("  %-10s %8.3f s  %5.1f%%" % (phase, secs, share))
+            log.info("  %-10s %8.3f s  %5.1f%%", phase, secs, share)
+        log.info("cost model, predicted vs actual:")
+        log.info("%s",
+                 render_predicted_vs_actual(result.predicted_vs_actual()))
     if args.out:
         with open(args.out, "wb") as f:
             pickle.dump(
@@ -134,20 +205,44 @@ def _cmd_prove(args) -> int:
                  "instance": result.instance,
                  "scheme": result.scheme_name}, f,
             )
-        print("artifact:    ", args.out)
+        log.info("artifact:     %s", args.out)
     return 0
 
 
-def _cmd_bench(args) -> int:
-    from repro.perf.bench import DEFAULT_MODELS, run_bench
+def _cmd_diagnose(args) -> int:
+    from repro.obs.diagnose import diagnose_model
 
-    run_bench(
-        models=args.models or DEFAULT_MODELS,
+    spec = get_model(args.model, "mini")
+    rng = np.random.default_rng(args.seed)
+    inputs = {
+        name: rng.uniform(-0.5, 0.5, shape)
+        for name, shape in spec.inputs.items()
+    }
+    report = diagnose_model(
+        spec, inputs, num_cols=args.columns, scale_bits=args.scale_bits,
+        tamper_row=args.tamper_row, tamper_col=args.tamper_col,
+        max_failures=args.max_failures,
+    )
+    log.info("%s", report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_bench(args) -> int:
+    from repro.perf.bench import DEFAULT_MODELS, QUICK_MODELS, run_bench
+
+    default = QUICK_MODELS if args.quick else DEFAULT_MODELS
+    report = run_bench(
+        models=args.models or default,
         scheme_name=args.backend,
         jobs=args.jobs,
         seed=args.seed,
         output_path=args.out or None,
+        check_parallel=args.check_parallel,
+        registry=args.obs_registry,
     )
+    if report.get("parallel_proofs_identical") is False:
+        log.error("serial and parallel proof bytes diverge")
+        return 1
     return 0
 
 
@@ -156,11 +251,24 @@ def _cmd_verify(args) -> int:
         artifact = pickle.load(f)
     ok = verify_model_proof(artifact["vk"], artifact["proof"],
                             artifact["instance"], artifact["scheme"])
-    print("verification:", "OK" if ok else "FAILED")
+    log.info("verification: %s", "OK" if ok else "FAILED")
     return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # observability options shared by every subcommand
+    common = argparse.ArgumentParser(add_help=False)
+    obs = common.add_argument_group("observability")
+    obs.add_argument("--trace", default=None, metavar="PATH",
+                     help="write the span tree (Chrome trace_event JSON; "
+                          "'.jsonl' for JSON lines; default: $ZKML_TRACE)")
+    obs.add_argument("--metrics", default=None, metavar="PATH",
+                     help="write run metrics (Prometheus text format)")
+    obs.add_argument("-v", "--verbose", action="count", default=0,
+                     help="debug logging")
+    obs.add_argument("-q", "--quiet", action="store_true",
+                     help="errors only")
+
     parser = argparse.ArgumentParser(
         prog="zkml",
         description="ZKML: an optimizing compiler from ML models to "
@@ -168,26 +276,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("models", help="list zoo models").set_defaults(
-        func=_cmd_models)
+    sub.add_parser("models", help="list zoo models",
+                   parents=[common]).set_defaults(func=_cmd_models)
 
-    inspect = sub.add_parser("inspect", help="circuit statistics for a model")
+    inspect = sub.add_parser("inspect", parents=[common],
+                             help="circuit statistics for a model")
     inspect.add_argument("--model", required=True, choices=model_names())
     inspect.add_argument("--scale", default="paper", choices=["paper", "mini"])
     inspect.add_argument("--columns", type=int, default=16)
     inspect.add_argument("--scale-bits", type=int, default=8)
     inspect.add_argument("--per-layer", action="store_true",
                          help="print the per-layer row budget")
+    inspect.add_argument("--json", action="store_true",
+                         help="machine-readable output (includes the same "
+                              "counters 'zkml prove --metrics' records)")
     inspect.set_defaults(func=_cmd_inspect)
 
     transpile_cmd = sub.add_parser(
-        "transpile", help="import a tflite-like flat JSON model")
+        "transpile", parents=[common],
+        help="import a tflite-like flat JSON model")
     transpile_cmd.add_argument("--flat", required=True)
     transpile_cmd.add_argument("--columns", type=int, default=16)
     transpile_cmd.add_argument("--scale-bits", type=int, default=8)
     transpile_cmd.set_defaults(func=_cmd_transpile)
 
-    opt = sub.add_parser("optimize", help="optimize a circuit layout")
+    opt = sub.add_parser("optimize", parents=[common],
+                         help="optimize a circuit layout")
     opt.add_argument("--model", required=True, choices=model_names())
     opt.add_argument("--backend", default="kzg", choices=["kzg", "ipa"])
     opt.add_argument("--objective", default="time", choices=["time", "size"])
@@ -197,7 +311,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="allow the Freivalds matmul layout")
     opt.set_defaults(func=_cmd_optimize)
 
-    prove = sub.add_parser("prove", help="prove a mini-model inference")
+    prove = sub.add_parser("prove", parents=[common],
+                           help="prove a mini-model inference")
     prove.add_argument("--model", required=True, choices=model_names())
     prove.add_argument("--backend", default="kzg", choices=["kzg", "ipa"])
     prove.add_argument("--columns", type=int, default=10)
@@ -208,11 +323,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the prover "
                             "(default: ZKML_JOBS env, else serial)")
     prove.add_argument("--profile", action="store_true",
-                       help="print the prover's per-phase time breakdown")
+                       help="print the prover's per-phase time breakdown "
+                            "and the predicted-vs-actual op counts")
     prove.set_defaults(func=_cmd_prove)
 
+    diagnose = sub.add_parser(
+        "diagnose", parents=[common],
+        help="mock-verify a mini model with region-attributed failures")
+    diagnose.add_argument("--model", required=True, choices=model_names())
+    diagnose.add_argument("--columns", type=int, default=10)
+    diagnose.add_argument("--scale-bits", type=int, default=5)
+    diagnose.add_argument("--seed", type=int, default=0)
+    diagnose.add_argument("--tamper-row", type=int, default=None,
+                          help="corrupt the advice cell at this row first")
+    diagnose.add_argument("--tamper-col", type=int, default=0,
+                          help="advice column of the corrupted cell")
+    diagnose.add_argument("--max-failures", type=int, default=10,
+                          help="cap on reported violations")
+    diagnose.set_defaults(func=_cmd_diagnose)
+
     bench = sub.add_parser(
-        "bench", help="benchmark the prover on mini zoo models")
+        "bench", parents=[common],
+        help="benchmark the prover on mini zoo models")
     bench.add_argument("--models", nargs="+", default=None,
                        choices=model_names(),
                        help="models to prove (default: dlrm mnist twitter)")
@@ -221,9 +353,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--out", default="BENCH_prover.json",
                        help="report path ('' to skip writing)")
+    bench.add_argument("--quick", action="store_true",
+                       help="prove only the smallest model (CI smoke run)")
+    bench.add_argument("--check-parallel", action="store_true",
+                       help="re-prove with workers and fail if the proof "
+                            "bytes diverge from the serial run")
     bench.set_defaults(func=_cmd_bench)
 
-    verify = sub.add_parser("verify", help="verify a proof artifact")
+    verify = sub.add_parser("verify", parents=[common],
+                            help="verify a proof artifact")
     verify.add_argument("--artifact", required=True)
     verify.set_defaults(func=_cmd_verify)
     return parser
@@ -231,7 +369,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    obs_log.configure(verbosity=args.verbose, quiet=args.quiet)
+    trace_path = args.trace or os.environ.get("ZKML_TRACE") or None
+    metrics_path = args.metrics
+    args.obs_registry = MetricsRegistry() if metrics_path else None
+    if trace_path:
+        tracer = Tracer()
+        with use_tracer(tracer):
+            rc = args.func(args)
+        tracer.write(trace_path)
+        log.info("trace:        %s", trace_path)
+    else:
+        rc = args.func(args)
+    if args.obs_registry is not None:
+        args.obs_registry.write(metrics_path)
+        log.info("metrics:      %s", metrics_path)
+    return rc
 
 
 if __name__ == "__main__":

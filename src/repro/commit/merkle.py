@@ -5,15 +5,19 @@ from __future__ import annotations
 import hashlib
 from typing import List, Sequence
 
+from repro.obs.stats import STATS
+
 _LEAF_PREFIX = b"\x00"
 _NODE_PREFIX = b"\x01"
 
 
 def _hash_leaf(data: bytes) -> bytes:
+    STATS.merkle_leaf_hashes += 1
     return hashlib.blake2b(_LEAF_PREFIX + data, digest_size=32).digest()
 
 
 def _hash_node(left: bytes, right: bytes) -> bytes:
+    STATS.merkle_node_hashes += 1
     return hashlib.blake2b(_NODE_PREFIX + left + right, digest_size=32).digest()
 
 

@@ -15,6 +15,7 @@ from typing import Sequence, Tuple
 
 from repro.field.poly import poly_eval
 from repro.field.prime_field import PrimeField
+from repro.obs.stats import STATS
 
 try:  # serialization fast path for numpy-backed coefficient vectors
     import numpy as _np
@@ -74,6 +75,7 @@ class CommitmentScheme:
 
     def commit(self, coeffs: Sequence[int]) -> Commitment:
         """Commit to a coefficient vector."""
+        STATS.commitments += 1
         self._check_degree(len(coeffs))
         digest = hashlib.blake2b(
             self.name.encode() + _serialize_coeffs(coeffs), digest_size=32
@@ -82,6 +84,7 @@ class CommitmentScheme:
 
     def open(self, coeffs: Sequence[int], point: int) -> OpeningProof:
         """Open a committed polynomial at ``point``."""
+        STATS.openings += 1
         if _np is not None and isinstance(coeffs, _np.ndarray):
             # Proofs are pickled and compared byte-wise; the witness must
             # hold plain Python ints regardless of the prover's backend.

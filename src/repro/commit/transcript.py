@@ -12,6 +12,7 @@ from __future__ import annotations
 import hashlib
 
 from repro.field.prime_field import PrimeField
+from repro.obs.stats import STATS
 
 
 class Transcript:
@@ -23,6 +24,7 @@ class Transcript:
         self._counter = 0
 
     def _absorb(self, data: bytes) -> None:
+        STATS.transcript_absorbs += 1
         self._state = hashlib.blake2b(self._state + data).digest()
 
     def append_message(self, label: bytes, message: bytes) -> None:
@@ -54,6 +56,7 @@ class Transcript:
 
     def challenge_scalar(self, label: bytes) -> int:
         """Squeeze a field-element challenge."""
+        STATS.challenges += 1
         self._absorb(b"chal:" + label + b":" + self._counter.to_bytes(8, "little"))
         self._counter += 1
         wide = hashlib.blake2b(self._state, digest_size=64).digest()

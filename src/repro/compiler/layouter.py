@@ -20,6 +20,7 @@ from repro.gadgets import CircuitBuilder
 from repro.layers.base import LayoutChoices
 from repro.model.executor import run_fixed
 from repro.model.spec import ModelSpec
+from repro.obs.trace import get_tracer
 from repro.tensor import Tensor
 
 
@@ -45,23 +46,30 @@ def synthesize_model(
     scale_bits: int = 5,
     lookup_bits: Optional[int] = None,
     k: Optional[int] = None,
+    tracer=None,
 ) -> SynthesizedModel:
     """Lay the model out on a grid and fill in the witness.
 
     ``k`` defaults to the physical-layout simulator's minimal feasible
     grid; passing a larger ``k`` reproduces fixed-configuration ablations.
+    Spans (layout / witness / one per layer) go to ``tracer``, defaulting
+    to the process tracer (a no-op unless tracing is enabled).
     """
     if not spec.materialized:
         raise ValueError(
             "model %r has shape-only parameters; use a mini-scale model"
             % spec.name
         )
+    tracer = tracer if tracer is not None else get_tracer()
     if plan is None:
         plan = LayoutPlan(LayoutChoices())
     elif isinstance(plan, LayoutChoices):
         plan = LayoutPlan(plan)
-    layout = build_physical_layout(spec, plan, num_cols, scale_bits,
-                                   lookup_bits)
+    with tracer.span("layout", model=spec.name, num_cols=num_cols) as sp:
+        layout = build_physical_layout(spec, plan, num_cols, scale_bits,
+                                       lookup_bits)
+        sp.set_attr("k", layout.k)
+        sp.set_attr("gadget_rows", layout.gadget_rows)
     k = k if k is not None else layout.k
     builder = CircuitBuilder(k=k, num_cols=num_cols, scale_bits=scale_bits,
                              lookup_bits=layout.lookup_bits)
@@ -79,24 +87,29 @@ def synthesize_model(
 
     from repro.compiler.physical import resolve_choices
 
-    for layer_spec in spec.layers:
-        layer = layer_spec.layer()
-        choices = resolve_choices(plan.for_layer(layer_spec.name),
-                                  layout.lookup_bits)
-        args = [values[i] for i in layer_spec.inputs]
-        quantized = layer.quantize_params(
-            {k_: np.asarray(v) for k_, v in layer_spec.params.items()}, fp
-        )
-        params = {
-            k_: Tensor.from_entries(
-                builder.weight_entries(np.asarray(v, dtype=object)
-                                       .reshape(-1)),
-                np.shape(v),
+    with tracer.span("witness", model=spec.name, layers=len(spec.layers)):
+        for layer_spec in spec.layers:
+            layer = layer_spec.layer()
+            choices = resolve_choices(plan.for_layer(layer_spec.name),
+                                      layout.lookup_bits)
+            args = [values[i] for i in layer_spec.inputs]
+            quantized = layer.quantize_params(
+                {k_: np.asarray(v) for k_, v in layer_spec.params.items()}, fp
             )
-            for k_, v in quantized.items()
-        }
-        values[layer_spec.name] = layer.synthesize(builder, args, params,
-                                                   choices)
+            params = {
+                k_: Tensor.from_entries(
+                    builder.weight_entries(np.asarray(v, dtype=object)
+                                           .reshape(-1)),
+                    np.shape(v),
+                )
+                for k_, v in quantized.items()
+            }
+            with builder.region(layer_spec.name, layer_spec.kind), \
+                    tracer.span("layer:%s" % layer_spec.name,
+                                kind=layer_spec.kind) as sp:
+                values[layer_spec.name] = layer.synthesize(builder, args,
+                                                           params, choices)
+                sp.set_attr("rows_after", builder.rows_used)
 
     outputs = {name: values[name] for name in spec.outputs}
     return SynthesizedModel(spec=spec, layout=layout, builder=builder,
@@ -177,7 +190,7 @@ def synthesize_batch(
         }
 
     all_outputs = []
-    for inputs in batch_inputs:
+    for index, inputs in enumerate(batch_inputs):
         missing = set(spec.inputs) - set(inputs)
         if missing:
             raise ValueError("missing model inputs: %s" % sorted(missing))
@@ -185,13 +198,15 @@ def synthesize_batch(
             name: Tensor.from_values(fp.encode_array(np.asarray(arr)))
             for name, arr in inputs.items()
         }
-        for layer_spec in spec.layers:
-            layer = layer_spec.layer()
-            choices = resolve_choices(plan.for_layer(layer_spec.name),
-                                      layout.lookup_bits)
-            args = [values[i] for i in layer_spec.inputs]
-            values[layer_spec.name] = layer.synthesize(
-                builder, args, shared_params[layer_spec.name], choices)
+        with builder.region("inference[%d]" % index, "batch"):
+            for layer_spec in spec.layers:
+                layer = layer_spec.layer()
+                choices = resolve_choices(plan.for_layer(layer_spec.name),
+                                          layout.lookup_bits)
+                args = [values[i] for i in layer_spec.inputs]
+                with builder.region(layer_spec.name, layer_spec.kind):
+                    values[layer_spec.name] = layer.synthesize(
+                        builder, args, shared_params[layer_spec.name], choices)
         all_outputs.append({name: values[name] for name in spec.outputs})
 
     return BatchSynthesizedModel(spec=spec, layout=layout, builder=builder,

@@ -25,6 +25,7 @@ from repro.field import gl64
 from repro.field.ntt import coset_intt, coset_ntt, intt, ntt, power_table, stage_twiddles
 from repro.field.prime_field import PrimeField
 from repro.field.vector import vector_backend
+from repro.obs.stats import STATS
 
 
 class EvaluationDomain:
@@ -115,6 +116,7 @@ class EvaluationDomain:
         """Interpolate base-domain evaluations; backend vector in and out."""
         if len(evals) != self.n:
             raise ValueError("expected %d evaluations, got %d" % (self.n, len(evals)))
+        STATS.ntt_base += 1
         if self._use_gl64:
             vec = gl64.from_ints(evals)
             out = self._gl64_ntt(vec, self.field.inv(self.omega))
@@ -123,6 +125,7 @@ class EvaluationDomain:
 
     def coeff_to_lagrange_vec(self, coeffs):
         """Evaluate a coefficient vector over the base domain."""
+        STATS.ntt_base += 1
         padded = self._pad_vec(coeffs, self.n)
         if self._use_gl64:
             return self._gl64_ntt(gl64.from_ints(padded), self.omega)
@@ -130,6 +133,7 @@ class EvaluationDomain:
 
     def coeff_to_extended_vec(self, coeffs):
         """Evaluate a coefficient vector over the extended coset domain."""
+        STATS.ntt_extended += 1
         padded = self._pad_vec(coeffs, self.extended_n)
         if self._use_gl64:
             vec = gl64.from_ints(padded)
@@ -139,6 +143,7 @@ class EvaluationDomain:
 
     def extended_to_coeff_vec(self, evals):
         """Interpolate extended-coset evaluations back to coefficients."""
+        STATS.ntt_extended += 1
         if len(evals) != self.extended_n:
             raise ValueError(
                 "expected %d evaluations, got %d" % (self.extended_n, len(evals))

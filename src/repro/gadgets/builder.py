@@ -15,6 +15,8 @@ look up the default tuple, while active rows can only hit real entries.
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Type
 
 from repro.field.prime_field import GOLDILOCKS, PrimeField
@@ -22,6 +24,21 @@ from repro.halo2 import Assignment, ConstraintSystem, MockProver, Ref
 from repro.halo2.column import Column
 from repro.quantize import FixedPoint
 from repro.tensor import Cell, Entry
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named band of gadget rows (e.g. the rows one model layer owns).
+
+    ``end`` is exclusive.  Regions let the MockProver and ``zkml
+    diagnose`` attribute a failing row back to the layer or gadget that
+    laid it out.
+    """
+
+    name: str
+    kind: str
+    start: int
+    end: int
 
 
 class NonlinearTable:
@@ -120,6 +137,8 @@ class CircuitBuilder:
             self.columns.append(col)
         self.asg = Assignment(self.cs, k)
         self._row = 0
+        #: Row regions recorded during synthesis (one per model layer).
+        self.regions: List[Region] = []
         self._gadgets: Dict[Tuple, object] = {}
         self._nl_tables: Dict[str, NonlinearTable] = {}
         self._range_tables: Dict[int, RangeTable] = {}
@@ -168,6 +187,21 @@ class CircuitBuilder:
             )
         self._row += 1
         return row
+
+    @contextmanager
+    def region(self, name: str, kind: str = ""):
+        """Record which rows the enclosed synthesis claims.
+
+        Regions may nest; inner (more specific) regions are appended
+        after their parents, and row lookups prefer the innermost match.
+        """
+        start = self._row
+        index = len(self.regions)
+        self.regions.append(Region(name, kind, start, start))
+        try:
+            yield
+        finally:
+            self.regions[index] = Region(name, kind, start, self._row)
 
     def place(self, row: int, col_idx: int, entry: Entry) -> Cell:
         """Write an entry's value into a cell.
@@ -232,7 +266,7 @@ class CircuitBuilder:
 
     def mock_check(self) -> None:
         """Run the MockProver and raise on any constraint violation."""
-        MockProver(self.cs, self.asg).assert_satisfied()
+        MockProver(self.cs, self.asg, regions=self.regions).assert_satisfied()
 
     # -- stats (mirrored by the physical-layout simulator) ---------------------------------
 

@@ -24,6 +24,7 @@ from repro.halo2.circuit import Assignment, ConstraintSystem
 from repro.halo2.column import Column, ColumnType
 from repro.halo2.expression import Challenge, Constant, Expression, Ref
 from repro.halo2.lookup import LookupArgument
+from repro.obs.trace import get_tracer
 
 #: Challenge labels used by the helper arguments.
 THETA, BETA, GAMMA, ALPHA = "theta", "beta", "gamma", "alpha"
@@ -161,6 +162,7 @@ def keygen(
     """Preprocess a circuit (with its fixed assignment) into keys."""
     field = cs.field
     n = assignment.n
+    tracer = get_tracer()
 
     # ---- allocate helper columns beyond the user column space -------------
     next_advice = cs.num_advice
@@ -224,7 +226,9 @@ def keygen(
     permutation: Optional[PermutationData] = None
     perm_cols = cs.permuted_columns()
     if perm_cols:
-        ids, sigmas = _build_permutation_tags(assignment, perm_cols)
+        with tracer.span("keygen:permutation", columns=len(perm_cols),
+                         copies=len(assignment.copies)):
+            ids, sigmas = _build_permutation_tags(assignment, perm_cols)
         beta, gamma = Challenge(BETA), Challenge(GAMMA)
         id_cols, sigma_cols, helper_cols = [], [], []
         for j, col in enumerate(perm_cols):
@@ -265,9 +269,12 @@ def keygen(
     max_degree = max([expr.degree() for _, expr in constraints] + [2])
     domain = EvaluationDomain(field, assignment.k, max_degree=max_degree)
 
-    fixed_polys = {
-        col: domain.lagrange_to_coeff(evals) for col, evals in fixed_evals.items()
-    }
+    with tracer.span("keygen:fixed_polys", columns=len(fixed_evals),
+                     max_degree=max_degree):
+        fixed_polys = {
+            col: domain.lagrange_to_coeff(evals)
+            for col, evals in fixed_evals.items()
+        }
 
     advice_queries = sorted(
         {

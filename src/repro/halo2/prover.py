@@ -37,6 +37,7 @@ from repro.halo2.column import Column, ColumnType
 from repro.halo2.expression import VectorEvaluator, evaluate_on_lagrange
 from repro.halo2.keygen import ALPHA, BETA, GAMMA, THETA, ProvingKey
 from repro.halo2.proof import Proof
+from repro.obs.stats import STATS
 # leaf-module imports: repro.perf's package init pulls in the pk cache,
 # which imports repro.halo2 and would close an import cycle through here
 from repro.perf.parallel import parallel_map, resolve_jobs
@@ -171,6 +172,7 @@ def create_proof(
         helper_evals: Dict[int, object] = {}
 
         for helpers in vk.lookups:
+            STATS.lookup_passes += 1
             lk = helpers.argument
             theta = challenges[THETA]
             f_vec = compress_columns(lk.inputs, theta)

@@ -1,0 +1,69 @@
+"""Observability for the prove/verify pipeline (tracing, metrics, logs).
+
+The paper's optimizer prices a circuit layout from per-phase operation
+counts (Algorithm 1, Eqs. 1–2); this package makes the runtime report the
+same vocabulary so predictions can be checked against reality:
+
+- :mod:`repro.obs.trace` — hierarchical spans
+  (``synthesize -> layout -> keygen -> witness -> commit/helpers/
+  quotient/openings -> verify``) exported as JSON lines or Chrome
+  ``trace_event`` JSON (loadable in ``chrome://tracing`` / Perfetto);
+- :mod:`repro.obs.metrics` — a counter/gauge/histogram registry with a
+  Prometheus text exporter plus the predicted-vs-actual report that diffs
+  the cost model's counts against observed ones;
+- :mod:`repro.obs.stats` — the process-wide operation counters the hot
+  paths bump (NTTs, commitments, hashes);
+- :mod:`repro.obs.log` — the CLI's structured logger
+  (``--quiet`` / ``-v`` / ``ZKML_LOG_LEVEL``);
+- :mod:`repro.obs.diagnose` — MockProver failures enriched with layer /
+  region / cell context (``zkml diagnose``), imported lazily because it
+  pulls in the compiler.
+
+Everything is disabled by default through inert singletons
+(:data:`NULL_TRACER`, :data:`NULL_METRICS`): the prover hot loop never
+allocates or branches on "is observability on".
+"""
+
+from repro.obs.log import configure as configure_logging, get_logger
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+    predicted_counts,
+    predicted_vs_actual,
+    record_circuit_stats,
+    record_prover_run,
+    render_predicted_vs_actual,
+)
+from repro.obs.stats import STATS, ObsStats
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "NullTracer",
+    "NULL_TRACER",
+    "ObsStats",
+    "STATS",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+    "get_tracer",
+    "predicted_counts",
+    "predicted_vs_actual",
+    "record_circuit_stats",
+    "record_prover_run",
+    "render_predicted_vs_actual",
+    "set_tracer",
+    "use_tracer",
+]

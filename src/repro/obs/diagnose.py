@@ -1,0 +1,95 @@
+"""Structured circuit diagnostics (the engine behind ``zkml diagnose``).
+
+Synthesizes a model circuit, optionally corrupts a witness cell, and runs
+the MockProver *with the synthesis region map*, so each failure reports
+the gate, the originating model layer and row band, and the offending
+cell values — instead of a bare (gate, row) pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.halo2.column import Column, ColumnType
+from repro.halo2.mock import FailureList, MockProver
+
+__all__ = ["DiagnoseReport", "diagnose_circuit", "diagnose_model",
+           "tamper_advice"]
+
+
+@dataclass
+class DiagnoseReport:
+    """Outcome of one diagnostic run."""
+
+    model: str
+    k: int
+    num_cols: int
+    rows_used: int
+    failures: FailureList
+    tampered: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        head = "%s: %d cols x 2^%d rows, %d gadget rows" % (
+            self.model, self.num_cols, self.k, self.rows_used)
+        if self.tampered:
+            head += " (tampered %s)" % self.tampered
+        if self.ok:
+            return head + "\ncircuit satisfied: no constraint violations"
+        return "%s\ncircuit NOT satisfied (%d violations):\n%s" % (
+            head, self.failures.total, self.failures.summary())
+
+
+def tamper_advice(builder, row: int, col: int, delta: int = 1) -> str:
+    """Corrupt one assigned advice cell; returns a description of it."""
+    asg = builder.asg
+    if not 0 <= col < asg.cs.num_advice:
+        raise ValueError("advice column %d out of range" % col)
+    if not 0 <= row < asg.n:
+        raise ValueError("row %d out of range for 2^%d rows" % (row, builder.k))
+    column = Column(ColumnType.ADVICE, col)
+    old = asg.value(column, row)
+    asg.assign_advice(column, row, old + delta)
+    return "advice[%d]@%d (%d -> %d)" % (col, row, old,
+                                         asg.value(column, row))
+
+
+def diagnose_circuit(builder, max_failures: Optional[int] = 32) -> FailureList:
+    """MockProver check of a built circuit, with region attribution."""
+    return MockProver(builder.cs, builder.asg,
+                      regions=builder.regions).verify(max_failures)
+
+
+def diagnose_model(
+    spec,
+    inputs: Dict[str, np.ndarray],
+    num_cols: int = 10,
+    scale_bits: int = 5,
+    tamper_row: Optional[int] = None,
+    tamper_col: int = 0,
+    max_failures: Optional[int] = 32,
+) -> DiagnoseReport:
+    """Synthesize a model, optionally tamper with it, and mock-verify."""
+    from repro.compiler import synthesize_model
+
+    result = synthesize_model(spec, inputs, num_cols=num_cols,
+                              scale_bits=scale_bits)
+    builder = result.builder
+    tampered = None
+    if tamper_row is not None:
+        tampered = tamper_advice(builder, tamper_row, tamper_col)
+    failures = diagnose_circuit(builder, max_failures=max_failures)
+    return DiagnoseReport(
+        model=spec.name,
+        k=builder.k,
+        num_cols=num_cols,
+        rows_used=builder.rows_used,
+        failures=failures,
+        tampered=tampered,
+    )

@@ -1,0 +1,126 @@
+"""A small structured logger for the CLI and tooling.
+
+Levels are the usual ``debug < info < warning < error``.  ``info`` output
+is the CLI's user-facing text and goes to stdout unprefixed (so existing
+output stays byte-identical at the default level); ``debug`` / ``warning``
+/ ``error`` go to stderr with a level prefix.  Messages accept printf
+args plus structured ``key=value`` fields::
+
+    log = get_logger("cli")
+    log.info("proving: %.2f s", seconds)
+    log.debug("pk cache", hit=True, digest=d.hex())
+
+The threshold is set by :func:`configure` (CLI ``--quiet`` / ``-v``
+flags) or the ``ZKML_LOG_LEVEL`` environment variable (name or number);
+flags win over the environment.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Any, Dict
+
+__all__ = ["Logger", "configure", "get_logger", "get_level", "set_level"]
+
+DEBUG, INFO, WARNING, ERROR = 10, 20, 30, 40
+
+LEVEL_NAMES: Dict[str, int] = {
+    "debug": DEBUG,
+    "info": INFO,
+    "warning": WARNING,
+    "warn": WARNING,
+    "error": ERROR,
+}
+
+ENV_VAR = "ZKML_LOG_LEVEL"
+
+_level = INFO
+
+
+def _parse_level(value) -> int:
+    if isinstance(value, int):
+        return value
+    name = str(value).strip().lower()
+    if name in LEVEL_NAMES:
+        return LEVEL_NAMES[name]
+    try:
+        return int(name)
+    except ValueError:
+        raise ValueError("unknown log level %r (use %s)"
+                         % (value, "/".join(sorted(LEVEL_NAMES))))
+
+
+def set_level(level) -> None:
+    """Set the global threshold (a name like ``"debug"`` or an int)."""
+    global _level
+    _level = _parse_level(level)
+
+
+def get_level() -> int:
+    return _level
+
+
+def configure(verbosity: int = 0, quiet: bool = False,
+              env: Dict[str, str] = os.environ) -> None:
+    """Resolve the threshold from CLI flags and ``ZKML_LOG_LEVEL``.
+
+    ``--quiet`` forces errors-only; ``-v`` (any count) forces debug;
+    otherwise the environment variable applies, defaulting to info.
+    """
+    if quiet:
+        set_level(ERROR)
+    elif verbosity > 0:
+        set_level(DEBUG)
+    elif env.get(ENV_VAR):
+        set_level(env[ENV_VAR])
+    else:
+        set_level(INFO)
+
+
+class Logger:
+    """A named logger writing through the global threshold."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def _format(self, msg: str, args, fields: Dict[str, Any]) -> str:
+        text = (msg % args) if args else msg
+        if fields:
+            text += " " + " ".join(
+                "%s=%s" % (k, v) for k, v in sorted(fields.items())
+            )
+        return text
+
+    def debug(self, msg: str, *args: Any, **fields: Any) -> None:
+        if _level <= DEBUG:
+            print("[debug %s] %s" % (self.name, self._format(msg, args, fields)),
+                  file=sys.stderr)
+
+    def info(self, msg: str, *args: Any, **fields: Any) -> None:
+        if _level <= INFO:
+            print(self._format(msg, args, fields), file=sys.stdout)
+
+    def warning(self, msg: str, *args: Any, **fields: Any) -> None:
+        if _level <= WARNING:
+            print("warning: %s" % self._format(msg, args, fields),
+                  file=sys.stderr)
+
+    def error(self, msg: str, *args: Any, **fields: Any) -> None:
+        if _level <= ERROR:
+            print("error: %s" % self._format(msg, args, fields),
+                  file=sys.stderr)
+
+
+_loggers: Dict[str, Logger] = {}
+
+
+def get_logger(name: str) -> Logger:
+    """The shared logger instance for ``name``."""
+    logger = _loggers.get(name)
+    if logger is None:
+        logger = Logger(name)
+        _loggers[name] = logger
+    return logger

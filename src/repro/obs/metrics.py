@@ -1,0 +1,399 @@
+"""Metrics registry: counters / gauges / histograms + Prometheus export.
+
+A :class:`MetricsRegistry` holds named metric families, each optionally
+split by labels::
+
+    reg = MetricsRegistry()
+    reg.counter("zkml_ntt_invocations", "NTT calls", domain="base").inc(3)
+    reg.gauge("zkml_layer_rows", "rows per layer", layer="fc_1").set(120)
+    print(reg.to_prometheus())
+
+Two higher-level recorders tie the registry to the circuit pipeline:
+
+- :func:`record_circuit_stats` — per-circuit shape statistics (rows used
+  vs available, assigned cells, copy constraints, per-layer and
+  per-gadget row breakdowns) from a synthesized model;
+- :func:`record_prover_run` — observed operation counts (NTTs, hashes,
+  commitments) plus the cost model's *predicted* counts, enabling the
+  predicted-vs-actual report (:func:`render_predicted_vs_actual`) that
+  checks the optimizer's Algorithm-1 accounting against what the prover
+  actually did.
+
+:data:`NULL_METRICS` is the inert default so call sites never branch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "predicted_counts",
+    "predicted_vs_actual",
+    "record_circuit_stats",
+    "record_prover_run",
+    "render_predicted_vs_actual",
+]
+
+#: Default histogram bucket upper bounds (seconds-flavored).
+DEFAULT_BUCKETS = (0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    return "{%s}" % ",".join('%s="%s"' % (k, v) for k, v in key)
+
+
+def _render_value(value: float) -> str:
+    if float(value).is_integer():
+        return "%d" % int(value)
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS):
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * len(self.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+
+
+class _Family:
+    __slots__ = ("kind", "help", "instances")
+
+    def __init__(self, kind: str, help_text: str):
+        self.kind = kind
+        self.help = help_text
+        self.instances: Dict[LabelKey, Any] = {}
+
+
+class MetricsRegistry:
+    """Named metric families, exported in the Prometheus text format."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    def _get(self, kind: str, name: str, help_text: str,
+             labels: Dict[str, Any], factory):
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(kind, help_text)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                "metric %r already registered as a %s" % (name, family.kind)
+            )
+        if help_text and not family.help:
+            family.help = help_text
+        key = _label_key(labels)
+        metric = family.instances.get(key)
+        if metric is None:
+            metric = factory()
+            family.instances[key] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str = "", **labels: Any) -> Counter:
+        return self._get("counter", name, help_text, labels, Counter)
+
+    def gauge(self, name: str, help_text: str = "", **labels: Any) -> Gauge:
+        return self._get("gauge", name, help_text, labels, Gauge)
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Iterable[float] = DEFAULT_BUCKETS,
+                  **labels: Any) -> Histogram:
+        return self._get("histogram", name, help_text, labels,
+                         lambda: Histogram(buckets))
+
+    # -- reads ---------------------------------------------------------------
+
+    def value(self, name: str, **labels: Any) -> float:
+        """A counter/gauge's current value (KeyError if absent)."""
+        metric = self._families[name].instances[_label_key(labels)]
+        return metric.value
+
+    def values(self, name: str) -> Dict[LabelKey, float]:
+        """All label-instances of a counter/gauge family."""
+        family = self._families[name]
+        return {key: m.value for key, m in family.instances.items()}
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Nested plain-dict view (for JSON emission and tests)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, family in sorted(self._families.items()):
+            if family.kind == "histogram":
+                continue
+            out[name] = {
+                _render_labels(key) or "": metric.value
+                for key, metric in sorted(family.instances.items())
+            }
+        return out
+
+    # -- export --------------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format."""
+        lines: List[str] = []
+        for name, family in sorted(self._families.items()):
+            if family.help:
+                lines.append("# HELP %s %s" % (name, family.help))
+            lines.append("# TYPE %s %s" % (name, family.kind))
+            for key, metric in sorted(family.instances.items()):
+                labels = _render_labels(key)
+                if family.kind == "histogram":
+                    # observe() keeps the counts cumulative already
+                    for bound, count in zip(metric.buckets, metric.counts):
+                        bucket_key = key + (("le", _render_value(bound)),)
+                        lines.append("%s_bucket%s %d" % (
+                            name, _render_labels(bucket_key), count))
+                    inf_key = key + (("le", "+Inf"),)
+                    lines.append("%s_bucket%s %d" % (
+                        name, _render_labels(inf_key), metric.count))
+                    lines.append("%s_sum%s %s" % (
+                        name, labels, _render_value(metric.sum)))
+                    lines.append("%s_count%s %d" % (name, labels, metric.count))
+                else:
+                    lines.append("%s%s %s" % (
+                        name, labels, _render_value(metric.value)))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_prometheus())
+
+
+class NullMetrics:
+    """Inert registry stand-in: accepts every call, records nothing."""
+
+    def counter(self, name: str, help_text: str = "", **labels: Any):
+        return _NULL_METRIC
+
+    gauge = counter
+
+    def histogram(self, name: str, help_text: str = "", buckets=None,
+                  **labels: Any):
+        return _NULL_METRIC
+
+
+class _NullMetric:
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+#: Shared no-op registry instance.
+NULL_METRICS = NullMetrics()
+
+
+# -- pipeline recorders ------------------------------------------------------
+
+
+def _assigned_cells(columns: List[List[Optional[int]]]) -> int:
+    return sum(
+        sum(1 for v in column if v is not None) for column in columns
+    )
+
+
+def record_circuit_stats(registry: MetricsRegistry, synthesized,
+                         model: str = "") -> None:
+    """Record a synthesized circuit's shape statistics.
+
+    ``synthesized`` is a :class:`repro.compiler.SynthesizedModel` (duck
+    typed: only ``.layout`` and ``.builder`` are read).  Row counts come
+    from the same :class:`~repro.compiler.physical.PhysicalLayout` that
+    ``zkml inspect`` reports, so the two always agree; cell/copy counts
+    are measured on the actual witness grid.
+    """
+    layout = synthesized.layout
+    builder = synthesized.builder
+    asg = builder.asg
+    cs = builder.cs
+    model = model or layout.spec.name
+    g = registry.gauge
+
+    g("zkml_rows_total", "grid rows (2^k)", model=model).set(asg.n)
+    g("zkml_rows_used", "gadget rows actually laid out",
+      model=model).set(builder.rows_used)
+    g("zkml_k", "log2 grid rows", model=model).set(builder.k)
+    g("zkml_table_rows", "rows claimed by the largest lookup table",
+      model=model).set(builder.table_rows_needed())
+    g("zkml_gadget_rows", "gadget rows per the layout simulator",
+      model=model).set(layout.gadget_rows)
+
+    g("zkml_cells_assigned", "assigned advice cells", model=model,
+      kind="advice").set(_assigned_cells(asg.advice))
+    g("zkml_cells_assigned", "", model=model,
+      kind="fixed").set(_assigned_cells(asg.fixed))
+    g("zkml_cells_assigned", "", model=model,
+      kind="instance").set(_assigned_cells(asg.instance))
+    g("zkml_copy_constraints", "recorded equality constraints",
+      model=model).set(len(asg.copies))
+
+    g("zkml_columns", "column counts by kind", model=model,
+      kind="advice").set(cs.num_advice)
+    g("zkml_columns", "", model=model, kind="fixed").set(cs.num_fixed)
+    g("zkml_columns", "", model=model, kind="instance").set(cs.num_instance)
+    g("zkml_columns", "", model=model, kind="selector").set(cs.num_selectors)
+    g("zkml_gates", "user gates", model=model).set(len(cs.gates))
+    g("zkml_lookup_arguments", "lookup arguments", model=model).set(
+        len(cs.lookups))
+
+    # a lookup argument constrains every row of the grid
+    g("zkml_lookup_rows", "rows constrained by lookup arguments",
+      model=model).set(len(cs.lookups) * asg.n)
+
+    for layer, rows in sorted(layout.per_layer_rows.items()):
+        g("zkml_layer_rows", "gadget rows per model layer", model=model,
+          layer=layer).set(rows)
+    for gate in cs.gates:
+        if gate.selector is None:
+            continue
+        rows = sum(asg.selectors[gate.selector.index])
+        g("zkml_gadget_selector_rows", "rows with each gadget selector on",
+          model=model, gate=gate.name).set(rows)
+
+
+def record_prover_run(registry: MetricsRegistry, model: str,
+                      observed: Dict[str, int],
+                      predicted: Dict[str, float],
+                      phase_seconds: Optional[Dict[str, float]] = None) -> None:
+    """Record one proving run's observed and predicted operation counts."""
+    c = registry.counter
+    ntt_domains = {"ntt_base": "base", "ntt_extended": "extended"}
+    hash_sites = {
+        "transcript_absorbs": "transcript",
+        "merkle_leaf_hashes": "merkle_leaf",
+        "merkle_node_hashes": "merkle_node",
+    }
+    for key, count in sorted(observed.items()):
+        if key in ntt_domains:
+            c("zkml_ntt_invocations", "NTT transforms during proving",
+              model=model, domain=ntt_domains[key]).inc(count)
+        elif key in hash_sites:
+            c("zkml_hash_invocations", "hash calls during proving",
+              model=model, site=hash_sites[key]).inc(count)
+        else:
+            c("zkml_prover_ops", "other counted prover operations",
+              model=model, op=key).inc(count)
+    for key, count in sorted(predicted.items()):
+        registry.gauge("zkml_predicted_ops",
+                       "cost-model predicted operation counts (Eqs. 1-2)",
+                       model=model, op=key).set(count)
+    for phase, secs in sorted((phase_seconds or {}).items()):
+        registry.gauge("zkml_phase_seconds", "prover phase wall-clock",
+                       model=model, phase=phase).set(round(secs, 6))
+
+
+# -- predicted vs actual -----------------------------------------------------
+
+
+def predicted_counts(layout, scheme_name: str) -> Dict[str, float]:
+    """The cost model's per-phase operation counts for a layout."""
+    from repro.optimizer.cost_model import num_ffts, num_msms
+
+    n_fft = num_ffts(layout)
+    return {
+        "ffts_base": round(n_fft, 2),
+        "ffts_extended": round(n_fft + 1, 2),
+        "msms": round(num_msms(layout, scheme_name), 2),
+        "lookup_passes": float(layout.num_lookups),
+    }
+
+
+#: predicted-count key -> observed-counter key
+_PAIRINGS = (
+    ("ffts_base", "ntt_base"),
+    ("ffts_extended", "ntt_extended"),
+    ("msms", "commitments"),
+    ("lookup_passes", "lookup_passes"),
+)
+
+
+def predicted_vs_actual(predicted: Dict[str, float],
+                        observed: Dict[str, int]) -> List[Dict[str, Any]]:
+    """Rows diffing cost-model counts against observed prover counts."""
+    rows = []
+    for pred_key, obs_key in _PAIRINGS:
+        if pred_key not in predicted or obs_key not in observed:
+            continue
+        p, a = predicted[pred_key], observed[obs_key]
+        rows.append({
+            "quantity": pred_key,
+            "predicted": p,
+            "actual": a,
+            "ratio": round(a / p, 3) if p else None,
+        })
+    return rows
+
+
+def render_predicted_vs_actual(rows: List[Dict[str, Any]]) -> str:
+    """A small fixed-width predicted-vs-actual report."""
+    if not rows:
+        return "(no predicted-vs-actual data)"
+    lines = ["%-16s %10s %10s %8s" % ("quantity", "predicted", "actual",
+                                      "ratio")]
+    for row in rows:
+        ratio = "%8.2f" % row["ratio"] if row["ratio"] is not None else "     n/a"
+        lines.append("%-16s %10.1f %10d %s" % (
+            row["quantity"], row["predicted"], row["actual"], ratio))
+    return "\n".join(lines)

@@ -1,0 +1,251 @@
+"""Hierarchical trace spans for the prove/verify pipeline.
+
+A :class:`Tracer` records nested, attributed spans::
+
+    with tracer.span("keygen", k=11, scheme="kzg") as sp:
+        ...
+        sp.set_attr("pk_cache_hit", False)
+
+Span nesting follows the call stack per thread (a ``threading.local``
+stack), so spans opened on worker threads parent correctly.  Finished
+spans are kept flat with parent ids; :meth:`Tracer.to_tree` rebuilds the
+hierarchy.  Two export formats are supported:
+
+- **JSON lines** (:meth:`Tracer.to_jsonl`): one span object per line,
+  convenient for grep/jq pipelines;
+- **Chrome trace_event** (:meth:`Tracer.to_chrome_trace`): complete
+  ``"X"``-phase events loadable in ``chrome://tracing`` or Perfetto.
+
+The disabled default is :data:`NULL_TRACER`, whose :meth:`span` returns a
+shared inert singleton — no span objects, no clock reads, no allocations
+on the prover hot path (as long as callers pass no attribute kwargs).
+The process-wide current tracer is managed with :func:`get_tracer` /
+:func:`set_tracer` / :func:`use_tracer`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+
+class Span:
+    """One timed, attributed region of work.  Context manager."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start", "end", "attrs",
+                 "pid", "tid", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id: int = 0
+        self.parent_id: Optional[int] = None
+        self.start: float = 0.0
+        self.end: float = 0.0
+        self.pid: int = 0
+        self.tid: int = 0
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._exit(self)
+        return False
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "dur": self.duration,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Collects a process's span tree; thread-safe."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._epoch = clock()
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.finished: List[Span] = []
+
+    # -- recording ----------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        return Span(self, name, attrs)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _enter(self, span: Span) -> None:
+        stack = self._stack()
+        span.span_id = next(self._ids)
+        span.parent_id = stack[-1].span_id if stack else None
+        span.pid = os.getpid()
+        span.tid = threading.get_ident()
+        stack.append(span)
+        span.start = self._clock()
+
+    def _exit(self, span: Span) -> None:
+        span.end = self._clock()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # out-of-order exit; drop it from wherever it is
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        with self._lock:
+            self.finished.append(span)
+
+    # -- views --------------------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        """Finished spans in deterministic (start time, id) order."""
+        with self._lock:
+            out = list(self.finished)
+        out.sort(key=lambda s: (s.start, s.span_id))
+        return out
+
+    def to_tree(self) -> List[Dict[str, Any]]:
+        """Root span dicts with nested ``children`` lists."""
+        nodes: Dict[int, Dict[str, Any]] = {}
+        roots: List[Dict[str, Any]] = []
+        for span in self.spans():
+            node = span.as_dict()
+            node["children"] = []
+            nodes[span.span_id] = node
+        for node in nodes.values():
+            parent = nodes.get(node["parent"]) if node["parent"] else None
+            (parent["children"] if parent else roots).append(node)
+        return roots
+
+    # -- exports ------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per finished span, one span per line."""
+        return "\n".join(
+            json.dumps(span.as_dict(), sort_keys=True) for span in self.spans()
+        ) + ("\n" if self.finished else "")
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The Chrome ``trace_event`` JSON document (complete events)."""
+        events = []
+        for span in self.spans():
+            events.append({
+                "name": span.name,
+                "cat": "zkml",
+                "ph": "X",
+                "ts": (span.start - self._epoch) * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": span.pid,
+                "tid": span.tid,
+                "args": span.attrs,
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write(self, path: str) -> None:
+        """Write the trace: ``*.jsonl`` as JSON lines, else Chrome format."""
+        with open(path, "w") as fh:
+            if path.endswith(".jsonl"):
+                fh.write(self.to_jsonl())
+            else:
+                json.dump(self.to_chrome_trace(), fh, indent=1, sort_keys=True)
+                fh.write("\n")
+
+
+class _NullSpan:
+    """Inert shared span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: ``span()`` hands back one shared inert object."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def spans(self) -> List[Span]:
+        return []
+
+
+#: Shared no-op tracer instance (the process default).
+NULL_TRACER = NullTracer()
+
+_CURRENT: Any = NULL_TRACER
+
+
+def get_tracer():
+    """The process-wide current tracer (:data:`NULL_TRACER` by default)."""
+    return _CURRENT
+
+
+def set_tracer(tracer) -> None:
+    """Install ``tracer`` as the process-wide current tracer."""
+    global _CURRENT
+    _CURRENT = tracer if tracer is not None else NULL_TRACER
+
+
+@contextmanager
+def use_tracer(tracer):
+    """Temporarily install a tracer (restores the previous one on exit)."""
+    previous = _CURRENT
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -28,6 +28,7 @@ from repro.optimizer.cost_model import (
     estimate_verification_time,
     extended_k,
 )
+from repro.obs.trace import get_tracer
 from repro.optimizer.hardware import HardwareProfile
 
 
@@ -100,40 +101,53 @@ def optimize_layout(
     if objective not in ("time", "size"):
         raise ValueError("objective must be 'time' or 'size'")
     start = time.perf_counter()
-    plans = generate_logical_layouts(spec, prune=prune,
-                                     restrict_gadgets=restrict_gadgets,
-                                     include_freivalds=include_freivalds)
-    candidates: List[Candidate] = []
-    best: Optional[Candidate] = None
-    # minimizing proof size in practice means minimizing columns (§9.4:
-    # "which is 10 for our gadgets"); our gadget set admits even narrower
-    # grids, so both objectives search the same range and the size
-    # objective converges to the feasible minimum on its own.
-    col_range = list(range(n_min, n_max + 1))
-    for plan in plans:
-        for num_cols in col_range:
-            try:
-                layout = build_physical_layout(
-                    spec, plan, num_cols, scale_bits,
-                    lookup_bits=lookup_bits, max_k=max_k,
-                )
-            except LayoutInfeasible:
-                continue
-            total_columns = (
-                layout.num_advice + layout.num_fixed + layout.num_selectors
-                + 3 * layout.num_lookups
-            )
-            extension = 1 << (extended_k(layout) - layout.k)
-            if not hardware.fits_memory(layout.k, total_columns, extension):
-                continue
-            cost = estimate_cost(layout, hardware, scheme_name)
-            size = estimate_proof_size(layout, scheme_name)
-            value = cost.total if objective == "time" else float(size)
-            candidate = Candidate(layout=layout, cost=cost,
-                                  proof_size=size, objective_value=value)
-            candidates.append(candidate)
-            if best is None or value < best.objective_value:
-                best = candidate
+    tracer = get_tracer()
+    with tracer.span("optimize", model=spec.name, scheme=scheme_name,
+                     objective=objective) as opt_span:
+        plans = generate_logical_layouts(spec, prune=prune,
+                                         restrict_gadgets=restrict_gadgets,
+                                         include_freivalds=include_freivalds)
+        candidates: List[Candidate] = []
+        best: Optional[Candidate] = None
+        # minimizing proof size in practice means minimizing columns (§9.4:
+        # "which is 10 for our gadgets"); our gadget set admits even narrower
+        # grids, so both objectives search the same range and the size
+        # objective converges to the feasible minimum on its own.
+        col_range = list(range(n_min, n_max + 1))
+        for plan_index, plan in enumerate(plans):
+            with tracer.span("plan[%d]" % plan_index) as plan_span:
+                plan_candidates = 0
+                for num_cols in col_range:
+                    try:
+                        layout = build_physical_layout(
+                            spec, plan, num_cols, scale_bits,
+                            lookup_bits=lookup_bits, max_k=max_k,
+                        )
+                    except LayoutInfeasible:
+                        continue
+                    total_columns = (
+                        layout.num_advice + layout.num_fixed
+                        + layout.num_selectors + 3 * layout.num_lookups
+                    )
+                    extension = 1 << (extended_k(layout) - layout.k)
+                    if not hardware.fits_memory(layout.k, total_columns,
+                                                extension):
+                        continue
+                    cost = estimate_cost(layout, hardware, scheme_name)
+                    size = estimate_proof_size(layout, scheme_name)
+                    value = cost.total if objective == "time" else float(size)
+                    candidate = Candidate(layout=layout, cost=cost,
+                                          proof_size=size,
+                                          objective_value=value)
+                    candidates.append(candidate)
+                    plan_candidates += 1
+                    if best is None or value < best.objective_value:
+                        best = candidate
+                plan_span.set_attr("feasible", plan_candidates)
+        opt_span.set_attr("layouts_evaluated", len(candidates))
+        if best is not None:
+            opt_span.set_attr("best_k", best.layout.k)
+            opt_span.set_attr("best_num_cols", best.layout.num_cols)
     if best is None:
         raise LayoutInfeasible(
             "no feasible layout for %s on %s" % (spec.name, hardware.name)

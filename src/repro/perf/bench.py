@@ -9,11 +9,19 @@ verify wall-clock plus the per-phase breakdown from the prover's
 repo seed (pre-vectorization) on this container's single core, with the
 same deterministic inputs this harness generates; ``speedup_vs_seed``
 reports current/baseline per model.
+
+The harness doubles as the observability smoke test: pass ``trace_path``
+/ ``metrics_path`` (CLI ``--trace`` / ``--metrics``) to capture the span
+tree and the metrics registry for the whole run, and ``check_parallel``
+to re-prove each model with worker processes and assert the proof bytes
+are identical to the serial run (the report carries
+``parallel_proofs_identical`` so callers can exit non-zero).
 """
 
 from __future__ import annotations
 
 import json
+import pickle
 import platform
 import sys
 from typing import Dict, Iterable, List, Optional
@@ -21,6 +29,8 @@ from typing import Dict, Iterable, List, Optional
 import numpy as np
 
 from repro.model.zoo import get_model
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, use_tracer
 from repro.runtime.pipeline import prove_model
 
 #: JSON schema tag for ``BENCH_prover.json``.
@@ -37,6 +47,9 @@ SEED_BASELINE_SECONDS: Dict[str, float] = {
 #: Models the default bench run proves, smallest first.
 DEFAULT_MODELS = ("dlrm", "mnist", "twitter")
 
+#: The single smallest model — what ``zkml bench --quick`` proves (CI smoke).
+QUICK_MODELS = ("dlrm",)
+
 
 def bench_inputs(spec, seed: int = 0) -> Dict[str, np.ndarray]:
     """Deterministic standard-normal inputs for a model spec."""
@@ -52,11 +65,14 @@ def bench_model(
     scheme_name: str = "kzg",
     jobs: Optional[int] = None,
     seed: int = 0,
+    metrics: Optional[MetricsRegistry] = None,
+    check_parallel: bool = False,
 ) -> Dict[str, object]:
     """Prove one mini zoo model and return its benchmark record."""
     spec = get_model(name, scale="mini")
+    inputs = bench_inputs(spec, seed)
     result = prove_model(
-        spec, bench_inputs(spec, seed), scheme_name=scheme_name, jobs=jobs
+        spec, inputs, scheme_name=scheme_name, jobs=jobs, metrics=metrics
     )
     verify_seconds = result.verification_seconds()
     baseline = SEED_BASELINE_SECONDS.get(name)
@@ -72,6 +88,11 @@ def bench_model(
             phase: round(secs, 4) for phase, secs in result.phase_seconds.items()
         },
         "modeled_proof_bytes": result.modeled_proof_bytes,
+        "observed_ops": result.observed_counts,
+        "predicted_ops": {
+            key: round(value, 2)
+            for key, value in result.predicted_counts.items()
+        },
     }
     if baseline is not None:
         record["seed_baseline_seconds"] = baseline
@@ -79,6 +100,16 @@ def bench_model(
             record["speedup_vs_seed"] = round(
                 baseline / result.proving_seconds, 2
             )
+    if check_parallel:
+        # Re-prove with worker processes; the pk cache skips keygen, so
+        # this costs one extra prove.  Proofs must be byte-identical.
+        other_jobs = 2 if not jobs or jobs < 2 else None
+        parallel = prove_model(
+            spec, inputs, scheme_name=scheme_name, jobs=other_jobs
+        )
+        record["parallel_proof_identical"] = (
+            pickle.dumps(result.proof) == pickle.dumps(parallel.proof)
+        )
     return record
 
 
@@ -89,31 +120,57 @@ def run_bench(
     seed: int = 0,
     output_path: Optional[str] = "BENCH_prover.json",
     stream=None,
+    trace_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
+    check_parallel: bool = False,
+    registry: Optional[MetricsRegistry] = None,
 ) -> Dict[str, object]:
-    """Prove each model, print the breakdown, and write the JSON report."""
+    """Prove each model, print the breakdown, and write the JSON report.
+
+    ``registry`` lets a caller (the CLI) supply its own metrics registry;
+    otherwise one is created when ``metrics_path`` is set.
+    """
     stream = stream if stream is not None else sys.stdout
+    tracer = Tracer() if trace_path else None
+    if registry is None and metrics_path:
+        registry = MetricsRegistry()
     records: List[Dict[str, object]] = []
-    for name in models:
-        record = bench_model(name, scheme_name=scheme_name, jobs=jobs, seed=seed)
-        records.append(record)
-        print(
-            "%-10s k=%-3s prove %6.2f s  keygen %5.2f s  verify %5.2f s%s"
-            % (
-                record["model"],
-                record["k"],
-                record["prove_seconds"],
-                record["keygen_seconds"],
-                record["verify_seconds"],
-                "  (%.2fx vs seed)" % record["speedup_vs_seed"]
-                if "speedup_vs_seed" in record
-                else "",
-            ),
-            file=stream,
-        )
-        for phase, secs in sorted(
-            record["phase_seconds"].items(), key=lambda kv: -kv[1]
-        ):
-            print("    %-10s %6.3f s" % (phase, secs), file=stream)
+
+    def run_all() -> None:
+        for name in models:
+            record = bench_model(
+                name, scheme_name=scheme_name, jobs=jobs, seed=seed,
+                metrics=registry, check_parallel=check_parallel,
+            )
+            records.append(record)
+            print(
+                "%-10s k=%-3s prove %6.2f s  keygen %5.2f s  verify %5.2f s%s"
+                % (
+                    record["model"],
+                    record["k"],
+                    record["prove_seconds"],
+                    record["keygen_seconds"],
+                    record["verify_seconds"],
+                    "  (%.2fx vs seed)" % record["speedup_vs_seed"]
+                    if "speedup_vs_seed" in record
+                    else "",
+                ),
+                file=stream,
+            )
+            for phase, secs in sorted(
+                record["phase_seconds"].items(), key=lambda kv: -kv[1]
+            ):
+                print("    %-10s %6.3f s" % (phase, secs), file=stream)
+            if record.get("parallel_proof_identical") is False:
+                print("    WARNING: parallel proof bytes diverge from serial",
+                      file=stream)
+
+    if tracer is not None:
+        with use_tracer(tracer):
+            run_all()
+    else:
+        run_all()
+
     report: Dict[str, object] = {
         "schema": SCHEMA,
         "config": {
@@ -127,9 +184,19 @@ def run_bench(
             sum(r["prove_seconds"] for r in records), 4
         ),
     }
+    if check_parallel:
+        report["parallel_proofs_identical"] = all(
+            r.get("parallel_proof_identical", True) for r in records
+        )
     if output_path:
         with open(output_path, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print("wrote %s" % output_path, file=stream)
+    if tracer is not None and trace_path:
+        tracer.write(trace_path)
+        print("wrote %s" % trace_path, file=stream)
+    if registry is not None and metrics_path:
+        registry.write(metrics_path)
+        print("wrote %s" % metrics_path, file=stream)
     return report

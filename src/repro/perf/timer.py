@@ -2,8 +2,13 @@
 
 A :class:`PhaseTimer` is handed into ``create_proof`` and accumulates
 seconds per named phase; the same phase name may be entered repeatedly
-(times add up).  :class:`NullTimer` is the zero-overhead default so the
-prover never branches on "is profiling on".
+(times add up).  Since the observability PR the timer is a *span-backed
+shim*: each phase also opens a span on the active
+:mod:`repro.obs.trace` tracer, so ``zkml prove --trace`` sees the
+commit/helpers/quotient/openings breakdown as children of the prove span
+while ``ProveResult.phase_seconds`` keeps its original shape.
+:class:`NullTimer` is the zero-overhead default so the prover never
+branches on "is profiling on".
 """
 
 from __future__ import annotations
@@ -12,21 +17,28 @@ import time
 from contextlib import contextmanager
 from typing import Dict
 
+from repro.obs.trace import get_tracer
+
 
 class PhaseTimer:
-    """Accumulates wall-clock seconds per named phase."""
+    """Accumulates wall-clock seconds per named phase (and emits spans)."""
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
         self.seconds: Dict[str, float] = {}
+        #: Tracer receiving one span per phase entry; ``None`` means
+        #: "whatever tracer is active when the phase runs".
+        self._tracer = tracer
 
     @contextmanager
     def phase(self, name: str):
+        tracer = self._tracer if self._tracer is not None else get_tracer()
         start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+        with tracer.span(name):
+            try:
+                yield
+            finally:
+                elapsed = time.perf_counter() - start
+                self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
 
     @property
     def total(self) -> float:

@@ -4,6 +4,16 @@
 exposes the model outputs as public inputs, runs keygen and the prover,
 and measures wall-clock times; ``verify_model_proof`` replays the
 verifier.  Proof artifacts pickle cleanly for the CLI's file workflow.
+
+Observability: every stage runs under a span on the active
+:mod:`repro.obs` tracer (``prove_model -> synthesize -> layout/witness``,
+``keygen``, ``prove -> commit/helpers/quotient/openings``, ``verify``),
+and the run's operation counts (NTTs, commitments, hashes) are captured
+as a delta over :data:`repro.obs.stats.STATS` together with the cost
+model's *predicted* counts — the raw material for the
+predicted-vs-actual report.  Passing a
+:class:`~repro.obs.metrics.MetricsRegistry` additionally records circuit
+shape statistics and per-phase timings.
 """
 
 from __future__ import annotations
@@ -19,6 +29,9 @@ from repro.compiler import SynthesizedModel, synthesize_model
 from repro.field import GOLDILOCKS, PrimeField
 from repro.halo2 import Proof, VerifyingKey, create_proof, keygen, verify_proof
 from repro.model.spec import ModelSpec
+from repro.obs import metrics as obs_metrics
+from repro.obs.stats import STATS
+from repro.obs.trace import get_tracer
 from repro.perf.pkcache import GLOBAL_PK_CACHE
 from repro.perf.timer import PhaseTimer
 
@@ -43,15 +56,27 @@ class ProveResult:
     phase_seconds: Dict[str, float] = dataclass_field(default_factory=dict)
     #: Whether keygen was skipped via the proving-key cache.
     pk_cache_hit: bool = False
+    #: Operation counts observed during proving (NTTs, commitments, ...).
+    observed_counts: Dict[str, int] = dataclass_field(default_factory=dict)
+    #: The cost model's predicted counts for the same layout (Eqs. 1-2).
+    predicted_counts: Dict[str, float] = dataclass_field(default_factory=dict)
 
     def verification_seconds(self, field: PrimeField = GOLDILOCKS) -> float:
         scheme = scheme_by_name(self.scheme_name, field)
+        tracer = get_tracer()
         start = time.perf_counter()
-        ok = verify_proof(self.vk, self.proof, self.instance, scheme)
+        with tracer.span("verify", model=self.spec_name,
+                         scheme=self.scheme_name):
+            ok = verify_proof(self.vk, self.proof, self.instance, scheme)
         elapsed = time.perf_counter() - start
         if not ok:
             raise AssertionError("freshly created proof failed to verify")
         return elapsed
+
+    def predicted_vs_actual(self) -> List[Dict[str, object]]:
+        """Cost-model counts vs the counts this run actually performed."""
+        return obs_metrics.predicted_vs_actual(self.predicted_counts,
+                                               self.observed_counts)
 
 
 def prove_model(
@@ -66,35 +91,66 @@ def prove_model(
     field: PrimeField = GOLDILOCKS,
     jobs: Optional[int] = None,
     use_pk_cache: bool = True,
+    tracer=None,
+    metrics=None,
 ) -> ProveResult:
     """Synthesize, keygen, and prove one inference of a model.
 
     ``jobs`` fans independent prover work over worker processes (see
     ``repro.perf``); with ``use_pk_cache`` repeated proves of the same
-    circuit skip keygen via the global proving-key cache.
+    circuit skip keygen via the global proving-key cache.  ``tracer``
+    overrides the process tracer for this run; ``metrics`` is an optional
+    :class:`~repro.obs.metrics.MetricsRegistry` that receives circuit
+    statistics and prover operation counts.
     """
-    result: SynthesizedModel = synthesize_model(
-        spec, inputs, plan=plan, num_cols=num_cols, scale_bits=scale_bits,
-        lookup_bits=lookup_bits, k=k,
-    )
-    for name in spec.outputs:
-        result.builder.expose(result.outputs[name].entries())
+    tracer = tracer if tracer is not None else get_tracer()
+    with tracer.span("prove_model", model=spec.name, scheme=scheme_name):
+        with tracer.span("synthesize", model=spec.name):
+            result: SynthesizedModel = synthesize_model(
+                spec, inputs, plan=plan, num_cols=num_cols,
+                scale_bits=scale_bits, lookup_bits=lookup_bits, k=k,
+                tracer=tracer,
+            )
+            for name in spec.outputs:
+                result.builder.expose(result.outputs[name].entries())
 
-    scheme = scheme_by_name(scheme_name, field)
-    start = time.perf_counter()
-    if use_pk_cache:
-        pk, vk, pk_cache_hit = GLOBAL_PK_CACHE.get_or_create(
-            result.builder.cs, result.builder.asg, scheme
-        )
-    else:
-        pk, vk = keygen(result.builder.cs, result.builder.asg, scheme)
-        pk_cache_hit = False
-    keygen_seconds = time.perf_counter() - start
+        scheme = scheme_by_name(scheme_name, field)
+        start = time.perf_counter()
+        with tracer.span("keygen", model=spec.name, k=result.builder.k,
+                         num_cols=num_cols, scheme=scheme_name) as sp:
+            if use_pk_cache:
+                pk, vk, pk_cache_hit = GLOBAL_PK_CACHE.get_or_create(
+                    result.builder.cs, result.builder.asg, scheme
+                )
+            else:
+                pk, vk = keygen(result.builder.cs, result.builder.asg, scheme)
+                pk_cache_hit = False
+            sp.set_attr("pk_cache_hit", pk_cache_hit)
+        keygen_seconds = time.perf_counter() - start
 
-    timer = PhaseTimer()
-    start = time.perf_counter()
-    proof = create_proof(pk, result.builder.asg, scheme, jobs=jobs, timer=timer)
-    proving_seconds = time.perf_counter() - start
+        timer = PhaseTimer(tracer)
+        counts_before = STATS.snapshot()
+        start = time.perf_counter()
+        with tracer.span("prove", model=spec.name, k=result.builder.k,
+                         jobs=jobs or 1):
+            proof = create_proof(pk, result.builder.asg, scheme, jobs=jobs,
+                                 timer=timer)
+        proving_seconds = time.perf_counter() - start
+        observed = STATS.delta(counts_before)
+        predicted = obs_metrics.predicted_counts(result.layout, scheme_name)
+
+        if metrics is not None:
+            obs_metrics.record_circuit_stats(metrics, result,
+                                             model=spec.name)
+            obs_metrics.record_prover_run(metrics, spec.name, observed,
+                                          predicted,
+                                          phase_seconds=timer.seconds)
+            metrics.gauge("zkml_keygen_seconds", "keygen wall-clock",
+                          model=spec.name).set(round(keygen_seconds, 6))
+            metrics.gauge("zkml_prove_seconds", "prover wall-clock",
+                          model=spec.name).set(round(proving_seconds, 6))
+            metrics.gauge("zkml_pk_cache_hit", "1 if keygen was skipped",
+                          model=spec.name).set(int(pk_cache_hit))
 
     return ProveResult(
         spec_name=spec.name,
@@ -111,6 +167,8 @@ def prove_model(
         modeled_proof_bytes=proof.modeled_size_bytes(scheme, result.builder.k),
         phase_seconds=dict(timer.seconds),
         pk_cache_hit=pk_cache_hit,
+        observed_counts=observed,
+        predicted_counts=predicted,
     )
 
 
@@ -123,7 +181,8 @@ def verify_model_proof(
 ) -> bool:
     """Verify a model proof against its public inputs."""
     scheme = scheme_by_name(scheme_name, field)
-    return verify_proof(vk, proof, instance, scheme)
+    with get_tracer().span("verify", scheme=scheme_name):
+        return verify_proof(vk, proof, instance, scheme)
 
 
 @dataclass
@@ -146,7 +205,9 @@ class BatchProveResult:
 
     def verify(self, field: PrimeField = GOLDILOCKS) -> bool:
         scheme = scheme_by_name(self.scheme_name, field)
-        return verify_proof(self.vk, self.proof, self.instance, scheme)
+        with get_tracer().span("verify", model=self.spec_name,
+                               scheme=self.scheme_name):
+            return verify_proof(self.vk, self.proof, self.instance, scheme)
 
 
 def prove_batch(
@@ -159,6 +220,7 @@ def prove_batch(
     lookup_bits: Optional[int] = None,
     field: PrimeField = GOLDILOCKS,
     jobs: Optional[int] = None,
+    tracer=None,
 ) -> BatchProveResult:
     """Prove several inferences of one model with a single proof.
 
@@ -167,22 +229,31 @@ def prove_batch(
     """
     from repro.compiler import synthesize_batch
 
-    result = synthesize_batch(
-        spec, batch_inputs, plan=plan, num_cols=num_cols,
-        scale_bits=scale_bits, lookup_bits=lookup_bits,
-    )
-    for outputs in result.outputs:
-        for name in spec.outputs:
-            result.builder.expose(outputs[name].entries())
+    tracer = tracer if tracer is not None else get_tracer()
+    with tracer.span("prove_batch", model=spec.name, scheme=scheme_name,
+                     batch_size=len(batch_inputs)):
+        with tracer.span("synthesize", model=spec.name):
+            result = synthesize_batch(
+                spec, batch_inputs, plan=plan, num_cols=num_cols,
+                scale_bits=scale_bits, lookup_bits=lookup_bits,
+            )
+            for outputs in result.outputs:
+                for name in spec.outputs:
+                    result.builder.expose(outputs[name].entries())
 
-    scheme = scheme_by_name(scheme_name, field)
-    start = time.perf_counter()
-    pk, vk = keygen(result.builder.cs, result.builder.asg, scheme)
-    keygen_seconds = time.perf_counter() - start
-    timer = PhaseTimer()
-    start = time.perf_counter()
-    proof = create_proof(pk, result.builder.asg, scheme, jobs=jobs, timer=timer)
-    proving_seconds = time.perf_counter() - start
+        scheme = scheme_by_name(scheme_name, field)
+        start = time.perf_counter()
+        with tracer.span("keygen", model=spec.name, k=result.builder.k,
+                         scheme=scheme_name):
+            pk, vk = keygen(result.builder.cs, result.builder.asg, scheme)
+        keygen_seconds = time.perf_counter() - start
+        timer = PhaseTimer(tracer)
+        start = time.perf_counter()
+        with tracer.span("prove", model=spec.name, k=result.builder.k,
+                         jobs=jobs or 1):
+            proof = create_proof(pk, result.builder.asg, scheme, jobs=jobs,
+                                 timer=timer)
+        proving_seconds = time.perf_counter() - start
 
     return BatchProveResult(
         spec_name=spec.name,

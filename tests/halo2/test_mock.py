@@ -77,6 +77,49 @@ def test_max_failures_truncation():
     cs, asg = range_check_circuit(values=tuple([99] * 10))
     failures = MockProver(cs, asg).verify(max_failures=3)
     assert len(failures) == 3
+    # the cap limits materialization, not counting
+    assert failures.total == 10
+    assert failures.truncated
+    summary = failures.summary()
+    assert "...and 7 more failures (report capped at 3)" in summary
+
+
+def test_uncapped_failures_not_truncated():
+    cs, asg = range_check_circuit(values=(0, 99))
+    failures = MockProver(cs, asg).verify()
+    assert failures.total == len(failures)
+    assert not failures.truncated
+    assert "more failures" not in failures.summary()
+
+
+def test_gate_failure_carries_cell_values():
+    cs, asg = mul_circuit(tamper_row=1)
+    failures = MockProver(cs, asg).verify()
+    (failure,) = [f for f in failures if f.kind == "gate"]
+    assert failure.cells, "gate failure should list referenced cells"
+    assert "=" in failure.cells
+    assert "[" in str(failure)  # cells rendered in the message
+
+
+def test_region_attribution():
+    from repro.gadgets.builder import Region
+
+    cs, asg = mul_circuit(tamper_row=1)
+    regions = [Region("fc_1", "fully_connected", 0, 8)]
+    failures = MockProver(cs, asg, regions=regions).verify()
+    (failure,) = [f for f in failures if f.kind == "gate"]
+    assert failure.region == "layer 'fc_1' (fully_connected, rows 0..7)"
+    assert "in layer 'fc_1'" in str(failure)
+
+
+def test_innermost_region_wins():
+    from repro.gadgets.builder import Region
+
+    cs, asg = mul_circuit(tamper_row=1)
+    regions = [Region("outer", "batch", 0, 8), Region("inner", "", 0, 4)]
+    failures = MockProver(cs, asg, regions=regions).verify()
+    (failure,) = [f for f in failures if f.kind == "gate"]
+    assert failure.region == "region 'inner' (rows 0..3)"
 
 
 def test_mismatched_assignment_rejected():

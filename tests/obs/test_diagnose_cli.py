@@ -1,0 +1,113 @@
+"""Tests for ``zkml diagnose`` and the CLI observability flags."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.model import get_model
+from repro.obs.diagnose import diagnose_model
+
+
+@pytest.fixture(autouse=True)
+def reset_log_level():
+    from repro.obs import log as obs_log
+
+    yield
+    obs_log.set_level(obs_log.INFO)
+
+
+def model_inputs(spec, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        name: rng.uniform(-0.5, 0.5, shape)
+        for name, shape in spec.inputs.items()
+    }
+
+
+class TestDiagnoseEngine:
+    def test_clean_circuit_ok(self):
+        spec = get_model("mnist", "mini")
+        report = diagnose_model(spec, model_inputs(spec))
+        assert report.ok
+        assert "satisfied" in report.render()
+
+    def test_tampered_cell_attributed_to_layer(self):
+        spec = get_model("mnist", "mini")
+        # row 0 belongs to the first conv layer and carries an active gate
+        report = diagnose_model(spec, model_inputs(spec), tamper_row=0,
+                                tamper_col=0, max_failures=3)
+        assert not report.ok
+        assert report.tampered.startswith("advice[0]@0")
+        text = report.render()
+        assert "NOT satisfied" in text
+        assert "layer" in text          # region attribution
+        assert "advice[0]@0=" in text   # offending cell values
+        (gate_failure,) = [f for f in report.failures if f.kind == "gate"]
+        assert gate_failure.region.startswith("layer")
+        assert gate_failure.cells
+
+    def test_cap_reports_remainder(self):
+        spec = get_model("mnist", "mini")
+        report = diagnose_model(spec, model_inputs(spec), tamper_row=0,
+                                tamper_col=0, max_failures=1)
+        assert report.failures.truncated
+        assert "more failures" in report.failures.summary()
+
+
+class TestDiagnoseCommand:
+    def test_ok_exit_zero(self, capsys):
+        assert main(["diagnose", "--model", "mnist"]) == 0
+        assert "satisfied" in capsys.readouterr().out
+
+    def test_broken_assignment_exit_one(self, capsys):
+        rc = main(["diagnose", "--model", "mnist", "--tamper-row", "0",
+                   "--max-failures", "2"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "NOT satisfied" in out
+        assert "layer" in out
+
+
+class TestObservabilityFlags:
+    @pytest.fixture(scope="class")
+    def prove_artifacts(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("obs")
+        trace = tmp / "out.json"
+        metrics = tmp / "out.prom"
+        rc = main(["prove", "--model", "dlrm", "--trace", str(trace),
+                   "--metrics", str(metrics)])
+        assert rc == 0
+        return trace, metrics
+
+    def test_trace_file_has_pipeline_spans(self, prove_artifacts):
+        trace, _ = prove_artifacts
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        for required in ("prove_model", "keygen", "commit", "helpers",
+                         "quotient", "openings", "verify"):
+            assert required in names
+
+    def test_metrics_match_inspect_json(self, prove_artifacts, capsys):
+        # the acceptance bar: `zkml prove --metrics` row/cell counters
+        # agree with `zkml inspect --json` for the same configuration
+        _, metrics = prove_artifacts
+        assert main(["inspect", "--model", "dlrm", "--scale", "mini",
+                     "--columns", "10", "--scale-bits", "5", "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        metrics_text = metrics.read_text()
+        for family, instances in info["metrics"].items():
+            for labels, value in instances.items():
+                line = "%s%s %d" % (family, labels, value)
+                assert line in metrics_text, "missing %r" % line
+
+    def test_env_var_enables_tracing(self, tmp_path, monkeypatch, capsys):
+        path = tmp_path / "env-trace.json"
+        monkeypatch.setenv("ZKML_TRACE", str(path))
+        assert main(["models"]) == 0
+        assert path.exists()
+
+    def test_quiet_silences_info(self, capsys):
+        assert main(["models", "--quiet"]) == 0
+        assert capsys.readouterr().out == ""

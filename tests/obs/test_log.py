@@ -1,0 +1,78 @@
+"""Tests for the structured CLI logger."""
+
+import pytest
+
+from repro.obs import log as obs_log
+
+
+@pytest.fixture(autouse=True)
+def reset_level():
+    yield
+    obs_log.set_level(obs_log.INFO)
+
+
+class TestConfigure:
+    def test_default_info(self):
+        obs_log.configure(env={})
+        assert obs_log.get_level() == obs_log.INFO
+
+    def test_quiet_wins(self):
+        obs_log.configure(quiet=True, verbosity=3, env={})
+        assert obs_log.get_level() == obs_log.ERROR
+
+    def test_verbose(self):
+        obs_log.configure(verbosity=1, env={})
+        assert obs_log.get_level() == obs_log.DEBUG
+
+    def test_env_variable(self):
+        obs_log.configure(env={"ZKML_LOG_LEVEL": "warning"})
+        assert obs_log.get_level() == obs_log.WARNING
+
+    def test_flags_beat_env(self):
+        obs_log.configure(verbosity=1, env={"ZKML_LOG_LEVEL": "error"})
+        assert obs_log.get_level() == obs_log.DEBUG
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            obs_log.set_level("nonsense")
+
+
+class TestOutput:
+    def test_info_goes_to_stdout_bare(self, capsys):
+        log = obs_log.get_logger("t")
+        log.info("proving: %.2f s", 1.5)
+        captured = capsys.readouterr()
+        assert captured.out == "proving: 1.50 s\n"
+        assert captured.err == ""
+
+    def test_structured_fields_appended_sorted(self, capsys):
+        log = obs_log.get_logger("t")
+        log.info("done", model="mnist", k=9)
+        assert capsys.readouterr().out == "done k=9 model=mnist\n"
+
+    def test_warning_prefixed_on_stderr(self, capsys):
+        log = obs_log.get_logger("t")
+        log.warning("odd %s", "thing")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == "warning: odd thing\n"
+
+    def test_quiet_suppresses_info(self, capsys):
+        obs_log.set_level(obs_log.ERROR)
+        log = obs_log.get_logger("t")
+        log.info("hidden")
+        log.error("shown")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "error: shown" in captured.err
+
+    def test_debug_hidden_by_default(self, capsys):
+        log = obs_log.get_logger("t")
+        log.debug("hidden")
+        assert capsys.readouterr().err == ""
+        obs_log.set_level(obs_log.DEBUG)
+        log.debug("shown", hit=True)
+        assert capsys.readouterr().err == "[debug t] shown hit=True\n"
+
+    def test_get_logger_cached(self):
+        assert obs_log.get_logger("x") is obs_log.get_logger("x")

@@ -1,0 +1,143 @@
+"""Tests for the span tracer and its exporters."""
+
+import json
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+
+def fake_clock(step=1.0):
+    """A deterministic clock advancing by ``step`` per read."""
+    state = {"t": 0.0}
+
+    def read():
+        state["t"] += step
+        return state["t"]
+
+    return read
+
+
+class TestNesting:
+    def test_parent_child_linkage(self):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner2"):
+                pass
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["outer"].parent_id is None
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["inner2"].parent_id == spans["outer"].span_id
+
+    def test_deterministic_ordering(self):
+        # spans() sorts by (start, id): outer first despite finishing last
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert [s.name for s in tracer.spans()] == ["a", "b"]
+
+    def test_to_tree(self):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+        (root,) = tracer.to_tree()
+        assert root["name"] == "root"
+        (child,) = root["children"]
+        assert child["name"] == "child"
+        assert child["children"][0]["name"] == "grandchild"
+
+    def test_attributes(self):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("keygen", k=11, scheme="kzg") as sp:
+            sp.set_attr("pk_cache_hit", True)
+        (span,) = tracer.spans()
+        assert span.attrs == {"k": 11, "scheme": "kzg", "pk_cache_hit": True}
+
+    def test_duration_from_clock(self):
+        tracer = Tracer(clock=fake_clock(step=1.0))
+        with tracer.span("work"):
+            pass
+        (span,) = tracer.spans()
+        assert span.duration == 1.0
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer(clock=fake_clock())
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert [s.name for s in tracer.spans()] == ["boom"]
+
+
+class TestChromeExport:
+    def test_schema(self):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("prove", k=9):
+            with tracer.span("commit"):
+                pass
+        doc = tracer.to_chrome_trace()
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == 2
+        for event in doc["traceEvents"]:
+            assert set(event) == {"name", "cat", "ph", "ts", "dur", "pid",
+                                  "tid", "args"}
+            assert event["ph"] == "X"
+            assert event["cat"] == "zkml"
+            assert event["ts"] >= 0
+            assert event["dur"] > 0
+        assert doc["traceEvents"][0]["args"] == {"k": 9}
+
+    def test_write_chrome_and_jsonl(self, tmp_path):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("a"):
+            pass
+        chrome = tmp_path / "t.json"
+        jsonl = tmp_path / "t.jsonl"
+        tracer.write(str(chrome))
+        tracer.write(str(jsonl))
+        assert json.loads(chrome.read_text())["traceEvents"][0]["name"] == "a"
+        lines = jsonl.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["name"] == "a"
+        assert record["parent"] is None
+
+
+class TestNullTracer:
+    def test_span_is_shared_singleton(self):
+        # the disabled path allocates nothing: every span() call returns
+        # the same inert object
+        a = NULL_TRACER.span("anything")
+        b = NULL_TRACER.span("else")
+        assert a is b
+        with a as sp:
+            sp.set_attr("ignored", 1)
+        assert NULL_TRACER.spans() == []
+        assert not NullTracer.enabled
+
+
+class TestCurrentTracer:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores(self):
+        tracer = Tracer(clock=fake_clock())
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_none_means_null(self):
+        set_tracer(None)
+        assert get_tracer() is NULL_TRACER

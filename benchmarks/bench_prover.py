@@ -8,7 +8,9 @@ Proves the default mini zoo trio, prints the per-phase breakdown, and
 writes ``BENCH_prover.json`` plus a Chrome trace and a Prometheus
 metrics file next to it.  Each model is additionally re-proved with
 worker processes; the script exits non-zero if the parallel proof bytes
-diverge from the serial ones.  Same engine as ``zkml bench``.
+diverge from the serial ones, or if the run recorded any resilience
+event (retry / degradation / rebuild) — a clean benchmark must not be
+measuring a fallback path.  Same engine as ``zkml bench``.
 """
 
 from __future__ import annotations
@@ -55,6 +57,15 @@ def main(argv=None) -> int:
     if report.get("parallel_proofs_identical") is False:
         print("FAIL: serial and parallel proof bytes diverge",
               file=sys.stderr)
+        return 1
+    resilience = report.get("resilience", {})
+    recoveries = sum(resilience.get(k, 0)
+                     for k in ("degraded", "retries", "recovered"))
+    if recoveries:
+        # a clean benchmark run must not silently recover from anything —
+        # a degradation here means the numbers measured a fallback path
+        print("FAIL: %d resilience event(s) during a clean run: %s"
+              % (recoveries, resilience), file=sys.stderr)
         return 1
     return 0
 

@@ -57,7 +57,7 @@ def main():
     # and a borrower who edits their score is caught
     forged = [list(col) for col in result.instance]
     forged[0][1] = (forged[0][1] + 30) % result.vk.field.p
-    assert not verify_model_proof(result.vk, result.proof, forged, "kzg")
+    assert not verify_model_proof(result.vk, result.proof, forged, "kzg", strict=False)
     print("inflated score rejected")
 
 

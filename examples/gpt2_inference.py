@@ -70,7 +70,7 @@ def main():
     # changing the published logits is caught
     forged = [list(col) for col in result.instance]
     forged[-1][0] = (forged[-1][0] + 9) % result.vk.field.p
-    assert not verify_model_proof(result.vk, result.proof, forged, "kzg")
+    assert not verify_model_proof(result.vk, result.proof, forged, "kzg", strict=False)
     print("forged logits rejected")
 
 

@@ -39,7 +39,8 @@ def main():
     # 4. A tampered public output is rejected.
     forged = [list(col) for col in result.instance]
     forged[0][0] += 1
-    ok = verify_model_proof(result.vk, result.proof, forged, "kzg")
+    ok = verify_model_proof(result.vk, result.proof, forged, "kzg",
+                            strict=False)
     print("tampered output rejected:", not ok)
     assert not ok
 

@@ -59,7 +59,7 @@ def main():
     # a dishonest trainer publishing different weights is caught
     forged = [list(col) for col in result.instance]
     forged[0][0] = (forged[0][0] + 5) % result.vk.field.p
-    assert not verify_model_proof(result.vk, result.proof, forged, "kzg")
+    assert not verify_model_proof(result.vk, result.proof, forged, "kzg", strict=False)
     print("forged weight update rejected")
 
 

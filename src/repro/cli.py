@@ -13,6 +13,9 @@ Subcommands:
   region-attributed failure reports (``--tamper-row`` breaks a cell).
 - ``zkml bench``                        — benchmark the prover on mini
   models and write ``BENCH_prover.json`` (``--quick`` for CI smoke).
+- ``zkml chaos``                        — run the fault-injection matrix
+  (every site must recover or surface a typed error) and, with
+  ``--fuzz N``, the proof-mutation fuzz loop.
 - ``zkml transpile --flat FILE``        — import a tflite-like flat JSON
   model and report its circuit statistics.
 
@@ -34,6 +37,7 @@ import sys
 import numpy as np
 
 from repro.compiler import build_physical_layout
+from repro.halo2.proof import proof_from_bytes, proof_to_bytes
 from repro.layers.base import LayoutChoices
 from repro.model import get_model, model_names, transpile
 from repro.obs import log as obs_log
@@ -44,6 +48,8 @@ from repro.obs.metrics import (
 )
 from repro.obs.trace import Tracer, use_tracer
 from repro.optimizer import PROFILES
+from repro.resilience import events, faults
+from repro.resilience.errors import ProofFormatError, ResilienceError
 from repro.runtime import estimate_model, prove_model, verify_model_proof
 
 log = obs_log.get_logger("cli")
@@ -179,7 +185,8 @@ def _cmd_prove(args) -> int:
     }
     result = prove_model(spec, inputs, scheme_name=args.backend,
                          num_cols=args.columns, scale_bits=args.scale_bits,
-                         jobs=args.jobs, metrics=args.obs_registry)
+                         jobs=args.jobs, metrics=args.obs_registry,
+                         checkpoint_dir=args.checkpoint, resume=args.resume)
     verify_seconds = result.verification_seconds()
     log.info("model:        %s", result.spec_name)
     log.info("backend:      %s", result.scheme_name)
@@ -199,9 +206,12 @@ def _cmd_prove(args) -> int:
         log.info("%s",
                  render_predicted_vs_actual(result.predicted_vs_actual()))
     if args.out:
+        # "proof_bytes" is the canonical wire form — `zkml verify` runs it
+        # through the hardened deserializer; "proof" stays for older readers
         with open(args.out, "wb") as f:
             pickle.dump(
                 {"vk": result.vk, "proof": result.proof,
+                 "proof_bytes": proof_to_bytes(result.proof),
                  "instance": result.instance,
                  "scheme": result.scheme_name}, f,
             )
@@ -247,12 +257,141 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_verify(args) -> int:
-    with open(args.artifact, "rb") as f:
-        artifact = pickle.load(f)
-    ok = verify_model_proof(artifact["vk"], artifact["proof"],
-                            artifact["instance"], artifact["scheme"])
-    log.info("verification: %s", "OK" if ok else "FAILED")
-    return 0 if ok else 1
+    """Verify an untrusted artifact: every failure is typed, logged, exit 1."""
+    try:
+        with open(args.artifact, "rb") as f:
+            artifact = pickle.load(f)
+    except OSError as exc:
+        log.error("verification: FAILED", artifact=args.artifact,
+                  reason="unreadable", detail=str(exc))
+        return 1
+    except Exception as exc:  # noqa: BLE001 — corrupt pickle: any crash here is "bad artifact"
+        log.error("verification: FAILED", artifact=args.artifact,
+                  reason="malformed artifact",
+                  detail="%s: %s" % (type(exc).__name__, str(exc)[:120]))
+        return 1
+    try:
+        if not isinstance(artifact, dict):
+            raise ProofFormatError("artifact is not a mapping",
+                                   found=type(artifact).__name__)
+        missing = {"vk", "instance", "scheme"} - set(artifact)
+        if missing:
+            raise ProofFormatError("artifact is missing keys: %s"
+                                   % sorted(missing))
+        if "proof_bytes" in artifact:
+            proof = proof_from_bytes(artifact["proof_bytes"])
+        elif "proof" in artifact:
+            proof = artifact["proof"]
+        else:
+            raise ProofFormatError(
+                "artifact carries neither 'proof_bytes' nor 'proof'")
+        verify_model_proof(artifact["vk"], proof, artifact["instance"],
+                           artifact["scheme"])
+    except ResilienceError as exc:
+        fields = {"artifact": args.artifact}
+        fields.update(exc.attribution())
+        fields.setdefault("detail", exc.args[0] if exc.args else "")
+        log.error("verification: FAILED", **fields)
+        return 1
+    log.info("verification: OK")
+    return 0
+
+
+def _chaos_site(site, spec, inputs, args, baseline_bytes):
+    """Run one fault site; returns ``(ok, outcome_text)``.
+
+    A site passes when its fault actually fired and the run either
+    recovered with a byte-identical, verifying proof or surfaced a typed
+    :class:`ResilienceError`.  Anything else — an untyped escape, a
+    diverged proof, or a fault that never triggered — fails the matrix.
+    """
+    import tempfile
+
+    from repro.perf.pkcache import GLOBAL_PK_CACHE
+
+    extra = {}
+    if site == "worker":
+        extra["jobs"] = 2  # the worker site only fires on the parallel path
+    if site == "freivalds":
+        extra["plan"] = LayoutChoices(linear="freivalds")
+    if site == "disk_write":
+        # the disk_write site only fires inside checkpoint stage writes
+        extra["checkpoint_dir"] = tempfile.mkdtemp(prefix="zkml-chaos-")
+    # cache_read fires on a pk-cache hit, so keep the baseline's entry
+    # warm for it; every other site proves from a cold cache
+    if site != "cache_read":
+        GLOBAL_PK_CACHE.clear()
+    events.reset()
+    with faults.use_faults("%s:1" % site) as plan:
+        try:
+            result = prove_model(spec, inputs, scheme_name=args.backend,
+                                 num_cols=args.columns,
+                                 scale_bits=args.scale_bits, **extra)
+        except ResilienceError as exc:
+            if not plan.report().get(site, {}).get("fired"):
+                return False, "fault never fired (raised %s anyway)" \
+                    % type(exc).__name__
+            return True, "surfaced typed %s" % type(exc).__name__
+        except Exception as exc:  # noqa: BLE001 — the chaos matrix hunts untyped escapes
+            return False, "ESCAPED %s: %s" % (type(exc).__name__,
+                                              str(exc)[:100])
+    if not plan.report().get(site, {}).get("fired"):
+        return False, "fault never fired"
+    if proof_to_bytes(result.proof) != baseline_bytes:
+        return False, "recovered but proof bytes diverged"
+    try:
+        verify_model_proof(result.vk, result.proof, result.instance,
+                           result.scheme_name)
+    except ResilienceError as exc:
+        return False, "recovered proof rejected: %s" % type(exc).__name__
+    labeled = {k: v for k, v in events.counts().items() if "{" in k and v}
+    recovery = ", ".join("%s=%d" % (k, v) for k, v in sorted(labeled.items()))
+    return True, "recovered, proof identical (%s)" % (recovery or "no events")
+
+
+def _cmd_chaos(args) -> int:
+    from repro.perf.pkcache import GLOBAL_PK_CACHE
+    from repro.resilience.fuzz import run_proof_fuzz
+
+    spec = get_model(args.model, "mini")
+    rng = np.random.default_rng(args.seed)
+    inputs = {
+        name: rng.uniform(-0.5, 0.5, shape)
+        for name, shape in spec.inputs.items()
+    }
+    log.info("chaos: baseline prove (%s, %s, %d cols)", spec.name,
+             args.backend, args.columns)
+    GLOBAL_PK_CACHE.clear()
+    baseline = prove_model(spec, inputs, scheme_name=args.backend,
+                           num_cols=args.columns, scale_bits=args.scale_bits)
+    verify_model_proof(baseline.vk, baseline.proof, baseline.instance,
+                       baseline.scheme_name)
+    baseline_bytes = proof_to_bytes(baseline.proof)
+
+    failed = []
+    sites = args.sites or list(faults.FAULT_SITES)
+    for site in sites:
+        ok, outcome = _chaos_site(site, spec, inputs, args, baseline_bytes)
+        log.info("  %-11s %-4s %s", site, "ok" if ok else "FAIL", outcome)
+        if not ok:
+            failed.append(site)
+
+    if args.fuzz:
+        from repro.commit import scheme_by_name
+
+        scheme = scheme_by_name(baseline.scheme_name, baseline.vk.field)
+        report = run_proof_fuzz(baseline.vk, baseline.proof,
+                                baseline.instance, scheme,
+                                iterations=args.fuzz, seed=args.seed)
+        log.info("fuzz: %s", report.summary())
+        if not report.ok:
+            failed.append("fuzz")
+
+    if failed:
+        log.error("chaos matrix failed: %s", ", ".join(failed))
+        return 1
+    log.info("chaos matrix: all sites recovered or surfaced typed errors")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -325,6 +464,13 @@ def build_parser() -> argparse.ArgumentParser:
     prove.add_argument("--profile", action="store_true",
                        help="print the prover's per-phase time breakdown "
                             "and the predicted-vs-actual op counts")
+    prove.add_argument("--checkpoint", default=None, metavar="DIR",
+                       help="persist each pipeline stage to DIR so an "
+                            "interrupted run can resume")
+    prove.add_argument("--resume", action="store_true",
+                       help="resume from completed stages in --checkpoint "
+                            "DIR (the proof is byte-identical to an "
+                            "uninterrupted run)")
     prove.set_defaults(func=_cmd_prove)
 
     diagnose = sub.add_parser(
@@ -364,6 +510,22 @@ def build_parser() -> argparse.ArgumentParser:
                             help="verify a proof artifact")
     verify.add_argument("--artifact", required=True)
     verify.set_defaults(func=_cmd_verify)
+
+    chaos = sub.add_parser(
+        "chaos", parents=[common],
+        help="fault-injection matrix: every site must recover or "
+             "surface a typed error")
+    chaos.add_argument("--model", default="mnist", choices=model_names())
+    chaos.add_argument("--backend", default="kzg", choices=["kzg", "ipa"])
+    chaos.add_argument("--columns", type=int, default=10)
+    chaos.add_argument("--scale-bits", type=int, default=5)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--sites", nargs="+", default=None,
+                       choices=list(faults.FAULT_SITES),
+                       help="fault sites to exercise (default: all)")
+    chaos.add_argument("--fuzz", type=int, default=0, metavar="N",
+                       help="also run N proof-mutation fuzz iterations")
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 
@@ -373,15 +535,24 @@ def main(argv=None) -> int:
     trace_path = args.trace or os.environ.get("ZKML_TRACE") or None
     metrics_path = args.metrics
     args.obs_registry = MetricsRegistry() if metrics_path else None
-    if trace_path:
-        tracer = Tracer()
-        with use_tracer(tracer):
+    try:
+        if trace_path:
+            tracer = Tracer()
+            with use_tracer(tracer):
+                rc = args.func(args)
+            tracer.write(trace_path)
+            log.info("trace:        %s", trace_path)
+        else:
             rc = args.func(args)
-        tracer.write(trace_path)
-        log.info("trace:        %s", trace_path)
-    else:
-        rc = args.func(args)
+    except ResilienceError as exc:
+        # a typed pipeline failure exits with a structured log line, not
+        # a traceback — the attribution says which phase/layer to blame
+        fields = dict(exc.attribution())
+        fields.setdefault("detail", exc.args[0] if exc.args else "")
+        log.error("failed", **fields)
+        rc = 1
     if args.obs_registry is not None:
+        events.merge_into(args.obs_registry)
         args.obs_registry.write(metrics_path)
         log.info("metrics:      %s", metrics_path)
     return rc

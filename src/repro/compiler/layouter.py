@@ -21,6 +21,7 @@ from repro.layers.base import LayoutChoices
 from repro.model.executor import run_fixed
 from repro.model.spec import ModelSpec
 from repro.obs.trace import get_tracer
+from repro.resilience.errors import ResilienceError, SpecError
 from repro.tensor import Tensor
 
 
@@ -56,9 +57,10 @@ def synthesize_model(
     to the process tracer (a no-op unless tracing is enabled).
     """
     if not spec.materialized:
-        raise ValueError(
+        raise SpecError(
             "model %r has shape-only parameters; use a mini-scale model"
-            % spec.name
+            % spec.name,
+            model=spec.name,
         )
     tracer = tracer if tracer is not None else get_tracer()
     if plan is None:
@@ -83,7 +85,8 @@ def synthesize_model(
         input_tensors[name] = tensor
     missing = set(spec.inputs) - set(inputs)
     if missing:
-        raise ValueError("missing model inputs: %s" % sorted(missing))
+        raise SpecError("missing model inputs: %s" % sorted(missing),
+                        model=spec.name)
 
     from repro.compiler.physical import resolve_choices
 
@@ -107,8 +110,12 @@ def synthesize_model(
             with builder.region(layer_spec.name, layer_spec.kind), \
                     tracer.span("layer:%s" % layer_spec.name,
                                 kind=layer_spec.kind) as sp:
-                values[layer_spec.name] = layer.synthesize(builder, args,
-                                                           params, choices)
+                try:
+                    values[layer_spec.name] = layer.synthesize(builder, args,
+                                                               params, choices)
+                except ResilienceError as exc:
+                    raise exc.with_context(phase="synthesize",
+                                           layer=layer_spec.name)
                 sp.set_attr("rows_after", builder.rows_used)
 
     outputs = {name: values[name] for name in spec.outputs}
@@ -148,12 +155,14 @@ def synthesize_batch(
     but the per-inference gadget rows — the shape an audit log wants.
     """
     if not spec.materialized:
-        raise ValueError(
+        raise SpecError(
             "model %r has shape-only parameters; use a mini-scale model"
-            % spec.name
+            % spec.name,
+            model=spec.name,
         )
     if not batch_inputs:
-        raise ValueError("batch must contain at least one input set")
+        raise SpecError("batch must contain at least one input set",
+                        model=spec.name)
     if plan is None:
         plan = LayoutPlan(LayoutChoices())
     elif isinstance(plan, LayoutChoices):
@@ -193,7 +202,8 @@ def synthesize_batch(
     for index, inputs in enumerate(batch_inputs):
         missing = set(spec.inputs) - set(inputs)
         if missing:
-            raise ValueError("missing model inputs: %s" % sorted(missing))
+            raise SpecError("missing model inputs: %s" % sorted(missing),
+                            model=spec.name)
         values: Dict[str, Tensor] = {
             name: Tensor.from_values(fp.encode_array(np.asarray(arr)))
             for name, arr in inputs.items()
@@ -205,8 +215,13 @@ def synthesize_batch(
                                           layout.lookup_bits)
                 args = [values[i] for i in layer_spec.inputs]
                 with builder.region(layer_spec.name, layer_spec.kind):
-                    values[layer_spec.name] = layer.synthesize(
-                        builder, args, shared_params[layer_spec.name], choices)
+                    try:
+                        values[layer_spec.name] = layer.synthesize(
+                            builder, args, shared_params[layer_spec.name],
+                            choices)
+                    except ResilienceError as exc:
+                        raise exc.with_context(phase="synthesize",
+                                               layer=layer_spec.name)
         all_outputs.append({name: values[name] for name in spec.outputs})
 
     return BatchSynthesizedModel(spec=spec, layout=layout, builder=builder,

@@ -24,13 +24,14 @@ from repro.compiler.gadget_census import (
 from repro.compiler.logical import LayoutPlan
 from repro.layers.base import LayoutChoices
 from repro.model.spec import ModelSpec
+from repro.resilience.errors import LayoutError
 
 #: Columns the size-objective minimum uses (paper §9.4: "the minimum
 #: number of columns, which is 10 for our gadgets").
 MIN_COLUMNS = 10
 
 
-class LayoutInfeasible(ValueError):
+class LayoutInfeasible(LayoutError):
     """The layout cannot fit any supported grid (k beyond the setup)."""
 
 
@@ -121,7 +122,8 @@ def build_physical_layout(
     if isinstance(plan, LayoutChoices):
         plan = LayoutPlan(plan)
     if num_cols < 5:
-        raise ValueError("need at least 5 columns for the gadget set")
+        raise LayoutError("need at least 5 columns for the gadget set",
+                          num_cols=num_cols)
     if lookup_bits is None:
         lookup_bits = default_lookup_bits(spec, scale_bits)
 
@@ -138,9 +140,13 @@ def build_physical_layout(
             per_layer_rows[layer_spec.name] = layer.count_rows(
                 num_cols, shapes, choices, scale_bits
             )
-        except ValueError as exc:
+        except LayoutError as exc:
+            # only *layout infeasibility* is a legal reason to discard this
+            # (columns, choices) point during layout search — a bare
+            # ValueError here would be a genuine bug and must propagate
             raise LayoutInfeasible(
-                "%s at %d columns: %s" % (layer_spec.name, num_cols, exc)
+                "%s at %d columns: %s" % (layer_spec.name, num_cols, exc),
+                layer=layer_spec.name, num_cols=num_cols,
             ) from exc
         keys = layer_gadgets(layer, choices, scale_bits, shapes)
         gadget_keys |= keys

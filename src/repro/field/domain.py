@@ -26,6 +26,7 @@ from repro.field.ntt import coset_intt, coset_ntt, intt, ntt, power_table, stage
 from repro.field.prime_field import PrimeField
 from repro.field.vector import vector_backend
 from repro.obs.stats import STATS
+from repro.resilience import faults
 
 
 class EvaluationDomain:
@@ -116,6 +117,7 @@ class EvaluationDomain:
         """Interpolate base-domain evaluations; backend vector in and out."""
         if len(evals) != self.n:
             raise ValueError("expected %d evaluations, got %d" % (self.n, len(evals)))
+        faults.maybe_inject("ntt")
         STATS.ntt_base += 1
         if self._use_gl64:
             vec = gl64.from_ints(evals)

@@ -14,6 +14,7 @@ from typing import List, Sequence
 from repro.halo2.expression import Constant, Expression, Ref
 from repro.gadgets.base import Gadget
 from repro.tensor import Entry
+from repro.resilience.errors import LayoutError
 
 
 class BitDecompReluGadget(Gadget):
@@ -39,7 +40,8 @@ class BitDecompReluGadget(Gadget):
     def rows_for_ops_bits(cls, num_ops: int, num_cols: int, bits: int) -> int:
         slots = cls.slots_for(num_cols, bits)
         if slots == 0:
-            raise ValueError("row too narrow for %d-bit decomposition" % bits)
+            raise LayoutError("row too narrow for %d-bit decomposition" % bits,
+                              num_cols=num_cols, bits=bits)
         return -(-num_ops // slots)
 
     def _configure(self) -> None:

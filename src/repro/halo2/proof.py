@@ -20,6 +20,7 @@ from repro.commit.scheme import (
     CommitmentScheme,
     OpeningProof,
 )
+from repro.resilience.errors import ProofFormatError
 
 
 @dataclass
@@ -52,11 +53,21 @@ class Proof:
         )
 
 
+#: Upper bound on any serialized count field.  Real proofs have at most a
+#: few thousand commitments/openings; a count beyond this is always a
+#: corrupted or hostile length prefix, and rejecting it up front keeps a
+#: 4-byte mutation from driving a multi-gigabyte allocation loop.
+_MAX_ITEMS = 1 << 20
+
+
 def _write_scalar(out: bytearray, v: int) -> None:
     out += int(v).to_bytes(32, "little")
 
 
 def _read_scalar(data: bytes, pos: int):
+    if pos + 32 > len(data):
+        raise ProofFormatError("truncated proof: scalar at offset %d runs past "
+                               "end of data" % pos, offset=pos, length=len(data))
     return int.from_bytes(data[pos : pos + 32], "little"), pos + 32
 
 
@@ -65,7 +76,23 @@ def _write_u32(out: bytearray, v: int) -> None:
 
 
 def _read_u32(data: bytes, pos: int):
+    if pos + 4 > len(data):
+        raise ProofFormatError("truncated proof: u32 at offset %d runs past "
+                               "end of data" % pos, offset=pos, length=len(data))
     return int.from_bytes(data[pos : pos + 4], "little"), pos + 4
+
+
+def _read_count(data: bytes, pos: int, what: str):
+    n, pos = _read_u32(data, pos)
+    if n > _MAX_ITEMS:
+        raise ProofFormatError("implausible %s count %d (max %d)"
+                               % (what, n, _MAX_ITEMS), offset=pos - 4)
+    # each counted item is at least 4 bytes; a count the remaining data
+    # cannot possibly hold is rejected before any allocation
+    if n * 4 > len(data) - pos:
+        raise ProofFormatError("%s count %d exceeds remaining %d bytes"
+                               % (what, n, len(data) - pos), offset=pos - 4)
+    return n, pos
 
 
 def _write_opening(out: bytearray, opening: OpeningProof) -> None:
@@ -79,7 +106,11 @@ def _write_opening(out: bytearray, opening: OpeningProof) -> None:
 def _read_opening(data: bytes, pos: int):
     point, pos = _read_scalar(data, pos)
     value, pos = _read_scalar(data, pos)
-    n, pos = _read_u32(data, pos)
+    n, pos = _read_count(data, pos, "opening witness")
+    if n * 32 > len(data) - pos:
+        raise ProofFormatError("opening witness of %d scalars exceeds "
+                               "remaining %d bytes" % (n, len(data) - pos),
+                               offset=pos)
     witness = []
     for _ in range(n):
         w, pos = _read_scalar(data, pos)
@@ -115,33 +146,49 @@ def proof_to_bytes(proof: Proof) -> bytes:
 
 
 def proof_from_bytes(data: bytes) -> Proof:
-    """Inverse of :func:`proof_to_bytes`; raises ValueError on bad input."""
+    """Inverse of :func:`proof_to_bytes`.
+
+    Every length prefix is validated against the remaining data before
+    anything is allocated, so truncated, padded, or hostile inputs raise
+    :class:`~repro.resilience.errors.ProofFormatError` (a ``ValueError``
+    subclass) rather than producing a garbage proof or an unbounded
+    allocation.
+    """
     if data[: len(_MAGIC)] != _MAGIC:
-        raise ValueError("not a serialized proof (bad magic)")
+        raise ProofFormatError("not a serialized proof (bad magic)",
+                               length=len(data))
     pos = len(_MAGIC)
     groups = []
-    for _ in range(3):
-        n, pos = _read_u32(data, pos)
+    for group_name in ("advice", "helper", "quotient"):
+        n, pos = _read_count(data, pos, "%s commitment" % group_name)
+        if n * 32 > len(data) - pos:
+            raise ProofFormatError("%d %s commitments exceed remaining %d "
+                                   "bytes" % (n, group_name, len(data) - pos),
+                                   offset=pos)
         commitments = []
         for _ in range(n):
             commitments.append(Commitment(data[pos : pos + 32]))
             pos += 32
         groups.append(commitments)
-    n, pos = _read_u32(data, pos)
+    n, pos = _read_count(data, pos, "advice opening")
     advice_openings = {}
     for _ in range(n):
         col, pos = _read_u32(data, pos)
         rot_raw, pos = _read_u32(data, pos)
         rot = rot_raw - (1 << 32) if rot_raw >= (1 << 31) else rot_raw
+        if (col, rot) in advice_openings:
+            raise ProofFormatError("duplicate advice opening for column %d "
+                                   "rotation %d" % (col, rot), offset=pos)
         opening, pos = _read_opening(data, pos)
         advice_openings[(col, rot)] = opening
-    n, pos = _read_u32(data, pos)
+    n, pos = _read_count(data, pos, "quotient opening")
     quotient_openings = []
     for _ in range(n):
         opening, pos = _read_opening(data, pos)
         quotient_openings.append(opening)
     if pos != len(data):
-        raise ValueError("trailing bytes in serialized proof")
+        raise ProofFormatError("trailing bytes in serialized proof",
+                               offset=pos, length=len(data))
     return Proof(
         advice_commitments=groups[0],
         helper_commitments=groups[1],

@@ -42,11 +42,9 @@ from repro.obs.stats import STATS
 # which imports repro.halo2 and would close an import cycle through here
 from repro.perf.parallel import parallel_map, resolve_jobs
 from repro.perf.timer import NULL_TIMER
-
-
-class ProvingError(ValueError):
-    """Raised when the witness cannot satisfy the circuit (e.g. a lookup
-    input that is missing from its table)."""
+# re-exported for callers that import ProvingError from here; the class
+# now lives in the shared taxonomy and carries phase/layer/row context
+from repro.resilience.errors import ProvingError
 
 
 # -- multiprocess workers ----------------------------------------------------
@@ -101,7 +99,10 @@ def create_proof(
     n = vk.n
     cs = vk.cs
     if assignment.k != vk.k:
-        raise ValueError("assignment has k=%d but keys expect k=%d" % (assignment.k, vk.k))
+        raise ProvingError(
+            "assignment has k=%d but keys expect k=%d" % (assignment.k, vk.k),
+            assignment_k=assignment.k, key_k=vk.k,
+        )
     timer = timer if timer is not None else NULL_TIMER
     jobs = resolve_jobs(jobs)
     backend = domain.backend
@@ -188,7 +189,8 @@ def create_proof(
                 if target is None:
                     raise ProvingError(
                         "lookup %r: input %d at row %d is not in the table"
-                        % (lk.name, field.decode_signed(f), row)
+                        % (lk.name, field.decode_signed(f), row),
+                        row=row, lookup=lk.name,
                     )
                 m_vals[target] += 1
             alpha = challenges[ALPHA]

@@ -11,6 +11,15 @@ from the public inputs, advice from the proof's openings) and accepts iff
 A witness violating any gate, copy, or lookup constraint makes the left
 side indivisible by the vanishing polynomial, so the identity fails at a
 random ``x`` with overwhelming probability.
+
+Two entry points: :func:`verify_proof` is the permissive boolean check,
+and :func:`verify_proof_strict` is the hardened front door — it runs
+:func:`validate_proof_shape` (every count, digest width, and scalar range
+checked against the verifying key, raising
+:class:`~repro.resilience.errors.ProofFormatError` on violation) and then
+maps *any* rejection or internal crash to a typed
+:class:`~repro.resilience.errors.VerificationFailure`.  Untrusted proof
+bytes should only ever meet the strict path.
 """
 
 from __future__ import annotations
@@ -24,6 +33,109 @@ from repro.halo2.column import Column, ColumnType
 from repro.halo2.expression import evaluate_from_openings
 from repro.halo2.keygen import ALPHA, BETA, GAMMA, THETA, VerifyingKey
 from repro.halo2.proof import Proof
+from repro.resilience.errors import ProofFormatError, VerificationFailure
+
+
+def validate_proof_shape(
+    vk: VerifyingKey,
+    proof: Proof,
+    instance: List[List[int]],
+) -> None:
+    """Validate structural bounds before any cryptographic work.
+
+    Checks commitment counts against the verifying key, digest widths,
+    scalar ranges (every field element must lie in ``[0, p)``), opening
+    key bounds, and the public-input shape.  Raises
+    :class:`ProofFormatError` on the first violation; returns ``None``
+    when the proof is structurally plausible.
+    """
+    cs = vk.cs
+    p = vk.field.p
+    n = vk.n
+
+    expected = (
+        ("advice commitment", proof.advice_commitments, cs.num_advice),
+        ("helper commitment", proof.helper_commitments, vk.num_helper_advice),
+        ("quotient commitment", proof.quotient_commitments,
+         vk.num_quotient_pieces),
+    )
+    for what, group, want in expected:
+        if len(group) != want:
+            raise ProofFormatError("expected %d %ss, proof has %d"
+                                   % (want, what, len(group)))
+        for i, com in enumerate(group):
+            digest = getattr(com, "digest", None)
+            if not isinstance(digest, bytes) or len(digest) != 32:
+                raise ProofFormatError("%s %d has a malformed digest"
+                                       % (what, i), index=i)
+
+    if len(proof.quotient_openings) != vk.num_quotient_pieces:
+        raise ProofFormatError("expected %d quotient openings, proof has %d"
+                               % (vk.num_quotient_pieces,
+                                  len(proof.quotient_openings)))
+
+    max_col = cs.num_advice + vk.num_helper_advice
+    for (col, rot), opening in proof.advice_openings.items():
+        if not (0 <= col < max_col):
+            raise ProofFormatError("advice opening names column %d (circuit "
+                                   "has %d)" % (col, max_col), column=col)
+        if not (-n < rot < n):
+            raise ProofFormatError("advice opening rotation %d out of range "
+                                   "for n=%d" % (rot, n), column=col)
+        _check_opening_scalars("advice opening (%d,%d)" % (col, rot),
+                               opening, p)
+    for i, opening in enumerate(proof.quotient_openings):
+        _check_opening_scalars("quotient opening %d" % i, opening, p)
+
+    if len(instance) != cs.num_instance:
+        raise ProofFormatError("expected %d instance columns, got %d"
+                               % (cs.num_instance, len(instance)))
+    for i, col_values in enumerate(instance):
+        if len(col_values) != n:
+            raise ProofFormatError("instance column %d has %d rows, circuit "
+                                   "has %d" % (i, len(col_values), n), column=i)
+        for v in col_values:
+            if not (0 <= int(v) < p):
+                raise ProofFormatError("instance column %d holds an "
+                                       "out-of-field value" % i, column=i)
+
+
+def _check_opening_scalars(what: str, opening, p: int) -> None:
+    for name, value in (("point", opening.point), ("value", opening.value)):
+        if not (0 <= int(value) < p):
+            raise ProofFormatError("%s has out-of-field %s" % (what, name))
+    for w in opening.witness:
+        if not (0 <= int(w) < p):
+            raise ProofFormatError("%s has an out-of-field witness scalar"
+                                   % what)
+
+
+def verify_proof_strict(
+    vk: VerifyingKey,
+    proof: Proof,
+    instance: List[List[int]],
+    scheme: CommitmentScheme,
+) -> None:
+    """Verify or raise — the hardened entry point for untrusted proofs.
+
+    Raises :class:`ProofFormatError` for structural violations and
+    :class:`VerificationFailure` for everything else: a clean rejection,
+    or *any* internal exception the permissive path would have leaked
+    (hostile bytes must never produce a raw traceback).  Returns ``None``
+    on success.
+    """
+    validate_proof_shape(vk, proof, instance)
+    try:
+        ok = verify_proof(vk, proof, instance, scheme)
+    except (ProofFormatError, VerificationFailure):
+        raise
+    except Exception as exc:  # noqa: BLE001 — hostile bytes must never leak a raw traceback
+        raise VerificationFailure(
+            "verifier crashed on a shape-valid proof",
+            cause=type(exc).__name__, detail=str(exc)[:200],
+        ) from exc
+    if not ok:
+        raise VerificationFailure("proof rejected")
 
 
 def verify_proof(

@@ -38,6 +38,8 @@ from repro.layers.base import (
     sum_rows_for_vector,
 )
 from repro.quantize import FixedPoint
+from repro.resilience import faults
+from repro.resilience.errors import FreivaldsCheckError
 from repro.tensor import Entry, Tensor
 
 #: Freivalds challenge entries are bounded to keep raw values well below p.
@@ -168,7 +170,22 @@ def _freivalds_synthesize(builder, a: Tensor, b: Tensor,
         rhs = add.assign_many([(abr[i], bias_r) for i in range(m)])
     else:
         rhs = abr
-    for cr, expected in zip(crs, rhs):
+    try:
+        faults.maybe_inject("freivalds")
+    except faults.InjectedFault as exc:
+        raise FreivaldsCheckError(
+            "Freivalds challenge check failed: C r != A (B r)",
+            rows=m,
+        ) from exc
+    for i, (cr, expected) in enumerate(zip(crs, rhs)):
+        # the copy constraint enforces the identity in-circuit; checking
+        # the witness values here surfaces a mismatch as a typed error the
+        # supervisor can degrade on, instead of a failed proof later
+        if int(cr.value) != int(expected.value):
+            raise FreivaldsCheckError(
+                "Freivalds challenge check failed: C r != A (B r)",
+                matrix_row=i,
+            )
         builder.asg.copy(cr.cell.column, cr.cell.row,
                          expected.cell.column, expected.cell.row)
     return c_entries

@@ -14,6 +14,7 @@ would need SF^n rows), so it is composed from the specialized gadgets:
 from __future__ import annotations
 
 import numpy as np
+from repro.resilience.errors import LayoutError
 
 from repro.gadgets import (
     MaxGadget,
@@ -116,9 +117,10 @@ class SoftmaxLayer(Layer):
                 else VarDivGadget)
         slots = vdiv.slots_per_row(num_cols)
         if slots == 0:
-            raise ValueError(
+            raise LayoutError(
                 "softmax needs at least %d columns for %s"
-                % (vdiv.cells_per_op, vdiv.name)
+                % (vdiv.cells_per_op, vdiv.name),
+                num_cols=num_cols, gadget=vdiv.name,
             )
         rows += ceil_div(length, slots)
         return lead * rows

@@ -11,13 +11,15 @@ from typing import Dict
 import numpy as np
 
 from repro.model.spec import ModelSpec
+from repro.resilience.errors import SpecError
 from repro.quantize import FixedPoint
 
 
 def run_float(spec: ModelSpec, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
     """Execute the model in float64; returns all requested outputs."""
     if not spec.materialized:
-        raise ValueError("model %r has shape-only parameters" % spec.name)
+        raise SpecError("model %r has shape-only parameters" % spec.name,
+                        model=spec.name)
     values: Dict[str, np.ndarray] = {
         k: np.asarray(v, dtype=np.float64) for k, v in inputs.items()
     }
@@ -35,7 +37,8 @@ def run_fixed(
 ) -> Dict[str, np.ndarray]:
     """Execute the model in exact fixed-point (object-int arrays)."""
     if not spec.materialized:
-        raise ValueError("model %r has shape-only parameters" % spec.name)
+        raise SpecError("model %r has shape-only parameters" % spec.name,
+                        model=spec.name)
     fp = FixedPoint(scale_bits)
     values: Dict[str, np.ndarray] = {
         k: fp.encode_array(np.asarray(v)) for k, v in inputs.items()

@@ -15,6 +15,7 @@ from typing import Dict, List, Tuple, Union
 import numpy as np
 
 from repro.layers import Layer, layer_registry
+from repro.resilience.errors import SpecError, UnknownNameError
 
 ParamValue = Union[np.ndarray, Tuple[int, ...]]
 
@@ -33,9 +34,10 @@ class LayerSpec:
         try:
             cls = layer_registry[self.kind]
         except KeyError:
-            raise KeyError(
+            raise UnknownNameError(
                 "unsupported layer kind %r (supported: %d kinds)"
-                % (self.kind, len(layer_registry))
+                % (self.kind, len(layer_registry)),
+                layer=self.name, kind=self.kind,
             ) from None
         return cls(name=self.name, **self.attrs)
 
@@ -65,16 +67,19 @@ class ModelSpec:
         for spec in self.layers:
             for inp in spec.inputs:
                 if inp not in known:
-                    raise ValueError(
-                        "layer %r reads %r before it is defined" % (spec.name, inp)
+                    raise SpecError(
+                        "layer %r reads %r before it is defined" % (spec.name, inp),
+                        layer=spec.name, model=self.name,
                     )
             if spec.name in known:
-                raise ValueError("duplicate node name %r" % spec.name)
+                raise SpecError("duplicate node name %r" % spec.name,
+                                layer=spec.name, model=self.name)
             spec.layer()  # raises on unknown kind / bad attrs
             known.add(spec.name)
         for out in self.outputs:
             if out not in known:
-                raise ValueError("output %r is not produced" % out)
+                raise SpecError("output %r is not produced" % out,
+                                model=self.name, output=out)
 
     def shapes(self) -> Dict[str, Tuple[int, ...]]:
         """Shape of every node, propagated through the graph."""

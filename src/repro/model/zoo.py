@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.model.builder import GraphBuilder
 from repro.model.spec import ModelSpec
+from repro.resilience.errors import SpecError, UnknownNameError
 
 #: Paper Table 5 (params, flops).
 PAPER_TABLE5 = {
@@ -401,11 +402,12 @@ def get_model(name: str, scale: str = "paper") -> ModelSpec:
     try:
         build = MODEL_BUILDERS[name]
     except KeyError:
-        raise KeyError(
-            "unknown model %r; available: %s" % (name, sorted(MODEL_BUILDERS))
+        raise UnknownNameError(
+            "unknown model %r; available: %s" % (name, sorted(MODEL_BUILDERS)),
+            model=name,
         ) from None
     if scale not in ("paper", "mini"):
-        raise ValueError("scale must be 'paper' or 'mini'")
+        raise SpecError("scale must be 'paper' or 'mini'", scale=scale)
     return build(mini=scale == "mini")
 
 

@@ -31,6 +31,7 @@ import numpy as np
 from repro.model.zoo import get_model
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer, use_tracer
+from repro.resilience import events
 from repro.runtime.pipeline import prove_model
 
 #: JSON schema tag for ``BENCH_prover.json``.
@@ -135,6 +136,7 @@ def run_bench(
     if registry is None and metrics_path:
         registry = MetricsRegistry()
     records: List[Dict[str, object]] = []
+    events.reset()  # a clean bench run must report zero recoveries
 
     def run_all() -> None:
         for name in models:
@@ -183,7 +185,13 @@ def run_bench(
         "total_prove_seconds": round(
             sum(r["prove_seconds"] for r in records), 4
         ),
+        # retry/degradation/rebuild counts accumulated across the run — a
+        # clean benchmark shows zeros; anything else means the pipeline
+        # recovered from something (and the numbers are suspect)
+        "resilience": events.counts(),
     }
+    if registry is not None:
+        events.merge_into(registry)
     if check_parallel:
         report["parallel_proofs_identical"] = all(
             r.get("parallel_proof_identical", True) for r in records

@@ -9,13 +9,18 @@ in the same order either way).
 Parallelism is opt-in: ``jobs=`` wins, else the ``ZKML_JOBS`` environment
 variable, else serial.  The serial path runs the initializer in-process
 and maps directly — no pool, no pickling — which is also the fallback
-whenever a pool cannot be spawned.
+whenever a pool cannot be spawned or dies mid-map.  That degradation is
+never silent: it is logged and counted
+(``resilience_degraded_total{reason="parallel_pool_unavailable"}``), and
+the ``worker`` fault-injection site exercises it deterministically.
 """
 
 from __future__ import annotations
 
 import os
 from typing import Callable, List, Optional, Sequence
+
+from repro.resilience import events, faults
 
 #: Environment variable holding the default worker count.
 JOBS_ENV = "ZKML_JOBS"
@@ -55,17 +60,32 @@ def parallel_map(
             initializer(*initargs)
         return [fn(item) for item in items]
     try:
+        faults.maybe_inject("worker")
         from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
 
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(items)),
-            initializer=initializer,
-            initargs=initargs,
-        ) as pool:
-            chunksize = max(1, len(items) // (jobs * 4))
-            return list(pool.map(fn, items, chunksize=chunksize))
-    except (OSError, ImportError):
-        # sandboxes without fork/spawn: degrade to the serial path
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(items)),
+                initializer=initializer,
+                initargs=initargs,
+            ) as pool:
+                chunksize = max(1, len(items) // (jobs * 4))
+                return list(pool.map(fn, items, chunksize=chunksize))
+        except BrokenProcessPool as exc:
+            # a worker died mid-map (OOM kill, crash): results are ordered
+            # and the serial rerun recomputes everything, so the proof
+            # bytes are unchanged — only slower
+            raise _PoolUnavailable("worker pool died: %s" % exc) from exc
+    except (OSError, ImportError, faults.InjectedFault, _PoolUnavailable) as exc:
+        # sandboxes without fork/spawn, dead pools, injected worker
+        # crashes: degrade to the serial path — loudly, not silently
+        events.degraded("parallel_pool_unavailable", jobs=jobs,
+                        items=len(items), error=type(exc).__name__)
         if initializer is not None:
             initializer(*initargs)
         return [fn(item) for item in items]
+
+
+class _PoolUnavailable(RuntimeError):
+    """Internal marker: the worker pool broke and serial must take over."""

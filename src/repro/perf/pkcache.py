@@ -4,11 +4,21 @@ Keygen only reads witness-independent data — the constraint system, fixed
 and selector values, and the copy-constraint list.  Two proves of the same
 model with different inputs therefore share keys; the cache detects that
 with a structural digest and skips preprocessing entirely.
+
+Every entry carries an integrity checksum computed at insert time and
+re-verified on each hit: a corrupted entry (bit rot, a buggy mutation of
+shared key state, or the ``cache_read`` fault-injection site) is
+detected, **evicted, and rebuilt** by re-running keygen — counted as
+``resilience_recovered_total{reason="pk_cache_rebuild"}`` rather than
+poisoning the proof.  Callers that must not tolerate rebuilds can pass
+``strict=True`` to get a typed
+:class:`~repro.resilience.errors.CacheCorruptionError` instead.
 """
 
 from __future__ import annotations
 
 import hashlib
+import pickle
 from collections import OrderedDict
 from typing import Optional, Tuple
 
@@ -16,6 +26,8 @@ from repro.commit.scheme import CommitmentScheme
 from repro.halo2.circuit import Assignment, ConstraintSystem
 from repro.halo2.column import Column, ColumnType
 from repro.halo2.keygen import ProvingKey, VerifyingKey, keygen
+from repro.resilience import events, faults
+from repro.resilience.errors import CacheCorruptionError
 
 
 def circuit_digest(
@@ -61,14 +73,47 @@ def circuit_digest(
     return h.hexdigest()
 
 
-class ProvingKeyCache:
-    """A small LRU of ``(pk, vk)`` pairs keyed by :func:`circuit_digest`."""
+def _entry_checksum(pk: ProvingKey, vk: VerifyingKey) -> str:
+    """An integrity checksum over the cached key material.
 
-    def __init__(self, maxsize: int = 4):
+    Covers exactly what proving consumes: the vk's binding digest (fixed
+    polynomial commitments and shape) plus the prover's evaluation-form
+    fixed data.  Deliberately *not* a pickle of the objects — the vk and
+    its evaluation domain memoize derived data lazily (vk digest, NTT
+    twiddles), which would make a whole-object checksum unstable.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(vk.digest())
+    for col in sorted(pk.fixed_evals, key=lambda c: (c.kind.value, c.index)):
+        values = pk.fixed_evals[col]
+        h.update(repr(col).encode())
+        h.update(len(values).to_bytes(8, "little"))
+        for v in values:
+            h.update(int(v).to_bytes(32, "little"))
+    return h.hexdigest()
+
+
+class ProvingKeyCache:
+    """A small LRU of checksummed ``(pk, vk)`` pairs keyed by
+    :func:`circuit_digest`."""
+
+    def __init__(self, maxsize: int = 4, validate: bool = True):
         self.maxsize = maxsize
-        self._entries: "OrderedDict[str, Tuple[ProvingKey, VerifyingKey]]" = OrderedDict()
+        self.validate = validate
+        self._entries: "OrderedDict[str, Tuple[ProvingKey, VerifyingKey, str]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.rebuilds = 0
+
+    def _entry_is_intact(self, digest: str) -> bool:
+        """Re-verify a cached entry's checksum (the ``cache_read`` fault
+        site corrupts the stored checksum to simulate bit rot)."""
+        pk, vk, stored = self._entries[digest]
+        try:
+            faults.maybe_inject("cache_read")
+        except faults.InjectedFault:
+            stored = "corrupted:" + stored
+        return _entry_checksum(pk, vk) == stored
 
     def get_or_create(
         self,
@@ -76,20 +121,35 @@ class ProvingKeyCache:
         assignment: Assignment,
         scheme: CommitmentScheme,
         digest: Optional[str] = None,
+        strict: bool = False,
     ) -> Tuple[ProvingKey, VerifyingKey, bool]:
         """Return cached keys for this circuit, running keygen on a miss.
 
-        The third element reports whether keygen was skipped.
+        The third element reports whether keygen was skipped.  A cache
+        hit whose checksum fails is evicted and rebuilt (counted as a
+        recovery); with ``strict=True`` it raises
+        :class:`CacheCorruptionError` instead.
         """
         if digest is None:
             digest = circuit_digest(cs, assignment, scheme.name)
         entry = self._entries.get(digest)
         if entry is not None:
-            self._entries.move_to_end(digest)
-            self.hits += 1
-            return entry[0], entry[1], True
+            if not self.validate or self._entry_is_intact(digest):
+                self._entries.move_to_end(digest)
+                self.hits += 1
+                return entry[0], entry[1], True
+            # corruption detected: evict, then fall through to rebuild
+            del self._entries[digest]
+            self.rebuilds += 1
+            if strict:
+                raise CacheCorruptionError(
+                    "proving-key cache entry failed its checksum",
+                    digest=digest[:16],
+                )
+            events.recovered("pk_cache_rebuild", digest=digest[:16])
         pk, vk = keygen(cs, assignment, scheme)
-        self._entries[digest] = (pk, vk)
+        self._entries[digest] = (pk, vk, _entry_checksum(pk, vk)
+                                 if self.validate else "")
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
         self.misses += 1

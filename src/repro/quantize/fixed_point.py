@@ -6,6 +6,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.resilience.errors import QuantizationRangeError
+
 
 def div_round(a: int, b: int) -> int:
     """Rounded integer division, half rounding up (the paper's DivRound).
@@ -30,7 +32,8 @@ class FixedPoint:
 
     def __post_init__(self) -> None:
         if self.scale_bits < 0:
-            raise ValueError("scale_bits must be nonnegative")
+            raise QuantizationRangeError("scale_bits must be nonnegative",
+                                         scale_bits=self.scale_bits)
 
     @property
     def factor(self) -> int:
@@ -50,8 +53,27 @@ class FixedPoint:
     # -- arrays --------------------------------------------------------------
 
     def encode_array(self, x: np.ndarray) -> np.ndarray:
-        """Quantize a float array to object-dtype Python ints (exact)."""
-        scaled = np.rint(np.asarray(x, dtype=np.float64) * self.factor)
+        """Quantize a float array to object-dtype Python ints (exact).
+
+        Values must be finite and fit in an int64 after scaling — a
+        non-finite or overflowing value raises
+        :class:`QuantizationRangeError` instead of silently wrapping
+        (``astype(np.int64)`` truncates out-of-range floats).
+        """
+        arr = np.asarray(x, dtype=np.float64)
+        if arr.size and not np.all(np.isfinite(arr)):
+            raise QuantizationRangeError(
+                "cannot quantize non-finite values",
+                scale_bits=self.scale_bits,
+            )
+        scaled = np.rint(arr * self.factor)
+        if scaled.size and (np.abs(scaled) >= 2.0 ** 63).any():
+            worst = float(np.abs(arr).max())
+            raise QuantizationRangeError(
+                "value %g overflows the fixed-point range at scale 2^%d"
+                % (worst, self.scale_bits),
+                scale_bits=self.scale_bits, value=worst,
+            )
         return scaled.astype(np.int64).astype(object)
 
     def decode_array(self, v: np.ndarray) -> np.ndarray:
@@ -85,5 +107,5 @@ def max_table_input_bits(k: int) -> int:
     precision (§5.1).  One row is reserved for the gadgets' default tuple.
     """
     if k < 1:
-        raise ValueError("grid must have at least 2 rows")
+        raise QuantizationRangeError("grid must have at least 2 rows", k=k)
     return k - 1

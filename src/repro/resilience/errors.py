@@ -1,0 +1,189 @@
+"""Typed exception taxonomy for the proving pipeline.
+
+Every failure the pipeline can surface maps to one class here, so
+callers (the supervisor, the CLI, the chaos harness) can distinguish
+*what* went wrong and *where* without parsing messages:
+
+==========================  ==================================================
+class                       raised when
+==========================  ==================================================
+``SpecError``               a model spec is malformed or references an
+                            unknown model/layer
+``QuantizationRangeError``  a value cannot be represented in the fixed-point
+                            format (overflow, non-finite, bad scale)
+``LayoutError``             a circuit layout is infeasible (too few columns,
+                            too many rows); ``LayoutInfeasible`` subclasses it
+``ProvingError``            the witness cannot satisfy the circuit, or a
+                            prover phase failed permanently
+``FreivaldsCheckError``     the Freivalds matmul challenge failed — the
+                            supervisor degrades to the direct-matmul layout
+``CacheCorruptionError``    a cached artifact (pk cache entry, checkpoint
+                            stage file) fails its checksum
+``ProofFormatError``        a serialized proof/artifact violates the wire
+                            format (bad magic, truncation, out-of-range)
+``VerificationFailure``     a structurally valid proof does not verify
+``CheckpointError``         a checkpoint directory cannot be written/resumed
+``DeadlineExceeded``        a supervised phase overran its deadline
+==========================  ==================================================
+
+Each error carries the originating pipeline ``phase`` plus optional
+``layer`` / ``region`` attribution (the synthesis region map from
+``CircuitBuilder.regions``) and free-form ``context`` key/values; all of
+it is rendered into ``str(exc)`` so a bare log line is already useful.
+Most classes also subclass ``ValueError`` (or ``KeyError`` for lookup
+misses), so pre-taxonomy callers that caught built-ins keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "ResilienceError",
+    "SpecError",
+    "UnknownNameError",
+    "QuantizationRangeError",
+    "LayoutError",
+    "ProvingError",
+    "FreivaldsCheckError",
+    "CacheCorruptionError",
+    "ProofFormatError",
+    "VerificationFailure",
+    "CheckpointError",
+    "DeadlineExceeded",
+    "region_at",
+]
+
+
+class ResilienceError(Exception):
+    """Base of the taxonomy: a message plus phase/layer/region context."""
+
+    #: Phase attributed when the raise site does not pass one explicitly.
+    default_phase = ""
+
+    def __init__(self, message: str, *, phase: Optional[str] = None,
+                 layer: Optional[str] = None, region: Optional[str] = None,
+                 **context: Any):
+        super().__init__(message)
+        self.message = message
+        self.phase = phase if phase is not None else self.default_phase
+        self.layer = layer
+        self.region = region
+        self.context: Dict[str, Any] = context
+
+    def with_context(self, phase: Optional[str] = None,
+                     layer: Optional[str] = None,
+                     region: Optional[str] = None,
+                     **context: Any) -> "ResilienceError":
+        """Fill in attribution blanks (never overwrites existing values)."""
+        if phase and not self.phase:
+            self.phase = phase
+        if layer and self.layer is None:
+            self.layer = layer
+        if region and self.region is None:
+            self.region = region
+        for key, value in context.items():
+            self.context.setdefault(key, value)
+        return self
+
+    def attribution(self) -> Dict[str, Any]:
+        """The structured context (for logs and the chaos report)."""
+        out: Dict[str, Any] = {"error": type(self).__name__}
+        if self.phase:
+            out["phase"] = self.phase
+        if self.layer is not None:
+            out["layer"] = self.layer
+        if self.region is not None:
+            out["region"] = self.region
+        out.update(self.context)
+        return out
+
+    def __str__(self) -> str:
+        parts = []
+        if self.phase:
+            parts.append("phase=%s" % self.phase)
+        if self.layer is not None:
+            parts.append("layer=%s" % self.layer)
+        if self.region is not None:
+            parts.append("region=%s" % self.region)
+        parts.extend("%s=%s" % (k, v) for k, v in self.context.items())
+        if parts:
+            return "%s [%s]" % (self.message, " ".join(parts))
+        return self.message
+
+
+class SpecError(ResilienceError, ValueError):
+    """The model spec is malformed (bad graph, missing inputs/outputs)."""
+
+    default_phase = "spec"
+
+
+class UnknownNameError(SpecError, KeyError):
+    """A lookup by name missed (unknown model, layer kind, gadget)."""
+
+
+class QuantizationRangeError(ResilienceError, ValueError):
+    """A value cannot be represented in the fixed-point format."""
+
+    default_phase = "quantize"
+
+
+class LayoutError(ResilienceError, ValueError):
+    """A circuit layout is invalid or infeasible for the given grid."""
+
+    default_phase = "layout"
+
+
+class ProvingError(ResilienceError, ValueError):
+    """The witness cannot satisfy the circuit, or proving failed."""
+
+    default_phase = "prove"
+
+
+class FreivaldsCheckError(ProvingError):
+    """The Freivalds matmul challenge failed; direct matmul still works."""
+
+    default_phase = "synthesize"
+
+
+class CacheCorruptionError(ResilienceError, ValueError):
+    """A cached artifact failed its integrity checksum."""
+
+    default_phase = "keygen"
+
+
+class ProofFormatError(ResilienceError, ValueError):
+    """A serialized proof or artifact violates the wire format."""
+
+    default_phase = "verify"
+
+
+class VerificationFailure(ResilienceError):
+    """A well-formed proof was rejected by the verifier."""
+
+    default_phase = "verify"
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint directory cannot be written, read, or resumed."""
+
+    default_phase = "checkpoint"
+
+
+class DeadlineExceeded(ResilienceError):
+    """A supervised phase overran its wall-clock deadline."""
+
+
+def region_at(regions: List[Any], row: int) -> Optional[Any]:
+    """The innermost synthesis region covering ``row``.
+
+    ``regions`` is ``CircuitBuilder.regions`` (ordered outer-first; inner
+    regions appear later), so the *last* region containing the row is the
+    most specific attribution — the same rule ``repro.halo2.mock`` uses.
+    Returns the :class:`~repro.gadgets.builder.Region` (or ``None``).
+    """
+    best = None
+    for region in regions:
+        if region.start <= row < region.end:
+            best = region
+    return best

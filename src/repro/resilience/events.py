@@ -1,0 +1,109 @@
+"""Process-wide resilience event counters and their log lines.
+
+Every recovery the pipeline performs — a retry, a degradation (parallel
+prover falling back to serial, Freivalds falling back to direct matmul),
+a cache rebuild — is *visible*: it increments a counter here and emits a
+``warning`` log line.  The counters live in a module-global
+:class:`~repro.obs.metrics.MetricsRegistry` so call sites that have no
+per-run registry (e.g. ``repro.perf.parallel``) can still report, and the
+benchmark harness can assert a clean run performed **zero** recoveries.
+
+Counter families (Prometheus naming):
+
+- ``resilience_degraded_total{reason=...}`` — a feature was given up on
+  (the run continues on a slower/simpler path);
+- ``resilience_retries_total{phase=...}``   — a supervised phase attempt
+  failed transiently and was retried;
+- ``resilience_recovered_total{reason=...}`` — a corrupted artifact was
+  detected and rebuilt.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.obs import log as obs_log
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "EVENTS",
+    "degraded",
+    "retried",
+    "recovered",
+    "counts",
+    "reset",
+    "merge_into",
+]
+
+#: Process-global registry holding every resilience counter.
+EVENTS = MetricsRegistry()
+
+_log = obs_log.get_logger("resilience")
+
+_DEGRADED = ("resilience_degraded_total",
+             "degradation events (feature given up, run continued)")
+_RETRIES = ("resilience_retries_total",
+            "supervised phase retries after transient failures")
+_RECOVERED = ("resilience_recovered_total",
+              "corrupted artifacts detected and rebuilt")
+
+
+def degraded(reason: str, **detail: Any) -> None:
+    """Count and log one degradation event (``reason`` labels the path)."""
+    EVENTS.counter(*_DEGRADED, reason=reason).inc()
+    _log.warning("degraded", reason=reason, **detail)
+
+
+def retried(phase: str, attempt: int, **detail: Any) -> None:
+    """Count and log one retry of a supervised phase."""
+    EVENTS.counter(*_RETRIES, phase=phase).inc()
+    _log.warning("retrying", phase=phase, attempt=attempt, **detail)
+
+
+def recovered(reason: str, **detail: Any) -> None:
+    """Count and log one detect-and-rebuild recovery."""
+    EVENTS.counter(*_RECOVERED, reason=reason).inc()
+    _log.warning("recovered", reason=reason, **detail)
+
+
+def counts() -> Dict[str, float]:
+    """Current totals per family (summed over labels) plus per-label detail.
+
+    Keys: ``degraded`` / ``retries`` / ``recovered`` totals, and
+    ``degraded{reason="x"}``-style entries for each label combination.
+    """
+    out: Dict[str, float] = {"degraded": 0.0, "retries": 0.0,
+                             "recovered": 0.0}
+    for family, short in ((_DEGRADED[0], "degraded"),
+                          (_RETRIES[0], "retries"),
+                          (_RECOVERED[0], "recovered")):
+        try:
+            values = EVENTS.values(family)
+        except KeyError:
+            continue
+        for key, value in sorted(values.items()):
+            out[short] += value
+            label = ",".join('%s="%s"' % kv for kv in key)
+            out["%s{%s}" % (short, label)] = value
+    return out
+
+
+def reset() -> None:
+    """Drop all recorded events (tests and bench runs start clean)."""
+    EVENTS._families.clear()
+
+
+def merge_into(registry: MetricsRegistry) -> None:
+    """Copy current resilience counters into another registry.
+
+    Lets ``zkml --metrics`` output include the recoveries of the run it
+    just performed.
+    """
+    for name in (_DEGRADED[0], _RETRIES[0], _RECOVERED[0]):
+        try:
+            family = EVENTS._families[name]
+        except KeyError:
+            continue
+        for key, metric in family.instances.items():
+            registry.counter(name, family.help,
+                             **dict(key)).inc(metric.value)

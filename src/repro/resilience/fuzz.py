@@ -1,0 +1,135 @@
+"""Proof-mutation fuzzing: mutated proofs must be *cleanly* rejected.
+
+Starting from a known-good ``(vk, proof, instance, scheme)`` tuple, each
+iteration applies a seeded random mutation to the serialized proof bytes
+(bit flip, truncation, insertion, range zeroing) — or tampers with the
+public inputs — and asserts the hardened verifier rejects it with a
+typed error:
+
+- :class:`~repro.resilience.errors.ProofFormatError` when the mutation
+  breaks the wire format (deserialization or shape validation), or
+- :class:`~repro.resilience.errors.VerificationFailure` when the
+  mutated proof parses but fails verification.
+
+Any *other* exception is an **escape** — an unhandled crash path in the
+verifier — and any mutation that still verifies is an **acceptance**
+(soundness alarm).  Both fail :attr:`FuzzReport.ok`.  ``zkml chaos
+--fuzz N`` and the CI chaos-smoke job run this loop.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.halo2.proof import proof_from_bytes, proof_to_bytes
+from repro.halo2.verifier import verify_proof_strict
+from repro.resilience.errors import ProofFormatError, VerificationFailure
+
+__all__ = ["FuzzReport", "run_proof_fuzz"]
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing session."""
+
+    iterations: int = 0
+    rejected_format: int = 0
+    rejected_verify: int = 0
+    #: Mutations the verifier still accepted (soundness alarm).
+    accepted: List[str] = field(default_factory=list)
+    #: Mutations that crashed with an untyped exception.
+    escapes: List[Tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.accepted and not self.escapes
+
+    def summary(self) -> str:
+        line = ("%d mutations: %d rejected as malformed, %d rejected by "
+                "verification, %d accepted, %d escaped"
+                % (self.iterations, self.rejected_format,
+                   self.rejected_verify, len(self.accepted),
+                   len(self.escapes)))
+        for what, exc_type, msg in self.escapes[:5]:
+            line += "\n  ESCAPE %s: %s: %s" % (what, exc_type, msg)
+        for what in self.accepted[:5]:
+            line += "\n  ACCEPTED %s" % what
+        return line
+
+
+def _mutate(data: bytes, rng: random.Random) -> Tuple[bytes, str]:
+    """One random mutation of a byte string; never returns it unchanged."""
+    kind = rng.randrange(4)
+    if kind == 0:  # flip one byte (guaranteed different)
+        pos = rng.randrange(len(data))
+        delta = rng.randrange(1, 256)
+        out = bytearray(data)
+        out[pos] ^= delta
+        return bytes(out), "flip@%d^%02x" % (pos, delta)
+    if kind == 1:  # truncate
+        pos = rng.randrange(len(data))
+        return data[:pos], "truncate@%d" % pos
+    if kind == 2:  # insert junk
+        pos = rng.randrange(len(data) + 1)
+        junk = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 9)))
+        return data[:pos] + junk + data[pos:], "insert@%d+%d" % (pos, len(junk))
+    # zero a range (skip if it is already all zeros)
+    pos = rng.randrange(len(data))
+    length = min(rng.randrange(1, 65), len(data) - pos)
+    if data[pos:pos + length] == b"\x00" * length:
+        out = bytearray(data)
+        out[pos] ^= 0xFF
+        return bytes(out), "flip@%d^ff" % pos
+    return (data[:pos] + b"\x00" * length + data[pos + length:],
+            "zero@%d+%d" % (pos, length))
+
+
+def _tamper_instance(instance, rng: random.Random):
+    """Flip one public-input value (a well-formed but wrong instance)."""
+    tampered = [list(col) for col in instance]
+    candidates = [(i, j) for i, col in enumerate(tampered)
+                  for j, v in enumerate(col) if v]
+    if not candidates:
+        candidates = [(0, 0)]
+    i, j = candidates[rng.randrange(len(candidates))]
+    tampered[i][j] = int(tampered[i][j]) + 1 + rng.randrange(7)
+    return tampered, "instance[%d][%d]" % (i, j)
+
+
+def run_proof_fuzz(vk, proof, instance, scheme, iterations: int = 200,
+                   seed: int = 0) -> FuzzReport:
+    """Mutate the proof ``iterations`` times; every mutant must be
+    rejected with ``ProofFormatError`` or ``VerificationFailure``."""
+    rng = random.Random(seed)
+    baseline = proof_to_bytes(proof)
+    report = FuzzReport()
+    for i in range(iterations):
+        if i % 10 == 9:
+            mutated_bytes, what = baseline, None
+            test_instance, tag = _tamper_instance(instance, rng)
+            what = "tamper:%s" % tag
+        else:
+            mutated_bytes, what = _mutate(baseline, rng)
+            test_instance = instance
+        report.iterations += 1
+        try:
+            mutant = proof_from_bytes(mutated_bytes)
+        except ProofFormatError:
+            report.rejected_format += 1
+            continue
+        except Exception as exc:  # noqa: BLE001 — parse crash: an escape
+            report.escapes.append((what, type(exc).__name__, str(exc)[:120]))
+            continue
+        try:
+            verify_proof_strict(vk, mutant, test_instance, scheme)
+        except ProofFormatError:
+            report.rejected_format += 1
+        except VerificationFailure:
+            report.rejected_verify += 1
+        except Exception as exc:  # noqa: BLE001 — verifier crash: an escape
+            report.escapes.append((what, type(exc).__name__, str(exc)[:120]))
+        else:
+            report.accepted.append(what)
+    return report

@@ -1,0 +1,189 @@
+"""Supervised phase execution: deadlines, retries, degradation, resume.
+
+A :class:`Supervisor` runs named pipeline phases with a safety harness:
+
+- **bounded retry with exponential backoff** for *transient* failures
+  (injected faults, ``OSError``-family conditions) — each retry is
+  counted (``resilience_retries_total{phase=...}``) and logged; when the
+  budget is exhausted the last failure is wrapped in a typed
+  :class:`~repro.resilience.errors.ProvingError` carrying the phase;
+- **graceful degradation**: a ``recover`` table maps a typed error to a
+  handler that repairs state (e.g. rewrite the layout plan from
+  Freivalds to direct matmul) before the phase is re-run — each
+  degradation fires at most once per phase run;
+- **per-phase deadlines** (cooperative): the elapsed wall-clock is
+  checked after every attempt and before every retry; an overrun raises
+  :class:`~repro.resilience.errors.DeadlineExceeded` instead of letting
+  a run silently blow its budget;
+- **stage checkpointing** via :meth:`Supervisor.stage`: a completed
+  phase's payload is persisted to a
+  :class:`~repro.resilience.checkpoint.CheckpointStore` and replayed on
+  resume; a corrupted stage file is discarded and recomputed.
+
+Every attempt runs under a ``supervised:<phase>`` span on the active
+tracer, so retries and recoveries are visible in the trace tree, not
+silent.  The runner is deliberately generic — it knows nothing about
+circuits — and :func:`repro.runtime.pipeline.prove_model` wires the
+synthesize/keygen/prove stages through it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+from repro.obs.trace import get_tracer
+from repro.resilience import events
+from repro.resilience.errors import (
+    DeadlineExceeded,
+    ProvingError,
+    ResilienceError,
+)
+from repro.resilience.faults import InjectedFault
+
+__all__ = ["RetryPolicy", "Supervisor", "DEFAULT_RETRY"]
+
+#: Exception types treated as transient (retried with backoff).
+TRANSIENT_ERRORS: Tuple[Type[BaseException], ...] = (
+    InjectedFault, ConnectionError, TimeoutError, OSError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff (no jitter: deterministic)."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return min(self.base_delay * self.factor ** (attempt - 1),
+                   self.max_delay)
+
+
+DEFAULT_RETRY = RetryPolicy()
+
+RecoverTable = Dict[Type[ResilienceError], Callable[[ResilienceError], None]]
+
+
+class Supervisor:
+    """Runs pipeline phases under retry/deadline/degradation policy."""
+
+    def __init__(self, retry: Optional[RetryPolicy] = None,
+                 deadlines: Optional[Dict[str, float]] = None,
+                 tracer=None, sleep: Callable[[float], None] = time.sleep,
+                 clock: Callable[[], float] = time.monotonic):
+        self.retry = retry if retry is not None else DEFAULT_RETRY
+        self.deadlines = dict(deadlines or {})
+        self._tracer = tracer
+        self._sleep = sleep
+        self._clock = clock
+
+    @property
+    def tracer(self):
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    # -- core runner ---------------------------------------------------------
+
+    def run_phase(self, name: str, fn: Callable[[], Any], *,
+                  recover: Optional[RecoverTable] = None,
+                  deadline: Optional[float] = None) -> Any:
+        """Run ``fn`` under the phase policy; returns its result.
+
+        Transient failures are retried up to the policy budget, then
+        wrapped in a :class:`ProvingError` attributed to ``name``.
+        Typed :class:`ResilienceError`\\ s pass through (annotated with
+        the phase) unless ``recover`` maps their type to a handler, in
+        which case the handler runs once and the phase is re-attempted.
+        """
+        deadline = self.deadlines.get(name) if deadline is None else deadline
+        start = self._clock()
+        attempt = 0
+        recovered: set = set()
+        while True:
+            attempt += 1
+            try:
+                with self.tracer.span("supervised:%s" % name,
+                                      attempt=attempt):
+                    out = fn()
+            except ResilienceError as exc:
+                exc.with_context(phase=name)
+                handler = self._handler_for(recover, exc)
+                if handler is not None and type(exc) not in recovered:
+                    recovered.add(type(exc))
+                    handler(exc)
+                    self._check_deadline(name, start, deadline)
+                    continue
+                raise
+            except TRANSIENT_ERRORS as exc:
+                self._check_deadline(name, start, deadline, cause=exc)
+                transient = getattr(exc, "transient", True)
+                if not transient or attempt >= self.retry.max_attempts:
+                    raise ProvingError(
+                        "phase %r failed after %d attempt%s: %s"
+                        % (name, attempt, "s" if attempt != 1 else "", exc),
+                        phase=name, attempts=attempt,
+                        cause=type(exc).__name__,
+                    ) from exc
+                events.retried(name, attempt, error=type(exc).__name__)
+                self._sleep(self.retry.delay(attempt))
+                continue
+            self._check_deadline(name, start, deadline)
+            return out
+
+    def stage(self, store, name: str, fn: Callable[[], Any], *,
+              recover: Optional[RecoverTable] = None) -> Tuple[Any, bool]:
+        """Checkpoint-aware :meth:`run_phase`.
+
+        Returns ``(payload, resumed)``.  With a store, a previously
+        completed stage is replayed from disk (``resumed=True``); a
+        stage file failing its checksum is discarded, counted as a
+        recovery, and recomputed.  The fresh payload is checkpointed
+        before it is returned.
+        """
+        if store is not None and store.has(name):
+            from repro.resilience.errors import CacheCorruptionError
+
+            try:
+                payload = store.load(name)
+                with self.tracer.span("resume:%s" % name):
+                    pass
+                return payload, True
+            except CacheCorruptionError as exc:
+                events.recovered("checkpoint_stage_rebuild", stage=name,
+                                 detail=str(exc)[:120])
+                store.discard(name)
+        payload = self.run_phase(name, fn, recover=recover)
+        if store is not None:
+            store.save(name, payload)
+        return payload, False
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _handler_for(recover: Optional[RecoverTable],
+                     exc: ResilienceError):
+        if not recover:
+            return None
+        for exc_type, handler in recover.items():
+            if isinstance(exc, exc_type):
+                return handler
+        return None
+
+    def _check_deadline(self, name: str, start: float,
+                        deadline: Optional[float],
+                        cause: Optional[BaseException] = None) -> None:
+        if deadline is None:
+            return
+        elapsed = self._clock() - start
+        if elapsed > deadline:
+            raise DeadlineExceeded(
+                "phase %r exceeded its %.1fs deadline (%.1fs elapsed)"
+                % (name, deadline, elapsed),
+                phase=name, deadline=deadline,
+                elapsed=round(elapsed, 3),
+            ) from cause

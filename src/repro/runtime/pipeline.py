@@ -14,6 +14,17 @@ model's *predicted* counts — the raw material for the
 predicted-vs-actual report.  Passing a
 :class:`~repro.obs.metrics.MetricsRegistry` additionally records circuit
 shape statistics and per-phase timings.
+
+Resilience: the synthesize/keygen/prove stages run under a
+:class:`~repro.resilience.supervisor.Supervisor` — transient faults are
+retried with backoff, a failed Freivalds challenge degrades the layout
+plan to direct matmul (counted, never silent), and with
+``checkpoint_dir`` each completed stage is persisted so an interrupted
+run resumes from the last stage with **byte-identical** proof output.
+``verify_model_proof`` is strict by default: malformed proofs raise
+:class:`~repro.resilience.errors.ProofFormatError` and rejections raise
+:class:`~repro.resilience.errors.VerificationFailure` instead of
+returning ``False``.
 """
 
 from __future__ import annotations
@@ -26,14 +37,25 @@ import numpy as np
 
 from repro.commit import scheme_by_name
 from repro.compiler import SynthesizedModel, synthesize_model
+from repro.compiler.logical import LayoutPlan
 from repro.field import GOLDILOCKS, PrimeField
 from repro.halo2 import Proof, VerifyingKey, create_proof, keygen, verify_proof
+from repro.halo2.verifier import verify_proof_strict
+from repro.layers.base import LayoutChoices
 from repro.model.spec import ModelSpec
 from repro.obs import metrics as obs_metrics
 from repro.obs.stats import STATS
 from repro.obs.trace import get_tracer
 from repro.perf.pkcache import GLOBAL_PK_CACHE
 from repro.perf.timer import PhaseTimer
+from repro.resilience import events
+from repro.resilience.checkpoint import CheckpointStore, proving_config_digest
+from repro.resilience.errors import (
+    FreivaldsCheckError,
+    ProvingError,
+    region_at,
+)
+from repro.resilience.supervisor import Supervisor
 
 
 @dataclass
@@ -79,6 +101,26 @@ class ProveResult:
                                                self.observed_counts)
 
 
+def _normalize_plan(plan) -> LayoutPlan:
+    if plan is None:
+        return LayoutPlan(LayoutChoices())
+    if isinstance(plan, LayoutChoices):
+        return LayoutPlan(plan)
+    return plan
+
+
+def _plan_without_freivalds(plan: LayoutPlan) -> LayoutPlan:
+    """The same plan with every Freivalds matmul replaced by direct."""
+
+    def fix(choices: LayoutChoices) -> LayoutChoices:
+        if choices.linear == "freivalds":
+            return choices.replace(linear="dot_bias")
+        return choices
+
+    return LayoutPlan(fix(plan.base),
+                      tuple((name, fix(c)) for name, c in plan.overrides))
+
+
 def prove_model(
     spec: ModelSpec,
     inputs: Dict[str, np.ndarray],
@@ -93,6 +135,9 @@ def prove_model(
     use_pk_cache: bool = True,
     tracer=None,
     metrics=None,
+    supervisor: Optional[Supervisor] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> ProveResult:
     """Synthesize, keygen, and prove one inference of a model.
 
@@ -102,41 +147,101 @@ def prove_model(
     overrides the process tracer for this run; ``metrics`` is an optional
     :class:`~repro.obs.metrics.MetricsRegistry` that receives circuit
     statistics and prover operation counts.
+
+    Every stage runs under ``supervisor`` (a default
+    :class:`~repro.resilience.supervisor.Supervisor` if not given):
+    transient faults retry with backoff, and a
+    :class:`~repro.resilience.errors.FreivaldsCheckError` degrades the
+    layout plan to direct matmul and re-synthesizes.  With
+    ``checkpoint_dir``, each completed stage is persisted there;
+    ``resume=True`` replays completed stages from disk (the checkpoint is
+    bound to the full proving configuration, and a resumed run's proof is
+    byte-identical to an uninterrupted one).
     """
     tracer = tracer if tracer is not None else get_tracer()
+    sup = supervisor if supervisor is not None else Supervisor(tracer=tracer)
+    plan_state = {"plan": _normalize_plan(plan)}
+
+    store = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(
+            checkpoint_dir,
+            proving_config_digest(spec, inputs, scheme_name, num_cols,
+                                  scale_bits, lookup_bits, k),
+            resume=resume,
+        )
+
+    def _freivalds_fallback(exc: FreivaldsCheckError) -> None:
+        plan_state["plan"] = _plan_without_freivalds(plan_state["plan"])
+        events.degraded("freivalds_direct_matmul", layer=exc.layer,
+                        model=spec.name)
+
     with tracer.span("prove_model", model=spec.name, scheme=scheme_name):
-        with tracer.span("synthesize", model=spec.name):
-            result: SynthesizedModel = synthesize_model(
-                spec, inputs, plan=plan, num_cols=num_cols,
-                scale_bits=scale_bits, lookup_bits=lookup_bits, k=k,
-                tracer=tracer,
-            )
-            for name in spec.outputs:
-                result.builder.expose(result.outputs[name].entries())
+        def _synthesize() -> SynthesizedModel:
+            with tracer.span("synthesize", model=spec.name):
+                result = synthesize_model(
+                    spec, inputs, plan=plan_state["plan"], num_cols=num_cols,
+                    scale_bits=scale_bits, lookup_bits=lookup_bits, k=k,
+                    tracer=tracer,
+                )
+                for name in spec.outputs:
+                    result.builder.expose(result.outputs[name].entries())
+                return result
+
+        result, _ = sup.stage(
+            store, "synthesize", _synthesize,
+            recover={FreivaldsCheckError: _freivalds_fallback},
+        )
 
         scheme = scheme_by_name(scheme_name, field)
         start = time.perf_counter()
-        with tracer.span("keygen", model=spec.name, k=result.builder.k,
-                         num_cols=num_cols, scheme=scheme_name) as sp:
-            if use_pk_cache:
-                pk, vk, pk_cache_hit = GLOBAL_PK_CACHE.get_or_create(
-                    result.builder.cs, result.builder.asg, scheme
-                )
-            else:
-                pk, vk = keygen(result.builder.cs, result.builder.asg, scheme)
-                pk_cache_hit = False
-            sp.set_attr("pk_cache_hit", pk_cache_hit)
+
+        def _keygen():
+            with tracer.span("keygen", model=spec.name, k=result.builder.k,
+                             num_cols=num_cols, scheme=scheme_name) as sp:
+                if use_pk_cache:
+                    pk, vk, hit = GLOBAL_PK_CACHE.get_or_create(
+                        result.builder.cs, result.builder.asg, scheme
+                    )
+                else:
+                    pk, vk = keygen(result.builder.cs, result.builder.asg,
+                                    scheme)
+                    hit = False
+                sp.set_attr("pk_cache_hit", hit)
+                return pk, vk, hit
+
+        (pk, vk, pk_cache_hit), _ = sup.stage(store, "keygen", _keygen)
         keygen_seconds = time.perf_counter() - start
 
-        timer = PhaseTimer(tracer)
-        counts_before = STATS.snapshot()
         start = time.perf_counter()
-        with tracer.span("prove", model=spec.name, k=result.builder.k,
-                         jobs=jobs or 1):
-            proof = create_proof(pk, result.builder.asg, scheme, jobs=jobs,
-                                 timer=timer)
+
+        def _prove():
+            timer = PhaseTimer(tracer)
+            counts_before = STATS.snapshot()
+            try:
+                with tracer.span("prove", model=spec.name,
+                                 k=result.builder.k, jobs=jobs or 1):
+                    proof = create_proof(pk, result.builder.asg, scheme,
+                                         jobs=jobs, timer=timer)
+            except ProvingError as exc:
+                row = exc.context.get("row")
+                if row is not None and exc.region is None:
+                    region = region_at(result.builder.regions, row)
+                    if region is not None:
+                        exc.with_context(
+                            layer=region.name,
+                            region="%s[%d:%d]" % (region.name, region.start,
+                                                  region.end),
+                        )
+                raise
+            return {"proof": proof, "phase_seconds": dict(timer.seconds),
+                    "observed": STATS.delta(counts_before)}
+
+        prove_payload, _ = sup.stage(store, "prove", _prove)
+        proof = prove_payload["proof"]
+        phase_seconds = prove_payload["phase_seconds"]
+        observed = prove_payload["observed"]
         proving_seconds = time.perf_counter() - start
-        observed = STATS.delta(counts_before)
         predicted = obs_metrics.predicted_counts(result.layout, scheme_name)
 
         if metrics is not None:
@@ -144,7 +249,7 @@ def prove_model(
                                              model=spec.name)
             obs_metrics.record_prover_run(metrics, spec.name, observed,
                                           predicted,
-                                          phase_seconds=timer.seconds)
+                                          phase_seconds=phase_seconds)
             metrics.gauge("zkml_keygen_seconds", "keygen wall-clock",
                           model=spec.name).set(round(keygen_seconds, 6))
             metrics.gauge("zkml_prove_seconds", "prover wall-clock",
@@ -165,7 +270,7 @@ def prove_model(
         keygen_seconds=keygen_seconds,
         proving_seconds=proving_seconds,
         modeled_proof_bytes=proof.modeled_size_bytes(scheme, result.builder.k),
-        phase_seconds=dict(timer.seconds),
+        phase_seconds=dict(phase_seconds),
         pk_cache_hit=pk_cache_hit,
         observed_counts=observed,
         predicted_counts=predicted,
@@ -178,10 +283,20 @@ def verify_model_proof(
     instance: List[List[int]],
     scheme_name: str = "kzg",
     field: PrimeField = GOLDILOCKS,
+    strict: bool = True,
 ) -> bool:
-    """Verify a model proof against its public inputs."""
+    """Verify a model proof against its public inputs.
+
+    Strict by default: a structurally invalid proof raises
+    :class:`~repro.resilience.errors.ProofFormatError` and a rejected one
+    raises :class:`~repro.resilience.errors.VerificationFailure`, so the
+    only falsy outcome is the legacy ``strict=False`` boolean path.
+    """
     scheme = scheme_by_name(scheme_name, field)
     with get_tracer().span("verify", scheme=scheme_name):
+        if strict:
+            verify_proof_strict(vk, proof, instance, scheme)
+            return True
         return verify_proof(vk, proof, instance, scheme)
 
 

@@ -1,0 +1,119 @@
+"""Tests for the supervised phase runner (retry / recover / deadline)."""
+
+import pytest
+
+from repro.resilience import events
+from repro.resilience.errors import (
+    DeadlineExceeded,
+    FreivaldsCheckError,
+    ProvingError,
+)
+from repro.resilience.faults import InjectedFault
+from repro.resilience.supervisor import RetryPolicy, Supervisor
+
+
+@pytest.fixture(autouse=True)
+def clean_events():
+    events.reset()
+    yield
+    events.reset()
+
+
+def make_supervisor(**kwargs):
+    kwargs.setdefault("sleep", lambda _s: None)  # no real backoff in tests
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=3, base_delay=0.0))
+    return Supervisor(**kwargs)
+
+
+class TestRetry:
+    def test_transient_failure_retried_then_succeeds(self):
+        sup = make_supervisor()
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise InjectedFault("ntt", len(calls))
+            return "done"
+
+        assert sup.run_phase("prove", flaky) == "done"
+        assert len(calls) == 3
+        assert events.counts()["retries"] == 2
+
+    def test_budget_exhaustion_wraps_in_proving_error(self):
+        sup = make_supervisor()
+
+        def always_fails():
+            raise InjectedFault("ntt", 1)
+
+        with pytest.raises(ProvingError) as info:
+            sup.run_phase("keygen", always_fails)
+        assert info.value.phase == "keygen"
+        assert info.value.context["attempts"] == 3
+
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(max_attempts=9, base_delay=0.05, factor=2.0,
+                             max_delay=0.3)
+        delays = [policy.delay(a) for a in range(1, 6)]
+        assert delays == [0.05, 0.1, 0.2, 0.3, 0.3]
+
+
+class TestRecover:
+    def test_recover_handler_repairs_and_reruns(self):
+        sup = make_supervisor()
+        state = {"mode": "freivalds"}
+        calls = []
+
+        def phase():
+            calls.append(state["mode"])
+            if state["mode"] == "freivalds":
+                raise FreivaldsCheckError("challenge failed")
+            return state["mode"]
+
+        def fall_back(_exc):
+            state["mode"] = "direct"
+
+        out = sup.run_phase("synthesize", phase,
+                            recover={FreivaldsCheckError: fall_back})
+        assert out == "direct"
+        assert calls == ["freivalds", "direct"]
+
+    def test_recover_fires_once_per_type(self):
+        sup = make_supervisor()
+
+        def phase():
+            raise FreivaldsCheckError("still failing")
+
+        with pytest.raises(FreivaldsCheckError):
+            sup.run_phase("synthesize", phase,
+                          recover={FreivaldsCheckError: lambda _e: None})
+
+    def test_typed_error_annotated_with_phase(self):
+        sup = make_supervisor()
+
+        def phase():
+            raise ProvingError("no luck")
+
+        with pytest.raises(ProvingError) as info:
+            sup.run_phase("prove", phase)
+        assert info.value.phase == "prove"
+
+
+class TestDeadline:
+    def test_overrun_raises_deadline_exceeded(self):
+        ticks = iter([0.0, 10.0, 20.0, 30.0, 40.0, 50.0])
+        sup = make_supervisor(clock=lambda: next(ticks))
+        with pytest.raises(DeadlineExceeded) as info:
+            sup.run_phase("prove", lambda: "ok", deadline=5.0)
+        assert info.value.context["deadline"] == 5.0
+
+    def test_under_deadline_passes(self):
+        sup = make_supervisor()
+        assert sup.run_phase("prove", lambda: 42, deadline=60.0) == 42
+
+    def test_deadlines_table_applies_by_phase_name(self):
+        ticks = iter([0.0, 10.0, 20.0, 30.0])
+        sup = make_supervisor(clock=lambda: next(ticks),
+                              deadlines={"keygen": 1.0})
+        with pytest.raises(DeadlineExceeded):
+            sup.run_phase("keygen", lambda: "ok")

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.model import get_model
+from repro.resilience.errors import VerificationFailure
 from repro.runtime import prove_model, verify_model_proof
 
 rng = np.random.default_rng(41)
@@ -40,8 +41,11 @@ class TestProveModel:
         _, result = mnist_result
         instance = [list(col) for col in result.instance]
         instance[0][0] += 1
+        with pytest.raises(VerificationFailure):
+            verify_model_proof(result.vk, result.proof, instance,
+                               result.scheme_name)
         assert not verify_model_proof(result.vk, result.proof, instance,
-                                      result.scheme_name)
+                                      result.scheme_name, strict=False)
 
     def test_times_recorded(self, mnist_result):
         _, result = mnist_result

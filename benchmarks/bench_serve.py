@@ -1,0 +1,151 @@
+"""Proving-service benchmark: coalesced batches vs one-at-a-time proving.
+
+Submits N identical-model requests through the :class:`ProvingService`
+micro-batcher at several ``max_batch`` settings (1 disables coalescing)
+and compares the total wall-clock against N independent ``prove_model``
+calls — the one-shot CLI workflow the service replaces.  Results land in
+``BENCH_serve.json``: per-run throughput, mean batch occupancy, and
+speedup over the independent baseline, plus the resilience counters (a
+clean run shows zeros).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--model dlrm] [--requests 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.model.zoo import get_model
+from repro.perf.pkcache import GLOBAL_PK_CACHE
+from repro.resilience import events
+from repro.runtime.pipeline import prove_model
+from repro.serve import ProvingService, ServeConfig
+
+#: JSON schema tag for ``BENCH_serve.json``.
+SCHEMA = "zkml-bench-serve/v1"
+
+
+def request_inputs(spec, seed: int):
+    rng = np.random.default_rng(seed)
+    return {name: rng.uniform(-0.5, 0.5, shape)
+            for name, shape in spec.inputs.items()}
+
+
+def bench_independent(spec, all_inputs) -> dict:
+    """N one-shot ``prove_model`` calls (warm pk cache: best case)."""
+    GLOBAL_PK_CACHE.clear()
+    prove_model(spec, all_inputs[0])  # warm keygen out of the timed region
+    start = time.perf_counter()
+    for inputs in all_inputs:
+        result = prove_model(spec, inputs)
+        result.verification_seconds()
+    wall = time.perf_counter() - start
+    return {
+        "mode": "independent_prove_model",
+        "requests": len(all_inputs),
+        "wall_seconds": round(wall, 4),
+        "throughput_rps": round(len(all_inputs) / wall, 3),
+    }
+
+
+def bench_service(spec, all_inputs, max_batch: int) -> dict:
+    """All N requests through the service at one ``max_batch`` setting."""
+    GLOBAL_PK_CACHE.clear()
+    config = ServeConfig(max_batch=max_batch, max_flush_seconds=0.1)
+    with ProvingService(config) as service:
+        # one throwaway request warms the pk cache for the padded batch
+        # shape, mirroring the warm keygen the baseline gets
+        service.submit(spec, all_inputs[0]).result(timeout=300)
+        start = time.perf_counter()
+        futures = [service.submit(spec, inputs) for inputs in all_inputs]
+        responses = [f.result(timeout=300) for f in futures]
+        wall = time.perf_counter() - start
+        stats = service.stats()
+    if not all(r.verified for r in responses):
+        raise AssertionError("a service response failed verification")
+    return {
+        "mode": "service",
+        "max_batch": max_batch,
+        "requests": len(all_inputs),
+        "wall_seconds": round(wall, 4),
+        "throughput_rps": round(len(all_inputs) / wall, 3),
+        # the warm-up batch is excluded from occupancy accounting below
+        "batches": stats["batches"] - 1,
+        "mean_occupancy": round(
+            (stats["proofs"] - 1) / max(1, stats["batches"] - 1), 2),
+        "keygen_cache_hits": sum(r.keygen_cache_hit for r in responses),
+    }
+
+
+def run_bench(model: str = "dlrm", requests: int = 8,
+              batch_sizes=(1, 4, 8), seed: int = 0,
+              output_path: str = "BENCH_serve.json", stream=None) -> dict:
+    stream = stream if stream is not None else sys.stdout
+    spec = get_model(model, scale="mini")
+    all_inputs = [request_inputs(spec, seed + i) for i in range(requests)]
+    events.reset()
+
+    baseline = bench_independent(spec, all_inputs)
+    print("%-28s %6.2f s  %6.2f proofs/s" % (
+        "%d x prove_model" % requests, baseline["wall_seconds"],
+        baseline["throughput_rps"]), file=stream)
+
+    runs = []
+    for max_batch in batch_sizes:
+        record = bench_service(spec, all_inputs, max_batch)
+        record["speedup_vs_independent"] = round(
+            baseline["wall_seconds"] / record["wall_seconds"], 2)
+        runs.append(record)
+        print("%-28s %6.2f s  %6.2f proofs/s  occupancy %.2f  (%.2fx)" % (
+            "serve max_batch=%d" % max_batch, record["wall_seconds"],
+            record["throughput_rps"], record["mean_occupancy"],
+            record["speedup_vs_independent"]), file=stream)
+
+    report = {
+        "schema": SCHEMA,
+        "config": {
+            "model": model,
+            "requests": requests,
+            "seed": seed,
+            "python": platform.python_version(),
+        },
+        "baseline": baseline,
+        "runs": runs,
+        # a clean benchmark performed zero retries/degradations/rebuilds
+        "resilience": events.counts(),
+    }
+    if output_path:
+        with open(output_path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("wrote %s" % output_path, file=stream)
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--model", default="dlrm")
+    parser.add_argument("--requests", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_serve.json")
+    args = parser.parse_args(argv)
+    report = run_bench(model=args.model, requests=args.requests,
+                       seed=args.seed, output_path=args.out)
+    best = max(r["speedup_vs_independent"] for r in report["runs"])
+    if best <= 1.0:
+        print("WARNING: coalescing never beat independent proving",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,11 @@ Subcommands:
   ``--fuzz N``, the proof-mutation fuzz loop.
 - ``zkml transpile --flat FILE``        — import a tflite-like flat JSON
   model and report its circuit statistics.
+- ``zkml serve``                        — run the batch-aware proving
+  service on a unix socket (``--smoke N`` runs the in-process load test
+  instead and asserts coalescing happened).
+- ``zkml submit``                       — send proof requests to a
+  running ``zkml serve`` socket.
 
 Observability flags available on every subcommand: ``--trace PATH``
 (span tree, Chrome trace_event JSON or ``.jsonl``; the ``ZKML_TRACE``
@@ -394,6 +399,132 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _serve_config(args):
+    from repro.serve import ServeConfig
+
+    return ServeConfig(
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        max_flush_seconds=args.flush_ms / 1000.0,
+        workers=args.workers,
+        jobs=args.jobs,
+    )
+
+
+def _serve_smoke(args) -> int:
+    """In-process load test: N concurrent requests must all verify and
+    must actually coalesce (the CI serve-smoke job's assertion)."""
+    from repro.serve import ProvingService
+
+    spec = get_model(args.model, "mini")
+    rng = np.random.default_rng(args.seed)
+    registry = args.obs_registry if args.obs_registry is not None \
+        else MetricsRegistry()
+    with ProvingService(_serve_config(args), metrics=registry) as service:
+        futures = [
+            service.submit(
+                spec,
+                {name: rng.uniform(-0.5, 0.5, shape)
+                 for name, shape in spec.inputs.items()},
+                scheme_name=args.backend, num_cols=args.columns,
+                scale_bits=args.scale_bits,
+            )
+            for _ in range(args.smoke)
+        ]
+        responses = [f.result(timeout=300) for f in futures]
+        stats = service.stats()
+    log.info("serve smoke: %d requests -> %d batches "
+             "(mean occupancy %.2f), all verified: %s",
+             stats["requests"], stats["batches"], stats["mean_occupancy"],
+             all(r.verified for r in responses))
+    for response in responses:
+        log.debug("request", id=response.request_id,
+                  batch_size=response.batch_size,
+                  padded=response.padded_size,
+                  keygen_cache_hit=response.keygen_cache_hit)
+    failures = []
+    if not all(r.verified for r in responses):
+        failures.append("not every proof verified")
+    if not stats["batches"]:
+        failures.append("serve_batches_total is zero")
+    if args.smoke > 1 and args.max_batch > 1 \
+            and stats["mean_occupancy"] <= 1.0:
+        failures.append("mean batch occupancy %.2f never exceeded 1 — "
+                        "requests were not coalesced"
+                        % stats["mean_occupancy"])
+    if failures:
+        log.error("serve smoke failed: %s", "; ".join(failures))
+        return 1
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    if args.smoke:
+        return _serve_smoke(args)
+    import signal
+
+    from repro.serve import ProvingService
+    from repro.serve.server import ServeServer
+
+    service = ProvingService(_serve_config(args),
+                             metrics=args.obs_registry).start()
+    server = ServeServer(service, args.socket)
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt  # SIGTERM drains like Ctrl-C
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        log.info("draining...")
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.stop()
+        service.shutdown(drain=True)
+    stats = service.stats()
+    log.info("served %d requests in %d batches (mean occupancy %.2f)",
+             stats["requests"], stats["batches"], stats["mean_occupancy"])
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.serve.client import submit_many
+
+    payloads = [
+        {"model": args.model, "seed": args.seed + i,
+         "scheme": args.backend, "columns": args.columns,
+         "scale_bits": args.scale_bits, "timeout": args.timeout,
+         "want_proof": bool(args.out)}
+        for i in range(args.count)
+    ]
+    responses = submit_many(args.socket, payloads, timeout=args.timeout)
+    failed = 0
+    for i, response in enumerate(responses):
+        if response.get("ok"):
+            log.info("request %d: verified=%s batch=%d/%d queued %.3fs "
+                     "proved %.3fs", i, response["verified"],
+                     response["batch_size"], response["padded_size"],
+                     response["queue_seconds"], response["prove_seconds"])
+        else:
+            failed += 1
+            log.error("request %d: %s: %s", i, response.get("error"),
+                      response.get("detail"))
+    if args.out:
+        import base64
+
+        for i, response in enumerate(responses):
+            if response.get("ok") and "proof_b64" in response:
+                path = "%s.%d.proof" % (args.out, i)
+                with open(path, "wb") as fh:
+                    fh.write(base64.b64decode(response["proof_b64"]))
+                log.info("proof:        %s", path)
+    if failed or not all(r.get("verified") for r in responses
+                         if r.get("ok")):
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     # observability options shared by every subcommand
     common = argparse.ArgumentParser(add_help=False)
@@ -526,6 +657,50 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--fuzz", type=int, default=0, metavar="N",
                        help="also run N proof-mutation fuzz iterations")
     chaos.set_defaults(func=_cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="run the batch-aware proving service on a unix socket")
+    serve.add_argument("--socket", default="zkml-serve.sock",
+                       help="unix socket path to bind")
+    serve.add_argument("--model", default="dlrm", choices=model_names(),
+                       help="model the --smoke load test proves")
+    serve.add_argument("--backend", default="kzg", choices=["kzg", "ipa"])
+    serve.add_argument("--columns", type=int, default=10)
+    serve.add_argument("--scale-bits", type=int, default=5)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="flush a group at this many coalesced requests")
+    serve.add_argument("--flush-ms", type=float, default=250.0,
+                       help="ceiling on how long the oldest request waits")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="bounded queue size (backpressure beyond this)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker threads proving flushed batches")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="prover worker processes per batch")
+    serve.add_argument("--smoke", type=int, default=0, metavar="N",
+                       help="submit N in-process requests, assert they all "
+                            "verify and actually coalesced, then exit")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", parents=[common],
+        help="send proof requests to a running 'zkml serve' socket")
+    submit.add_argument("--socket", default="zkml-serve.sock")
+    submit.add_argument("--model", required=True, choices=model_names())
+    submit.add_argument("--count", type=int, default=1,
+                        help="concurrent requests to send")
+    submit.add_argument("--seed", type=int, default=0,
+                        help="input seed for the first request "
+                             "(request i uses seed+i)")
+    submit.add_argument("--backend", default="kzg", choices=["kzg", "ipa"])
+    submit.add_argument("--columns", type=int, default=10)
+    submit.add_argument("--scale-bits", type=int, default=5)
+    submit.add_argument("--timeout", type=float, default=120.0)
+    submit.add_argument("--out", default=None, metavar="PREFIX",
+                        help="write each proof to PREFIX.<i>.proof")
+    submit.set_defaults(func=_cmd_submit)
     return parser
 
 

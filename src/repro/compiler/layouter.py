@@ -147,13 +147,18 @@ def synthesize_batch(
     scale_bits: int = 5,
     lookup_bits: Optional[int] = None,
     k: Optional[int] = None,
+    tracer=None,
 ) -> "BatchSynthesizedModel":
     """Lay out several inferences of one model in a single circuit.
 
     Weights are materialized once (in the vk-committed fixed columns) and
     the lookup tables are shared, so proving a batch amortizes everything
-    but the per-inference gadget rows — the shape an audit log wants.
+    but the per-inference gadget rows — the shape an audit log (or the
+    proving service's coalesced micro-batches) wants.  Spans (layout /
+    one per inference) go to ``tracer``, defaulting to the process
+    tracer.
     """
+    tracer = tracer if tracer is not None else get_tracer()
     if not spec.materialized:
         raise SpecError(
             "model %r has shape-only parameters; use a mini-scale model"
@@ -167,8 +172,11 @@ def synthesize_batch(
         plan = LayoutPlan(LayoutChoices())
     elif isinstance(plan, LayoutChoices):
         plan = LayoutPlan(plan)
-    layout = build_physical_layout(spec, plan, num_cols, scale_bits,
-                                   lookup_bits)
+    with tracer.span("layout", model=spec.name, num_cols=num_cols,
+                     batch_size=len(batch_inputs)) as sp:
+        layout = build_physical_layout(spec, plan, num_cols, scale_bits,
+                                       lookup_bits)
+        sp.set_attr("gadget_rows", layout.gadget_rows)
     if k is None:
         import math
 
@@ -208,7 +216,8 @@ def synthesize_batch(
             name: Tensor.from_values(fp.encode_array(np.asarray(arr)))
             for name, arr in inputs.items()
         }
-        with builder.region("inference[%d]" % index, "batch"):
+        with builder.region("inference[%d]" % index, "batch"), \
+                tracer.span("inference[%d]" % index, model=spec.name):
             for layer_spec in spec.layers:
                 layer = layer_spec.layer()
                 choices = resolve_choices(plan.for_layer(layer_spec.name),

@@ -25,9 +25,19 @@ from repro.resilience import events, faults
 #: Environment variable holding the default worker count.
 JOBS_ENV = "ZKML_JOBS"
 
+#: Malformed ``ZKML_JOBS`` values already warned about (once per value, not
+#: once per ``resolve_jobs`` call — the prover calls this several times).
+_warned_jobs_env: set = set()
+
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """The effective worker count: ``jobs`` arg, else ``ZKML_JOBS``, else 1."""
+    """The effective worker count: ``jobs`` arg, else ``ZKML_JOBS``, else 1.
+
+    A malformed ``ZKML_JOBS`` (``ZKML_JOBS=four``) falls back to serial —
+    but never silently: it is logged and counted as a degradation
+    (``resilience_degraded_total{reason="invalid_jobs_env"}``), so a user
+    who thinks they are running parallel finds out they are not.
+    """
     if jobs is not None:
         return max(1, int(jobs))
     env = os.environ.get(JOBS_ENV)
@@ -35,7 +45,10 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            pass
+            if env not in _warned_jobs_env:
+                _warned_jobs_env.add(env)
+                events.degraded("invalid_jobs_env", var=JOBS_ENV, value=env,
+                                fallback="serial")
     return 1
 
 

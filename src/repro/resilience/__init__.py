@@ -25,6 +25,9 @@ from repro.resilience.errors import (
     ProvingError,
     QuantizationRangeError,
     ResilienceError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceShutdownError,
     SpecError,
     UnknownNameError,
     VerificationFailure,
@@ -40,6 +43,9 @@ __all__ = [
     "ProvingError",
     "QuantizationRangeError",
     "ResilienceError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceShutdownError",
     "SpecError",
     "UnknownNameError",
     "VerificationFailure",

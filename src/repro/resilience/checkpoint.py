@@ -42,7 +42,8 @@ from repro.obs import log as obs_log
 from repro.resilience import events, faults
 from repro.resilience.errors import CacheCorruptionError, CheckpointError
 
-__all__ = ["CheckpointStore", "proving_config_digest"]
+__all__ = ["CheckpointStore", "batch_proving_config_digest",
+           "proving_config_digest"]
 
 #: Manifest schema tag.
 SCHEMA = "zkml-checkpoint/v1"
@@ -65,6 +66,24 @@ def proving_config_digest(spec, inputs: Dict[str, np.ndarray],
         h.update(name.encode())
         h.update(repr(arr.shape).encode())
         h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def batch_proving_config_digest(spec, batch_inputs, scheme_name: str,
+                                num_cols: int, scale_bits: int,
+                                lookup_bits: Optional[int],
+                                k: Optional[int] = None) -> str:
+    """A binding digest of a whole batch-proving configuration.
+
+    Chains the per-inference :func:`proving_config_digest` values in batch
+    order, so any change to the batch size, ordering, or any single input
+    set produces a different digest.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(("batch|%d" % len(batch_inputs)).encode())
+    for inputs in batch_inputs:
+        h.update(proving_config_digest(spec, inputs, scheme_name, num_cols,
+                                       scale_bits, lookup_bits, k).encode())
     return h.hexdigest()
 
 

@@ -24,6 +24,10 @@ class                       raised when
 ``VerificationFailure``     a structurally valid proof does not verify
 ``CheckpointError``         a checkpoint directory cannot be written/resumed
 ``DeadlineExceeded``        a supervised phase overran its deadline
+``ServiceError``            the proving service cannot accept or complete a
+                            request; ``ServiceOverloadedError`` (queue full,
+                            backpressure) and ``ServiceShutdownError`` (closed)
+                            subclass it
 ==========================  ==================================================
 
 Each error carries the originating pipeline ``phase`` plus optional
@@ -51,6 +55,9 @@ __all__ = [
     "VerificationFailure",
     "CheckpointError",
     "DeadlineExceeded",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceShutdownError",
     "region_at",
 ]
 
@@ -172,6 +179,20 @@ class CheckpointError(ResilienceError):
 
 class DeadlineExceeded(ResilienceError):
     """A supervised phase overran its wall-clock deadline."""
+
+
+class ServiceError(ResilienceError):
+    """The proving service could not accept or complete a request."""
+
+    default_phase = "serve"
+
+
+class ServiceOverloadedError(ServiceError):
+    """The bounded request queue is full — backpressure, try again later."""
+
+
+class ServiceShutdownError(ServiceError):
+    """The service is shut down and no longer accepts requests."""
 
 
 def region_at(regions: List[Any], row: int) -> Optional[Any]:

@@ -317,11 +317,28 @@ class BatchProveResult:
     outputs: List[Dict[str, np.ndarray]]
     #: Wall-clock seconds per prover phase (commit/helpers/quotient/openings).
     phase_seconds: Dict[str, float] = dataclass_field(default_factory=dict)
+    #: Whether keygen was skipped via the proving-key cache.
+    keygen_cache_hit: bool = False
 
-    def verify(self, field: PrimeField = GOLDILOCKS) -> bool:
+    def verify(self, field: PrimeField = GOLDILOCKS,
+               strict: bool = True) -> bool:
+        """Verify the batch proof against all per-inference instances.
+
+        Strict by default, mirroring :func:`verify_model_proof`: a
+        malformed proof raises
+        :class:`~repro.resilience.errors.ProofFormatError` and a rejected
+        one raises
+        :class:`~repro.resilience.errors.VerificationFailure`;
+        ``strict=False`` restores the legacy boolean path.
+        """
         scheme = scheme_by_name(self.scheme_name, field)
         with get_tracer().span("verify", model=self.spec_name,
-                               scheme=self.scheme_name):
+                               scheme=self.scheme_name,
+                               batch_size=self.batch_size):
+            if strict:
+                verify_proof_strict(self.vk, self.proof, self.instance,
+                                    scheme)
+                return True
             return verify_proof(self.vk, self.proof, self.instance, scheme)
 
 
@@ -335,39 +352,99 @@ def prove_batch(
     lookup_bits: Optional[int] = None,
     field: PrimeField = GOLDILOCKS,
     jobs: Optional[int] = None,
+    use_pk_cache: bool = True,
     tracer=None,
+    supervisor: Optional[Supervisor] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> BatchProveResult:
     """Prove several inferences of one model with a single proof.
 
     The batch shares the weight commitment and the lookup tables; each
     inference's outputs are exposed in its own instance column.
+
+    The batch path runs under the same hardening as :func:`prove_model`:
+    keygen consults the global proving-key cache (the circuit digest
+    covers the batch shape, so equal-occupancy batches share keys —
+    ``keygen_cache_hit`` reports a skip), every stage runs under a
+    :class:`~repro.resilience.supervisor.Supervisor` (transient faults
+    retry, a failed Freivalds challenge degrades the plan to direct
+    matmul), and ``checkpoint_dir``/``resume`` persist and replay
+    completed stages exactly like the single-proof pipeline.
     """
     from repro.compiler import synthesize_batch
+    from repro.resilience.checkpoint import batch_proving_config_digest
 
     tracer = tracer if tracer is not None else get_tracer()
+    sup = supervisor if supervisor is not None else Supervisor(tracer=tracer)
+    plan_state = {"plan": _normalize_plan(plan)}
+
+    store = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(
+            checkpoint_dir,
+            batch_proving_config_digest(spec, batch_inputs, scheme_name,
+                                        num_cols, scale_bits, lookup_bits),
+            resume=resume,
+        )
+
+    def _freivalds_fallback(exc: FreivaldsCheckError) -> None:
+        plan_state["plan"] = _plan_without_freivalds(plan_state["plan"])
+        events.degraded("freivalds_direct_matmul", layer=exc.layer,
+                        model=spec.name)
+
     with tracer.span("prove_batch", model=spec.name, scheme=scheme_name,
                      batch_size=len(batch_inputs)):
-        with tracer.span("synthesize", model=spec.name):
-            result = synthesize_batch(
-                spec, batch_inputs, plan=plan, num_cols=num_cols,
-                scale_bits=scale_bits, lookup_bits=lookup_bits,
-            )
-            for outputs in result.outputs:
-                for name in spec.outputs:
-                    result.builder.expose(outputs[name].entries())
+        def _synthesize():
+            with tracer.span("synthesize", model=spec.name,
+                             batch_size=len(batch_inputs)):
+                result = synthesize_batch(
+                    spec, batch_inputs, plan=plan_state["plan"],
+                    num_cols=num_cols, scale_bits=scale_bits,
+                    lookup_bits=lookup_bits, tracer=tracer,
+                )
+                for outputs in result.outputs:
+                    for name in spec.outputs:
+                        result.builder.expose(outputs[name].entries())
+                return result
+
+        result, _ = sup.stage(
+            store, "synthesize", _synthesize,
+            recover={FreivaldsCheckError: _freivalds_fallback},
+        )
 
         scheme = scheme_by_name(scheme_name, field)
         start = time.perf_counter()
-        with tracer.span("keygen", model=spec.name, k=result.builder.k,
-                         scheme=scheme_name):
-            pk, vk = keygen(result.builder.cs, result.builder.asg, scheme)
+
+        def _keygen():
+            with tracer.span("keygen", model=spec.name, k=result.builder.k,
+                             scheme=scheme_name) as sp:
+                if use_pk_cache:
+                    pk, vk, hit = GLOBAL_PK_CACHE.get_or_create(
+                        result.builder.cs, result.builder.asg, scheme
+                    )
+                else:
+                    pk, vk = keygen(result.builder.cs, result.builder.asg,
+                                    scheme)
+                    hit = False
+                sp.set_attr("pk_cache_hit", hit)
+                return pk, vk, hit
+
+        (pk, vk, keygen_cache_hit), _ = sup.stage(store, "keygen", _keygen)
         keygen_seconds = time.perf_counter() - start
-        timer = PhaseTimer(tracer)
+
         start = time.perf_counter()
-        with tracer.span("prove", model=spec.name, k=result.builder.k,
-                         jobs=jobs or 1):
-            proof = create_proof(pk, result.builder.asg, scheme, jobs=jobs,
-                                 timer=timer)
+
+        def _prove():
+            timer = PhaseTimer(tracer)
+            with tracer.span("prove", model=spec.name, k=result.builder.k,
+                             jobs=jobs or 1):
+                proof = create_proof(pk, result.builder.asg, scheme,
+                                     jobs=jobs, timer=timer)
+            return {"proof": proof, "phase_seconds": dict(timer.seconds)}
+
+        prove_payload, _ = sup.stage(store, "prove", _prove)
+        proof = prove_payload["proof"]
         proving_seconds = time.perf_counter() - start
 
     return BatchProveResult(
@@ -383,5 +460,6 @@ def prove_batch(
         modeled_proof_bytes=proof.modeled_size_bytes(scheme,
                                                      result.builder.k),
         outputs=[result.output_values(i) for i in range(len(batch_inputs))],
-        phase_seconds=dict(timer.seconds),
+        phase_seconds=dict(prove_payload["phase_seconds"]),
+        keygen_cache_hit=keygen_cache_hit,
     )

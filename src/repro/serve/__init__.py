@@ -1,0 +1,36 @@
+"""Batch-aware proving service (``zkml serve`` / ``zkml submit``).
+
+Scaling zkML is a proof-construction *scheduling* problem: the repo's
+prover already amortizes keygen (pk cache), weights, and lookup tables
+across a batch (``prove_batch``), but nothing coalesced concurrent
+requests into those batches.  This package is that layer:
+
+- :class:`~repro.serve.service.ProvingService` — the in-process API: a
+  bounded request queue with backpressure, an adaptive micro-batcher
+  that coalesces same-(model, scheme, config) requests into single
+  ``prove_batch`` calls, a worker pool that keeps proving keys warm, and
+  per-request futures carrying proof bytes + instance + verification
+  status;
+- :class:`~repro.serve.server.ServeServer` — a unix-socket JSON front
+  end (``zkml serve``);
+- :mod:`~repro.serve.client` — the matching client (``zkml submit``).
+
+Only the service module is imported eagerly; the socket front end is an
+explicit import so the in-process API stays dependency-light.
+"""
+
+from repro.serve.service import (
+    BatchKey,
+    ProofRequest,
+    ProofResponse,
+    ProvingService,
+    ServeConfig,
+)
+
+__all__ = [
+    "BatchKey",
+    "ProofRequest",
+    "ProofResponse",
+    "ProvingService",
+    "ServeConfig",
+]

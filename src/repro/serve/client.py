@@ -1,0 +1,65 @@
+"""Client helpers for the proving service socket (``zkml submit``).
+
+One JSON request per connection (see :mod:`repro.serve.server` for the
+protocol).  :func:`submit_many` opens one connection per request from
+worker threads, so N requests arrive at the service concurrently and
+coalesce into batches — the shape ``zkml submit --count N`` produces.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List
+
+from repro.resilience.errors import ServiceError
+
+__all__ = ["submit_request", "submit_many"]
+
+
+def submit_request(socket_path: str, payload: Dict,
+                   timeout: float = 120.0) -> Dict:
+    """Send one request and block for its response dict."""
+    conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    conn.settimeout(timeout)
+    try:
+        try:
+            conn.connect(socket_path)
+        except OSError as exc:
+            raise ServiceError(
+                "cannot reach proving service at %r: %s" % (socket_path, exc),
+            ) from exc
+        conn.sendall(json.dumps(payload).encode() + b"\n")
+        chunks: List[bytes] = []
+        while not chunks or b"\n" not in chunks[-1]:
+            try:
+                chunk = conn.recv(65536)
+            except socket.timeout as exc:
+                raise ServiceError(
+                    "timed out after %.1fs waiting for the service"
+                    % timeout) from exc
+            if not chunk:
+                break
+            chunks.append(chunk)
+        line = b"".join(chunks).split(b"\n", 1)[0]
+        if not line:
+            raise ServiceError("service closed the connection without "
+                               "responding")
+        return json.loads(line)
+    finally:
+        conn.close()
+
+
+def submit_many(socket_path: str, payloads: List[Dict],
+                timeout: float = 120.0) -> List[Dict]:
+    """Send several requests concurrently; responses come back in
+    request order (each on its own connection, so the service sees them
+    simultaneously and can coalesce)."""
+    if not payloads:
+        return []
+    with ThreadPoolExecutor(max_workers=min(32, len(payloads)),
+                            thread_name_prefix="zkml-submit") as pool:
+        futures = [pool.submit(submit_request, socket_path, p, timeout)
+                   for p in payloads]
+        return [f.result() for f in futures]

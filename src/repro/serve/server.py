@@ -1,0 +1,206 @@
+"""A unix-domain-socket front end for :class:`ProvingService`.
+
+``zkml serve`` binds one of these so out-of-process clients (``zkml
+submit``, or anything that can write JSON to a socket) can feed the
+micro-batcher.  The protocol is deliberately tiny: **one JSON request
+per connection**, one JSON response back, connection closed.  A client
+wanting its requests coalesced opens N concurrent connections — exactly
+the traffic shape the batcher exists for.
+
+Request fields::
+
+    {"model": "dlrm",            # required: a zoo model name (mini scale)
+     "inputs": {"x": [[...]]},   # either explicit input arrays ...
+     "seed": 7,                  # ... or a seed for zkml-prove-style inputs
+     "scheme": "kzg", "columns": 10, "scale_bits": 5,   # batch-key params
+     "want_proof": false,        # include base64 proof bytes in the reply
+     "timeout": 60.0}            # per-request wait budget (seconds)
+
+Response: ``{"ok": true, "id", "model", "verified", "batch_size",
+"padded_size", "queue_seconds", "prove_seconds", "keygen_cache_hit",
+"outputs", ["proof_b64"]}`` or ``{"ok": false, "error", "detail"}`` —
+typed service errors (overload, shutdown, proving failures) map to their
+taxonomy class name in ``error``, so backpressure is visible to clients.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import socket
+import threading
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.model import get_model, model_names
+from repro.obs import log as obs_log
+from repro.resilience.errors import ResilienceError, ServiceError
+from repro.serve.service import ProvingService
+
+__all__ = ["ServeServer", "DEFAULT_SOCKET", "request_inputs"]
+
+#: Default unix socket path (relative to the server's working directory).
+DEFAULT_SOCKET = "zkml-serve.sock"
+
+#: Cap on a single request line (a mini-model input is a few KB).
+MAX_REQUEST_BYTES = 4 << 20
+
+log = obs_log.get_logger("serve")
+
+
+def request_inputs(spec, payload: Dict) -> Dict[str, np.ndarray]:
+    """Materialize a request's input arrays.
+
+    Explicit ``inputs`` win; otherwise ``seed`` generates the same
+    uniform(-0.5, 0.5) inputs ``zkml prove --seed`` uses, so a socket
+    client and the CLI prove bit-identical statements.
+    """
+    if "inputs" in payload:
+        arrays = {}
+        for name, shape in spec.inputs.items():
+            if name not in payload["inputs"]:
+                raise ServiceError("request is missing input %r" % name,
+                                   model=spec.name)
+            arr = np.asarray(payload["inputs"][name], dtype=np.float64)
+            if arr.shape != tuple(shape):
+                raise ServiceError(
+                    "input %r has shape %s, expected %s"
+                    % (name, arr.shape, tuple(shape)), model=spec.name)
+            arrays[name] = arr
+        return arrays
+    rng = np.random.default_rng(int(payload.get("seed", 0)))
+    return {name: rng.uniform(-0.5, 0.5, shape)
+            for name, shape in spec.inputs.items()}
+
+
+class ServeServer:
+    """Accept-loop wrapper: socket connections → ``service.submit``."""
+
+    def __init__(self, service: ProvingService, socket_path: str,
+                 default_timeout: float = 120.0):
+        self.service = service
+        self.socket_path = socket_path
+        self.default_timeout = default_timeout
+        self._sock: Optional[socket.socket] = None
+        self._accepting = False
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ServeServer":
+        """Bind the socket and start accepting in a background thread."""
+        self._bind()
+        self._thread = threading.Thread(target=self._accept_loop,
+                                        name="zkml-serve-accept", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Bind the socket and accept on the calling thread (CLI mode)."""
+        self._bind()
+        self._accept_loop()
+
+    def _bind(self) -> None:
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.bind(self.socket_path)
+        self._sock.listen(64)
+        self._sock.settimeout(0.2)
+        self._accepting = True
+        log.info("serving on %s", self.socket_path)
+
+    def stop(self) -> None:
+        """Stop accepting and remove the socket (the service keeps its
+        own lifecycle — call ``service.shutdown`` separately)."""
+        self._accepting = False
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+
+    # -- connection handling -------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._accepting:
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # socket closed under us during stop()
+            handler = threading.Thread(target=self._handle, args=(conn,),
+                                       daemon=True)
+            handler.start()
+
+    def _handle(self, conn: socket.socket) -> None:
+        with conn:
+            try:
+                payload = self._read_request(conn)
+                response = self._process(payload)
+            except ResilienceError as exc:
+                response = {"ok": False, "error": type(exc).__name__,
+                            "detail": str(exc)}
+            except Exception as exc:  # noqa: BLE001 — a bad request must not kill the accept loop
+                response = {"ok": False, "error": type(exc).__name__,
+                            "detail": str(exc)[:200]}
+            try:
+                conn.sendall(json.dumps(response).encode() + b"\n")
+            except OSError:
+                pass  # client went away; its future already resolved
+
+    def _read_request(self, conn: socket.socket) -> Dict:
+        chunks = []
+        total = 0
+        while not chunks or b"\n" not in chunks[-1]:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            total += len(chunk)
+            if total > MAX_REQUEST_BYTES:
+                raise ServiceError("request exceeds %d bytes"
+                                   % MAX_REQUEST_BYTES)
+            chunks.append(chunk)
+        line = b"".join(chunks).split(b"\n", 1)[0]
+        if not line:
+            raise ServiceError("empty request")
+        return json.loads(line)
+
+    def _process(self, payload: Dict) -> Dict:
+        model = payload.get("model")
+        if model not in model_names():
+            raise ServiceError("unknown model %r" % model)
+        spec = get_model(model, "mini")
+        inputs = request_inputs(spec, payload)
+        future = self.service.submit(
+            spec, inputs,
+            scheme_name=payload.get("scheme", "kzg"),
+            num_cols=int(payload.get("columns", 10)),
+            scale_bits=int(payload.get("scale_bits", 5)),
+        )
+        timeout = float(payload.get("timeout", self.default_timeout))
+        response = future.result(timeout=timeout)
+        out = {
+            "ok": True,
+            "id": response.request_id,
+            "model": response.model,
+            "scheme": response.scheme_name,
+            "verified": response.verified,
+            "batch_size": response.batch_size,
+            "padded_size": response.padded_size,
+            "batch_index": response.batch_index,
+            "queue_seconds": round(response.queue_seconds, 4),
+            "prove_seconds": round(response.prove_seconds, 4),
+            "keygen_cache_hit": response.keygen_cache_hit,
+            "outputs": {name: np.asarray(values, dtype=object).tolist()
+                        for name, values in response.outputs.items()},
+        }
+        if payload.get("want_proof"):
+            out["proof_b64"] = base64.b64encode(
+                response.proof_bytes).decode()
+        return out

@@ -1,0 +1,531 @@
+"""The batch-aware proving service: queue → micro-batcher → workers.
+
+:class:`ProvingService` turns one-shot ``prove_batch`` calls into a
+request-serving loop.  The moving parts:
+
+- **bounded request queue with backpressure** — ``submit`` enqueues a
+  request and returns a future; when the queue is full it raises a typed
+  :class:`~repro.resilience.errors.ServiceOverloadedError` (or blocks up
+  to ``block_seconds``) instead of buffering without bound;
+- **adaptive micro-batcher** — a dispatcher thread coalesces requests
+  with the same :class:`BatchKey` (model, scheme, grid parameters) into
+  one group and flushes it into a single
+  :func:`~repro.runtime.pipeline.prove_batch` call when the group
+  reaches ``max_batch`` *or* its oldest request has waited out the flush
+  deadline, whichever comes first.  The deadline adapts: it tracks a
+  fraction of the exponentially-averaged batch proving time (clamped to
+  ``[min_flush_seconds, max_flush_seconds]``), so queueing never adds
+  more than a sliver of the work it amortizes;
+- **warm proving keys** — partial flushes are padded up to the next
+  occupancy bucket (powers of two up to ``max_batch``), so the handful
+  of distinct batch shapes all stay resident in the global
+  :class:`~repro.perf.pkcache.ProvingKeyCache` and keygen is skipped
+  after each shape's first flush;
+- **per-request futures** — each future resolves to a
+  :class:`ProofResponse` carrying the shared batch proof bytes, the full
+  instance, this request's slot, its outputs, and its verification
+  status (every batch is strict-verified before any future resolves);
+- **resilience** — batches prove under the caller's
+  :class:`~repro.resilience.supervisor.Supervisor` policy (transient
+  faults retry, a dead worker pool degrades the batch to serial proving
+  via ``repro.perf.parallel`` — queued requests are never lost), and a
+  failed batch fails *only* its own requests, with the typed error;
+- **graceful drain** — ``shutdown(drain=True)`` stops intake, flushes
+  every pending group regardless of occupancy, and waits for in-flight
+  batches to resolve their futures.
+
+Everything is observable through ``repro.obs``: ``serve_*`` counters and
+histograms (queue depth, batch occupancy, time-to-flush, end-to-end
+latency) land in the registry passed at construction, and every batch
+proves under a ``serve:batch`` span on the active tracer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue as queue_mod
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.halo2.proof import proof_to_bytes
+from repro.model.spec import ModelSpec
+from repro.obs import log as obs_log
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import get_tracer
+from repro.resilience.errors import (
+    ResilienceError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceShutdownError,
+)
+from repro.runtime.pipeline import prove_batch
+
+__all__ = [
+    "BatchKey",
+    "ProofRequest",
+    "ProofResponse",
+    "ProvingService",
+    "ServeConfig",
+]
+
+log = obs_log.get_logger("serve")
+
+#: Histogram buckets for batch occupancy (requests coalesced per proof).
+OCCUPANCY_BUCKETS = (1, 2, 4, 8, 16, 32)
+
+#: Histogram buckets for queueing/flush latencies (seconds).
+LATENCY_BUCKETS = (0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 1.0, 5.0, 30.0)
+
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class BatchKey:
+    """What must match for two requests to share one batch proof.
+
+    The model is identified by name: the zoo materializes a given
+    mini-model deterministically, so the name binds the weights.  Callers
+    submitting ad-hoc :class:`~repro.model.spec.ModelSpec` objects must
+    give distinct specs distinct names.
+    """
+
+    model: str
+    scheme_name: str
+    num_cols: int
+    scale_bits: int
+    lookup_bits: Optional[int]
+
+
+@dataclass
+class ServeConfig:
+    """Tuning knobs for the service (defaults suit mini-model traffic)."""
+
+    #: Bounded queue size; a full queue rejects with backpressure.
+    max_queue: int = 64
+    #: Flush a group as soon as it holds this many requests.
+    max_batch: int = 8
+    #: Ceiling on how long the oldest request may wait before a flush.
+    max_flush_seconds: float = 0.25
+    #: Floor for the adaptive deadline (don't busy-flush singletons).
+    min_flush_seconds: float = 0.005
+    #: Adaptive deadline = this fraction of the EMA batch proving time.
+    flush_fraction: float = 0.25
+    #: Worker threads proving flushed batches (keys prove concurrently).
+    workers: int = 1
+    #: Prover worker *processes* per batch (``prove_batch(jobs=...)``).
+    jobs: Optional[int] = None
+    #: Pad partial flushes to the next power-of-two occupancy so the few
+    #: distinct batch shapes stay warm in the proving-key cache.
+    pad_to_bucket: bool = True
+    #: Strict-verify every batch proof before resolving its futures.
+    verify_proofs: bool = True
+    #: Dispatcher poll interval (also bounds flush-deadline resolution).
+    tick_seconds: float = 0.002
+
+
+@dataclass
+class ProofRequest:
+    """One queued inference-proof request (internal)."""
+
+    id: int
+    spec: ModelSpec
+    inputs: Dict[str, np.ndarray]
+    key: BatchKey
+    submitted_at: float
+    future: "Future[ProofResponse]" = dataclass_field(default_factory=Future)
+
+
+@dataclass
+class ProofResponse:
+    """What a request's future resolves to.
+
+    The proof covers the whole coalesced batch; ``batch_index`` says
+    which inference slot belongs to this request (its instance columns
+    are the slot's contiguous block of ``instance``).  ``verified``
+    reports that the *service* strict-verified the batch proof before
+    responding.
+    """
+
+    request_id: int
+    model: str
+    scheme_name: str
+    verified: bool
+    proof_bytes: bytes
+    instance: List[List[int]]
+    outputs: Dict[str, np.ndarray]
+    batch_index: int
+    batch_size: int
+    padded_size: int
+    queue_seconds: float
+    prove_seconds: float
+    keygen_seconds: float
+    keygen_cache_hit: bool
+
+
+class ProvingService:
+    """Coalesce concurrent proof requests into batch proofs.
+
+    Use as a context manager, or call :meth:`start` / :meth:`shutdown`::
+
+        with ProvingService(ServeConfig(max_batch=4)) as svc:
+            futures = [svc.submit(spec, inp) for inp in request_inputs]
+            responses = [f.result() for f in futures]
+
+    Requests may be submitted before :meth:`start`; they queue up and
+    are dispatched once the service runs.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer=None, supervisor=None):
+        self.config = config if config is not None else ServeConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._tracer = tracer
+        self._supervisor = supervisor
+        self._queue: "queue_mod.Queue" = queue_mod.Queue(
+            maxsize=self.config.max_queue)
+        self._pending: Dict[BatchKey, List[ProofRequest]] = {}
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._inflight: set = set()
+        self._closed = False
+        self._started = False
+        self._dispatcher: Optional[threading.Thread] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._ema_prove_seconds: Optional[float] = None
+        # plain counters mirrored into the metrics registry (stats() reads
+        # these without needing registry internals)
+        self._requests = 0
+        self._outstanding = 0  # accepted but not yet resolved/failed
+        self._rejected = 0
+        self._batches = 0
+        self._proofs = 0
+        self._failed_batches = 0
+        self._coalesced = 0  # sum of occupancies over all batches
+
+    @property
+    def tracer(self):
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ProvingService":
+        """Spawn the dispatcher thread and the proving worker pool."""
+        if self._started:
+            return self
+        self._started = True
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, self.config.workers),
+            thread_name_prefix="zkml-serve")
+        self._dispatcher = threading.Thread(target=self._dispatch_loop,
+                                            name="zkml-serve-dispatch",
+                                            daemon=True)
+        self._dispatcher.start()
+        log.debug("service started", workers=self.config.workers,
+                  max_batch=self.config.max_batch,
+                  max_queue=self.config.max_queue)
+        return self
+
+    def __enter__(self) -> "ProvingService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop intake; with ``drain`` flush and finish everything queued.
+
+        Without ``drain``, queued and pending requests fail with a typed
+        :class:`ServiceShutdownError` (their futures resolve either way —
+        a shutdown never leaves a caller hanging).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if not self._started:
+            self._fail_queued(ServiceShutdownError(
+                "service was shut down before it started"))
+            return
+        self._queue.put(_STOP)
+        self._dispatcher.join(timeout=timeout)
+        if drain:
+            self._pool.shutdown(wait=True)
+        else:
+            self._fail_queued(ServiceShutdownError(
+                "service shut down without draining"))
+            self._pool.shutdown(wait=True)
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every accepted request has resolved or failed
+        (the service keeps running and keeps accepting)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                if self._outstanding == 0:
+                    return
+                outstanding = self._outstanding
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError("drain timed out",
+                                   outstanding=outstanding,
+                                   queued=self._queue.qsize())
+            time.sleep(self.config.tick_seconds)
+
+    # -- intake --------------------------------------------------------------
+
+    def submit(
+        self,
+        spec: ModelSpec,
+        inputs: Dict[str, np.ndarray],
+        scheme_name: str = "kzg",
+        num_cols: int = 10,
+        scale_bits: int = 5,
+        lookup_bits: Optional[int] = None,
+        block_seconds: Optional[float] = None,
+    ) -> "Future[ProofResponse]":
+        """Enqueue one proof request; returns its future.
+
+        Raises :class:`ServiceShutdownError` after shutdown and
+        :class:`ServiceOverloadedError` when the queue is full (after
+        waiting up to ``block_seconds`` if given — backpressure, not
+        unbounded buffering).
+        """
+        if self._closed:
+            raise ServiceShutdownError(
+                "service is shut down; request rejected", model=spec.name)
+        request = ProofRequest(
+            id=next(self._ids),
+            spec=spec,
+            inputs=inputs,
+            key=BatchKey(spec.name, scheme_name, num_cols, scale_bits,
+                         lookup_bits),
+            submitted_at=time.monotonic(),
+        )
+        try:
+            if block_seconds is None:
+                self._queue.put_nowait(request)
+            else:
+                self._queue.put(request, timeout=block_seconds)
+        except queue_mod.Full:
+            with self._lock:
+                self._rejected += 1
+            self.metrics.counter(
+                "serve_rejected_total",
+                "requests rejected by backpressure (queue full)",
+                model=spec.name).inc()
+            raise ServiceOverloadedError(
+                "request queue is full (%d waiting)" % self.config.max_queue,
+                model=spec.name, max_queue=self.config.max_queue,
+            ) from None
+        with self._lock:
+            self._requests += 1
+            self._outstanding += 1
+        self.metrics.counter("serve_requests_total", "requests accepted",
+                             model=spec.name).inc()
+        self.metrics.gauge("serve_queue_depth",
+                           "requests waiting in the bounded queue").set(
+            self._queue.qsize())
+        return request.future
+
+    # -- dispatcher ----------------------------------------------------------
+
+    def _flush_deadline(self) -> float:
+        """The adaptive time-to-flush for the oldest queued request."""
+        cfg = self.config
+        if self._ema_prove_seconds is None:
+            return cfg.max_flush_seconds
+        return min(cfg.max_flush_seconds,
+                   max(cfg.min_flush_seconds,
+                       cfg.flush_fraction * self._ema_prove_seconds))
+
+    def _dispatch_loop(self) -> None:
+        stopping = False
+        while True:
+            try:
+                item = self._queue.get(timeout=self.config.tick_seconds)
+            except queue_mod.Empty:
+                item = None
+            if item is _STOP:
+                stopping = True
+            elif item is not None:
+                self._pending.setdefault(item.key, []).append(item)
+            self.metrics.gauge(
+                "serve_queue_depth",
+                "requests waiting in the bounded queue").set(
+                self._queue.qsize())
+            now = time.monotonic()
+            deadline = self._flush_deadline()
+            for key in list(self._pending):
+                group = self._pending[key]
+                if (len(group) >= self.config.max_batch or stopping
+                        or now - group[0].submitted_at >= deadline):
+                    del self._pending[key]
+                    self._launch(key, group)
+            if stopping and not self._pending and self._queue.empty():
+                return
+
+    def _launch(self, key: BatchKey, group: List[ProofRequest]) -> None:
+        flush_wait = time.monotonic() - group[0].submitted_at
+        self.metrics.histogram(
+            "serve_flush_seconds",
+            "time from a group's first request to its flush",
+            buckets=LATENCY_BUCKETS).observe(flush_wait)
+        future = self._pool.submit(self._prove_group, key, group)
+        with self._lock:
+            self._inflight.add(future)
+        future.add_done_callback(self._retire)
+
+    def _retire(self, future) -> None:
+        with self._lock:
+            self._inflight.discard(future)
+
+    # -- batch proving -------------------------------------------------------
+
+    @staticmethod
+    def _bucket(size: int, max_batch: int) -> int:
+        """The smallest power-of-two occupancy >= ``size`` (capped)."""
+        bucket = 1
+        while bucket < size:
+            bucket *= 2
+        return min(bucket, max(size, max_batch))
+
+    def _prove_group(self, key: BatchKey, group: List[ProofRequest]) -> None:
+        cfg = self.config
+        spec = group[0].spec
+        batch_inputs = [r.inputs for r in group]
+        padded_size = len(batch_inputs)
+        if cfg.pad_to_bucket and len(group) < cfg.max_batch:
+            padded_size = self._bucket(len(group), cfg.max_batch)
+            batch_inputs = batch_inputs + [batch_inputs[-1]] * (
+                padded_size - len(batch_inputs))
+        started = time.monotonic()
+        try:
+            with self.tracer.span("serve:batch", model=key.model,
+                                  scheme=key.scheme_name,
+                                  occupancy=len(group), padded=padded_size):
+                result = prove_batch(
+                    spec, batch_inputs, scheme_name=key.scheme_name,
+                    num_cols=key.num_cols, scale_bits=key.scale_bits,
+                    lookup_bits=key.lookup_bits, jobs=cfg.jobs,
+                    tracer=self.tracer, supervisor=self._supervisor,
+                )
+                verified = False
+                if cfg.verify_proofs:
+                    result.verify()  # strict: raises on any malformation
+                    verified = True
+        except ResilienceError as exc:
+            self._fail_group(key, group, exc)
+            return
+        except Exception as exc:  # noqa: BLE001 — a worker crash must fail its own batch, not the pool
+            self._fail_group(key, group, ServiceError(
+                "batch proving crashed: %s: %s"
+                % (type(exc).__name__, str(exc)[:200]),
+                model=key.model, occupancy=len(group)))
+            return
+        self._resolve_group(key, group, result, verified, padded_size,
+                            time.monotonic() - started)
+
+    def _resolve_group(self, key: BatchKey, group: List[ProofRequest],
+                       result, verified: bool, padded_size: int,
+                       batch_seconds: float) -> None:
+        proof_bytes = proof_to_bytes(result.proof)
+        ema = self._ema_prove_seconds
+        self._ema_prove_seconds = (batch_seconds if ema is None
+                                   else 0.5 * ema + 0.5 * batch_seconds)
+        now = time.monotonic()
+        with self._lock:
+            self._batches += 1
+            self._proofs += len(group)
+            self._coalesced += len(group)
+            self._outstanding -= len(group)
+        self.metrics.counter("serve_batches_total", "batch proofs produced",
+                             model=key.model).inc()
+        self.metrics.counter("serve_proofs_total",
+                             "requests resolved with a verified proof",
+                             model=key.model).inc(len(group))
+        self.metrics.histogram("serve_batch_occupancy",
+                               "requests coalesced per batch proof",
+                               buckets=OCCUPANCY_BUCKETS).observe(len(group))
+        self.metrics.gauge("serve_keygen_cache_hit",
+                           "1 if the last batch skipped keygen",
+                           model=key.model).set(int(result.keygen_cache_hit))
+        latency = self.metrics.histogram(
+            "serve_request_seconds", "end-to-end request latency",
+            buckets=LATENCY_BUCKETS)
+        for index, request in enumerate(group):
+            latency.observe(now - request.submitted_at)
+            request.future.set_result(ProofResponse(
+                request_id=request.id,
+                model=key.model,
+                scheme_name=key.scheme_name,
+                verified=verified,
+                proof_bytes=proof_bytes,
+                instance=result.instance,
+                outputs=result.outputs[index],
+                batch_index=index,
+                batch_size=len(group),
+                padded_size=padded_size,
+                queue_seconds=max(0.0, now - request.submitted_at
+                                  - batch_seconds),
+                prove_seconds=result.proving_seconds,
+                keygen_seconds=result.keygen_seconds,
+                keygen_cache_hit=result.keygen_cache_hit,
+            ))
+        log.debug("batch resolved", model=key.model, occupancy=len(group),
+                  padded=padded_size, seconds=round(batch_seconds, 4),
+                  keygen_cache_hit=result.keygen_cache_hit)
+
+    def _fail_group(self, key: BatchKey, group: List[ProofRequest],
+                    exc: ResilienceError) -> None:
+        with self._lock:
+            self._failed_batches += 1
+            self._outstanding -= len(group)
+        self.metrics.counter("serve_failed_batches_total",
+                             "batches that failed with a typed error",
+                             model=key.model).inc()
+        log.warning("batch failed", model=key.model, occupancy=len(group),
+                    error=type(exc).__name__)
+        for request in group:
+            request.future.set_exception(exc)
+
+    def _fail_queued(self, exc: ServiceShutdownError) -> None:
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue_mod.Empty:
+                break
+            if item is not _STOP:
+                item.future.set_exception(exc)
+                with self._lock:
+                    self._outstanding -= 1
+        for group in self._pending.values():
+            for request in group:
+                request.future.set_exception(exc)
+                with self._lock:
+                    self._outstanding -= 1
+        self._pending.clear()
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """A plain-dict snapshot (the smoke test's assertion surface)."""
+        with self._lock:
+            batches = self._batches
+            out = {
+                "requests": self._requests,
+                "rejected": self._rejected,
+                "batches": batches,
+                "proofs": self._proofs,
+                "failed_batches": self._failed_batches,
+                "queue_depth": self._queue.qsize(),
+                "mean_occupancy": (self._coalesced / batches) if batches
+                else 0.0,
+            }
+        if self._ema_prove_seconds is not None:
+            out["ema_prove_seconds"] = round(self._ema_prove_seconds, 4)
+        return out

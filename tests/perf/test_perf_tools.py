@@ -69,6 +69,22 @@ def test_resolve_jobs_env(monkeypatch):
     assert resolve_jobs(None) == 1
 
 
+def test_resolve_jobs_malformed_env_counts_a_degradation(monkeypatch):
+    from repro.perf import parallel
+    from repro.resilience import events
+
+    events.reset()
+    parallel._warned_jobs_env.clear()
+    monkeypatch.setenv(JOBS_ENV, "four")
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(None) == 1  # second call: same value, no re-warn
+    counts = events.counts()
+    assert counts['degraded{reason="invalid_jobs_env"}'] == 1
+    monkeypatch.setenv(JOBS_ENV, "many")  # a *new* bad value warns again
+    assert resolve_jobs(None) == 1
+    assert events.counts()['degraded{reason="invalid_jobs_env"}'] == 2
+
+
 def test_pk_cache_hits_on_same_circuit():
     cs, asg = mul_circuit()
     scheme = scheme_by_name("kzg", F)

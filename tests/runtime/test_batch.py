@@ -66,3 +66,74 @@ class TestBatchProve:
 
         single = prove_model(spec, inputs[0], num_cols=10, scale_bits=6)
         assert result.vk.cs.num_fixed == single.vk.cs.num_fixed
+
+
+class TestBatchHardening:
+    """The batch path must be as trustworthy as the single-proof path."""
+
+    def test_serial_and_parallel_proofs_byte_identical(self, batch_result):
+        from repro.halo2.proof import proof_to_bytes
+
+        spec, inputs, serial = batch_result
+        parallel = prove_batch(spec, inputs, num_cols=10, scale_bits=6,
+                               jobs=2)
+        assert proof_to_bytes(parallel.proof) == proof_to_bytes(serial.proof)
+        assert parallel.instance == serial.instance
+
+    def test_batch_of_one_matches_prove_model(self, batch_result):
+        from repro.runtime import prove_model
+
+        spec, inputs, _ = batch_result
+        single = prove_model(spec, inputs[0], num_cols=10, scale_bits=6)
+        batch = prove_batch(spec, inputs[:1], num_cols=10, scale_bits=6)
+        assert batch.batch_size == 1
+        for name in spec.outputs:
+            assert (batch.outputs[0][name] == single.outputs[name]).all()
+        assert batch.instance[0] == single.instance[0]
+
+    def test_strict_verify_raises_on_tampered_instance(self, batch_result):
+        import dataclasses
+
+        from repro.resilience.errors import VerificationFailure
+
+        _, _, result = batch_result
+        forged = [list(col) for col in result.instance]
+        forged[1][0] = (forged[1][0] + 1) % result.vk.field.p
+        mutant = dataclasses.replace(result, instance=forged)
+        with pytest.raises(VerificationFailure):
+            mutant.verify()  # strict is the default
+        assert mutant.verify(strict=False) is False  # legacy escape hatch
+
+    def test_fuzzed_batch_proofs_all_rejected(self, batch_result):
+        from repro.resilience.fuzz import run_proof_fuzz
+        from repro.runtime.pipeline import scheme_by_name
+
+        _, _, result = batch_result
+        scheme = scheme_by_name(result.scheme_name, result.vk.field)
+        report = run_proof_fuzz(result.vk, result.proof, result.instance,
+                                scheme, iterations=40, seed=7)
+        assert report.ok, (report.accepted, report.escapes)
+        assert report.iterations == 40
+
+    def test_keygen_cache_hit_on_repeat_shape(self, batch_result):
+        from repro.halo2.proof import proof_to_bytes
+        from repro.perf.pkcache import GLOBAL_PK_CACHE
+
+        spec, inputs, _ = batch_result
+        GLOBAL_PK_CACHE.clear()
+        cold = prove_batch(spec, inputs, num_cols=10, scale_bits=6)
+        warm = prove_batch(spec, inputs, num_cols=10, scale_bits=6)
+        assert not cold.keygen_cache_hit
+        assert warm.keygen_cache_hit
+        assert proof_to_bytes(warm.proof) == proof_to_bytes(cold.proof)
+
+    def test_checkpoint_resume_reproduces_proof(self, batch_result, tmp_path):
+        from repro.halo2.proof import proof_to_bytes
+
+        spec, inputs, reference = batch_result
+        first = prove_batch(spec, inputs, num_cols=10, scale_bits=6,
+                            checkpoint_dir=str(tmp_path))
+        resumed = prove_batch(spec, inputs, num_cols=10, scale_bits=6,
+                              checkpoint_dir=str(tmp_path), resume=True)
+        assert proof_to_bytes(first.proof) == proof_to_bytes(reference.proof)
+        assert proof_to_bytes(resumed.proof) == proof_to_bytes(first.proof)

@@ -1,0 +1,68 @@
+"""Socket round-trip tests: ``ServeServer`` + the ``zkml submit`` client."""
+
+import base64
+
+import pytest
+
+from repro.halo2.proof import proof_from_bytes
+from repro.serve import ProvingService, ServeConfig
+from repro.serve.client import submit_many, submit_request
+from repro.serve.server import ServeServer
+
+
+@pytest.fixture()
+def served(tmp_path):
+    socket_path = str(tmp_path / "serve.sock")
+    service = ProvingService(ServeConfig(max_batch=4,
+                                         max_flush_seconds=0.2)).start()
+    server = ServeServer(service, socket_path).start()
+    yield socket_path, service
+    server.stop()
+    service.shutdown()
+
+
+class TestSocketRoundTrip:
+    def test_concurrent_submits_coalesce_and_verify(self, served):
+        socket_path, service = served
+        payloads = [{"model": "dlrm", "seed": i} for i in range(4)]
+        responses = submit_many(socket_path, payloads, timeout=300.0)
+        assert all(r["ok"] for r in responses)
+        assert all(r["verified"] for r in responses)
+        assert all(r["model"] == "dlrm-mini" for r in responses)
+        # 4 concurrent connections over one model -> at least one real batch
+        assert service.stats()["batches"] >= 1
+        assert max(r["batch_size"] for r in responses) > 1
+        # identical seed => identical statement => identical outputs
+        again = submit_request(socket_path, {"model": "dlrm", "seed": 0},
+                               timeout=300.0)
+        assert again["outputs"] == responses[0]["outputs"]
+
+    def test_want_proof_returns_parseable_proof(self, served):
+        socket_path, _ = served
+        response = submit_request(
+            socket_path, {"model": "dlrm", "seed": 3, "want_proof": True},
+            timeout=300.0)
+        assert response["ok"] and response["verified"]
+        proof = proof_from_bytes(base64.b64decode(response["proof_b64"]))
+        assert proof is not None
+
+    def test_unknown_model_is_a_typed_error_not_a_crash(self, served):
+        socket_path, _ = served
+        response = submit_request(socket_path, {"model": "nope"},
+                                  timeout=60.0)
+        assert response == {"ok": False, "error": "ServiceError",
+                            "detail": response["detail"]}
+        assert "unknown model" in response["detail"]
+        # the accept loop survived: a good request still goes through
+        good = submit_request(socket_path, {"model": "dlrm", "seed": 1},
+                              timeout=300.0)
+        assert good["ok"] and good["verified"]
+
+    def test_bad_input_shape_rejected(self, served):
+        socket_path, _ = served
+        response = submit_request(
+            socket_path,
+            {"model": "dlrm", "inputs": {"dense": [1.0, 2.0]}},
+            timeout=60.0)
+        assert not response["ok"]
+        assert response["error"] == "ServiceError"

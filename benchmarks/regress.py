@@ -1,0 +1,51 @@
+"""Benchmark regression gate (thin wrapper over ``repro.perf.regress``).
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/regress.py BASELINE.json CURRENT.json \
+        [--threshold time=4.0] [--threshold dlrm.prove_seconds=0.5] \
+        [--json report.json] [--verbose]
+
+Diffs CURRENT against BASELINE metric by metric.  Deterministic metrics
+(rows, columns, modeled proof bytes, observed operation counts) are
+gated exactly — any increase fails; ``*_seconds`` metrics get a relative
+threshold (default +50%, override with ``--threshold time=X`` or
+per-metric keys).  Exits 1 when anything regresses or a baseline metric
+vanished; 0 otherwise.  Same engine as ``zkml bench --compare``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.perf.regress import compare_files, parse_thresholds
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly produced report JSON")
+    parser.add_argument("--threshold", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="relative threshold override; 'time=X' covers "
+                             "all *_seconds metrics")
+    parser.add_argument("--json", default=None,
+                        help="also write the diff report as JSON")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every metric, not just changes")
+    args = parser.parse_args(argv)
+
+    report = compare_files(args.baseline, args.current,
+                           thresholds=parse_thresholds(args.threshold))
+    print(report.render(verbose=args.verbose))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

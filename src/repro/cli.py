@@ -10,9 +10,18 @@ Subcommands:
   model, writing proof/vk artifacts.
 - ``zkml verify --artifact FILE``       — verify a saved proof artifact.
 - ``zkml diagnose --model NAME``        — mock-verify a mini model with
-  region-attributed failure reports (``--tamper-row`` breaks a cell).
+  region-attributed failure reports (``--tamper-row`` breaks a cell;
+  exit 2 = constraints failed, exit 1 = operational error).
+- ``zkml profile --model NAME``         — prove once under full
+  observability and attribute rows / cells / copies / wall-time to
+  individual model layers; writes a JSON report plus Chrome-trace and
+  flamegraph siblings.
+- ``zkml calibrate``                    — microbenchmark this machine,
+  fit the §7.4 cost curves, and write a hardware profile JSON the
+  optimizer loads via ``--hardware`` or ``$ZKML_HW_PROFILE``.
 - ``zkml bench``                        — benchmark the prover on mini
-  models and write ``BENCH_prover.json`` (``--quick`` for CI smoke).
+  models and write ``BENCH_prover.json`` (``--quick`` for CI smoke;
+  ``--compare BASELINE.json`` gates on regressions).
 - ``zkml chaos``                        — run the fault-injection matrix
   (every site must recover or surface a typed error) and, with
   ``--fuzz N``, the proof-mutation fuzz loop.
@@ -52,7 +61,7 @@ from repro.obs.metrics import (
     render_predicted_vs_actual,
 )
 from repro.obs.trace import Tracer, use_tracer
-from repro.optimizer import PROFILES
+from repro.optimizer import resolve_profile
 from repro.resilience import events, faults
 from repro.resilience.errors import ProofFormatError, ResilienceError
 from repro.runtime import estimate_model, prove_model, verify_model_proof
@@ -159,7 +168,9 @@ def _cmd_transpile(args) -> int:
 
 
 def _cmd_optimize(args) -> int:
-    hardware = PROFILES[args.hardware] if args.hardware else None
+    # a built-in name, a calibrated-profile JSON path, $ZKML_HW_PROFILE,
+    # or the paper's per-model default — in that order
+    hardware = resolve_profile(args.hardware, model_name=args.model)
     est = estimate_model(
         args.model,
         scheme_name=args.backend,
@@ -239,11 +250,81 @@ def _cmd_diagnose(args) -> int:
         max_failures=args.max_failures,
     )
     log.info("%s", report.render())
-    return 0 if report.ok else 1
+    # exit 2 is the stable "constraints failed" code (CI greps for it);
+    # operational errors keep exiting 1 via the ResilienceError handler
+    return 0 if report.ok else 2
+
+
+def _sibling_path(path: str, suffix: str) -> str:
+    root, _ = os.path.splitext(path)
+    return root + suffix
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs.profile import profile_model
+
+    spec = get_model(args.model, "mini")
+    rng = np.random.default_rng(args.seed)
+    inputs = {
+        name: rng.uniform(-0.5, 0.5, shape)
+        for name, shape in spec.inputs.items()
+    }
+    report, tracer, _ = profile_model(
+        spec, inputs, scheme_name=args.backend, num_cols=args.columns,
+        scale_bits=args.scale_bits, jobs=args.jobs,
+        registry=args.obs_registry,
+    )
+    for line in report.render(top=args.top).splitlines():
+        log.info("%s", line)
+    out = args.out or "PROFILE_%s.json" % args.model
+    report.write(out)
+    trace_path = _sibling_path(out, ".trace.json")
+    folded_path = _sibling_path(out, ".folded")
+    tracer.write(trace_path)
+    tracer.write(folded_path)
+    log.info("report:       %s", out)
+    log.info("trace:        %s (chrome://tracing)", trace_path)
+    log.info("flamegraph:   %s (flamegraph.pl folded stacks)", folded_path)
+    if report.attributed_rows() != report.rows_used:
+        log.error("attribution lost rows: %d attributed vs %d used",
+                  report.attributed_rows(), report.rows_used)
+        return 1
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from repro.optimizer import calibrate_hardware, probe_drift
+
+    calibration = calibrate_hardware(
+        ks=tuple(args.ks), scheme_name=args.backend, name=args.name,
+    )
+    if args.probe != "none":
+        registry = args.obs_registry if args.obs_registry is not None \
+            else MetricsRegistry()
+        probe_drift(calibration, probe_model=args.probe,
+                    registry=registry, seed=args.seed)
+    for line in calibration.render().splitlines():
+        log.info("%s", line)
+    calibration.save(args.out)
+    log.info("profile:      %s", args.out)
+    log.info("use it:       zkml optimize --hardware %s  "
+             "(or export ZKML_HW_PROFILE=%s)", args.out, args.out)
+    if calibration.drift and not calibration.drift["improved"]:
+        log.warning("calibration did not beat the static default on the "
+                    "probe — profile written anyway, inspect the drift "
+                    "numbers above")
+        if args.strict:
+            return 1
+    return 0
 
 
 def _cmd_bench(args) -> int:
     from repro.perf.bench import DEFAULT_MODELS, QUICK_MODELS, run_bench
+    from repro.perf.regress import (
+        compare_reports,
+        load_report,
+        parse_thresholds,
+    )
 
     default = QUICK_MODELS if args.quick else DEFAULT_MODELS
     report = run_bench(
@@ -258,6 +339,16 @@ def _cmd_bench(args) -> int:
     if report.get("parallel_proofs_identical") is False:
         log.error("serial and parallel proof bytes diverge")
         return 1
+    if args.compare:
+        diff = compare_reports(
+            load_report(args.compare), report,
+            thresholds=parse_thresholds(args.threshold),
+            baseline_path=args.compare,
+        )
+        for line in diff.render().splitlines():
+            (log.error if not diff.ok else log.info)("%s", line)
+        if not diff.ok:
+            return 1
     return 0
 
 
@@ -503,9 +594,11 @@ def _cmd_submit(args) -> int:
     for i, response in enumerate(responses):
         if response.get("ok"):
             log.info("request %d: verified=%s batch=%d/%d queued %.3fs "
-                     "proved %.3fs", i, response["verified"],
+                     "proved %.3fs (slot %.3fs)", i, response["verified"],
                      response["batch_size"], response["padded_size"],
-                     response["queue_seconds"], response["prove_seconds"])
+                     response["queue_seconds"], response["prove_seconds"],
+                     response.get("slot_prove_seconds",
+                                  response["prove_seconds"]))
         else:
             failed += 1
             log.error("request %d: %s: %s", i, response.get("error"),
@@ -576,7 +669,11 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--backend", default="kzg", choices=["kzg", "ipa"])
     opt.add_argument("--objective", default="time", choices=["time", "size"])
     opt.add_argument("--scale-bits", type=int, default=12)
-    opt.add_argument("--hardware", choices=sorted(PROFILES), default=None)
+    opt.add_argument("--hardware", default=None, metavar="NAME|PATH",
+                     help="built-in profile name (r6i.8xlarge, ...) or a "
+                          "calibrated profile JSON from 'zkml calibrate' "
+                          "(default: $ZKML_HW_PROFILE, else the paper's "
+                          "per-model instance)")
     opt.add_argument("--freivalds", action="store_true",
                      help="allow the Freivalds matmul layout")
     opt.set_defaults(func=_cmd_optimize)
@@ -635,7 +732,55 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--check-parallel", action="store_true",
                        help="re-prove with workers and fail if the proof "
                             "bytes diverge from the serial run")
+    bench.add_argument("--compare", default=None, metavar="BASELINE.json",
+                       help="diff this run against a committed baseline "
+                            "report and exit 1 on any regression")
+    bench.add_argument("--threshold", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="regression threshold override (repeatable); "
+                            "'time=X' covers all *_seconds metrics, "
+                            "deterministic counters default to exact")
     bench.set_defaults(func=_cmd_bench)
+
+    profile = sub.add_parser(
+        "profile", parents=[common],
+        help="prove once and attribute rows/cells/time to model layers")
+    profile.add_argument("--model", required=True, choices=model_names())
+    profile.add_argument("--backend", default="kzg", choices=["kzg", "ipa"])
+    profile.add_argument("--columns", type=int, default=10)
+    profile.add_argument("--scale-bits", type=int, default=5)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--jobs", type=int, default=None,
+                         help="worker processes for the profiled prove")
+    profile.add_argument("--top", type=int, default=12,
+                         help="rows of the ranked layer table to print")
+    profile.add_argument("--out", default=None,
+                         help="JSON report path (default: "
+                              "PROFILE_<model>.json); the Chrome trace and "
+                              "folded flamegraph land next to it")
+    profile.set_defaults(func=_cmd_profile)
+
+    calibrate = sub.add_parser(
+        "calibrate", parents=[common],
+        help="fit the cost model to this machine and write a hardware "
+             "profile JSON")
+    calibrate.add_argument("--out", default="hardware-profile.json",
+                           help="profile JSON output path")
+    calibrate.add_argument("--ks", nargs="+", type=int,
+                           default=[8, 9, 10, 11, 12],
+                           help="microbenchmark sizes (2^k)")
+    calibrate.add_argument("--backend", default="kzg",
+                           choices=["kzg", "ipa"])
+    calibrate.add_argument("--name", default="local-calibrated",
+                           help="name recorded in the profile")
+    calibrate.add_argument("--probe", default="mnist",
+                           help="mini model proved to measure prediction "
+                                "drift ('none' to skip)")
+    calibrate.add_argument("--seed", type=int, default=0)
+    calibrate.add_argument("--strict", action="store_true",
+                           help="exit 1 if calibration does not reduce "
+                                "probe drift vs the static default")
+    calibrate.set_defaults(func=_cmd_calibrate)
 
     verify = sub.add_parser("verify", parents=[common],
                             help="verify a proof artifact")

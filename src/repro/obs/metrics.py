@@ -24,6 +24,8 @@ Two higher-level recorders tie the registry to the circuit pipeline:
 
 from __future__ import annotations
 
+import math
+import threading
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
@@ -36,6 +38,7 @@ __all__ = [
     "predicted_counts",
     "predicted_vs_actual",
     "record_circuit_stats",
+    "record_costmodel_drift",
     "record_prover_run",
     "render_predicted_vs_actual",
 ]
@@ -50,10 +53,23 @@ def _label_key(labels: Dict[str, Any]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-format label-value escaping (spec order matters:
+    backslashes first, then quotes and newlines)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape backslashes and newlines (but not quotes)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(key: LabelKey) -> str:
     if not key:
         return ""
-    return "{%s}" % ",".join('%s="%s"' % (k, v) for k, v in key)
+    return "{%s}" % ",".join(
+        '%s="%s"' % (k, _escape_label_value(v)) for k, v in key)
 
 
 def _render_value(value: float) -> str:
@@ -109,6 +125,31 @@ class Histogram:
             if value <= bound:
                 self.counts[i] += 1
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the q-quantile from the cumulative buckets.
+
+        Prometheus-style linear interpolation inside the first bucket
+        whose cumulative count reaches ``q * count``.  Returns ``None``
+        for an empty histogram.  Observations above the largest finite
+        bucket clamp to that bound (there is no +Inf upper edge to
+        interpolate toward) — same behavior as ``histogram_quantile``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        prev_cum, prev_bound = 0, 0.0
+        for bound, cum in zip(self.buckets, self.counts):
+            if cum >= rank:
+                in_bucket = cum - prev_cum
+                if in_bucket == 0:
+                    return bound
+                frac = (rank - prev_cum) / in_bucket
+                return prev_bound + (bound - prev_bound) * min(frac, 1.0)
+            prev_cum, prev_bound = cum, bound
+        return self.buckets[-1] if self.buckets else None
+
 
 class _Family:
     __slots__ = ("kind", "help", "instances")
@@ -120,29 +161,37 @@ class _Family:
 
 
 class MetricsRegistry:
-    """Named metric families, exported in the Prometheus text format."""
+    """Named metric families, exported in the Prometheus text format.
+
+    Family/instance creation is lock-protected so concurrent recorders
+    (the serve worker threads) can share one registry; increments on the
+    returned metric objects stay plain (single bytecode under the GIL).
+    """
 
     def __init__(self) -> None:
         self._families: Dict[str, _Family] = {}
+        self._lock = threading.Lock()
 
     def _get(self, kind: str, name: str, help_text: str,
              labels: Dict[str, Any], factory):
-        family = self._families.get(name)
-        if family is None:
-            family = _Family(kind, help_text)
-            self._families[name] = family
-        elif family.kind != kind:
-            raise ValueError(
-                "metric %r already registered as a %s" % (name, family.kind)
-            )
-        if help_text and not family.help:
-            family.help = help_text
-        key = _label_key(labels)
-        metric = family.instances.get(key)
-        if metric is None:
-            metric = factory()
-            family.instances[key] = metric
-        return metric
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(kind, help_text)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    "metric %r already registered as a %s"
+                    % (name, family.kind)
+                )
+            if help_text and not family.help:
+                family.help = help_text
+            key = _label_key(labels)
+            metric = family.instances.get(key)
+            if metric is None:
+                metric = factory()
+                family.instances[key] = metric
+            return metric
 
     def counter(self, name: str, help_text: str = "", **labels: Any) -> Counter:
         return self._get("counter", name, help_text, labels, Counter)
@@ -187,7 +236,8 @@ class MetricsRegistry:
         lines: List[str] = []
         for name, family in sorted(self._families.items()):
             if family.help:
-                lines.append("# HELP %s %s" % (name, family.help))
+                lines.append("# HELP %s %s" % (name,
+                                               _escape_help(family.help)))
             lines.append("# TYPE %s %s" % (name, family.kind))
             for key, metric in sorted(family.instances.items()):
                 labels = _render_labels(key)
@@ -316,9 +366,23 @@ def record_circuit_stats(registry: MetricsRegistry, synthesized,
 def record_prover_run(registry: MetricsRegistry, model: str,
                       observed: Dict[str, int],
                       predicted: Dict[str, float],
-                      phase_seconds: Optional[Dict[str, float]] = None) -> None:
-    """Record one proving run's observed and predicted operation counts."""
+                      phase_seconds: Optional[Dict[str, float]] = None,
+                      slots: int = 1) -> None:
+    """Record one proving run's observed and predicted operation counts.
+
+    ``slots`` is the number of inferences the proof covers (1 for
+    ``prove_model``, the batch size for ``prove_batch``): the run counter
+    advances by ``slots`` so a batch of 8 counts as 8 proved inferences,
+    and per-phase wall-clock is additionally recorded *amortized per
+    slot* — a batch must not masquerade as one fast single run.
+    """
     c = registry.counter
+    slots = max(1, int(slots))
+    c("zkml_prover_slots_total",
+      "inference slots proved (batch proves count each slot)",
+      model=model).inc(slots)
+    c("zkml_prover_runs_total", "proving runs (one per proof)",
+      model=model).inc()
     ntt_domains = {"ntt_base": "base", "ntt_extended": "extended"}
     hash_sites = {
         "transcript_absorbs": "transcript",
@@ -342,6 +406,42 @@ def record_prover_run(registry: MetricsRegistry, model: str,
     for phase, secs in sorted((phase_seconds or {}).items()):
         registry.gauge("zkml_phase_seconds", "prover phase wall-clock",
                        model=model, phase=phase).set(round(secs, 6))
+        if slots > 1:
+            registry.gauge("zkml_slot_phase_seconds",
+                           "prover phase wall-clock amortized per batch slot",
+                           model=model, phase=phase).set(
+                round(secs / slots, 6))
+    if slots > 1:
+        registry.gauge("zkml_batch_slots", "slots in the last batch proof",
+                       model=model).set(slots)
+
+
+def record_costmodel_drift(registry: MetricsRegistry, model: str,
+                           profile: str, predicted_seconds: float,
+                           actual_seconds: float) -> Dict[str, float]:
+    """Record how far a hardware profile's prediction is from reality.
+
+    The drift metric is ``|ln(predicted / actual)|`` — symmetric in
+    over- and under-prediction, 0 when exact.  Returns the recorded
+    values so callers (the calibration report) can embed them.
+    """
+    ratio = predicted_seconds / actual_seconds if actual_seconds > 0 \
+        else float("inf")
+    drift = abs(math.log(ratio)) if 0 < ratio < float("inf") else float("inf")
+    g = registry.gauge
+    g("zkml_costmodel_predicted_seconds",
+      "cost-model predicted total proving seconds",
+      model=model, profile=profile).set(round(predicted_seconds, 6))
+    g("zkml_costmodel_actual_seconds",
+      "measured proving seconds the prediction is judged against",
+      model=model, profile=profile).set(round(actual_seconds, 6))
+    g("zkml_costmodel_drift", "abs(ln(predicted/actual)); 0 is perfect",
+      model=model, profile=profile).set(
+        round(drift, 6) if drift != float("inf") else -1.0)
+    return {"predicted_seconds": predicted_seconds,
+            "actual_seconds": actual_seconds,
+            "ratio": ratio if ratio != float("inf") else None,
+            "drift": drift if drift != float("inf") else None}
 
 
 # -- predicted vs actual -----------------------------------------------------

@@ -14,7 +14,16 @@ hierarchy.  Two export formats are supported:
 - **JSON lines** (:meth:`Tracer.to_jsonl`): one span object per line,
   convenient for grep/jq pipelines;
 - **Chrome trace_event** (:meth:`Tracer.to_chrome_trace`): complete
-  ``"X"``-phase events loadable in ``chrome://tracing`` or Perfetto.
+  ``"X"``-phase events loadable in ``chrome://tracing`` or Perfetto —
+  every distinct ``(pid, tid)`` pair gets its own named lane (metadata
+  events), so worker-process spans don't collapse onto the main lane;
+- **collapsed stacks** (:meth:`Tracer.to_collapsed`): the
+  ``flamegraph.pl`` folded format (``a;b;c <self-µs>``).
+
+Spans recorded in ``repro.perf.parallel`` worker *processes* are shipped
+back with each task's result and re-registered here via
+:meth:`Tracer.ingest`, keeping the worker's own pid/tid so the exported
+trace shows real parallelism.
 
 The disabled default is :data:`NULL_TRACER`, whose :meth:`span` returns a
 shared inert singleton — no span objects, no clock reads, no allocations
@@ -146,6 +155,41 @@ class Tracer:
         out.sort(key=lambda s: (s.start, s.span_id))
         return out
 
+    def ingest(self, span_dicts: List[Dict[str, Any]],
+               parent_id: Optional[int] = None) -> None:
+        """Adopt spans recorded by another tracer (a worker process).
+
+        Each dict is a :meth:`Span.as_dict` payload.  Fresh span ids are
+        assigned (worker tracers restart their counters at 1, so raw ids
+        would collide); parent links *within* the batch are remapped, and
+        batch roots are attached under ``parent_id`` — pass the id of the
+        span that dispatched the work.  The worker's own ``pid``/``tid``
+        are kept, which is what gives Chrome-trace exports one lane per
+        worker instead of everything collapsing onto the caller's lane.
+        """
+        remap: Dict[int, int] = {}
+        adopted: List[Span] = []
+        for payload in span_dicts:
+            span = Span(self, str(payload.get("name", "?")),
+                        dict(payload.get("attrs") or {}))
+            span.span_id = next(self._ids)
+            remap[payload.get("id", 0)] = span.span_id
+            span.start = float(payload.get("start", 0.0))
+            span.end = float(payload.get("end", span.start))
+            span.pid = int(payload.get("pid", 0))
+            span.tid = int(payload.get("tid", 0))
+            adopted.append((span, payload.get("parent")))
+        for span, old_parent in adopted:
+            span.parent_id = remap.get(old_parent, parent_id) \
+                if old_parent is not None else parent_id
+        with self._lock:
+            self.finished.extend(span for span, _ in adopted)
+
+    def current_span_id(self) -> Optional[int]:
+        """The id of the innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1].span_id if stack else None
+
     def to_tree(self) -> List[Dict[str, Any]]:
         """Root span dicts with nested ``children`` lists."""
         nodes: Dict[int, Dict[str, Any]] = {}
@@ -168,9 +212,34 @@ class Tracer:
         ) + ("\n" if self.finished else "")
 
     def to_chrome_trace(self) -> Dict[str, Any]:
-        """The Chrome ``trace_event`` JSON document (complete events)."""
-        events = []
-        for span in self.spans():
+        """The Chrome ``trace_event`` JSON document (complete events).
+
+        Thread ids are compacted to small per-process lane indices (raw
+        ``threading.get_ident()`` values are huge and unstable), and each
+        distinct ``(pid, tid)`` pair gets ``process_name``/``thread_name``
+        metadata events, so spans ingested from worker processes render
+        as their own named lanes instead of collapsing onto the caller's.
+        """
+        spans = self.spans()
+        main_pid = os.getpid()
+        lanes: Dict[tuple, int] = {}   # (pid, tid) -> compact lane index
+        per_pid: Dict[int, int] = {}   # pid -> lanes allocated so far
+        for span in spans:
+            key = (span.pid, span.tid)
+            if key not in lanes:
+                lanes[key] = per_pid.get(span.pid, 0)
+                per_pid[span.pid] = lanes[key] + 1
+        events: List[Dict[str, Any]] = []
+        for pid in sorted(per_pid):
+            name = "zkml" if pid == main_pid else "zkml worker %d" % pid
+            events.append({"name": "process_name", "ph": "M", "pid": pid,
+                           "tid": 0, "args": {"name": name}})
+        for (pid, tid), lane in sorted(lanes.items()):
+            label = "main" if pid == main_pid and lane == 0 else \
+                "thread %d" % lane if pid == main_pid else "worker"
+            events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                           "tid": lane, "args": {"name": label}})
+        for span in spans:
             events.append({
                 "name": span.name,
                 "cat": "zkml",
@@ -178,16 +247,51 @@ class Tracer:
                 "ts": (span.start - self._epoch) * 1e6,
                 "dur": span.duration * 1e6,
                 "pid": span.pid,
-                "tid": span.tid,
+                "tid": lanes[(span.pid, span.tid)],
                 "args": span.attrs,
             })
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
+    def to_collapsed(self) -> str:
+        """``flamegraph.pl`` folded stacks: ``root;child;leaf <self-µs>``.
+
+        Each line carries a span's *self* time (duration minus the time
+        covered by its direct children), so the flamegraph's widths add
+        up like wall-clock does.
+        """
+        spans = self.spans()
+        by_id = {s.span_id: s for s in spans}
+        child_time: Dict[int, float] = {}
+        for span in spans:
+            if span.parent_id is not None and span.parent_id in by_id:
+                child_time[span.parent_id] = (
+                    child_time.get(span.parent_id, 0.0) + span.duration)
+        lines: Dict[str, int] = {}
+        for span in spans:
+            stack = [span.name]
+            node = span
+            while node.parent_id is not None and node.parent_id in by_id:
+                node = by_id[node.parent_id]
+                stack.append(node.name)
+            self_us = int(round(
+                (span.duration - child_time.get(span.span_id, 0.0)) * 1e6))
+            if self_us <= 0:
+                continue
+            key = ";".join(reversed(stack))
+            lines[key] = lines.get(key, 0) + self_us
+        return "\n".join("%s %d" % (stack, us)
+                         for stack, us in sorted(lines.items())) \
+            + ("\n" if lines else "")
+
     def write(self, path: str) -> None:
-        """Write the trace: ``*.jsonl`` as JSON lines, else Chrome format."""
+        """Write the trace by extension: ``*.jsonl`` as JSON lines,
+        ``*.folded``/``*.collapsed`` as flamegraph stacks, else Chrome
+        ``trace_event`` JSON."""
         with open(path, "w") as fh:
             if path.endswith(".jsonl"):
                 fh.write(self.to_jsonl())
+            elif path.endswith((".folded", ".collapsed")):
+                fh.write(self.to_collapsed())
             else:
                 json.dump(self.to_chrome_trace(), fh, indent=1, sort_keys=True)
                 fh.write("\n")
@@ -221,6 +325,12 @@ class NullTracer:
 
     def spans(self) -> List[Span]:
         return []
+
+    def ingest(self, span_dicts, parent_id=None) -> None:
+        pass
+
+    def current_span_id(self) -> None:
+        return None
 
 
 #: Shared no-op tracer instance (the process default).

@@ -9,6 +9,11 @@ from repro.optimizer.cost_model import (
     num_ffts,
     num_msms,
 )
+from repro.optimizer.calibrate import (
+    CalibrationResult,
+    calibrate_hardware,
+    probe_drift,
+)
 from repro.optimizer.hardware import (
     PROFILES,
     R6I_8XLARGE,
@@ -16,7 +21,10 @@ from repro.optimizer.hardware import (
     R6I_32XLARGE,
     HardwareProfile,
     benchmark_operations,
+    load_profile,
     profile_for_model,
+    resolve_profile,
+    save_profile,
 )
 from repro.optimizer.search import (
     Candidate,
@@ -36,6 +44,12 @@ __all__ = [
     "HardwareProfile",
     "benchmark_operations",
     "profile_for_model",
+    "resolve_profile",
+    "load_profile",
+    "save_profile",
+    "CalibrationResult",
+    "calibrate_hardware",
+    "probe_drift",
     "PROFILES",
     "R6I_8XLARGE",
     "R6I_16XLARGE",

@@ -11,13 +11,23 @@ constants calibrated so the headline magnitudes land near Table 6.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.commit import scheme_by_name
 from repro.field import GOLDILOCKS, PrimeField
 from repro.field.ntt import ntt
+
+#: Schema tag for profile JSON files written by ``save_profile`` /
+#: ``zkml calibrate``.
+PROFILE_SCHEMA = "zkml-hardware-profile/v1"
+
+#: Environment variable naming the default hardware profile: either a
+#: built-in profile name or a path to a calibrated profile JSON.
+ENV_PROFILE = "ZKML_HW_PROFILE"
 
 
 @dataclass(frozen=True)
@@ -109,6 +119,77 @@ def profile_for_model(model_name: str) -> HardwareProfile:
         return R6I_32XLARGE
     if model_name == "mobilenet":
         return R6I_16XLARGE
+    return R6I_8XLARGE
+
+
+def save_profile(profile: HardwareProfile, path: str,
+                 meta: Optional[Dict] = None) -> None:
+    """Persist a profile as ``zkml-hardware-profile/v1`` JSON.
+
+    ``meta`` carries calibration provenance (fit constants, residuals,
+    benchmark sizes) — it is stored verbatim and ignored on load.
+    """
+    doc = {
+        "schema": PROFILE_SCHEMA,
+        "name": profile.name,
+        "cores": profile.cores,
+        "ram_gb": profile.ram_gb,
+        "t_fft": {str(k): v for k, v in sorted(profile.t_fft.items())},
+        "t_msm": {str(k): v for k, v in sorted(profile.t_msm.items())},
+        "t_lookup": {str(k): v for k, v in sorted(profile.t_lookup.items())},
+        "t_field": profile.t_field,
+    }
+    if meta:
+        doc["meta"] = meta
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_profile(path: str) -> HardwareProfile:
+    """Load a profile written by :func:`save_profile`."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != PROFILE_SCHEMA:
+        raise ValueError(
+            "%s is not a %s document (schema=%r)"
+            % (path, PROFILE_SCHEMA, doc.get("schema")))
+    return HardwareProfile(
+        name=doc["name"],
+        cores=int(doc["cores"]),
+        ram_gb=int(doc["ram_gb"]),
+        t_fft={int(k): float(v) for k, v in doc["t_fft"].items()},
+        t_msm={int(k): float(v) for k, v in doc["t_msm"].items()},
+        t_lookup={int(k): float(v) for k, v in doc["t_lookup"].items()},
+        t_field=float(doc["t_field"]),
+    )
+
+
+def resolve_profile(
+    name_or_path: Optional[str] = None,
+    model_name: Optional[str] = None,
+) -> HardwareProfile:
+    """Resolve the hardware profile to price circuits against.
+
+    Precedence: an explicit ``name_or_path`` (built-in profile name or
+    path to a calibrated JSON), then the :data:`ENV_PROFILE` environment
+    variable (same two forms), then the paper's per-model instance (or
+    ``r6i.8xlarge`` when no model is named).  This is how ``zkml
+    calibrate`` output replaces the static defaults everywhere without
+    threading a flag through each call site.
+    """
+    if name_or_path is None:
+        name_or_path = os.environ.get(ENV_PROFILE) or None
+    if name_or_path is not None:
+        if name_or_path in PROFILES:
+            return PROFILES[name_or_path]
+        if os.path.exists(name_or_path):
+            return load_profile(name_or_path)
+        raise ValueError(
+            "unknown hardware profile %r (not a built-in: %s; not a file)"
+            % (name_or_path, ", ".join(sorted(PROFILES))))
+    if model_name is not None:
+        return profile_for_model(model_name)
     return R6I_8XLARGE
 
 

@@ -18,7 +18,7 @@ the ``worker`` fault-injection site exercises it deterministically.
 from __future__ import annotations
 
 import os
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.resilience import events, faults
 
@@ -52,6 +52,42 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return 1
 
 
+class _TracedTask:
+    """Wrap a work item so the worker process records spans for it.
+
+    The worker installs a fresh in-process :class:`~repro.obs.trace.Tracer`
+    around the call and ships the finished spans (as plain dicts) back
+    alongside the result; the parent re-registers them with
+    ``Tracer.ingest`` keeping the worker's own pid/tid.  Only used when
+    the caller's tracer is enabled, so the hot path never pays for it.
+    """
+
+    __slots__ = ("fn", "label")
+
+    def __init__(self, fn: Callable, label: str):
+        self.fn = fn
+        self.label = label
+
+    def __call__(self, item) -> Tuple[Any, List[dict]]:
+        from repro.obs.trace import Tracer, use_tracer
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with tracer.span(self.label):
+                result = self.fn(item)
+        return result, [span.as_dict() for span in tracer.spans()]
+
+
+def _unwrap_traced(tracer, wrapped: List[Tuple[Any, List[dict]]]) -> List:
+    """Adopt worker spans under the caller's open span; return results."""
+    parent_id = tracer.current_span_id()
+    results = []
+    for result, span_dicts in wrapped:
+        tracer.ingest(span_dicts, parent_id=parent_id)
+        results.append(result)
+    return results
+
+
 def parallel_map(
     fn: Callable,
     items: Sequence,
@@ -65,13 +101,23 @@ def parallel_map(
     picklable when ``jobs > 1``; ``initializer(*initargs)`` runs once per
     worker (and once in-process on the serial path) to install shared
     state such as the evaluation domain.
+
+    When the process tracer is enabled, each worker task runs under its
+    own tracer and its spans are re-ingested here with the worker's
+    pid/tid, so a ``--jobs N`` trace shows N real lanes.
     """
+    from repro.obs.trace import get_tracer
+
     jobs = resolve_jobs(jobs)
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
         if initializer is not None:
             initializer(*initargs)
         return [fn(item) for item in items]
+    tracer = get_tracer()
+    traced = bool(getattr(tracer, "enabled", False))
+    pool_fn = _TracedTask(fn, getattr(fn, "__name__", "task")) if traced \
+        else fn
     try:
         faults.maybe_inject("worker")
         from concurrent.futures import ProcessPoolExecutor
@@ -84,7 +130,8 @@ def parallel_map(
                 initargs=initargs,
             ) as pool:
                 chunksize = max(1, len(items) // (jobs * 4))
-                return list(pool.map(fn, items, chunksize=chunksize))
+                out = list(pool.map(pool_fn, items, chunksize=chunksize))
+                return _unwrap_traced(tracer, out) if traced else out
         except BrokenProcessPool as exc:
             # a worker died mid-map (OOM kill, crash): results are ordered
             # and the serial rerun recomputes everything, so the proof

@@ -15,7 +15,7 @@ from repro.optimizer import (
     HardwareProfile,
     OptimizationResult,
     optimize_layout,
-    profile_for_model,
+    resolve_profile,
 )
 
 
@@ -56,7 +56,9 @@ def estimate_model(
     the paper reports; pass True for the best our gadget set can do.
     """
     spec = get_model(name, "paper")
-    hardware = hardware or profile_for_model(name)
+    # resolve_profile honors ZKML_HW_PROFILE, so a calibrated profile
+    # written by ``zkml calibrate`` replaces the static AWS default.
+    hardware = hardware or resolve_profile(model_name=name)
     result = optimize_layout(
         spec, hardware, scheme_name=scheme_name, scale_bits=scale_bits,
         objective=objective, include_freivalds=include_freivalds, **kwargs,

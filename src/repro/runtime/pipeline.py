@@ -82,6 +82,10 @@ class ProveResult:
     observed_counts: Dict[str, int] = dataclass_field(default_factory=dict)
     #: The cost model's predicted counts for the same layout (Eqs. 1-2).
     predicted_counts: Dict[str, float] = dataclass_field(default_factory=dict)
+    #: The synthesized circuit (regions, assignment), kept only when the
+    #: caller passed ``keep_synthesized=True`` — the layer profiler needs
+    #: it; everyone else gets ``None`` so results stay lightweight.
+    synthesized: Optional[SynthesizedModel] = None
 
     def verification_seconds(self, field: PrimeField = GOLDILOCKS) -> float:
         scheme = scheme_by_name(self.scheme_name, field)
@@ -138,6 +142,7 @@ def prove_model(
     supervisor: Optional[Supervisor] = None,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    keep_synthesized: bool = False,
 ) -> ProveResult:
     """Synthesize, keygen, and prove one inference of a model.
 
@@ -274,6 +279,7 @@ def prove_model(
         pk_cache_hit=pk_cache_hit,
         observed_counts=observed,
         predicted_counts=predicted,
+        synthesized=result if keep_synthesized else None,
     )
 
 
@@ -319,6 +325,16 @@ class BatchProveResult:
     phase_seconds: Dict[str, float] = dataclass_field(default_factory=dict)
     #: Whether keygen was skipped via the proving-key cache.
     keygen_cache_hit: bool = False
+    #: Operation counts observed during proving (NTTs, commitments, ...).
+    observed_counts: Dict[str, int] = dataclass_field(default_factory=dict)
+    #: The cost model's predicted counts for the batch layout (Eqs. 1-2).
+    predicted_counts: Dict[str, float] = dataclass_field(default_factory=dict)
+
+    @property
+    def slot_proving_seconds(self) -> float:
+        """Proving wall-clock amortized over the batch's inference slots —
+        the honest per-inference cost of a coalesced proof."""
+        return self.proving_seconds / max(1, self.batch_size)
 
     def verify(self, field: PrimeField = GOLDILOCKS,
                strict: bool = True) -> bool:
@@ -354,6 +370,7 @@ def prove_batch(
     jobs: Optional[int] = None,
     use_pk_cache: bool = True,
     tracer=None,
+    metrics=None,
     supervisor: Optional[Supervisor] = None,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
@@ -437,15 +454,36 @@ def prove_batch(
 
         def _prove():
             timer = PhaseTimer(tracer)
+            counts_before = STATS.snapshot()
             with tracer.span("prove", model=spec.name, k=result.builder.k,
-                             jobs=jobs or 1):
+                             jobs=jobs or 1, batch_size=len(batch_inputs)):
                 proof = create_proof(pk, result.builder.asg, scheme,
                                      jobs=jobs, timer=timer)
-            return {"proof": proof, "phase_seconds": dict(timer.seconds)}
+            return {"proof": proof, "phase_seconds": dict(timer.seconds),
+                    "observed": STATS.delta(counts_before)}
 
         prove_payload, _ = sup.stage(store, "prove", _prove)
         proof = prove_payload["proof"]
+        # .get(): a checkpoint written before op counts were captured
+        # resumes cleanly with empty counts rather than a KeyError
+        observed = prove_payload.get("observed", {})
         proving_seconds = time.perf_counter() - start
+        predicted = obs_metrics.predicted_counts(result.layout, scheme_name)
+
+        if metrics is not None:
+            obs_metrics.record_circuit_stats(metrics, result,
+                                             model=spec.name)
+            obs_metrics.record_prover_run(metrics, spec.name, observed,
+                                          predicted,
+                                          phase_seconds=prove_payload[
+                                              "phase_seconds"],
+                                          slots=len(batch_inputs))
+            metrics.gauge("zkml_keygen_seconds", "keygen wall-clock",
+                          model=spec.name).set(round(keygen_seconds, 6))
+            metrics.gauge("zkml_prove_seconds", "prover wall-clock",
+                          model=spec.name).set(round(proving_seconds, 6))
+            metrics.gauge("zkml_pk_cache_hit", "1 if keygen was skipped",
+                          model=spec.name).set(int(keygen_cache_hit))
 
     return BatchProveResult(
         spec_name=spec.name,
@@ -462,4 +500,6 @@ def prove_batch(
         outputs=[result.output_values(i) for i in range(len(batch_inputs))],
         phase_seconds=dict(prove_payload["phase_seconds"]),
         keygen_cache_hit=keygen_cache_hit,
+        observed_counts=dict(observed),
+        predicted_counts=predicted,
     )

@@ -17,8 +17,9 @@ Request fields::
      "timeout": 60.0}            # per-request wait budget (seconds)
 
 Response: ``{"ok": true, "id", "model", "verified", "batch_size",
-"padded_size", "queue_seconds", "prove_seconds", "keygen_cache_hit",
-"outputs", ["proof_b64"]}`` or ``{"ok": false, "error", "detail"}`` —
+"padded_size", "queue_seconds", "prove_seconds", "slot_prove_seconds",
+"keygen_cache_hit", "outputs", ["proof_b64"]}`` or
+``{"ok": false, "error", "detail"}`` —
 typed service errors (overload, shutdown, proving failures) map to their
 taxonomy class name in ``error``, so backpressure is visible to clients.
 """
@@ -196,6 +197,7 @@ class ServeServer:
             "batch_index": response.batch_index,
             "queue_seconds": round(response.queue_seconds, 4),
             "prove_seconds": round(response.prove_seconds, 4),
+            "slot_prove_seconds": round(response.slot_prove_seconds, 4),
             "keygen_cache_hit": response.keygen_cache_hit,
             "outputs": {name: np.asarray(values, dtype=object).tolist()
                         for name, values in response.outputs.items()},

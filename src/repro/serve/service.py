@@ -162,7 +162,11 @@ class ProofResponse:
     batch_size: int
     padded_size: int
     queue_seconds: float
+    #: Wall-clock of the *whole batch proof* this request rode in.
     prove_seconds: float
+    #: ``prove_seconds`` amortized over the batch's occupied slots — the
+    #: honest per-request proving cost (a batch of 8 is not 8 fast runs).
+    slot_prove_seconds: float
     keygen_seconds: float
     keygen_cache_hit: bool
 
@@ -412,7 +416,8 @@ class ProvingService:
                     spec, batch_inputs, scheme_name=key.scheme_name,
                     num_cols=key.num_cols, scale_bits=key.scale_bits,
                     lookup_bits=key.lookup_bits, jobs=cfg.jobs,
-                    tracer=self.tracer, supervisor=self._supervisor,
+                    tracer=self.tracer, metrics=self.metrics,
+                    supervisor=self._supervisor,
                 )
                 verified = False
                 if cfg.verify_proofs:
@@ -457,8 +462,16 @@ class ProvingService:
         latency = self.metrics.histogram(
             "serve_request_seconds", "end-to-end request latency",
             buckets=LATENCY_BUCKETS)
+        # the batch's proving time amortized over its *occupied* slots:
+        # what one request actually cost, not the whole batch's latency
+        slot_seconds = result.proving_seconds / max(1, len(group))
+        slot_hist = self.metrics.histogram(
+            "serve_slot_prove_seconds",
+            "per-request proving cost (batch time / occupancy)",
+            buckets=LATENCY_BUCKETS)
         for index, request in enumerate(group):
             latency.observe(now - request.submitted_at)
+            slot_hist.observe(slot_seconds)
             request.future.set_result(ProofResponse(
                 request_id=request.id,
                 model=key.model,
@@ -473,6 +486,7 @@ class ProvingService:
                 queue_seconds=max(0.0, now - request.submitted_at
                                   - batch_seconds),
                 prove_seconds=result.proving_seconds,
+                slot_prove_seconds=slot_seconds,
                 keygen_seconds=result.keygen_seconds,
                 keygen_cache_hit=result.keygen_cache_hit,
             ))

@@ -61,10 +61,12 @@ class TestDiagnoseCommand:
         assert main(["diagnose", "--model", "mnist"]) == 0
         assert "satisfied" in capsys.readouterr().out
 
-    def test_broken_assignment_exit_one(self, capsys):
+    def test_broken_assignment_exit_two(self, capsys):
+        # exit 2 is the stable "constraints failed" code (distinct from
+        # exit 1, which means an operational error) — CI keys off it
         rc = main(["diagnose", "--model", "mnist", "--tamper-row", "0",
                    "--max-failures", "2"])
-        assert rc == 1
+        assert rc == 2
         out = capsys.readouterr().out
         assert "NOT satisfied" in out
         assert "layer" in out

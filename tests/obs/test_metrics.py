@@ -10,6 +10,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     predicted_vs_actual,
     record_circuit_stats,
+    record_costmodel_drift,
     record_prover_run,
     render_predicted_vs_actual,
 )
@@ -80,6 +81,78 @@ class TestPrometheusExport:
         path = tmp_path / "m.prom"
         reg.write(str(path))
         assert path.read_text() == reg.to_prometheus()
+
+    def test_label_value_escaping(self):
+        # spec order: backslashes first, then quotes and newlines —
+        # escaping in the wrong order double-escapes the quote's backslash
+        reg = MetricsRegistry()
+        reg.counter("c", layer='conv "a"\\b\nrest').inc()
+        text = reg.to_prometheus()
+        assert r'c{layer="conv \"a\"\\b\nrest"} 1' in text
+        assert "\n\n" not in text  # the raw newline must not survive
+
+    def test_help_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c", 'rows\nper "layer" \\ band').inc()
+        text = reg.to_prometheus()
+        # HELP escapes backslash + newline but NOT quotes (per the spec)
+        assert '# HELP c rows\\nper "layer" \\\\ band' in text
+
+    def test_deterministic_ordering(self):
+        # families sort by name, instances by label key — insertion order
+        # must not leak into the export (diffs of two runs stay clean)
+        reg1, reg2 = MetricsRegistry(), MetricsRegistry()
+        reg1.counter("b", op="y").inc()
+        reg1.counter("b", op="x").inc()
+        reg1.gauge("a").set(1)
+        reg2.gauge("a").set(1)
+        reg2.counter("b", op="x").inc()
+        reg2.counter("b", op="y").inc()
+        assert reg1.to_prometheus() == reg2.to_prometheus()
+        text = reg1.to_prometheus()
+        assert text.index("# TYPE a ") < text.index("# TYPE b ")
+        assert text.index('op="x"') < text.index('op="y"')
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_returns_none(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 10.0))
+        assert h.quantile(0.5) is None
+        assert h.quantile(0.0) is None
+        # and the export still renders zeroed buckets, not garbage
+        text = reg.to_prometheus()
+        assert 'lat_bucket{le="1"} 0' in text
+        assert "lat_count 0" in text
+
+    def test_single_sample(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 10.0, 100.0))
+        h.observe(5.0)
+        # the one sample lands in (1, 10]; every quantile interpolates
+        # inside that bucket
+        for q in (0.1, 0.5, 1.0):
+            est = h.quantile(q)
+            assert 1.0 <= est <= 10.0
+
+    def test_interpolation_midpoint(self):
+        h = MetricsRegistry().histogram("lat", buckets=(0.0, 10.0))
+        for _ in range(2):
+            h.observe(5.0)
+        # both samples in (0, 10]: the median ranks halfway through the
+        # bucket, so linear interpolation lands on 5.0 exactly
+        assert h.quantile(0.5) == 5.0
+
+    def test_overflow_clamps_to_largest_bucket(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 10.0))
+        h.observe(1000.0)  # beyond every finite bucket
+        assert h.quantile(0.99) == 10.0
+
+    def test_rejects_out_of_range_q(self):
+        h = MetricsRegistry().histogram("lat")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
 
 
 class TestNullMetrics:
@@ -158,6 +231,53 @@ class TestProverRun:
                          op="msms") == 5.0
         assert reg.value("zkml_phase_seconds", model="toy",
                          phase="commit") == 0.25
+
+
+class TestBatchSlotAttribution:
+    def test_single_run_defaults(self):
+        reg = MetricsRegistry()
+        record_prover_run(reg, "toy", {"ntt_base": 4}, {},
+                          phase_seconds={"commit": 0.2})
+        assert reg.value("zkml_prover_runs_total", model="toy") == 1
+        assert reg.value("zkml_prover_slots_total", model="toy") == 1
+        # no amortized family for an unbatched run
+        text = reg.to_prometheus()
+        assert "zkml_slot_phase_seconds" not in text
+        assert "zkml_batch_slots" not in text
+
+    def test_batch_attributed_per_slot(self):
+        # a batch of 4 is 4 proved inferences in ONE run — the whole-batch
+        # latency must not be reported as if it were a single inference
+        reg = MetricsRegistry()
+        record_prover_run(reg, "toy", {"ntt_base": 4}, {},
+                          phase_seconds={"commit": 0.8}, slots=4)
+        assert reg.value("zkml_prover_runs_total", model="toy") == 1
+        assert reg.value("zkml_prover_slots_total", model="toy") == 4
+        assert reg.value("zkml_phase_seconds", model="toy",
+                         phase="commit") == 0.8
+        assert reg.value("zkml_slot_phase_seconds", model="toy",
+                         phase="commit") == 0.2
+        assert reg.value("zkml_batch_slots", model="toy") == 4
+
+
+class TestCostModelDrift:
+    def test_drift_is_symmetric_log_ratio(self):
+        reg = MetricsRegistry()
+        over = record_costmodel_drift(reg, "toy", "p", 2.0, 1.0)
+        under = record_costmodel_drift(reg, "toy", "q", 0.5, 1.0)
+        assert over["drift"] == pytest.approx(under["drift"])
+        assert reg.value("zkml_costmodel_drift", model="toy",
+                         profile="p") == pytest.approx(over["drift"],
+                                                       abs=1e-6)
+        assert reg.value("zkml_costmodel_predicted_seconds", model="toy",
+                         profile="p") == 2.0
+        assert reg.value("zkml_costmodel_actual_seconds", model="toy",
+                         profile="p") == 1.0
+
+    def test_exact_prediction_is_zero_drift(self):
+        reg = MetricsRegistry()
+        rep = record_costmodel_drift(reg, "toy", "p", 1.5, 1.5)
+        assert rep["drift"] == 0.0
 
 
 class TestPredictedVsActual:

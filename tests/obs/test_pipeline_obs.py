@@ -66,7 +66,9 @@ class TestSpanTree:
         tracer.write(str(path))
         doc = json.loads(path.read_text())
         assert doc["traceEvents"], "no events exported"
-        assert all(e["ph"] == "X" for e in doc["traceEvents"])
+        # complete events plus the "M" metadata records naming the lanes
+        assert all(e["ph"] in ("X", "M") for e in doc["traceEvents"])
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
 
 
 class TestMetricsRecording:

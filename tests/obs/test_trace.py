@@ -1,6 +1,7 @@
 """Tests for the span tracer and its exporters."""
 
 import json
+import os
 
 from repro.obs.trace import (
     NULL_TRACER,
@@ -89,15 +90,82 @@ class TestChromeExport:
         doc = tracer.to_chrome_trace()
         assert set(doc) == {"traceEvents", "displayTimeUnit"}
         assert doc["displayTimeUnit"] == "ms"
-        assert len(doc["traceEvents"]) == 2
-        for event in doc["traceEvents"]:
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(complete) == 2
+        for event in complete:
             assert set(event) == {"name", "cat", "ph", "ts", "dur", "pid",
                                   "tid", "args"}
-            assert event["ph"] == "X"
             assert event["cat"] == "zkml"
             assert event["ts"] >= 0
             assert event["dur"] > 0
-        assert doc["traceEvents"][0]["args"] == {"k": 9}
+        assert complete[0]["args"] == {"k": 9}
+        # one process_name + one thread_name lane for the single thread
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+
+    def test_ingested_worker_spans_get_distinct_lanes(self):
+        # spans shipped back from worker processes keep their own pid and
+        # render on their own named lanes — not collapsed onto the main one
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("prove") as prove:
+            parent = prove.span_id
+        # one ingest call per task result, exactly as parallel_map does;
+        # both workers restarted their span ids at 1
+        tracer.ingest(
+            [{"name": "task", "id": 1, "parent": None, "start": 1.5,
+              "end": 2.0, "pid": 91001, "tid": 7, "attrs": {}},
+             {"name": "sub", "id": 2, "parent": 1, "start": 1.6,
+              "end": 1.8, "pid": 91001, "tid": 7, "attrs": {}}],
+            parent_id=parent,
+        )
+        tracer.ingest(
+            [{"name": "task", "id": 1, "parent": None, "start": 1.5,
+              "end": 2.1, "pid": 91002, "tid": 9, "attrs": {}}],
+            parent_id=parent,
+        )
+        spans = {(s.name, s.pid): s for s in tracer.spans()}
+        # remapped ids: no collisions despite both workers starting at 1
+        assert len({s.span_id for s in tracer.spans()}) == 4
+        # batch roots hang off the dispatching span; in-batch links remap
+        assert spans[("task", 91001)].parent_id == parent
+        assert spans[("task", 91002)].parent_id == parent
+        assert spans[("sub", 91001)].parent_id == \
+            spans[("task", 91001)].span_id
+
+        doc = tracer.to_chrome_trace()
+        x_by_pid = {}
+        for event in doc["traceEvents"]:
+            if event["ph"] == "X":
+                x_by_pid.setdefault(event["pid"], set()).add(event["tid"])
+        assert set(x_by_pid) == {os.getpid(), 91001, 91002}
+        meta_names = {(e["pid"], e["args"]["name"])
+                      for e in doc["traceEvents"] if e["ph"] == "M"
+                      and e["name"] == "process_name"}
+        assert (91001, "zkml worker 91001") in meta_names
+        assert (91002, "zkml worker 91002") in meta_names
+
+
+class TestCollapsedExport:
+    def test_folded_stacks_self_time(self):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("root"):        # clock: 1..6 -> dur 5
+            with tracer.span("leaf"):    # clock: 2..3 -> dur 1
+                pass
+            with tracer.span("leaf"):    # clock: 4..5 -> dur 1
+                pass
+        folded = tracer.to_collapsed()
+        lines = dict(line.rsplit(" ", 1) for line in folded.splitlines())
+        # two identical leaf stacks merge; root reports SELF time only
+        assert lines["root;leaf"] == str(2 * 1_000_000)
+        assert lines["root"] == str((5 - 2) * 1_000_000)
+
+    def test_write_by_extension(self, tmp_path):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("a"):
+            pass
+        folded = tmp_path / "t.folded"
+        tracer.write(str(folded))
+        assert folded.read_text().startswith("a ")
 
     def test_write_chrome_and_jsonl(self, tmp_path):
         tracer = Tracer(clock=fake_clock())
@@ -107,7 +175,9 @@ class TestChromeExport:
         jsonl = tmp_path / "t.jsonl"
         tracer.write(str(chrome))
         tracer.write(str(jsonl))
-        assert json.loads(chrome.read_text())["traceEvents"][0]["name"] == "a"
+        complete = [e for e in json.loads(chrome.read_text())["traceEvents"]
+                    if e["ph"] == "X"]
+        assert complete[0]["name"] == "a"
         lines = jsonl.read_text().splitlines()
         assert len(lines) == 1
         record = json.loads(lines[0])

@@ -1,0 +1,146 @@
+"""Tests for hardware-profile serialization and cost-model calibration."""
+
+import math
+import os
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.optimizer import (
+    PROFILES,
+    R6I_8XLARGE,
+    calibrate_hardware,
+    load_profile,
+    probe_drift,
+    resolve_profile,
+    save_profile,
+)
+from repro.optimizer.calibrate import fit_scaling
+from repro.optimizer.hardware import ENV_PROFILE
+
+
+class TestFit:
+    def test_exact_curve_recovers_constant(self):
+        c = 3.5e-8
+        measured = {k: c * k * (1 << k) for k in (8, 9, 10)}
+        fitted, residuals = fit_scaling(measured, "fft")
+        assert fitted == pytest.approx(c)
+        assert all(r == pytest.approx(1.0) for r in residuals.values())
+
+    def test_geometric_mean_balances_outliers(self):
+        # one point 4x over, one 4x under: the log-space fit lands on the
+        # true constant instead of being dragged by the big absolute value
+        c = 1e-7
+        measured = {10: 4 * c * (1 << 10), 12: c * (1 << 12) / 4}
+        fitted, _ = fit_scaling(measured, "msm")
+        assert fitted == pytest.approx(c)
+
+    def test_rejects_empty_and_zero(self):
+        with pytest.raises(ValueError):
+            fit_scaling({}, "fft")
+        with pytest.raises(ValueError):
+            fit_scaling({8: 0.0}, "fft")
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def calibration(self):
+        return calibrate_hardware(ks=(8, 9, 10))
+
+    def test_measured_points_kept_exact(self, calibration):
+        for op, attr in (("fft", "t_fft"), ("msm", "t_msm"),
+                         ("lookup", "t_lookup")):
+            table = getattr(calibration.profile, attr)
+            for k, secs in calibration.measured[op].items():
+                assert table[k] == secs
+
+    def test_fitted_curve_fills_larger_k(self, calibration):
+        # 2^16 was never measured; the fitted curve extrapolates smoothly
+        # (tabulated, so the interpolator never hits its 2.1^dk fallback)
+        fft = calibration.profile.t_fft
+        assert 16 in fft
+        assert fft[16] == pytest.approx(
+            calibration.constants["fft"] * 16 * (1 << 16))
+
+    def test_render_and_meta(self, calibration):
+        text = calibration.render()
+        assert "t_fft" in text and "residuals" in text
+        meta = calibration.meta()
+        assert meta["calibrated"] and meta["benchmark_ks"] == [8, 9, 10]
+
+    def test_probe_drift_improves_over_static_default(self, calibration):
+        # the acceptance bar: a calibrated profile predicts this Python
+        # prover better than the paper's AWS constants, and the drift
+        # metric lands in the registry for both profiles
+        registry = MetricsRegistry()
+        report = probe_drift(calibration, probe_model="mnist",
+                             registry=registry)
+        assert report["improved"]
+        assert report["calibrated_drift"] < report["static_drift"]
+        static_drift = registry.value(
+            "zkml_costmodel_drift", model="mnist-mini",
+            profile=report["static_profile"])
+        calib_drift = registry.value(
+            "zkml_costmodel_drift", model="mnist-mini",
+            profile=calibration.profile.name)
+        assert math.isclose(calib_drift, report["calibrated_drift"],
+                            abs_tol=1e-3)
+        assert calib_drift < static_drift
+        assert calibration.drift is report
+
+
+class TestProfileIO:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "hw.json")
+        save_profile(R6I_8XLARGE, path, meta={"note": "test"})
+        loaded = load_profile(path)
+        assert loaded.name == R6I_8XLARGE.name
+        assert loaded.t_fft == R6I_8XLARGE.t_fft
+        assert loaded.t_field == R6I_8XLARGE.t_field
+        assert loaded.fft(20) == pytest.approx(R6I_8XLARGE.fft(20))
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "something-else"}')
+        with pytest.raises(ValueError):
+            load_profile(str(path))
+
+    def test_resolve_precedence(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "hw.json")
+        save_profile(R6I_8XLARGE, path)
+        monkeypatch.delenv(ENV_PROFILE, raising=False)
+        # built-in name
+        assert resolve_profile("r6i.16xlarge") is PROFILES["r6i.16xlarge"]
+        # file path
+        assert resolve_profile(path).name == R6I_8XLARGE.name
+        # env var default
+        monkeypatch.setenv(ENV_PROFILE, path)
+        assert resolve_profile().name == R6I_8XLARGE.name
+        # explicit arg beats env
+        assert resolve_profile("r6i.32xlarge").name == "r6i.32xlarge"
+        # per-model fallback when nothing is set
+        monkeypatch.delenv(ENV_PROFILE)
+        assert resolve_profile(model_name="gpt2").name == "r6i.32xlarge"
+        assert resolve_profile().name == "r6i.8xlarge"
+
+    def test_resolve_unknown_raises(self, monkeypatch):
+        monkeypatch.delenv(ENV_PROFILE, raising=False)
+        with pytest.raises(ValueError):
+            resolve_profile("no-such-profile-or-file")
+
+
+class TestCalibrateCommand:
+    def test_cli_writes_profile_and_improves(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.obs import log as obs_log
+
+        out = str(tmp_path / "hw.json")
+        rc = main(["calibrate", "--ks", "8", "9", "--out", out,
+                   "--probe", "mnist", "--strict"])
+        obs_log.set_level(obs_log.INFO)
+        assert rc == 0
+        assert os.path.exists(out)
+        loaded = load_profile(out)
+        assert loaded.name == "local-calibrated"
+        text = capsys.readouterr().out
+        assert "improved" in text

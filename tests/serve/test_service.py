@@ -100,6 +100,26 @@ class TestCoalescing:
         assert "serve_batch_occupancy_bucket" in text
         assert "serve_request_seconds_sum" in text
 
+    def test_batch_cost_attributed_per_slot(self):
+        # a coalesced batch must report per-request cost as batch time /
+        # occupancy — not the whole batch's latency per request
+        from repro.obs.metrics import MetricsRegistry
+
+        spec = small_model()
+        registry = MetricsRegistry()
+        config = ServeConfig(max_batch=3, max_flush_seconds=0.2)
+        with ProvingService(config, metrics=registry) as service:
+            futures = [service.submit(spec, an_input(), scale_bits=6)
+                       for _ in range(3)]
+            responses = [f.result(timeout=120) for f in futures]
+        for r in responses:
+            assert r.batch_size == 3
+            assert r.slot_prove_seconds == pytest.approx(
+                r.prove_seconds / 3)
+        # the amortized histogram saw one sample per request
+        text = registry.to_prometheus()
+        assert "serve_slot_prove_seconds_count 3" in text
+
 
 class TestBackpressureAndShutdown:
     def test_full_queue_rejects_with_typed_error(self):

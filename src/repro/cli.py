@@ -335,6 +335,7 @@ def _cmd_bench(args) -> int:
         output_path=args.out or None,
         check_parallel=args.check_parallel,
         registry=args.obs_registry,
+        mem=args.mem,
     )
     if report.get("parallel_proofs_identical") is False:
         log.error("serial and parallel proof bytes diverge")
@@ -732,6 +733,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--check-parallel", action="store_true",
                        help="re-prove with workers and fail if the proof "
                             "bytes diverge from the serial run")
+    bench.add_argument("--mem", action="store_true",
+                       help="record peak RSS per prover phase (ru_maxrss, "
+                            "KB) into the report")
     bench.add_argument("--compare", default=None, metavar="BASELINE.json",
                        help="diff this run against a committed baseline "
                             "report and exit 1 on any regression")

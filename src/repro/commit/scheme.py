@@ -92,6 +92,37 @@ class CommitmentScheme:
         value = poly_eval(self.field, coeffs, point)
         return OpeningProof(point=point, value=value, witness=tuple(coeffs))
 
+    def open_rows(self, coeff_rows, points: Sequence[int]) -> list:
+        """Open many same-length committed polynomials, one point per row.
+
+        ``coeff_rows`` may be an ``(m, n)`` ``uint64`` matrix (Goldilocks),
+        in which case all ``m`` evaluations run through one vectorized
+        Estrin-style kernel, or any sequence of coefficient vectors, which
+        falls back to per-polynomial :meth:`open`.  Values and proof
+        objects are identical either way.
+        """
+        if (
+            _np is not None
+            and isinstance(coeff_rows, _np.ndarray)
+            and coeff_rows.ndim == 2
+        ):
+            from repro.field import gl64
+
+            if gl64.is_goldilocks(self.field.p) and coeff_rows.shape[0]:
+                values = gl64.poly_eval_rows(
+                    coeff_rows, _np.array(points, dtype=_np.uint64)
+                )
+                STATS.openings += len(points)
+                return [
+                    OpeningProof(
+                        point=int(point),
+                        value=int(value),
+                        witness=tuple(row.tolist()),
+                    )
+                    for row, point, value in zip(coeff_rows, points, values)
+                ]
+        return [self.open(row, point) for row, point in zip(coeff_rows, points)]
+
     def verify_opening(self, commitment: Commitment, proof: OpeningProof) -> bool:
         """Check that an opening is consistent with the commitment."""
         if self.commit(proof.witness).digest != commitment.digest:

@@ -17,12 +17,21 @@ columns in backend representation end to end.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.field import gl64
-from repro.field.ntt import coset_intt, coset_ntt, intt, ntt, power_table, stage_twiddles
+from repro.field.ntt import (
+    coset_intt,
+    coset_ntt,
+    intt,
+    ntt,
+    power_table,
+    scaled_power_table,
+    stage_twiddles,
+)
 from repro.field.prime_field import PrimeField
 from repro.field.vector import vector_backend
 from repro.obs.stats import STATS
@@ -59,9 +68,26 @@ class EvaluationDomain:
         self._np_stages: Dict[tuple, List[np.ndarray]] = {}
         self._np_rev: Dict[int, np.ndarray] = {}
         self._np_powers: Dict[tuple, np.ndarray] = {}
+        self._np_scale_rev: Dict[tuple, np.ndarray] = {}
+        self._np_post_scale: Dict[tuple, np.ndarray] = {}
+        self._np_sixstep: Dict[tuple, gl64.SixStepPlan] = {}
         self._vanishing: Optional[List[int]] = None
         self._inv_vanishing_vec = None
+        self._part_shifts: Optional[List[int]] = None
+        self._part_invs: Optional[List[int]] = None
         self._rotation_cache: Dict[int, int] = {}
+        # transforms this large run through the six-step decomposition
+        try:
+            self._sixstep_min_n = 1 << max(
+                2, int(os.environ.get("ZKML_SIXSTEP_MIN_K", "16"))
+            )
+        except ValueError:
+            self._sixstep_min_n = 1 << 16
+
+    @property
+    def uses_gl64(self) -> bool:
+        """True when transforms run on the numpy Goldilocks kernels."""
+        return self._use_gl64
 
     # -- cached numpy tables -------------------------------------------------
 
@@ -74,6 +100,8 @@ class EvaluationDomain:
                 for tw in stage_twiddles(self.field.p, root, n)
             ]
             self._np_stages[key] = cached
+        else:
+            STATS.ntt_plan_hits += 1
         return cached
 
     def _gl64_rev(self, n: int) -> np.ndarray:
@@ -81,6 +109,8 @@ class EvaluationDomain:
         if cached is None:
             cached = gl64.bit_reverse_indices(n)
             self._np_rev[n] = cached
+        else:
+            STATS.ntt_plan_hits += 1
         return cached
 
     def _gl64_powers(self, base: int, n: int) -> np.ndarray:
@@ -89,13 +119,69 @@ class EvaluationDomain:
         if cached is None:
             cached = np.array(power_table(self.field.p, base, n), dtype=np.uint64)
             self._np_powers[key] = cached
+        else:
+            STATS.ntt_plan_hits += 1
+        return cached
+
+    def _gl64_scale_rev(self, base: int, n: int) -> np.ndarray:
+        """Coset power table pre-permuted by bit-reversal, for the fused
+        gather-and-scale entry of :func:`repro.field.gl64.ntt`."""
+        key = (base, n)
+        cached = self._np_scale_rev.get(key)
+        if cached is None:
+            cached = self._gl64_powers(base, n)[self._gl64_rev(n)]
+            self._np_scale_rev[key] = cached
+        else:
+            STATS.ntt_plan_hits += 1
+        return cached
+
+    def _gl64_post_scale(self, base: int, n: int, scalar: int) -> np.ndarray:
+        """Cached ``scalar * base^i`` vector — the inverse-transform's
+        ``1/n`` and inverse-coset scalings fused into one multiply pass."""
+        key = (base, n, scalar)
+        cached = self._np_post_scale.get(key)
+        if cached is None:
+            cached = np.array(
+                scaled_power_table(self.field.p, base, n, scalar),
+                dtype=np.uint64,
+            )
+            self._np_post_scale[key] = cached
+        else:
+            STATS.ntt_plan_hits += 1
+        return cached
+
+    def _gl64_sixstep(self, root: int, n: int, shift: int) -> gl64.SixStepPlan:
+        key = (root, n, shift)
+        cached = self._np_sixstep.get(key)
+        if cached is None:
+            cached = gl64.build_sixstep_plan(root, n, shift)
+            self._np_sixstep[key] = cached
+        else:
+            STATS.ntt_plan_hits += 1
         return cached
 
     def _gl64_ntt(self, vec: np.ndarray, root: int) -> np.ndarray:
-        n = len(vec)
+        n = int(vec.shape[-1])
         if n == 1:
             return vec.copy()
+        if vec.ndim == 1 and n >= self._sixstep_min_n:
+            return gl64.sixstep_ntt(vec, self._gl64_sixstep(root, n, 1))
         return gl64.ntt(vec, self._gl64_stages(root, n), self._gl64_rev(n))
+
+    def _gl64_coset_ntt(self, vec: np.ndarray, root: int, shift: int) -> np.ndarray:
+        """Coset NTT with the shift scaling fused into the input gather
+        (radix-2) or the inner stages (six-step) — never a separate pass."""
+        n = int(vec.shape[-1])
+        if n == 1:
+            return vec.copy()
+        if vec.ndim == 1 and n >= self._sixstep_min_n:
+            return gl64.sixstep_ntt(vec, self._gl64_sixstep(root, n, shift))
+        return gl64.ntt(
+            vec,
+            self._gl64_stages(root, n),
+            self._gl64_rev(n),
+            scale_rev=self._gl64_scale_rev(shift, n),
+        )
 
     # -- vector-native transforms -------------------------------------------
     #
@@ -138,9 +224,9 @@ class EvaluationDomain:
         STATS.ntt_extended += 1
         padded = self._pad_vec(coeffs, self.extended_n)
         if self._use_gl64:
-            vec = gl64.from_ints(padded)
-            shifted = gl64.mul(vec, self._gl64_powers(self.coset_shift, self.extended_n))
-            return self._gl64_ntt(shifted, self.extended_omega)
+            return self._gl64_coset_ntt(
+                gl64.from_ints(padded), self.extended_omega, self.coset_shift
+            )
         return coset_ntt(self.field, padded, self.extended_omega, self.coset_shift)
 
     def extended_to_coeff_vec(self, evals):
@@ -153,20 +239,112 @@ class EvaluationDomain:
         if self._use_gl64:
             vec = gl64.from_ints(evals)
             out = self._gl64_ntt(vec, self.field.inv(self.extended_omega))
-            out = gl64.mul(out, self.field.inv(self.extended_n))
-            inv_shift = self.field.inv(self.coset_shift)
-            return gl64.mul(out, self._gl64_powers(inv_shift, self.extended_n))
+            # 1/n and the inverse coset powers land in one fused pass
+            return gl64.mul(
+                out,
+                self._gl64_post_scale(
+                    self.field.inv(self.coset_shift),
+                    self.extended_n,
+                    self.field.inv(self.extended_n),
+                ),
+            )
         return coset_intt(self.field, evals, self.extended_omega, self.coset_shift)
 
     # -- batch transforms ----------------------------------------------------
 
+    def lagrange_to_coeff_rows(self, mat: np.ndarray) -> np.ndarray:
+        """Interpolate ``m`` base-domain columns in one batched kernel call.
+
+        Goldilocks only: ``mat`` is an ``(m, n)`` ``uint64`` matrix whose
+        rows are column evaluation vectors.  One batched inverse NTT (with
+        the ``1/n`` scaling fused into the input gather — exact by
+        linearity of the transform) replaces ``m`` per-column calls; the
+        ``ntt_base`` counter is bumped by ``m`` so operation counts stay
+        comparable with the per-column path.
+        """
+        if not self._use_gl64:
+            raise TypeError("lagrange_to_coeff_rows requires the Goldilocks backend")
+        if mat.ndim != 2 or mat.shape[1] != self.n:
+            raise ValueError(
+                "expected an (m, %d) matrix, got shape %r" % (self.n, mat.shape)
+            )
+        faults.maybe_inject("ntt")
+        rows = mat.shape[0]
+        STATS.ntt_base += rows
+        if rows == 0:
+            return mat.copy()
+        if self.n == 1:
+            return mat.copy()
+        return gl64.ntt(
+            mat,
+            self._gl64_stages(self.field.inv(self.omega), self.n),
+            self._gl64_rev(self.n),
+            scale_rev=np.uint64(self.field.inv(self.n)),
+        )
+
     def lagrange_to_coeff_batch(self, columns: Sequence) -> List:
         """Interpolate many base-domain columns (backend vectors out)."""
+        if self._use_gl64 and columns:
+            mat = np.stack([gl64.from_ints(col) for col in columns])
+            return list(self.lagrange_to_coeff_rows(mat))
         return [self.lagrange_to_coeff_vec(col) for col in columns]
 
     def coeff_to_extended_batch(self, polys: Sequence) -> List:
         """Extend many coefficient vectors to the extended coset."""
         return [self.coeff_to_extended_vec(poly) for poly in polys]
+
+    # -- extended-coset part decomposition -----------------------------------
+    #
+    # Extended-domain index ``j`` splits as ``j = t * extension + r``: the
+    # evaluation point ``shift * w_E^j`` equals ``(shift * w_E^r) * omega^t``
+    # because ``w_E^extension == omega`` (both are powers of the same
+    # generator).  Part ``r`` of a polynomial's extended evaluations is
+    # therefore a *base-size* coset NTT with shift ``shift * w_E^r`` — the
+    # quotient phase streams over parts, never materializing per-column
+    # extended vectors, and Z_H is a scalar on each part.
+
+    def extended_part_shifts(self) -> List[int]:
+        """Coset shifts ``coset_shift * extended_omega^r`` per part."""
+        if self._part_shifts is None:
+            f = self.field
+            shifts = []
+            acc = self.coset_shift
+            for _ in range(self.extension):
+                shifts.append(acc)
+                acc = f.mul(acc, self.extended_omega)
+            self._part_shifts = shifts
+        return self._part_shifts
+
+    def coeff_to_extended_part(self, mat: np.ndarray, r: int) -> np.ndarray:
+        """Part ``r`` of the extended-coset evaluations of each row of ``mat``.
+
+        ``mat`` is ``(m, n)`` coefficient rows; the result is ``(m, n)``
+        evaluations at ``shift_r * omega^t``.  Callers account for
+        ``ntt_extended`` themselves (all ``extension`` parts of one column
+        together equal one logical extended transform).
+        """
+        if not self._use_gl64:
+            raise TypeError("coeff_to_extended_part requires the Goldilocks backend")
+        return self._gl64_coset_ntt(mat, self.omega, self.extended_part_shifts()[r])
+
+    def vanishing_part_inverses(self) -> List[int]:
+        """``1 / Z_H`` per extended-coset part (a scalar on each part).
+
+        ``Z_H(shift_r * omega^t) = shift^n * w_E^(n*r) - 1`` is independent
+        of ``t`` since ``omega^n = 1``, so the vanishing division in the
+        quotient phase is one scalar multiply per part instead of a
+        full-width vector multiply against a batch-inverted table.
+        """
+        if self._part_invs is None:
+            f = self.field
+            acc = f.pow(self.coset_shift, self.n)
+            w_ext_n = f.pow(self.extended_omega, self.n)
+            invs = []
+            for _ in range(self.extension):
+                invs.append(f.inv(f.sub(acc, 1)))
+                acc = f.mul(acc, w_ext_n)
+            self._part_invs = invs
+        return self._part_invs
 
     # -- transforms (int-list API, kept for callers outside the prover) ------
 

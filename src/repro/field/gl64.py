@@ -112,6 +112,88 @@ def fold(acc: np.ndarray, y: int, values) -> np.ndarray:
     return add(mul(acc, y), values)
 
 
+#: Sequential chain length of the blocked batch inversion.  Each of the
+#: ``n / 16`` chains runs the Montgomery trick in ``3 * 16`` vectorized
+#: multiply passes shared across all chains.
+_INV_CHAIN = 16
+
+
+def batch_inv(values: np.ndarray) -> np.ndarray:
+    """Elementwise modular inverse via a blocked Montgomery trick.
+
+    The input is split into ``G = ceil(n / 16)`` independent chains of 16
+    elements (padded with ones); prefix products run down the chains with
+    16 vectorized multiply passes of width ``G``, the ``G`` chain totals
+    are inverted with the classic sequential trick in Python ints (one
+    modular exponentiation total), and two more passes per chain level
+    recover every elementwise inverse.  Inverses are unique, so the
+    result matches ``PrimeField.batch_inv`` element for element; a zero
+    raises the same ``ZeroDivisionError`` (at the first zero index).
+    """
+    n = len(values)
+    if n == 0:
+        return values.copy()
+    zero_mask = values == _ZERO
+    if zero_mask.any():
+        raise ZeroDivisionError(
+            "batch_inv of zero at index %d" % int(np.argmax(zero_mask))
+        )
+    levels = _INV_CHAIN
+    chains = -(-n // levels)
+    pad = levels * chains - n
+    v = values
+    if pad:
+        v = np.concatenate([values, np.ones(pad, dtype=np.uint64)])
+    v = v.reshape(levels, chains)
+    prefix = np.empty_like(v)
+    prefix[0] = v[0]
+    for i in range(1, levels):
+        prefix[i] = mul(prefix[i - 1], v[i])
+    # invert the chain totals sequentially in Python ints
+    totals = prefix[levels - 1].tolist()
+    running = 1
+    prefs = [1] * chains
+    for g in range(chains):
+        prefs[g] = running
+        running = running * totals[g] % P
+    inv_acc = pow(running, P - 2, P)
+    tinv = [0] * chains
+    for g in range(chains - 1, -1, -1):
+        tinv[g] = prefs[g] * inv_acc % P
+        inv_acc = inv_acc * totals[g] % P
+    # walk each chain back up: c holds inv(prefix[i]) entering level i
+    c = np.array(tinv, dtype=np.uint64)
+    out = np.empty_like(v)
+    for i in range(levels - 1, 0, -1):
+        out[i] = mul(prefix[i - 1], c)
+        c = mul(c, v[i])
+    out[0] = c
+    return out.reshape(-1)[:n]
+
+
+def poly_eval_rows(coeffs: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Evaluate row ``i`` of ``coeffs`` at ``points[i]``, for all rows at once.
+
+    Pairwise (Estrin-style) folding: each pass combines adjacent
+    coefficients as ``c_even + x * c_odd`` and squares ``x``, halving the
+    width, so a degree-(n-1) evaluation costs ``log2(n)`` vector passes
+    instead of ``n`` sequential Horner steps.  Field-exact, so values
+    match :func:`repro.field.poly.poly_eval`.
+    """
+    m, width = coeffs.shape
+    if width & (width - 1):
+        padded = 1 << width.bit_length()
+        tmp = np.zeros((m, padded), dtype=np.uint64)
+        tmp[:, :width] = coeffs
+        coeffs = tmp
+    acc = coeffs
+    x = points.astype(np.uint64)
+    while acc.shape[1] > 1:
+        acc = add(acc[:, 0::2], mul(acc[:, 1::2], x[:, None]))
+        x = mul(x, x)
+    return acc[:, 0]
+
+
 def serialize_scalars(vec: np.ndarray, width: int = 32) -> bytes:
     """Concatenated ``width``-byte little-endian encodings of each element.
 
@@ -138,28 +220,133 @@ def bit_reverse_indices(n: int) -> np.ndarray:
     return rev
 
 
-def ntt(values: np.ndarray, stages: Sequence[np.ndarray], rev: np.ndarray) -> np.ndarray:
+def ntt(
+    values: np.ndarray,
+    stages: Sequence[np.ndarray],
+    rev: np.ndarray,
+    scale_rev: np.ndarray = None,
+) -> np.ndarray:
     """Iterative radix-2 NTT driven by precomputed per-stage twiddle rows.
 
     ``stages[s]`` holds the ``2^s`` twiddles of the stage with butterfly
     span ``2^s`` (so ``stages[0] == [1]``); ``rev`` is the bit-reversal
     permutation for the input ordering.  Both come from the caches on
     :class:`repro.field.domain.EvaluationDomain`.
+
+    The transform runs along the *last* axis, so a ``(m, n)`` matrix is m
+    independent size-n NTTs in one kernel call — that batching, not the
+    butterfly math, is what removes the per-column numpy dispatch overhead
+    that dominated the prover at bench sizes.
+
+    ``scale_rev`` optionally fuses a coset scaling into the initial
+    bit-reversal gather: it must be the per-index scale vector *already
+    permuted by* ``rev`` so ``out = values[rev] * scale[rev]`` happens in
+    the same pass that feeds stage 0, instead of a separate full-width
+    multiply before the gather.  Permuting commutes with elementwise
+    multiplication, so results are bit-identical to the unfused path.
     """
-    out = values[rev]
+    out = values[..., rev]
+    if scale_rev is not None:
+        out = mul(out, scale_rev)
     length = 2
     for tw in stages:
         half = length >> 1
-        m = out.reshape(-1, length)
-        u = m[:, :half]
-        v = m[:, half:]
+        m = out.reshape(out.shape[:-1] + (-1, length))
+        u = m[..., :half]
+        v = m[..., half:]
         if length > 2:
-            v = mul(v, tw[None, :])
+            v = mul(v, tw)
         else:
             v = v.copy()
         s = add(u, v)
         d = sub(u, v)
-        m[:, :half] = s
-        m[:, half:] = d
+        m[..., :half] = s
+        m[..., half:] = d
         length <<= 1
     return out
+
+
+class SixStepPlan:
+    """Precomputed tables for a six-step (Bailey) NTT of size ``n1 * n2``.
+
+    The decomposition writes index ``i = i1 + n1*i2`` and output index
+    ``j = j2 + n2*j1``, turning one size-n transform into ``n1`` size-n2
+    row transforms, an ``(n1, n2)`` twiddle multiply, and ``n2`` size-n1
+    row transforms — each batch a single kernel call on a matrix whose
+    rows fit in cache, instead of one monolithic pass whose working set
+    thrashes at large ``k``.  A coset shift ``s`` factors as
+    ``s^i = s^{i1} * (s^{n1})^{i2}``: the ``i2`` part rides the inner
+    transform's fused gather-scale and the ``i1`` part is folded into the
+    middle twiddle matrix, so the shift never costs a separate pass.
+    """
+
+    __slots__ = (
+        "n", "n1", "n2",
+        "stages_inner", "rev_inner", "scale_inner_rev",
+        "w_fused", "stages_outer", "rev_outer",
+    )
+
+    def __init__(self, n, n1, n2, stages_inner, rev_inner, scale_inner_rev,
+                 w_fused, stages_outer, rev_outer):
+        self.n = n
+        self.n1 = n1
+        self.n2 = n2
+        self.stages_inner = stages_inner
+        self.rev_inner = rev_inner
+        self.scale_inner_rev = scale_inner_rev
+        self.w_fused = w_fused
+        self.stages_outer = stages_outer
+        self.rev_outer = rev_outer
+
+
+def build_sixstep_plan(root: int, n: int, shift: int = 1) -> SixStepPlan:
+    """Tables for :func:`sixstep_ntt`; cache per ``(root, n, shift)`` upstream.
+
+    ``root`` must be a primitive n-th root of unity mod the Goldilocks
+    prime and ``n`` a power of two with ``n >= 4``.
+    """
+    if n & (n - 1) or n < 4:
+        raise ValueError("six-step NTT needs a power-of-two size >= 4, got %d" % n)
+    from repro.field.ntt import power_table, stage_twiddles
+
+    k = n.bit_length() - 1
+    n1 = 1 << (k >> 1)
+    n2 = n // n1
+    root_inner = pow(root, n1, P)
+    root_outer = pow(root, n2, P)
+    stages_inner = [np.array(tw, dtype=np.uint64)
+                    for tw in stage_twiddles(P, root_inner, n2)]
+    stages_outer = [np.array(tw, dtype=np.uint64)
+                    for tw in stage_twiddles(P, root_outer, n1)]
+    rev_inner = bit_reverse_indices(n2)
+    rev_outer = bit_reverse_indices(n1)
+    # middle twiddles w^{i1*j2}, with the coset factor s^{i1} folded in
+    w_pows = np.array(power_table(P, root, n), dtype=np.uint64)
+    exps = (np.arange(n1, dtype=np.int64)[:, None]
+            * np.arange(n2, dtype=np.int64)[None, :]) % n
+    w_fused = w_pows[exps]
+    scale_inner_rev = None
+    if shift != 1:
+        s_inner = pow(shift, n1, P)
+        inner_pows = np.array(power_table(P, s_inner, n2), dtype=np.uint64)
+        scale_inner_rev = inner_pows[rev_inner]
+        shift_pows = np.array(power_table(P, shift, n1), dtype=np.uint64)
+        w_fused = mul(w_fused, shift_pows[:, None])
+    return SixStepPlan(n, n1, n2, stages_inner, rev_inner, scale_inner_rev,
+                       w_fused, stages_outer, rev_outer)
+
+
+def sixstep_ntt(values: np.ndarray, plan: SixStepPlan) -> np.ndarray:
+    """Cache-blocked six-step NTT (with the plan's coset shift fused in).
+
+    Exact: every step is the same canonical Goldilocks arithmetic as the
+    radix-2 kernel, so outputs match :func:`ntt` bit for bit
+    (property-tested in ``tests/field/test_sixstep.py``).
+    """
+    n1, n2 = plan.n1, plan.n2
+    m = values.reshape(n2, n1).T  # (n1, n2): rows vary i2 for fixed i1
+    a = ntt(m, plan.stages_inner, plan.rev_inner, plan.scale_inner_rev)
+    b = mul(a, plan.w_fused)
+    c = ntt(b.T, plan.stages_outer, plan.rev_outer)  # rows indexed by j2
+    # c[j2, j1] -> X[j2 + n2*j1]
+    return np.ascontiguousarray(c.T).reshape(-1)

@@ -16,15 +16,29 @@ the exact reference path and serves every other field.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Sequence, Tuple
 
 from repro.field.prime_field import PrimeField
+from repro.obs.stats import STATS
 
 #: Per-stage twiddle tables keyed by (modulus, root, size).
 _TWIDDLE_CACHE: Dict[Tuple[int, int, int], List[List[int]]] = {}
 
 #: Power tables (1, s, s^2, ..., s^(n-1)) keyed by (modulus, base, size).
 _POWER_CACHE: Dict[Tuple[int, int, int], List[int]] = {}
+
+#: Fused post-scale tables ``scale * base^i`` keyed by (modulus, base, size,
+#: scale) — one multiply pass where :func:`coset_intt` used to spend two.
+_SCALED_POWER_CACHE: Dict[Tuple[int, int, int, int], List[int]] = {}
+
+
+def _sixstep_min_n() -> int:
+    """Size at which transforms switch to the six-step decomposition."""
+    try:
+        return 1 << max(2, int(os.environ.get("ZKML_SIXSTEP_MIN_K", "16")))
+    except ValueError:
+        return 1 << 16
 
 
 def _bit_reverse_permute(values: List[int]) -> None:
@@ -49,6 +63,7 @@ def stage_twiddles(p: int, root: int, n: int) -> List[List[int]]:
     key = (p, root, n)
     cached = _TWIDDLE_CACHE.get(key)
     if cached is not None:
+        STATS.ntt_plan_hits += 1
         return cached
     stages: List[List[int]] = []
     length = 2
@@ -69,12 +84,26 @@ def power_table(p: int, base: int, n: int) -> List[int]:
     key = (p, base, n)
     cached = _POWER_CACHE.get(key)
     if cached is not None:
+        STATS.ntt_plan_hits += 1
         return cached
     powers = [1] * n
     for i in range(1, n):
         powers[i] = powers[i - 1] * base % p
     _POWER_CACHE[key] = powers
     return powers
+
+
+def scaled_power_table(p: int, base: int, n: int, scale: int) -> List[int]:
+    """Cached ``[scale * base^i] mod p`` — a power table with a constant
+    folded in, so callers apply both in a single multiply pass."""
+    key = (p, base, n, scale)
+    cached = _SCALED_POWER_CACHE.get(key)
+    if cached is not None:
+        STATS.ntt_plan_hits += 1
+        return cached
+    fused = [v * scale % p for v in power_table(p, base, n)]
+    _SCALED_POWER_CACHE[key] = fused
+    return fused
 
 
 def _ntt_core(out: List[int], p: int, stages: List[List[int]]) -> None:
@@ -129,8 +158,67 @@ def ntt(field: PrimeField, values: Sequence[int], root: int) -> List[int]:
     out = list(values)
     if n == 1:
         return out
+    if n >= _sixstep_min_n():
+        return sixstep_ntt(field, out, root)
     _bit_reverse_permute(out)
     _ntt_core(out, field.p, stage_twiddles(field.p, root, n))
+    return out
+
+
+def sixstep_ntt(
+    field: PrimeField, values: Sequence[int], root: int, shift: int = 1
+) -> List[int]:
+    """Six-step (Bailey) NTT: two passes of ``sqrt(n)``-sized transforms.
+
+    Splitting ``i = i1 + n1*i2`` / ``j = j2 + n2*j1`` turns one size-n
+    transform into ``n1`` inner transforms of size ``n2`` (root
+    ``root^n1``), a twiddle multiply by ``root^(i1*j2)``, and ``n2`` outer
+    transforms of size ``n1`` (root ``root^n2``) — each sub-transform's
+    working set is ``sqrt(n)`` elements, so large-``k`` transforms stay
+    cache-resident.  An optional coset ``shift`` is folded into the inner
+    transforms (``shift^(n1*i2)`` rides their input scaling) and the
+    twiddle step (``shift^i1``), never a separate full pass.  Exact:
+    identical output to ``ntt(field, [v * shift^i], root)``.
+    """
+    n = len(values)
+    if n & (n - 1):
+        raise ValueError("NTT length must be a power of two, got %d" % n)
+    p = field.p
+    if n < 4:
+        if shift != 1:
+            powers = power_table(p, shift, n)
+            values = [v * s % p for v, s in zip(values, powers)]
+        out = list(values)
+        if n == 2:
+            _ntt_core(out, p, stage_twiddles(p, root, 2))
+        return out
+    k = n.bit_length() - 1
+    n1 = 1 << (k >> 1)
+    n2 = n // n1
+    root_inner = pow(root, n1, p)
+    root_outer = pow(root, n2, p)
+    s_inner = pow(shift, n1, p) if shift != 1 else 1
+    w_pows = power_table(p, root, n)
+    shift_pows = power_table(p, shift, n1) if shift != 1 else None
+    inner: List[List[int]] = []
+    for i1 in range(n1):
+        col = values[i1::n1]
+        if s_inner != 1:
+            col = coset_ntt(field, col, root_inner, s_inner)
+        else:
+            col = ntt(field, col, root_inner)
+        if shift_pows is not None:
+            si = shift_pows[i1]
+            col = [
+                c * w_pows[i1 * j2 % n] % p * si % p for j2, c in enumerate(col)
+            ]
+        else:
+            col = [c * w_pows[i1 * j2 % n] % p for j2, c in enumerate(col)]
+        inner.append(col)
+    out = [0] * n
+    for j2 in range(n2):
+        row = ntt(field, [inner[i1][j2] for i1 in range(n1)], root_outer)
+        out[j2::n2] = row
     return out
 
 
@@ -146,16 +234,27 @@ def intt(field: PrimeField, values: Sequence[int], root: int) -> List[int]:
 
 def coset_ntt(field: PrimeField, values: Sequence[int], root: int, shift: int) -> List[int]:
     """Evaluate a coefficient vector on the coset ``shift * <root>``."""
+    n = len(values)
+    if n >= _sixstep_min_n():
+        # the shift scaling is folded into the six-step inner stages
+        return sixstep_ntt(field, values, root, shift)
     p = field.p
-    powers = power_table(p, shift, len(values))
+    powers = power_table(p, shift, n)
     shifted = [v * s % p for v, s in zip(values, powers)]
     return ntt(field, shifted, root)
 
 
 def coset_intt(field: PrimeField, values: Sequence[int], root: int, shift: int) -> List[int]:
-    """Inverse of :func:`coset_ntt`."""
-    coeffs = intt(field, values, root)
+    """Inverse of :func:`coset_ntt`.
+
+    The two post-passes of the textbook formulation — scale by ``1/n``,
+    then by the cached inverse-shift power table — are fused into a single
+    multiply against one cached ``scaled_power_table``, and the inverse
+    shift itself comes from the field's inversion cache instead of being
+    recomputed per call.
+    """
+    n = len(values)
+    out = ntt(field, values, field.inv(root))
     p = field.p
-    inv_shift = field.inv(shift)
-    powers = power_table(p, inv_shift, len(coeffs))
-    return [c * s % p for c, s in zip(coeffs, powers)]
+    fused = scaled_power_table(p, field.inv(shift), n, field.inv(n))
+    return [c * s % p for c, s in zip(out, fused)]

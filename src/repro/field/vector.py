@@ -131,10 +131,12 @@ class GL64Backend(ListBackend):
         return gl64.fold(acc, y, np.uint64(value))
 
     def rotate(self, vec, shift: int):
-        shift %= len(vec)
+        # rows rotate along the last axis so the quotient's (ext, n)
+        # coset-part matrices rotate exactly like 1-D columns
+        shift %= vec.shape[-1]
         if shift == 0:
             return vec
-        return np.roll(vec, -shift)
+        return np.roll(vec, -shift, axis=-1)
 
     def batch_inv(self, vec):
         return gl64.from_ints(self.field.batch_inv(gl64.to_ints(vec)))

@@ -132,6 +132,11 @@ class Assignment:
             [0] * self.n for _ in range(cs.num_selectors)
         ]
         self.copies: List[Tuple[Column, int, Column, int]] = []
+        # Advice columns that ever received a nonzero value.  Synthesis
+        # writes advice only through assign_advice, so a column absent
+        # from this set is identically zero — the prover skips its
+        # interpolation and reuses the zero-polynomial commitment.
+        self._advice_nonzero: set = set()
 
     # -- assignment ------------------------------------------------------------
 
@@ -160,7 +165,10 @@ class Assignment:
         if column.kind != ColumnType.ADVICE:
             raise ValueError("expected an advice column, got %r" % column)
         self._check_row(row)
-        self.advice[column.index][row] = self.cs.field.reduce(value)
+        reduced = self.cs.field.reduce(value)
+        self.advice[column.index][row] = reduced
+        if reduced:
+            self._advice_nonzero.add(column.index)
 
     def assign_fixed(self, column: Column, row: int, value: int) -> None:
         if column.kind != ColumnType.FIXED:
@@ -209,7 +217,24 @@ class Assignment:
 
     def column_values(self, column: Column) -> List[int]:
         """A column's full evaluation vector (unassigned cells as zero)."""
-        return [self.value(column, i) for i in range(self.n)]
+        self._grow()
+        if column.kind == ColumnType.ADVICE:
+            grid = self.advice[column.index]
+        elif column.kind == ColumnType.FIXED:
+            grid = self.fixed[column.index]
+        elif column.kind == ColumnType.INSTANCE:
+            grid = self.instance[column.index]
+        else:
+            return list(self.selectors[column.index])
+        return [0 if v is None else v for v in grid]
+
+    def advice_is_zero(self, index: int) -> bool:
+        """True iff synthesis never assigned a nonzero value to the column.
+
+        Conservative in the safe direction: a column overwritten back to
+        zero still reads as nonzero here, costing only a missed skip.
+        """
+        return index not in self._advice_nonzero
 
     def instance_values(self) -> List[List[int]]:
         """Public inputs per instance column (the verifier's copy)."""

@@ -236,6 +236,8 @@ class VectorEvaluator:
         """Evaluate, expanding a scalar result to a full vector."""
         result = self.evaluate(expr)
         if isinstance(result, int):
+            if isinstance(self.size, tuple):
+                return self.backend.add_scalar(self.backend.zeros(self.size), result)
             return self.backend.from_ints([result] * self.size)
         return result
 

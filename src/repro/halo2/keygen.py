@@ -90,6 +90,35 @@ class VerifyingKey:
             self._digest = h.digest()
         return self._digest
 
+    def fixed_part_evals(self) -> Dict[Column, "object"]:
+        """Per-coset-part extended evaluations of every fixed column.
+
+        Goldilocks only.  Fixed and selector polynomials are circuit
+        constants, so their quotient-phase coset-part NTTs run once —
+        eagerly at keygen, riding the pk cache into later processes —
+        and the prover reads ready ``(extension, n)`` part matrices
+        instead of re-transforming constants on every proof.  Derived
+        data: not part of :meth:`digest`, so proofs are unchanged.
+        """
+        cached = getattr(self, "_np_fixed_parts", None)
+        if cached is None:
+            import numpy as np
+
+            from repro.field import gl64
+
+            cols = sorted(self.fixed_polys, key=lambda c: (c.kind.value, c.index))
+            extension = self.domain.extended_n // self.domain.n
+            parts = np.empty((len(cols), extension, self.n), dtype=np.uint64)
+            if cols:
+                mat = np.stack(
+                    [gl64.from_ints(self.fixed_polys[c]) for c in cols]
+                )
+                for r in range(extension):
+                    parts[:, r, :] = self.domain.coeff_to_extended_part(mat, r)
+            cached = {col: parts[i] for i, col in enumerate(cols)}
+            self._np_fixed_parts = cached
+        return cached
+
 
 @dataclass
 class ProvingKey:
@@ -301,5 +330,10 @@ def keygen(
         advice_queries=advice_queries,
         num_helper_advice=next_advice - cs.num_advice,
     )
+    if domain.uses_gl64:
+        with tracer.span("keygen:fixed_parts", columns=len(fixed_polys)):
+            # precompute the quotient's fixed-column coset parts now so
+            # the pk cache carries them into every later prove
+            vk.fixed_part_evals()
     pk = ProvingKey(vk=vk, fixed_evals=fixed_evals)
     return pk, vk

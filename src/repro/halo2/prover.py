@@ -13,24 +13,41 @@ Follows the halo2 recipe (paper §3 and §7.4):
 The FFTs and commitments performed here are the operations the optimizer's
 cost model counts (Eqs. 1–2).
 
-Implementation notes: every per-row loop runs columnwise through the
-vector backend of the evaluation domain (numpy on Goldilocks, lists
-elsewhere); helper columns are built with
-:func:`~repro.halo2.expression.evaluate_on_lagrange`, the quotient with a
-memoizing :class:`~repro.halo2.expression.VectorEvaluator`.  Independent
-column interpolations/commitments can fan out over worker processes
-(``jobs`` argument or ``ZKML_JOBS``); result order is fixed, so parallel
-proofs are byte-identical to serial ones.  A
-:class:`~repro.perf.timer.PhaseTimer` may be passed to record the
-commit / helpers / quotient / openings phase breakdown.
+Implementation notes: on Goldilocks every phase runs batched over whole
+*matrices* of columns.  Phase 1 and the helper commits stack columns into
+an ``(m, n)`` ``uint64`` matrix, interpolate with one batched NTT, and
+commit row by row; all-zero columns (detected at synthesis by
+:meth:`~repro.halo2.circuit.Assignment.advice_is_zero` or at commit time
+by a row scan) skip both the transform and the digest.  Phase 2 stacks
+every lookup and permutation denominator into a single flat
+``gl64.batch_inv`` call and builds lookup multiplicities with sorted
+numpy searches.  Phase 3 evaluates the quotient per *coset part* —
+``extension`` interleaved base-width cosets — so no column is ever
+materialized at extended width and the vanishing division is one scalar
+per part; ``ZKML_QUOTIENT_STREAM=1`` processes one part at a time,
+bounding peak memory to one ``(columns, n)`` matrix.  On other fields the
+columnwise list-backend reference path runs instead, and the two produce
+byte-identical proofs (asserted by the equivalence tests).
+
+Independent column work fans out over worker processes (``jobs`` argument
+or ``ZKML_JOBS``) through :func:`~repro.perf.parallel.parallel_row_map`,
+which ships the stacked matrix through shared memory instead of the pool
+pipe; chunk results are concatenated in row order, so parallel proofs are
+byte-identical to serial ones.  A :class:`~repro.perf.timer.PhaseTimer`
+may be passed to record the commit / helpers / quotient / openings phase
+breakdown.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Tuple
 
-from repro.commit.scheme import CommitmentScheme
+import numpy as np
+
+from repro.commit.scheme import Commitment, CommitmentScheme
 from repro.commit.transcript import Transcript
+from repro.field import gl64
 from repro.field.domain import EvaluationDomain
 from repro.halo2.circuit import Assignment
 from repro.halo2.column import Column, ColumnType
@@ -40,18 +57,37 @@ from repro.halo2.proof import Proof
 from repro.obs.stats import STATS
 # leaf-module imports: repro.perf's package init pulls in the pk cache,
 # which imports repro.halo2 and would close an import cycle through here
-from repro.perf.parallel import parallel_map, resolve_jobs
+from repro.perf.parallel import parallel_map, parallel_row_map, resolve_jobs
 from repro.perf.timer import NULL_TIMER
 # re-exported for callers that import ProvingError from here; the class
 # now lives in the shared taxonomy and carries phase/layer/row context
 from repro.resilience.errors import ProvingError
 
+#: Elements (referenced columns x extended width) above which the quotient
+#: streams one coset part at a time instead of holding every column's
+#: (extension, n) part matrix at once.  ``ZKML_QUOTIENT_STREAM=1`` forces
+#: streaming, ``=0`` forces the all-parts fast path.
+QUOTIENT_STREAM_ELEMS = 1 << 25
+
+
+def _sparsity_enabled() -> bool:
+    """All-zero column skipping is on unless ``ZKML_SPARSITY`` disables it."""
+    return os.environ.get("ZKML_SPARSITY", "1").lower() not in ("0", "false", "off")
+
+
+def _quotient_streaming(num_cols: int, ext_n: int) -> bool:
+    env = os.environ.get("ZKML_QUOTIENT_STREAM")
+    if env:
+        return env.lower() not in ("0", "false", "off")
+    return num_cols * ext_n > QUOTIENT_STREAM_ELEMS
+
 
 # -- multiprocess workers ----------------------------------------------------
 #
 # Workers get the (domain, scheme) pair once through the pool initializer;
-# per-item payloads are bare column vectors.  Module level so they pickle
-# by reference.  The serial path runs the same functions in-process.
+# row-parallel payloads live in shared memory, so only chunk bounds and
+# commitment digests cross the pipe.  Module level so they pickle by
+# reference.  The serial path runs the same functions in-process.
 
 _WORKER_DOMAIN: Optional[EvaluationDomain] = None
 _WORKER_SCHEME: Optional[CommitmentScheme] = None
@@ -72,6 +108,234 @@ def _interpolate_and_commit(evals):
 def _commit_piece(piece):
     """Quotient piece (coefficient vector) -> commitment."""
     return _WORKER_SCHEME.commit(piece)
+
+
+def _interp_commit_rows_chunk(rows: np.ndarray, row_offset: int):
+    """Row-parallel worker: batched interpolation + commits for a chunk.
+
+    All-zero rows skip the transform (a zero column interpolates to the
+    zero polynomial) and share one zero-polynomial commitment per chunk;
+    both skips are counted in ``STATS.sparsity_skips``.  The chunk's
+    nonzero rows go through a single batched inverse NTT.
+    """
+    domain, scheme = _WORKER_DOMAIN, _WORKER_SCHEME
+    m = rows.shape[0]
+    if _sparsity_enabled():
+        nonzero = np.flatnonzero(np.any(rows != 0, axis=1))
+    else:
+        nonzero = np.arange(m)
+    if nonzero.size == m:
+        polys = domain.lagrange_to_coeff_rows(rows)
+    else:
+        polys = np.zeros_like(rows)
+        if nonzero.size:
+            polys[nonzero] = domain.lagrange_to_coeff_rows(rows[nonzero])
+        STATS.sparsity_skips += m - nonzero.size
+    zero_rows = frozenset(range(m)) - frozenset(nonzero.tolist())
+    zero_digest = None
+    coms = []
+    for i in range(m):
+        if i in zero_rows and zero_digest is not None:
+            # reuse the memoized zero-polynomial digest, but as fresh
+            # objects: pickle memoizes shared objects into back-references
+            # and the proof bytes must match the share-nothing reference
+            STATS.sparsity_skips += 1
+            coms.append(Commitment(bytes(memoryview(zero_digest))))
+        else:
+            com = scheme.commit(polys[i])
+            if i in zero_rows:
+                zero_digest = com.digest
+            coms.append(com)
+    return polys, coms
+
+
+def _interpolate_commit_rows(domain, scheme, mat: np.ndarray, jobs):
+    """Interpolate + commit the rows of ``mat``; returns (polys, coms)."""
+    return parallel_row_map(
+        _interp_commit_rows_chunk,
+        mat,
+        jobs=jobs,
+        initializer=_pool_init,
+        initargs=(domain, scheme),
+    )
+
+
+# -- vectorized helper-column kernels ----------------------------------------
+
+
+def _lookup_multiplicities(field, name: str, f_arr, t_arr) -> np.ndarray:
+    """Vectorized lookup multiplicity counting (the ``m`` column).
+
+    Matches the reference loop bit for bit: each input row maps to the
+    *first* table row holding its value (stable argsort keeps the lowest
+    original row first among duplicates), and a value missing from the
+    table raises :class:`ProvingError` for the lowest offending row.
+    """
+    n = len(t_arr)
+    order = np.argsort(t_arr, kind="stable")
+    sorted_t = t_arr[order]
+    uniq = np.empty(n, dtype=bool)
+    uniq[0] = True
+    uniq[1:] = sorted_t[1:] != sorted_t[:-1]
+    uniq_vals = sorted_t[uniq]
+    first_rows = order[uniq]
+    pos = np.searchsorted(uniq_vals, f_arr)
+    ok = pos < uniq_vals.size
+    ok &= uniq_vals[np.minimum(pos, uniq_vals.size - 1)] == f_arr
+    if not ok.all():
+        row = int(np.argmax(~ok))
+        raise ProvingError(
+            "lookup %r: input %d at row %d is not in the table"
+            % (name, field.decode_signed(int(f_arr[row])), row),
+            row=row, lookup=name,
+        )
+    counts = np.bincount(first_rows[pos], minlength=n)
+    return counts.astype(np.uint64)
+
+
+def _prefix_sum_vec(field, h_arr) -> np.ndarray:
+    """The running-sum column: ``s[0] = 0``, ``s[j+1] = s[j] + h[j]``.
+
+    Mod-p prefix sums are inherently sequential, but they only *change* at
+    nonzero ``h`` rows: the values at those change points accumulate in
+    Python ints and ``np.repeat`` expands them back to row granularity.
+    """
+    n = len(h_arr)
+    nz = np.flatnonzero(h_arr[: n - 1])
+    if nz.size == 0:
+        return np.zeros(n, dtype=np.uint64)
+    p = field.p
+    levels = [0]
+    acc = 0
+    for i in nz.tolist():
+        acc = (acc + int(h_arr[i])) % p
+        levels.append(acc)
+    reps = np.diff(np.concatenate(([0], nz + 1, [n])))
+    return np.repeat(np.array(levels, dtype=np.uint64), reps)
+
+
+def _batched_inverses(field, denoms: List[np.ndarray]) -> List[np.ndarray]:
+    """One flat ``batch_inv`` over many same-length denominator vectors.
+
+    ``gl64.batch_inv`` costs ``2*log2(len)`` full-width passes regardless
+    of content, so inverting every helper denominator of the proof in a
+    single concatenated call amortizes the scans that would dominate at
+    column width.  A zero denominator falls back to the per-vector
+    reference so the raised index matches the unbatched path.
+    """
+    if not denoms:
+        return []
+    flat = np.concatenate(denoms)
+    try:
+        inv = gl64.batch_inv(flat)
+    except ZeroDivisionError:
+        return [
+            gl64.from_ints(field.batch_inv(gl64.to_ints(d))) for d in denoms
+        ]
+    return list(inv.reshape(len(denoms), -1))
+
+
+# -- coset-part quotient evaluation ------------------------------------------
+
+
+def _quotient_extended_np(domain, vk, assignment, advice_polys, challenges, y):
+    """The quotient's extended-coset evaluations, one base-width part at a time.
+
+    Extended index ``j = t * extension + r`` splits the coset into
+    ``extension`` interleaved parts; part ``r`` is itself a base-width
+    coset with shift ``coset_shift * w_E^r``, and a rotation by
+    ``rot * extension`` in the extended domain is a cyclic rotation by
+    ``rot`` *within every part*.  Folding the constraints over the
+    stacked ``(extension, n)`` part matrices therefore reproduces the
+    reference extended-domain vector exactly, while every NTT runs at
+    base width and the vanishing division collapses to one scalar
+    multiply per part (``Z_H`` is constant on a part).
+
+    The fast path holds all parts of every referenced column at once;
+    streaming mode (``ZKML_QUOTIENT_STREAM=1`` or a large column set)
+    loops over parts so peak extra memory is one ``(columns, n)`` matrix.
+    """
+    backend = domain.backend
+    n = domain.n
+    extension = domain.extended_n // domain.n
+    cols = set()
+    for _, expr in vk.constraints:
+        cols |= {col for col, _ in expr.refs()}
+    cols_order = sorted(cols, key=lambda c: (c.kind.value, c.index))
+    col_ix = {col: i for i, col in enumerate(cols_order)}
+    # fixed/selector parts are circuit constants precomputed at keygen;
+    # only witness-dependent (advice, instance) columns transform here
+    fixed_parts = vk.fixed_part_evals()
+    dyn_pos: List[int] = []
+    dyn_rows = []
+    for i, col in enumerate(cols_order):
+        if col.kind == ColumnType.ADVICE:
+            poly = advice_polys[col.index]
+        elif col.kind == ColumnType.INSTANCE:
+            poly = domain.lagrange_to_coeff_vec(
+                backend.from_ints(assignment.column_values(col))
+            )
+        else:
+            continue
+        dyn_pos.append(i)
+        dyn_rows.append(poly if isinstance(poly, np.ndarray) else gl64.from_ints(poly))
+    # all parts of one column together equal one logical extended NTT;
+    # counted for every referenced column so the tally stays comparable
+    # with the cost model whether or not the fixed parts were cached
+    STATS.ntt_extended += len(cols_order)
+    mat_dyn = (
+        np.stack(dyn_rows) if dyn_rows else np.zeros((0, n), dtype=np.uint64)
+    )
+    inv_parts = domain.vanishing_part_inverses()
+    exprs = [expr for _, expr in vk.constraints]
+
+    if _quotient_streaming(len(cols_order), domain.extended_n):
+        q_ext = np.empty(domain.extended_n, dtype=np.uint64)
+        for r in range(extension):
+            part = np.empty((len(cols_order), n), dtype=np.uint64)
+            for i, col in enumerate(cols_order):
+                if col.kind not in (ColumnType.ADVICE, ColumnType.INSTANCE):
+                    part[i] = fixed_parts[col][r]
+            if dyn_pos:
+                part[dyn_pos] = domain.coeff_to_extended_part(mat_dyn, r)
+            rotated: Dict[Tuple[Column, int], object] = {}
+
+            def read_vec(col, rot, _part=part, _rotated=rotated):
+                key = (col, rot)
+                vec = _rotated.get(key)
+                if vec is None:
+                    vec = backend.rotate(_part[col_ix[col]], rot)
+                    _rotated[key] = vec
+                return vec
+
+            folded = VectorEvaluator(backend, n, read_vec, challenges).fold(
+                exprs, y
+            )
+            q_ext[r::extension] = gl64.mul(folded, np.uint64(inv_parts[r]))
+        return q_ext
+
+    parts = np.empty((len(cols_order), extension, n), dtype=np.uint64)
+    for i, col in enumerate(cols_order):
+        if col.kind not in (ColumnType.ADVICE, ColumnType.INSTANCE):
+            parts[i] = fixed_parts[col]
+    for r in range(extension):
+        if dyn_pos:
+            parts[dyn_pos, r, :] = domain.coeff_to_extended_part(mat_dyn, r)
+    rotated: Dict[Tuple[Column, int], object] = {}
+
+    def read_vec(col, rot):
+        key = (col, rot)
+        vec = rotated.get(key)
+        if vec is None:
+            vec = backend.rotate(parts[col_ix[col]], rot)
+            rotated[key] = vec
+        return vec
+
+    evaluator = VectorEvaluator(backend, (extension, n), read_vec, challenges)
+    folded = evaluator.fold(exprs, y)
+    q_mat = gl64.mul(folded, np.array(inv_parts, dtype=np.uint64).reshape(-1, 1))
+    # q_mat[r, t] is extended index t*extension + r
+    return np.ascontiguousarray(q_mat.T).reshape(-1)
 
 
 def create_proof(
@@ -106,6 +370,7 @@ def create_proof(
     timer = timer if timer is not None else NULL_TIMER
     jobs = resolve_jobs(jobs)
     backend = domain.backend
+    use_np = domain.uses_gl64
 
     transcript = Transcript(field)
     transcript.append_message(b"vk", vk.digest())
@@ -116,21 +381,35 @@ def create_proof(
     with timer.phase("commit"):
         advice_vecs: Dict[int, object] = {}
         for i in range(cs.num_advice):
-            col = Column(ColumnType.ADVICE, i)
-            advice_vecs[i] = backend.from_ints(assignment.column_values(col))
-        results = parallel_map(
-            _interpolate_and_commit,
-            [advice_vecs[i] for i in range(cs.num_advice)],
-            jobs=jobs,
-            initializer=_pool_init,
-            initargs=(domain, scheme),
-        )
+            if use_np and _sparsity_enabled() and assignment.advice_is_zero(i):
+                # synthesis never wrote a nonzero value: skip even the
+                # row-by-row grid read; the zero row is then skipped again
+                # at interpolation/commit time by the chunk worker
+                advice_vecs[i] = np.zeros(n, dtype=np.uint64)
+            else:
+                col = Column(ColumnType.ADVICE, i)
+                advice_vecs[i] = backend.from_ints(assignment.column_values(col))
         advice_polys: Dict[int, object] = {}
         advice_commitments = []
-        for i, (poly, com) in enumerate(results):
-            advice_polys[i] = poly
-            advice_commitments.append(com)
-            transcript.append_commitment(b"advice", com.digest)
+        if use_np and cs.num_advice:
+            mat = np.stack([advice_vecs[i] for i in range(cs.num_advice)])
+            polys, coms = _interpolate_commit_rows(domain, scheme, mat, jobs)
+            for i, com in enumerate(coms):
+                advice_polys[i] = polys[i]
+                advice_commitments.append(com)
+                transcript.append_commitment(b"advice", com.digest)
+        else:
+            results = parallel_map(
+                _interpolate_and_commit,
+                [advice_vecs[i] for i in range(cs.num_advice)],
+                jobs=jobs,
+                initializer=_pool_init,
+                initargs=(domain, scheme),
+            )
+            for i, (poly, com) in enumerate(results):
+                advice_polys[i] = poly
+                advice_commitments.append(com)
+                transcript.append_commitment(b"advice", com.digest)
 
     challenges = {
         THETA: transcript.challenge_scalar(b"theta"),
@@ -172,73 +451,134 @@ def create_proof(
 
         helper_evals: Dict[int, object] = {}
 
-        for helpers in vk.lookups:
-            STATS.lookup_passes += 1
-            lk = helpers.argument
+        if use_np:
+            # every lookup and permutation denominator of the proof is
+            # inverted in ONE flat batch_inv call; multiplicities and
+            # running sums run through the vectorized kernels above
             theta = challenges[THETA]
-            f_vec = compress_columns(lk.inputs, theta)
-            t_vec = compress_columns(lk.table, theta)
-            f_vals = backend.to_ints(f_vec)
-            t_vals = backend.to_ints(t_vec)
-            first_row_of = {}
-            for row, t in enumerate(t_vals):
-                first_row_of.setdefault(t, row)
-            m_vals = [0] * n
-            for row, f in enumerate(f_vals):
-                target = first_row_of.get(f)
-                if target is None:
-                    raise ProvingError(
-                        "lookup %r: input %d at row %d is not in the table"
-                        % (lk.name, field.decode_signed(f), row),
-                        row=row, lookup=lk.name,
-                    )
-                m_vals[target] += 1
             alpha = challenges[ALPHA]
-            inv_f = backend.batch_inv(backend.add_scalar(f_vec, alpha))
-            inv_t = backend.batch_inv(backend.add_scalar(t_vec, alpha))
-            m_vec = backend.from_ints(m_vals)
-            h_vec = backend.sub(inv_f, backend.mul(m_vec, inv_t))
-            h_vals = backend.to_ints(h_vec)
-            s_vals = [0] * n
-            for row in range(n - 1):
-                s_vals[row + 1] = field.add(s_vals[row], h_vals[row])
-            helper_evals[helpers.m_col.index] = m_vec
-            helper_evals[helpers.h_col.index] = h_vec
-            helper_evals[helpers.s_col.index] = backend.from_ints(s_vals)
-
-        if vk.permutation is not None:
-            perm = vk.permutation
             beta, gamma = challenges[BETA], challenges[GAMMA]
-            total_h = backend.zeros(n)
-            for col, id_col, sigma_col, h_col in zip(
-                perm.columns, perm.id_cols, perm.sigma_cols, perm.helper_cols
-            ):
-                v_vec = read_lagrange(col)
-                ids = backend.from_ints(pk.fixed_evals[id_col])
-                sigmas = backend.from_ints(pk.fixed_evals[sigma_col])
-                d_id = backend.add_scalar(
-                    backend.add(v_vec, backend.mul_scalar(ids, beta)), gamma
+            denoms: List[np.ndarray] = []
+            lookup_parts = []
+            for helpers in vk.lookups:
+                STATS.lookup_passes += 1
+                lk = helpers.argument
+                f_vec = compress_columns(lk.inputs, theta)
+                t_vec = compress_columns(lk.table, theta)
+                m_vec = _lookup_multiplicities(field, lk.name, f_vec, t_vec)
+                lookup_parts.append((helpers, m_vec))
+                denoms.append(backend.add_scalar(f_vec, alpha))
+                denoms.append(backend.add_scalar(t_vec, alpha))
+            perm_helper_cols = []
+            if vk.permutation is not None:
+                perm = vk.permutation
+                for col, id_col, sigma_col, h_col in zip(
+                    perm.columns, perm.id_cols, perm.sigma_cols, perm.helper_cols
+                ):
+                    v_vec = read_lagrange(col)
+                    ids = backend.from_ints(pk.fixed_evals[id_col])
+                    sigmas = backend.from_ints(pk.fixed_evals[sigma_col])
+                    denoms.append(backend.add_scalar(
+                        backend.add(v_vec, backend.mul_scalar(ids, beta)), gamma
+                    ))
+                    denoms.append(backend.add_scalar(
+                        backend.add(v_vec, backend.mul_scalar(sigmas, beta)), gamma
+                    ))
+                    perm_helper_cols.append(h_col)
+            invs = _batched_inverses(field, denoms)
+            pos = 0
+            for helpers, m_vec in lookup_parts:
+                inv_f, inv_t = invs[pos], invs[pos + 1]
+                pos += 2
+                h_vec = backend.sub(inv_f, backend.mul(m_vec, inv_t))
+                helper_evals[helpers.m_col.index] = m_vec
+                helper_evals[helpers.h_col.index] = h_vec
+                helper_evals[helpers.s_col.index] = _prefix_sum_vec(field, h_vec)
+            if vk.permutation is not None:
+                total_h = backend.zeros(n)
+                for h_col in perm_helper_cols:
+                    h_vec = backend.sub(invs[pos], invs[pos + 1])
+                    pos += 2
+                    helper_evals[h_col.index] = h_vec
+                    total_h = backend.add(total_h, h_vec)
+                helper_evals[vk.permutation.sum_col.index] = _prefix_sum_vec(
+                    field, total_h
                 )
-                d_sigma = backend.add_scalar(
-                    backend.add(v_vec, backend.mul_scalar(sigmas, beta)), gamma
-                )
-                h_vec = backend.sub(backend.batch_inv(d_id), backend.batch_inv(d_sigma))
-                helper_evals[h_col.index] = h_vec
-                total_h = backend.add(total_h, h_vec)
-            total_vals = backend.to_ints(total_h)
-            s_vals = [0] * n
-            for row in range(n - 1):
-                s_vals[row + 1] = field.add(s_vals[row], total_vals[row])
-            helper_evals[perm.sum_col.index] = backend.from_ints(s_vals)
+        else:
+            for helpers in vk.lookups:
+                STATS.lookup_passes += 1
+                lk = helpers.argument
+                theta = challenges[THETA]
+                f_vec = compress_columns(lk.inputs, theta)
+                t_vec = compress_columns(lk.table, theta)
+                f_vals = backend.to_ints(f_vec)
+                t_vals = backend.to_ints(t_vec)
+                first_row_of = {}
+                for row, t in enumerate(t_vals):
+                    first_row_of.setdefault(t, row)
+                m_vals = [0] * n
+                for row, f in enumerate(f_vals):
+                    target = first_row_of.get(f)
+                    if target is None:
+                        raise ProvingError(
+                            "lookup %r: input %d at row %d is not in the table"
+                            % (lk.name, field.decode_signed(f), row),
+                            row=row, lookup=lk.name,
+                        )
+                    m_vals[target] += 1
+                alpha = challenges[ALPHA]
+                inv_f = backend.batch_inv(backend.add_scalar(f_vec, alpha))
+                inv_t = backend.batch_inv(backend.add_scalar(t_vec, alpha))
+                m_vec = backend.from_ints(m_vals)
+                h_vec = backend.sub(inv_f, backend.mul(m_vec, inv_t))
+                h_vals = backend.to_ints(h_vec)
+                s_vals = [0] * n
+                for row in range(n - 1):
+                    s_vals[row + 1] = field.add(s_vals[row], h_vals[row])
+                helper_evals[helpers.m_col.index] = m_vec
+                helper_evals[helpers.h_col.index] = h_vec
+                helper_evals[helpers.s_col.index] = backend.from_ints(s_vals)
+
+            if vk.permutation is not None:
+                perm = vk.permutation
+                beta, gamma = challenges[BETA], challenges[GAMMA]
+                total_h = backend.zeros(n)
+                for col, id_col, sigma_col, h_col in zip(
+                    perm.columns, perm.id_cols, perm.sigma_cols, perm.helper_cols
+                ):
+                    v_vec = read_lagrange(col)
+                    ids = backend.from_ints(pk.fixed_evals[id_col])
+                    sigmas = backend.from_ints(pk.fixed_evals[sigma_col])
+                    d_id = backend.add_scalar(
+                        backend.add(v_vec, backend.mul_scalar(ids, beta)), gamma
+                    )
+                    d_sigma = backend.add_scalar(
+                        backend.add(v_vec, backend.mul_scalar(sigmas, beta)), gamma
+                    )
+                    h_vec = backend.sub(
+                        backend.batch_inv(d_id), backend.batch_inv(d_sigma)
+                    )
+                    helper_evals[h_col.index] = h_vec
+                    total_h = backend.add(total_h, h_vec)
+                total_vals = backend.to_ints(total_h)
+                s_vals = [0] * n
+                for row in range(n - 1):
+                    s_vals[row + 1] = field.add(s_vals[row], total_vals[row])
+                helper_evals[perm.sum_col.index] = backend.from_ints(s_vals)
 
         helper_order = sorted(helper_evals)
-        results = parallel_map(
-            _interpolate_and_commit,
-            [helper_evals[idx] for idx in helper_order],
-            jobs=jobs,
-            initializer=_pool_init,
-            initargs=(domain, scheme),
-        )
+        if use_np and helper_order:
+            hmat = np.stack([helper_evals[idx] for idx in helper_order])
+            polys, coms = _interpolate_commit_rows(domain, scheme, hmat, jobs)
+            results = list(zip(polys, coms))
+        else:
+            results = parallel_map(
+                _interpolate_and_commit,
+                [helper_evals[idx] for idx in helper_order],
+                jobs=jobs,
+                initializer=_pool_init,
+                initargs=(domain, scheme),
+            )
         helper_commitments = []
         for idx, (poly, com) in zip(helper_order, results):
             advice_polys[idx] = poly
@@ -252,38 +592,43 @@ def create_proof(
     with timer.phase("quotient"):
         ext_n = domain.extended_n
         extension = ext_n // n
-        extended_cache: Dict[Column, object] = {}
-        rotated_cache: Dict[Tuple[Column, int], object] = {}
+        if use_np:
+            q_ext = _quotient_extended_np(
+                domain, vk, assignment, advice_polys, challenges, y
+            )
+        else:
+            extended_cache: Dict[Column, object] = {}
+            rotated_cache: Dict[Tuple[Column, int], object] = {}
 
-        def extended_evals(col: Column):
-            cached = extended_cache.get(col)
-            if cached is not None:
-                return cached
-            if col.kind == ColumnType.ADVICE:
-                poly = advice_polys[col.index]
-            elif col.kind == ColumnType.INSTANCE:
-                poly = domain.lagrange_to_coeff_vec(
-                    backend.from_ints(assignment.column_values(col))
-                )
-            else:
-                poly = vk.fixed_polys[col]
-            ext = domain.coeff_to_extended_vec(poly)
-            extended_cache[col] = ext
-            return ext
+            def extended_evals(col: Column):
+                cached = extended_cache.get(col)
+                if cached is not None:
+                    return cached
+                if col.kind == ColumnType.ADVICE:
+                    poly = advice_polys[col.index]
+                elif col.kind == ColumnType.INSTANCE:
+                    poly = domain.lagrange_to_coeff_vec(
+                        backend.from_ints(assignment.column_values(col))
+                    )
+                else:
+                    poly = vk.fixed_polys[col]
+                ext = domain.coeff_to_extended_vec(poly)
+                extended_cache[col] = ext
+                return ext
 
-        def read_vec(col: Column, rot: int):
-            key = (col, rot)
-            cached = rotated_cache.get(key)
-            if cached is not None:
-                return cached
-            vec = backend.rotate(extended_evals(col), rot * extension)
-            rotated_cache[key] = vec
-            return vec
+            def read_vec(col: Column, rot: int):
+                key = (col, rot)
+                cached = rotated_cache.get(key)
+                if cached is not None:
+                    return cached
+                vec = backend.rotate(extended_evals(col), rot * extension)
+                rotated_cache[key] = vec
+                return vec
 
-        evaluator = VectorEvaluator(backend, ext_n, read_vec, challenges)
-        folded = evaluator.fold([expr for _, expr in vk.constraints], y)
+            evaluator = VectorEvaluator(backend, ext_n, read_vec, challenges)
+            folded = evaluator.fold([expr for _, expr in vk.constraints], y)
+            q_ext = backend.mul(folded, domain.vanishing_inverse_vec())
 
-        q_ext = backend.mul(folded, domain.vanishing_inverse_vec())
         q_coeffs = domain.extended_to_coeff_vec(q_ext)
 
         num_pieces = vk.num_quotient_pieces
@@ -311,12 +656,26 @@ def create_proof(
     # ---- phase 4: openings -----------------------------------------------------
     with timer.phase("openings"):
         advice_openings: Dict[Tuple[int, int], "OpeningProof"] = {}
-        for col, rot in vk.advice_queries:
-            point = domain.rotate(x, rot)
-            advice_openings[(col.index, rot)] = scheme.open(
-                advice_polys[col.index], point
+        if use_np:
+            if vk.advice_queries:
+                qrows = np.stack(
+                    [advice_polys[col.index] for col, _ in vk.advice_queries]
+                )
+                points = [domain.rotate(x, rot) for _, rot in vk.advice_queries]
+                for (col, rot), opening in zip(
+                    vk.advice_queries, scheme.open_rows(qrows, points)
+                ):
+                    advice_openings[(col.index, rot)] = opening
+            quotient_openings = scheme.open_rows(
+                np.stack(pieces), [x] * len(pieces)
             )
-        quotient_openings = [scheme.open(piece, x) for piece in pieces]
+        else:
+            for col, rot in vk.advice_queries:
+                point = domain.rotate(x, rot)
+                advice_openings[(col.index, rot)] = scheme.open(
+                    advice_polys[col.index], point
+                )
+            quotient_openings = [scheme.open(piece, x) for piece in pieces]
 
     return Proof(
         advice_commitments=advice_commitments,

@@ -20,6 +20,15 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 #: Counter field names, in snapshot order.
+#:
+#: ``ntt_base``/``ntt_extended`` count *logical* per-column transforms:
+#: a batched kernel call over ``m`` stacked columns bumps the counter by
+#: ``m``, so counts stay comparable with the per-column implementation
+#: (and with the optimizer's predicted counts).  ``ntt_plan_hits`` counts
+#: reuses of cached NTT plans (twiddle stages, bit-reversal permutations,
+#: power/scale tables, six-step plans); ``sparsity_skips`` counts work
+#: items (transforms, commitments) skipped because a column was detected
+#: to be identically zero.
 FIELDS = (
     "ntt_base",
     "ntt_extended",
@@ -30,6 +39,8 @@ FIELDS = (
     "challenges",
     "merkle_leaf_hashes",
     "merkle_node_hashes",
+    "ntt_plan_hits",
+    "sparsity_skips",
 )
 
 

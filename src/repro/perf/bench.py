@@ -68,6 +68,7 @@ def bench_model(
     seed: int = 0,
     metrics: Optional[MetricsRegistry] = None,
     check_parallel: bool = False,
+    mem: bool = False,
 ) -> Dict[str, object]:
     """Prove one mini zoo model and return its benchmark record."""
     spec = get_model(name, scale="mini")
@@ -95,6 +96,12 @@ def bench_model(
             for key, value in result.predicted_counts.items()
         },
     }
+    if mem and result.phase_rss_kb:
+        # ru_maxrss is the process-wide peak, sampled at each phase exit:
+        # monotone across phases, so the first jump marks the phase that
+        # grew the footprint.
+        record["phase_rss_kb"] = dict(result.phase_rss_kb)
+        record["peak_rss_kb"] = max(result.phase_rss_kb.values())
     if baseline is not None:
         record["seed_baseline_seconds"] = baseline
         if result.proving_seconds > 0:
@@ -125,6 +132,7 @@ def run_bench(
     metrics_path: Optional[str] = None,
     check_parallel: bool = False,
     registry: Optional[MetricsRegistry] = None,
+    mem: bool = False,
 ) -> Dict[str, object]:
     """Prove each model, print the breakdown, and write the JSON report.
 
@@ -142,7 +150,7 @@ def run_bench(
         for name in models:
             record = bench_model(
                 name, scheme_name=scheme_name, jobs=jobs, seed=seed,
-                metrics=registry, check_parallel=check_parallel,
+                metrics=registry, check_parallel=check_parallel, mem=mem,
             )
             records.append(record)
             print(
@@ -163,6 +171,9 @@ def run_bench(
                 record["phase_seconds"].items(), key=lambda kv: -kv[1]
             ):
                 print("    %-10s %6.3f s" % (phase, secs), file=stream)
+            if "peak_rss_kb" in record:
+                print("    peak RSS   %6.1f MB" %
+                      (record["peak_rss_kb"] / 1024.0), file=stream)
             if record.get("parallel_proof_identical") is False:
                 print("    WARNING: parallel proof bytes diverge from serial",
                       file=stream)

@@ -149,3 +149,127 @@ def parallel_map(
 
 class _PoolUnavailable(RuntimeError):
     """Internal marker: the worker pool broke and serial must take over."""
+
+
+# -- zero-copy row-parallel dispatch -----------------------------------------
+#
+# ``parallel_row_map`` is the shared-memory sibling of ``parallel_map`` for
+# the prover's column phases: instead of pickling every column vector
+# through the pool's pipe, the stacked (m, n) uint64 matrix is placed in
+# one ``multiprocessing.shared_memory`` block, workers attach views of
+# their contiguous row range, and a second block carries the transformed
+# rows back.  Only chunk bounds and per-row digests cross the pipe.
+# Chunk boundaries never affect values (rows are independent) and chunk
+# results are concatenated in row order, so parallel output is
+# byte-identical to serial output.
+
+_ROW_IN = None
+_ROW_OUT = None
+_ROW_SHM: tuple = ()
+
+
+def _row_pool_init(in_name, out_name, shape, user_init, user_initargs):
+    """Worker initializer: attach both blocks, then run the user's init."""
+    global _ROW_IN, _ROW_OUT, _ROW_SHM
+    from repro.perf import shm as shm_mod
+
+    in_shm, _ROW_IN = shm_mod.attach_block(in_name, shape)
+    out_shm, _ROW_OUT = shm_mod.attach_block(out_name, shape)
+    _ROW_SHM = (in_shm, out_shm)  # keep the mmaps alive for the pool's life
+    if user_init is not None:
+        user_init(*user_initargs)
+
+
+class _RowChunkTask:
+    """One contiguous row range of a ``parallel_row_map`` call."""
+
+    __slots__ = ("fn", "start", "stop")
+
+    def __init__(self, fn: Callable, start: int, stop: int):
+        self.fn = fn
+        self.start = start
+        self.stop = stop
+
+    def __call__(self, _=None):
+        out_rows, aux = self.fn(_ROW_IN[self.start:self.stop], self.start)
+        _ROW_OUT[self.start:self.stop] = out_rows
+        return aux
+
+
+def parallel_row_map(
+    fn: Callable,
+    matrix,
+    jobs: Optional[int] = None,
+    initializer: Optional[Callable] = None,
+    initargs: tuple = (),
+):
+    """Apply ``fn(rows, row_offset) -> (out_rows, aux)`` over row chunks.
+
+    ``matrix`` is an ``(m, n)`` ``uint64`` array; ``fn`` receives a
+    contiguous block of rows plus its starting row index and returns the
+    transformed rows (same shape) and a list with one picklable entry per
+    row.  Returns ``(out_matrix, aux)`` with ``aux`` in row order.
+
+    Serial (``jobs <= 1``) runs ``fn`` once in-process with no copies.
+    Parallel runs ship the matrix through shared memory (zero-copy on the
+    worker side) and degrade to the serial path — loudly, via
+    ``resilience_degraded_total`` — whenever shared memory or the worker
+    pool is unavailable, exactly like :func:`parallel_map`.
+    """
+    import numpy as np
+
+    jobs = resolve_jobs(jobs)
+    m = int(matrix.shape[0])
+
+    def _serial():
+        if initializer is not None:
+            initializer(*initargs)
+        out_rows, aux = fn(matrix, 0)
+        return np.asarray(out_rows, dtype=np.uint64), list(aux)
+
+    if jobs <= 1 or m <= 1:
+        return _serial()
+    try:
+        faults.maybe_inject("worker")
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.perf import shm as shm_mod
+
+        in_shm = out_shm = None
+        try:
+            in_shm, in_arr = shm_mod.create_block(matrix.shape)
+            out_shm, out_arr = shm_mod.create_block(matrix.shape)
+            in_arr[:] = matrix
+            chunks = min(jobs, m)
+            bounds = [
+                (m * c // chunks, m * (c + 1) // chunks) for c in range(chunks)
+            ]
+            tasks = [_RowChunkTask(fn, start, stop) for start, stop in bounds]
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=chunks,
+                    initializer=_row_pool_init,
+                    initargs=(in_shm.name, out_shm.name, matrix.shape,
+                              initializer, initargs),
+                ) as pool:
+                    aux_chunks = [
+                        future.result()
+                        for future in [pool.submit(task) for task in tasks]
+                    ]
+            except BrokenProcessPool as exc:
+                raise _PoolUnavailable("worker pool died: %s" % exc) from exc
+            out = np.array(out_arr)  # copy out before the block is unlinked
+            aux: List = []
+            for chunk in aux_chunks:
+                aux.extend(chunk)
+            return out, aux
+        finally:
+            if in_shm is not None:
+                shm_mod.destroy_block(in_shm)
+            if out_shm is not None:
+                shm_mod.destroy_block(out_shm)
+    except (OSError, ImportError, faults.InjectedFault, _PoolUnavailable) as exc:
+        events.degraded("parallel_pool_unavailable", jobs=jobs, items=m,
+                        error=type(exc).__name__)
+        return _serial()

@@ -64,7 +64,10 @@ def parse_thresholds(pairs) -> Dict[str, float]:
 
 
 def _is_timing(metric: str) -> bool:
-    return metric.endswith("_seconds") or ".phase_seconds." in metric
+    # RSS peaks are environment-noisy like wall-clock, so they share the
+    # relative "time" threshold rather than the exact-match default.
+    return (metric.endswith("_seconds") or ".phase_seconds." in metric
+            or metric.endswith("_rss_kb") or ".phase_rss_kb." in metric)
 
 
 def flatten_metrics(report: Dict) -> Dict[str, float]:

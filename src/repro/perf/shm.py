@@ -1,0 +1,62 @@
+"""Zero-copy shared-memory blocks for row-parallel prover work.
+
+The pickle transport in :func:`repro.perf.parallel.parallel_map` serializes
+every column vector into the pool's IPC pipe and back — at bench sizes that
+serialization is a large fraction of what the workers actually compute.
+This module instead places one ``uint64`` matrix in a
+:mod:`multiprocessing.shared_memory` block: the parent copies the stacked
+columns in once, workers attach a read-only view of their row range and
+write results into a second block, and only tiny metadata (names, shapes,
+row bounds) and digests cross the pipe.
+
+Everything here is a thin wrapper; policy (chunking, fallback, ordering)
+lives in :func:`repro.perf.parallel.parallel_row_map`.  Attach-side handles
+are unregistered from the ``resource_tracker`` (the parent owns cleanup;
+without this, Python < 3.13 child processes spuriously report — and may
+prematurely unlink — blocks they merely attached to).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Tuple
+
+import numpy as np
+
+
+def create_block(shape: Tuple[int, ...]):
+    """Allocate a shared ``uint64`` block; returns ``(shm, ndarray view)``.
+
+    The caller owns the block and must ``close()`` and ``unlink()`` it.
+    """
+    size = int(np.prod(shape)) * 8
+    shm = shared_memory.SharedMemory(create=True, size=max(size, 8))
+    arr = np.ndarray(shape, dtype=np.uint64, buffer=shm.buf)
+    return shm, arr
+
+
+def attach_block(name: str, shape: Tuple[int, ...]):
+    """Attach to an existing block by name; returns ``(shm, ndarray view)``.
+
+    The attaching process must ``close()`` (never ``unlink()``) the handle.
+    Python < 3.13 registers attaches with the ``resource_tracker`` too;
+    under fork (the pool's start method here) workers share the parent's
+    tracker, whose name cache deduplicates, so the parent's single
+    unregister-on-unlink keeps the books balanced — workers must *not*
+    unregister or they race the owner's cleanup.
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    arr = np.ndarray(shape, dtype=np.uint64, buffer=shm.buf)
+    return shm, arr
+
+
+def destroy_block(shm) -> None:
+    """Close and unlink an owned block, ignoring already-gone errors."""
+    try:
+        shm.close()
+    except (OSError, BufferError):  # pragma: no cover - platform specific
+        pass
+    try:
+        shm.unlink()
+    except (OSError, FileNotFoundError):  # pragma: no cover
+        pass

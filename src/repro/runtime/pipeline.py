@@ -76,6 +76,9 @@ class ProveResult:
     modeled_proof_bytes: int
     #: Wall-clock seconds per prover phase (commit/helpers/quotient/openings).
     phase_seconds: Dict[str, float] = dataclass_field(default_factory=dict)
+    #: Peak process RSS in KB sampled at the end of each prover phase
+    #: (monotone; empty off-POSIX).  ``zkml bench --mem`` reports it.
+    phase_rss_kb: Dict[str, int] = dataclass_field(default_factory=dict)
     #: Whether keygen was skipped via the proving-key cache.
     pk_cache_hit: bool = False
     #: Operation counts observed during proving (NTTs, commitments, ...).
@@ -240,11 +243,13 @@ def prove_model(
                         )
                 raise
             return {"proof": proof, "phase_seconds": dict(timer.seconds),
+                    "phase_rss_kb": dict(timer.rss_kb),
                     "observed": STATS.delta(counts_before)}
 
         prove_payload, _ = sup.stage(store, "prove", _prove)
         proof = prove_payload["proof"]
         phase_seconds = prove_payload["phase_seconds"]
+        phase_rss_kb = prove_payload.get("phase_rss_kb", {})
         observed = prove_payload["observed"]
         proving_seconds = time.perf_counter() - start
         predicted = obs_metrics.predicted_counts(result.layout, scheme_name)
@@ -276,6 +281,7 @@ def prove_model(
         proving_seconds=proving_seconds,
         modeled_proof_bytes=proof.modeled_size_bytes(scheme, result.builder.k),
         phase_seconds=dict(phase_seconds),
+        phase_rss_kb=dict(phase_rss_kb),
         pk_cache_hit=pk_cache_hit,
         observed_counts=observed,
         predicted_counts=predicted,

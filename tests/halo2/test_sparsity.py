@@ -1,0 +1,112 @@
+"""Sparsity-aware synthesis must be a pure optimization: same bytes out.
+
+All-zero advice columns are common in padded model circuits (unused
+helper slots, zero bias rows); the prover skips their transforms and
+reuses the zero-polynomial commitment.  The only observable difference
+allowed is ``STATS.sparsity_skips`` — proof bytes must be identical with
+the optimization on, off (``ZKML_SPARSITY=0``), and against the exact
+list-backend reference.  The streaming quotient path
+(``ZKML_QUOTIENT_STREAM``) gets the same treatment: mode changes may
+never change bytes.
+"""
+
+import pickle
+
+import pytest
+
+from repro.commit import scheme_by_name
+from repro.field import GOLDILOCKS
+from repro.field.vector import ListBackend
+from repro.halo2 import create_proof, keygen, verify_proof
+from repro.obs.stats import STATS
+
+from tests.halo2.circuits import mul_circuit
+
+F = GOLDILOCKS
+
+
+def _zero_heavy_circuit():
+    """A mul circuit whose a and c advice columns are identically zero."""
+    return mul_circuit(rows=[(0, 5), (0, 9)])
+
+
+def _force_list_backend(pk):
+    domain = pk.vk.domain
+    domain.backend = ListBackend(F)
+    domain._use_gl64 = False
+    domain._inv_vanishing_vec = None
+
+
+def _prove_bytes(monkeypatch=None, env=None):
+    cs, asg = _zero_heavy_circuit()
+    scheme = scheme_by_name("kzg", F)
+    pk, vk = keygen(cs, asg, scheme)
+    if env and monkeypatch:
+        for key, value in env.items():
+            monkeypatch.setenv(key, value)
+    proof = create_proof(pk, asg, scheme)
+    assert verify_proof(vk, proof, asg.instance_values(), scheme)
+    return pickle.dumps(proof)
+
+
+def test_all_zero_columns_are_detected():
+    cs, asg = _zero_heavy_circuit()
+    # columns: 0=a (zero), 1=b (nonzero), 2=c (zero products)
+    assert asg.advice_is_zero(0)
+    assert not asg.advice_is_zero(1)
+    assert asg.advice_is_zero(2)
+
+
+def test_sparsity_skips_are_counted():
+    cs, asg = _zero_heavy_circuit()
+    scheme = scheme_by_name("kzg", F)
+    pk, _ = keygen(cs, asg, scheme)
+    before = STATS.snapshot()
+    create_proof(pk, asg, scheme)
+    assert STATS.delta(before)["sparsity_skips"] > 0
+
+
+def test_proof_bytes_identical_with_sparsity_disabled(monkeypatch):
+    with_sparsity = _prove_bytes()
+    without = _prove_bytes(monkeypatch, env={"ZKML_SPARSITY": "0"})
+    assert with_sparsity == without
+
+
+def test_sparsity_disabled_skips_nothing(monkeypatch):
+    cs, asg = _zero_heavy_circuit()
+    scheme = scheme_by_name("kzg", F)
+    pk, _ = keygen(cs, asg, scheme)
+    monkeypatch.setenv("ZKML_SPARSITY", "0")
+    before = STATS.snapshot()
+    create_proof(pk, asg, scheme)
+    assert STATS.delta(before)["sparsity_skips"] == 0
+
+
+def test_sparse_proof_matches_list_backend_reference():
+    cs, asg = _zero_heavy_circuit()
+    scheme = scheme_by_name("kzg", F)
+
+    pk_fast, _ = keygen(cs, asg, scheme)
+    proof_fast = create_proof(pk_fast, asg, scheme)
+
+    pk_ref, _ = keygen(cs, asg, scheme)
+    _force_list_backend(pk_ref)
+    proof_ref = create_proof(pk_ref, asg, scheme)
+
+    assert pickle.dumps(proof_fast) == pickle.dumps(proof_ref)
+
+
+def test_sparse_parallel_proof_is_byte_identical():
+    cs, asg = _zero_heavy_circuit()
+    scheme = scheme_by_name("kzg", F)
+    pk, _ = keygen(cs, asg, scheme)
+    serial = create_proof(pk, asg, scheme, jobs=1)
+    parallel = create_proof(pk, asg, scheme, jobs=2)
+    assert pickle.dumps(serial) == pickle.dumps(parallel)
+
+
+@pytest.mark.parametrize("mode", ["0", "1"])
+def test_quotient_stream_mode_does_not_change_bytes(monkeypatch, mode):
+    auto = _prove_bytes()
+    forced = _prove_bytes(monkeypatch, env={"ZKML_QUOTIENT_STREAM": mode})
+    assert auto == forced

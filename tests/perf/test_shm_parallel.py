@@ -1,0 +1,107 @@
+"""Shared-memory row transport: round-trip, parity, and loud fallback.
+
+``parallel_row_map`` is only safe to use on the proving hot path if the
+shared-memory transport is invisible: workers must see exactly the rows
+the parent wrote, results must match the serial path bit for bit, and
+any environment where shared memory or a worker pool is unavailable must
+degrade to serial — counted, never silent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.field import GOLDILOCKS
+from repro.perf import shm
+from repro.perf.parallel import parallel_row_map
+from repro.resilience import events, faults
+
+F = GOLDILOCKS
+
+
+@pytest.fixture(autouse=True)
+def _clean_events():
+    events.reset()
+    faults.uninstall()
+    yield
+    faults.uninstall()
+    events.reset()
+
+
+def test_shm_block_round_trip():
+    shape = (3, 8)
+    owner, arr = shm.create_block(shape)
+    try:
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, F.p, size=shape, dtype=np.uint64)
+        arr[:] = data
+        attached, view = shm.attach_block(owner.name, shape)
+        try:
+            np.testing.assert_array_equal(view, data)
+            # writes through the attached view land in the owner's array
+            view[0, 0] = np.uint64(7)
+            assert arr[0, 0] == 7
+        finally:
+            attached.close()
+    finally:
+        shm.destroy_block(owner)
+
+
+def test_destroy_block_is_idempotent():
+    owner, _ = shm.create_block((2, 2))
+    shm.destroy_block(owner)
+    shm.destroy_block(owner)  # already gone: must not raise
+
+
+def _double_rows(rows, row_offset):
+    # aux entries record (global_row, first_element) so the test can see
+    # that workers observed the right offsets and the right data
+    out = (rows * np.uint64(2)) % np.uint64(F.p)
+    aux = [(row_offset + i, int(rows[i, 0])) for i in range(len(rows))]
+    return out, aux
+
+
+def _make_matrix(m=8, n=16):
+    rng = np.random.default_rng(1)
+    return rng.integers(0, F.p, size=(m, n), dtype=np.uint64)
+
+
+def test_parallel_row_map_matches_serial():
+    matrix = _make_matrix()
+    serial_out, serial_aux = parallel_row_map(_double_rows, matrix, jobs=1)
+    parallel_out, parallel_aux = parallel_row_map(_double_rows, matrix, jobs=2)
+    np.testing.assert_array_equal(parallel_out, serial_out)
+    assert parallel_aux == serial_aux
+    assert events.counts().get("degraded", 0) == 0
+
+
+def test_parallel_row_map_aux_preserves_row_order():
+    matrix = _make_matrix(m=7)
+    _, aux = parallel_row_map(_double_rows, matrix, jobs=3)
+    assert [row for row, _ in aux] == list(range(7))
+    assert [first for _, first in aux] == [int(r[0]) for r in matrix]
+
+
+def test_parallel_row_map_degrades_to_serial_on_worker_fault():
+    matrix = _make_matrix()
+    reference, ref_aux = parallel_row_map(_double_rows, matrix, jobs=1)
+    with faults.use_faults("worker"):
+        out, aux = parallel_row_map(_double_rows, matrix, jobs=2)
+    np.testing.assert_array_equal(out, reference)
+    assert aux == ref_aux
+    # the fallback is loud: one counted degradation, reason recorded
+    assert events.counts().get("degraded", 0) == 1
+
+
+def test_parallel_row_map_degrades_when_shared_memory_missing(monkeypatch):
+    import repro.perf.shm as shm_mod
+
+    def _no_shm(shape):
+        raise OSError("shared memory unavailable")
+
+    monkeypatch.setattr(shm_mod, "create_block", _no_shm)
+    matrix = _make_matrix()
+    reference, ref_aux = parallel_row_map(_double_rows, matrix, jobs=1)
+    out, aux = parallel_row_map(_double_rows, matrix, jobs=2)
+    np.testing.assert_array_equal(out, reference)
+    assert aux == ref_aux
+    assert events.counts().get("degraded", 0) == 1

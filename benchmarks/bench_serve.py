@@ -69,9 +69,10 @@ def bench_service(spec, all_inputs, max_batch: int) -> dict:
         responses = [f.result(timeout=300) for f in futures]
         wall = time.perf_counter() - start
         stats = service.stats()
+        status = service.status()
     if not all(r.verified for r in responses):
         raise AssertionError("a service response failed verification")
-    return {
+    record = {
         "mode": "service",
         "max_batch": max_batch,
         "requests": len(all_inputs),
@@ -83,6 +84,13 @@ def bench_service(spec, all_inputs, max_batch: int) -> dict:
             (stats["proofs"] - 1) / max(1, stats["batches"] - 1), 2),
         "keygen_cache_hits": sum(r.keygen_cache_hit for r in responses),
     }
+    # per-request latency percentiles from the SLO tracker's total window
+    # (includes the warm-up request; dominated by the measured ones)
+    total = status.get("slo", {}).get("total", {})
+    for key in ("p50_seconds", "p95_seconds", "p99_seconds"):
+        if total.get(key) is not None:
+            record["latency_%s" % key] = total[key]
+    return record
 
 
 def run_bench(model: str = "dlrm", requests: int = 8,

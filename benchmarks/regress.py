@@ -10,8 +10,11 @@ Diffs CURRENT against BASELINE metric by metric.  Deterministic metrics
 (rows, columns, modeled proof bytes, observed operation counts) are
 gated exactly — any increase fails; ``*_seconds`` metrics get a relative
 threshold (default +50%, override with ``--threshold time=X`` or
-per-metric keys).  Exits 1 when anything regresses or a baseline metric
-vanished; 0 otherwise.  Same engine as ``zkml bench --compare``.
+per-metric keys).  Higher-is-better serve metrics (``throughput_rps``,
+``speedup_vs_independent``, ``mean_occupancy``, ``keygen_cache_hits``)
+gate on *decreases* with the same relative slack.  Exits 1 when anything
+regresses or a baseline metric vanished; 0 otherwise.  Same engine as
+``zkml bench --compare``.
 """
 
 from __future__ import annotations

@@ -29,9 +29,13 @@ Subcommands:
   model and report its circuit statistics.
 - ``zkml serve``                        — run the batch-aware proving
   service on a unix socket (``--smoke N`` runs the in-process load test
-  instead and asserts coalescing happened).
+  instead and asserts coalescing happened; ``--fault`` adds a poisoned
+  request and asserts the flight recorder dumped).
 - ``zkml submit``                       — send proof requests to a
-  running ``zkml serve`` socket.
+  running ``zkml serve`` socket; exits 1 on failed requests, 2 when a
+  proof came back unverified.
+- ``zkml top``                          — live operator dashboard for a
+  running ``zkml serve`` (``--once --json`` for scripting).
 
 Observability flags available on every subcommand: ``--trace PATH``
 (span tree, Chrome trace_event JSON or ``.jsonl``; the ``ZKML_TRACE``
@@ -47,6 +51,7 @@ import json
 import os
 import pickle
 import sys
+import time
 
 import numpy as np
 
@@ -500,7 +505,43 @@ def _serve_config(args):
         max_flush_seconds=args.flush_ms / 1000.0,
         workers=args.workers,
         jobs=args.jobs,
+        telemetry=not args.no_telemetry,
+        flight_path=args.flight_recorder or None,
     )
+
+
+def _smoke_fault(service, spec, args) -> list:
+    """``--fault``: force one batch failure and check the postmortem.
+
+    A request whose inputs sit far outside the quantization range fails
+    its batch with a typed error; the flight recorder must auto-dump a
+    checksummed artifact recording the ``batch_failed`` event."""
+    from repro.obs.runtime import verify_flight_dump
+
+    poisoned = {name: np.full(shape, 1e9)
+                for name, shape in spec.inputs.items()}
+    future = service.submit(spec, poisoned, scheme_name=args.backend,
+                            num_cols=args.columns,
+                            scale_bits=args.scale_bits)
+    try:
+        future.result(timeout=300)
+        return ["poisoned request unexpectedly proved"]
+    except ResilienceError as exc:
+        log.info("forced fault surfaced typed %s", type(exc).__name__)
+    service.drain(timeout=300)
+    path = args.flight_recorder
+    if not path or not os.path.exists(path):
+        return ["forced fault did not write a flight dump at %r" % path]
+    with open(path) as fh:
+        artifact = json.load(fh)
+    if not verify_flight_dump(artifact):
+        return ["flight dump at %s failed its checksum" % path]
+    kinds = [event["kind"] for event in artifact["events"]]
+    if "batch_failed" not in kinds:
+        return ["flight dump is missing the batch_failed event"]
+    log.info("flight dump: %s (%d events, checksum ok)", path,
+             len(artifact["events"]))
+    return []
 
 
 def _serve_smoke(args) -> int:
@@ -512,7 +553,10 @@ def _serve_smoke(args) -> int:
     rng = np.random.default_rng(args.seed)
     registry = args.obs_registry if args.obs_registry is not None \
         else MetricsRegistry()
+    failures = []
     with ProvingService(_serve_config(args), metrics=registry) as service:
+        if args.fault:
+            failures.extend(_smoke_fault(service, spec, args))
         futures = [
             service.submit(
                 spec,
@@ -530,11 +574,11 @@ def _serve_smoke(args) -> int:
              stats["requests"], stats["batches"], stats["mean_occupancy"],
              all(r.verified for r in responses))
     for response in responses:
-        log.debug("request", id=response.request_id,
+        log.debug("request", request_id=response.request_id,
+                  batch_id=response.batch_id,
                   batch_size=response.batch_size,
                   padded=response.padded_size,
                   keygen_cache_hit=response.keygen_cache_hit)
-    failures = []
     if not all(r.verified for r in responses):
         failures.append("not every proof verified")
     if not stats["batches"]:
@@ -574,6 +618,9 @@ def _cmd_serve(args) -> int:
         signal.signal(signal.SIGTERM, previous)
         server.stop()
         service.shutdown(drain=True)
+        if service.runtime.enabled and service.runtime.dump_path:
+            service.dump_flight(reason="shutdown")
+            log.info("flight recorder: %s", service.runtime.dump_path)
     stats = service.stats()
     log.info("served %d requests in %d batches (mean occupancy %.2f)",
              stats["requests"], stats["batches"], stats["mean_occupancy"])
@@ -581,6 +628,7 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_submit(args) -> int:
+    from repro.obs.runtime import percentile
     from repro.serve.client import submit_many
 
     payloads = [
@@ -595,11 +643,13 @@ def _cmd_submit(args) -> int:
     for i, response in enumerate(responses):
         if response.get("ok"):
             log.info("request %d: verified=%s batch=%d/%d queued %.3fs "
-                     "proved %.3fs (slot %.3fs)", i, response["verified"],
+                     "proved %.3fs (slot %.3fs)  %s", i,
+                     response["verified"],
                      response["batch_size"], response["padded_size"],
                      response["queue_seconds"], response["prove_seconds"],
                      response.get("slot_prove_seconds",
-                                  response["prove_seconds"]))
+                                  response["prove_seconds"]),
+                     response.get("request_id", ""))
         else:
             failed += 1
             log.error("request %d: %s: %s", i, response.get("error"),
@@ -613,10 +663,55 @@ def _cmd_submit(args) -> int:
                 with open(path, "wb") as fh:
                     fh.write(base64.b64decode(response["proof_b64"]))
                 log.info("proof:        %s", path)
-    if failed or not all(r.get("verified") for r in responses
-                         if r.get("ok")):
+    ok_responses = [r for r in responses if r.get("ok")]
+    unverified = sum(1 for r in ok_responses if not r.get("verified"))
+    latencies = sorted(r["client_seconds"] for r in responses
+                       if "client_seconds" in r)
+    p50 = percentile(latencies, 0.50)
+    p95 = percentile(latencies, 0.95)
+    occupancies = [r["batch_size"] for r in ok_responses
+                   if "batch_size" in r]
+    log.info("submitted %d: %d ok, %d verified, %d failed  |  "
+             "latency p50 %s p95 %s  mean occupancy %s",
+             len(responses), len(ok_responses),
+             len(ok_responses) - unverified, failed,
+             "%.3fs" % p50 if p50 is not None else "-",
+             "%.3fs" % p95 if p95 is not None else "-",
+             "%.2f" % (sum(occupancies) / len(occupancies))
+             if occupancies else "-")
+    if failed:
         return 1
+    if unverified:
+        # mirrors `zkml diagnose`: exit 2 = proof-level failure, the
+        # request round trip itself was operationally fine
+        return 2
     return 0
+
+
+def _cmd_top(args) -> int:
+    """Poll a serving socket's ``status`` op and render the dashboard."""
+    from repro.obs.runtime import render_status
+    from repro.serve.client import control_request
+
+    remaining = 1 if args.once else args.count
+    try:
+        while True:
+            response = control_request(args.socket, "status",
+                                       timeout=args.timeout)
+            status = response["status"]
+            if args.json:
+                print(json.dumps(status, indent=2, sort_keys=True))
+            else:
+                if not args.once and args.count is None:
+                    sys.stdout.write("\x1b[2J\x1b[H")  # clear, home
+                print(render_status(status))
+            if remaining is not None:
+                remaining -= 1
+                if remaining <= 0:
+                    return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -831,6 +926,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--smoke", type=int, default=0, metavar="N",
                        help="submit N in-process requests, assert they all "
                             "verify and actually coalesced, then exit")
+    serve.add_argument("--fault", action="store_true",
+                       help="with --smoke: also force one batch failure "
+                            "(poisoned inputs) and assert the flight "
+                            "recorder dumped a verifiable artifact")
+    serve.add_argument("--flight-recorder", default="zkml-flightrec.json",
+                       metavar="PATH",
+                       help="where flight-recorder dumps land on a batch "
+                            "failure, overload storm, or shutdown "
+                            "('' disables automatic dumps)")
+    serve.add_argument("--no-telemetry", action="store_true",
+                       help="disable runtime telemetry (SLO windows + "
+                            "flight recorder); proof bytes are identical "
+                            "either way")
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
@@ -850,6 +958,23 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--out", default=None, metavar="PREFIX",
                         help="write each proof to PREFIX.<i>.proof")
     submit.set_defaults(func=_cmd_submit)
+
+    top = sub.add_parser(
+        "top", parents=[common],
+        help="live dashboard for a running 'zkml serve' socket")
+    top.add_argument("--socket", default="zkml-serve.sock")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between status polls")
+    top.add_argument("--count", type=int, default=None, metavar="N",
+                     help="render N snapshots then exit (default: forever)")
+    top.add_argument("--once", action="store_true",
+                     help="render one snapshot and exit (no screen clear)")
+    top.add_argument("--json", action="store_true",
+                     help="print the raw status JSON instead of the "
+                          "dashboard (scripting; pairs with --once)")
+    top.add_argument("--timeout", type=float, default=10.0,
+                     help="per-poll socket timeout")
+    top.set_defaults(func=_cmd_top)
     return parser
 
 

@@ -13,15 +13,30 @@ args plus structured ``key=value`` fields::
 The threshold is set by :func:`configure` (CLI ``--quiet`` / ``-v``
 flags) or the ``ZKML_LOG_LEVEL`` environment variable (name or number);
 flags win over the environment.
+
+Correlation fields can be *bound* to the current context with
+:func:`bind` — every record emitted while the binding is active carries
+them as structured fields, so serving-path logs are grep-correlatable by
+``request_id`` / ``batch_id`` without parsing message text::
+
+    with obs_log.bind(request_id=rid):
+        log.debug("accepted")        # -> "[debug serve] accepted request_id=req-..."
+
+Bindings use a :mod:`contextvars` variable, so they are per-thread (and
+per-async-task) and nest; explicit ``key=value`` fields on a call win
+over bound ones.
 """
 
 from __future__ import annotations
 
+import contextvars
 import os
 import sys
-from typing import Any, Dict
+from contextlib import contextmanager
+from typing import Any, Dict, Tuple
 
-__all__ = ["Logger", "configure", "get_logger", "get_level", "set_level"]
+__all__ = ["Logger", "bind", "bound_fields", "configure", "get_logger",
+           "get_level", "set_level"]
 
 DEBUG, INFO, WARNING, ERROR = 10, 20, 30, 40
 
@@ -36,6 +51,34 @@ LEVEL_NAMES: Dict[str, int] = {
 ENV_VAR = "ZKML_LOG_LEVEL"
 
 _level = INFO
+
+#: Context-bound correlation fields, stored as a sorted tuple of pairs so
+#: the default is shared and immutable (contextvars must not leak mutable
+#: state between contexts).
+_context: "contextvars.ContextVar[Tuple[Tuple[str, Any], ...]]" = \
+    contextvars.ContextVar("zkml_log_fields", default=())
+
+
+@contextmanager
+def bind(**fields: Any):
+    """Bind correlation fields (``request_id=...``) to the current context.
+
+    Every log record emitted inside the ``with`` block carries them as
+    structured ``key=value`` fields.  Bindings nest (inner values win)
+    and are scoped to the current thread/task via :mod:`contextvars`.
+    """
+    merged = dict(_context.get())
+    merged.update(fields)
+    token = _context.set(tuple(sorted(merged.items())))
+    try:
+        yield
+    finally:
+        _context.reset(token)
+
+
+def bound_fields() -> Dict[str, Any]:
+    """The correlation fields bound to the current context."""
+    return dict(_context.get())
 
 
 def _parse_level(value) -> int:
@@ -88,6 +131,11 @@ class Logger:
 
     def _format(self, msg: str, args, fields: Dict[str, Any]) -> str:
         text = (msg % args) if args else msg
+        bound = _context.get()
+        if bound:
+            merged = dict(bound)
+            merged.update(fields)
+            fields = merged
         if fields:
             text += " " + " ".join(
                 "%s=%s" % (k, v) for k, v in sorted(fields.items())

@@ -158,6 +158,16 @@ class ProvingKeyCache:
     def clear(self) -> None:
         self._entries.clear()
 
+    def stats(self) -> dict:
+        """A plain-dict snapshot for operator surfaces (``zkml top``)."""
+        return {
+            "entries": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "rebuilds": self.rebuilds,
+        }
+
 
 #: Process-wide default cache used by the runtime pipeline.
 GLOBAL_PK_CACHE = ProvingKeyCache()

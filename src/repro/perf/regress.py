@@ -14,6 +14,13 @@ metric classes with different rules:
   gated by a relative threshold (default +50%; CI uses a looser one so
   a slow runner can't fail the build on wall-clock alone).
 
+Some serve-schema metrics are **higher-is-better** (``throughput_rps``,
+``speedup_vs_independent``, ``mean_occupancy``, ``keygen_cache_hits``):
+for those the gate flips — a *decrease* beyond the threshold regresses
+(``allowed = base / (1 + limit)``), an increase is an improvement.  They
+derive from wall-clock, so they share the relative "time" default
+threshold.
+
 A metric present in the baseline but missing from the current report is
 a regression (coverage loss); a new metric in the current report is
 informational.  Thresholds are per-metric overrides, with the special
@@ -63,11 +70,22 @@ def parse_thresholds(pairs) -> Dict[str, float]:
     return out
 
 
+#: Metrics where *more* is better: the regression gate flips direction.
+HIGHER_IS_BETTER_SUFFIXES = (
+    "throughput_rps", "speedup_vs_independent", "mean_occupancy",
+    "keygen_cache_hits",
+)
+
+
 def _is_timing(metric: str) -> bool:
     # RSS peaks are environment-noisy like wall-clock, so they share the
     # relative "time" threshold rather than the exact-match default.
     return (metric.endswith("_seconds") or ".phase_seconds." in metric
             or metric.endswith("_rss_kb") or ".phase_rss_kb." in metric)
+
+
+def _is_higher_better(metric: str) -> bool:
+    return metric.endswith(HIGHER_IS_BETTER_SUFFIXES)
 
 
 def flatten_metrics(report: Dict) -> Dict[str, float]:
@@ -135,11 +153,12 @@ class MetricDiff:
             return "new       %-46s %s" % (self.metric, _fmt(self.current))
         ratio = self.ratio
         arrow = ("%+.1f%%" % (100.0 * (ratio - 1.0))) if ratio else "n/a"
-        return "%-9s %-46s %s -> %s (%s, limit +%.0f%%)" % (
+        limit_sign = "-" if _is_higher_better(self.metric) else "+"
+        return "%-9s %-46s %s -> %s (%s, limit %s%.0f%%)" % (
             self.status.upper() if self.status == "regressed"
             else self.status,
             self.metric, _fmt(self.baseline), _fmt(self.current), arrow,
-            100.0 * self.threshold)
+            limit_sign, 100.0 * self.threshold)
 
 
 def _fmt(value: Optional[float]) -> str:
@@ -210,7 +229,9 @@ def _threshold_for(metric: str, thresholds: Dict[str, float]) -> float:
                   (metric.endswith("." + key) or metric == key)]
     if candidates:
         return thresholds[max(candidates, key=len)]
-    if _is_timing(metric):
+    if _is_timing(metric) or _is_higher_better(metric):
+        # higher-is-better metrics derive from wall-clock, so they share
+        # the relative timing slack rather than the exact-match default
         return thresholds.get("time", DEFAULT_TIME_THRESHOLD)
     return 0.0
 
@@ -237,13 +258,22 @@ def compare_reports(
             report.diffs.append(
                 MetricDiff(metric, base, None, limit, "missing"))
             continue
-        allowed = base * (1.0 + limit) if base >= 0 else base
-        if cur > allowed and cur - base > 1e-12:
-            status = "regressed"
-        elif cur < base - 1e-12:
-            status = "improved"
+        if _is_higher_better(metric):
+            allowed = base / (1.0 + limit) if base >= 0 else base
+            if cur < allowed and base - cur > 1e-12:
+                status = "regressed"
+            elif cur > base + 1e-12:
+                status = "improved"
+            else:
+                status = "ok"
         else:
-            status = "ok"
+            allowed = base * (1.0 + limit) if base >= 0 else base
+            if cur > allowed and cur - base > 1e-12:
+                status = "regressed"
+            elif cur < base - 1e-12:
+                status = "improved"
+            else:
+                status = "ok"
         report.diffs.append(MetricDiff(metric, base, cur, limit, status))
     return report
 

@@ -16,17 +16,24 @@ Counter families (Prometheus naming):
   failed transiently and was retried;
 - ``resilience_recovered_total{reason=...}`` — a corrupted artifact was
   detected and rebuilt.
+
+Observers (the serving path's flight recorder) can subscribe with
+:func:`add_listener` to receive every event as it happens — a crash dump
+then shows the degradations and retries that led up to the fault, not
+just the final error.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Callable, Dict, List
 
 from repro.obs import log as obs_log
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "EVENTS",
+    "add_listener",
+    "remove_listener",
     "degraded",
     "retried",
     "recovered",
@@ -47,23 +54,56 @@ _RETRIES = ("resilience_retries_total",
 _RECOVERED = ("resilience_recovered_total",
               "corrupted artifacts detected and rebuilt")
 
+#: Subscribed observers, called as ``fn(kind, fields)`` per event.
+_listeners: List[Callable[[str, Dict[str, Any]], None]] = []
+
+
+def add_listener(fn: Callable[[str, Dict[str, Any]], None]) -> None:
+    """Subscribe ``fn(kind, fields)`` to every resilience event.
+
+    ``kind`` is ``"degraded"`` / ``"retried"`` / ``"recovered"``;
+    ``fields`` carries the reason/phase plus the call's detail kwargs.
+    Listener exceptions are swallowed — observability must never turn a
+    recovery into a failure.
+    """
+    _listeners.append(fn)
+
+
+def remove_listener(fn: Callable[[str, Dict[str, Any]], None]) -> None:
+    """Unsubscribe a listener (no-op if it was never added)."""
+    try:
+        _listeners.remove(fn)
+    except ValueError:
+        pass
+
+
+def _notify(kind: str, fields: Dict[str, Any]) -> None:
+    for fn in list(_listeners):
+        try:
+            fn(kind, fields)
+        except Exception:  # noqa: BLE001 — observers must not break recovery
+            pass
+
 
 def degraded(reason: str, **detail: Any) -> None:
     """Count and log one degradation event (``reason`` labels the path)."""
     EVENTS.counter(*_DEGRADED, reason=reason).inc()
     _log.warning("degraded", reason=reason, **detail)
+    _notify("degraded", dict(detail, reason=reason))
 
 
 def retried(phase: str, attempt: int, **detail: Any) -> None:
     """Count and log one retry of a supervised phase."""
     EVENTS.counter(*_RETRIES, phase=phase).inc()
     _log.warning("retrying", phase=phase, attempt=attempt, **detail)
+    _notify("retried", dict(detail, phase=phase, attempt=attempt))
 
 
 def recovered(reason: str, **detail: Any) -> None:
     """Count and log one detect-and-rebuild recovery."""
     EVENTS.counter(*_RECOVERED, reason=reason).inc()
     _log.warning("recovered", reason=reason, **detail)
+    _notify("recovered", dict(detail, reason=reason))
 
 
 def counts() -> Dict[str, float]:

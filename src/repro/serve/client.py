@@ -4,23 +4,37 @@ One JSON request per connection (see :mod:`repro.serve.server` for the
 protocol).  :func:`submit_many` opens one connection per request from
 worker threads, so N requests arrive at the service concurrently and
 coalesce into batches — the shape ``zkml submit --count N`` produces.
+
+Proof requests are stamped with a client-minted ``request_id`` before
+they leave the process (unless the caller already set one), so the
+client's logs, the server's logs, and the flight recorder all correlate
+on the same id even when the request never reaches the service.
+:func:`control_request` speaks the operator side of the protocol
+(``health`` / ``status`` / ``metrics`` / ``dump``) — it is what
+``zkml top`` polls.
+
+Every response dict gains a ``client_seconds`` field: the wall-clock the
+round trip took as seen from this process (connect → response parsed),
+the number an SLO about *user-visible* latency actually cares about.
 """
 
 from __future__ import annotations
 
 import json
 import socket
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List
 
+from repro.obs.runtime import new_request_id
 from repro.resilience.errors import ServiceError
 
-__all__ = ["submit_request", "submit_many"]
+__all__ = ["control_request", "submit_request", "submit_many"]
 
 
-def submit_request(socket_path: str, payload: Dict,
-                   timeout: float = 120.0) -> Dict:
-    """Send one request and block for its response dict."""
+def _roundtrip(socket_path: str, payload: Dict, timeout: float) -> Dict:
+    """One connection, one JSON line out, one JSON line back."""
+    started = time.monotonic()
     conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
     conn.settimeout(timeout)
     try:
@@ -45,10 +59,54 @@ def submit_request(socket_path: str, payload: Dict,
         line = b"".join(chunks).split(b"\n", 1)[0]
         if not line:
             raise ServiceError("service closed the connection without "
-                               "responding")
-        return json.loads(line)
+                               "responding",
+                               request_id=payload.get("request_id", ""))
+        try:
+            response = json.loads(line)
+        except ValueError as exc:
+            raise ServiceError(
+                "service sent a malformed response (connection cut "
+                "mid-reply?): %s" % exc,
+                request_id=payload.get("request_id", ""),
+                received_bytes=len(line)) from exc
+        if not isinstance(response, dict):
+            raise ServiceError(
+                "service response is not a JSON object",
+                got=type(response).__name__,
+                request_id=payload.get("request_id", ""))
+        response["client_seconds"] = round(time.monotonic() - started, 4)
+        return response
     finally:
         conn.close()
+
+
+def submit_request(socket_path: str, payload: Dict,
+                   timeout: float = 120.0) -> Dict:
+    """Send one proof request and block for its response dict.
+
+    Mints and attaches a ``request_id`` when the payload has none (and
+    is not a control op), so the id exists client-side even if the
+    connection dies before the server answers.
+    """
+    if "op" not in payload and not payload.get("request_id"):
+        payload = dict(payload, request_id=new_request_id())
+    return _roundtrip(socket_path, payload, timeout)
+
+
+def control_request(socket_path: str, op: str, timeout: float = 10.0,
+                    **extra) -> Dict:
+    """Send one operator op (``health``/``status``/``metrics``/``dump``).
+
+    Extra keyword args ride along in the payload (e.g. ``path=...`` for
+    ``dump``).  Raises :class:`ServiceError` when the server rejects the
+    op, so callers never have to inspect ``ok`` themselves.
+    """
+    response = _roundtrip(socket_path, dict(extra, op=op), timeout)
+    if not response.get("ok"):
+        raise ServiceError(
+            "control op %r failed: %s" % (op, response.get("detail", "")),
+            error=response.get("error", ""))
+    return response
 
 
 def submit_many(socket_path: str, payloads: List[Dict],

@@ -13,15 +13,35 @@ Request fields::
      "inputs": {"x": [[...]]},   # either explicit input arrays ...
      "seed": 7,                  # ... or a seed for zkml-prove-style inputs
      "scheme": "kzg", "columns": 10, "scale_bits": 5,   # batch-key params
+     "request_id": "req-...",    # correlation id (minted here if absent)
      "want_proof": false,        # include base64 proof bytes in the reply
      "timeout": 60.0}            # per-request wait budget (seconds)
 
-Response: ``{"ok": true, "id", "model", "verified", "batch_size",
-"padded_size", "queue_seconds", "prove_seconds", "slot_prove_seconds",
-"keygen_cache_hit", "outputs", ["proof_b64"]}`` or
-``{"ok": false, "error", "detail"}`` —
+Response: ``{"ok": true, "id", "request_id", "batch_id", "model",
+"verified", "batch_size", "padded_size", "queue_seconds",
+"prove_seconds", "slot_prove_seconds", "keygen_cache_hit", "outputs",
+["proof_b64"]}`` or ``{"ok": false, "error", "detail"}`` —
 typed service errors (overload, shutdown, proving failures) map to their
 taxonomy class name in ``error``, so backpressure is visible to clients.
+
+**Control ops** share the socket: a payload carrying ``{"op": ...}``
+instead of ``"model"`` addresses the *server*, not the prover.
+
+- ``{"op": "health"}`` — cheap liveness + queue headroom; answered from
+  in-memory state, never touches the prover (safe to poll aggressively);
+- ``{"op": "status"}`` — the full operator snapshot
+  (``zkml-serve-status/v1``): uptime, queue, in-flight batches, pending
+  per model, batcher state, pk-cache stats, resilience counters, and the
+  SLO sliding windows (``zkml top`` renders this);
+- ``{"op": "metrics"}`` — the Prometheus text exposition of the
+  service's registry plus the process resilience counters;
+- ``{"op": "dump", "path": ...}`` — dump the flight recorder; with
+  ``path`` the checksummed artifact is written server-side and the reply
+  summarizes it, without ``path`` the artifact comes back inline.
+
+An unknown or non-string ``op`` gets the structured
+``{"ok": false, "error": "ServiceError", ...}`` rejection, same as any
+malformed proof request.
 """
 
 from __future__ import annotations
@@ -37,10 +57,16 @@ import numpy as np
 
 from repro.model import get_model, model_names
 from repro.obs import log as obs_log
+from repro.obs.runtime import new_request_id
+from repro.resilience import events
 from repro.resilience.errors import ResilienceError, ServiceError
 from repro.serve.service import ProvingService
 
-__all__ = ["ServeServer", "DEFAULT_SOCKET", "request_inputs"]
+__all__ = ["ServeServer", "CONTROL_OPS", "DEFAULT_SOCKET",
+           "request_inputs"]
+
+#: Operator ops the socket answers without touching the prover.
+CONTROL_OPS = ("health", "status", "metrics", "dump")
 
 #: Default unix socket path (relative to the server's working directory).
 DEFAULT_SOCKET = "zkml-serve.sock"
@@ -173,22 +199,34 @@ class ServeServer:
         return json.loads(line)
 
     def _process(self, payload: Dict) -> Dict:
+        if "op" in payload:
+            return self._control(payload)
         model = payload.get("model")
         if model not in model_names():
             raise ServiceError("unknown model %r" % model)
-        spec = get_model(model, "mini")
-        inputs = request_inputs(spec, payload)
-        future = self.service.submit(
-            spec, inputs,
-            scheme_name=payload.get("scheme", "kzg"),
-            num_cols=int(payload.get("columns", 10)),
-            scale_bits=int(payload.get("scale_bits", 5)),
-        )
-        timeout = float(payload.get("timeout", self.default_timeout))
-        response = future.result(timeout=timeout)
+        rid = payload.get("request_id")
+        if rid is not None and not isinstance(rid, str):
+            raise ServiceError("request_id must be a string",
+                               got=type(rid).__name__)
+        if not rid:
+            rid = new_request_id()
+        with obs_log.bind(request_id=rid):
+            spec = get_model(model, "mini")
+            inputs = request_inputs(spec, payload)
+            future = self.service.submit(
+                spec, inputs,
+                scheme_name=payload.get("scheme", "kzg"),
+                num_cols=int(payload.get("columns", 10)),
+                scale_bits=int(payload.get("scale_bits", 5)),
+                request_id=rid,
+            )
+            timeout = float(payload.get("timeout", self.default_timeout))
+            response = future.result(timeout=timeout)
         out = {
             "ok": True,
-            "id": response.request_id,
+            "id": response.sequence,
+            "request_id": response.request_id,
+            "batch_id": response.batch_id,
             "model": response.model,
             "scheme": response.scheme_name,
             "verified": response.verified,
@@ -205,4 +243,41 @@ class ServeServer:
         if payload.get("want_proof"):
             out["proof_b64"] = base64.b64encode(
                 response.proof_bytes).decode()
+        return out
+
+    def _control(self, payload: Dict) -> Dict:
+        """Answer an operator op (``health`` / ``status`` / ``metrics`` /
+        ``dump``) from in-memory state — never via the prover."""
+        op = payload["op"]
+        if not isinstance(op, str) or op not in CONTROL_OPS:
+            raise ServiceError(
+                "unknown control op %r (expected one of %s)"
+                % (op, "/".join(CONTROL_OPS)))
+        if op == "health":
+            health = self.service.health()
+            health["ok"] = True  # protocol-level ok; liveness is "accepting"
+            return health
+        if op == "status":
+            return {"ok": True, "status": self.service.status()}
+        if op == "metrics":
+            text = self.service.metrics.to_prometheus()
+            resilience = events.EVENTS.to_prometheus()
+            if resilience:
+                text = text + resilience if text.endswith("\n") or not text \
+                    else text + "\n" + resilience
+            return {"ok": True, "metrics_text": text}
+        path = payload.get("path")
+        if path is not None and not isinstance(path, str):
+            raise ServiceError("dump path must be a string",
+                               got=type(path).__name__)
+        artifact = self.service.dump_flight(reason="operator_request",
+                                            path=path)
+        effective = path or self.service.runtime.dump_path
+        out = {"ok": True, "reason": "operator_request",
+               "events_recorded": artifact.get("events_recorded", 0),
+               "checksum": artifact.get("checksum", "")}
+        if effective:
+            out["path"] = effective
+        if not path:
+            out["artifact"] = artifact
         return out

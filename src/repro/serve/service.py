@@ -38,6 +38,23 @@ Everything is observable through ``repro.obs``: ``serve_*`` counters and
 histograms (queue depth, batch occupancy, time-to-flush, end-to-end
 latency) land in the registry passed at construction, and every batch
 proves under a ``serve:batch`` span on the active tracer.
+
+Runtime telemetry (:mod:`repro.obs.runtime`) makes the running service
+*operable*:
+
+- every request carries a string ``request_id`` (caller-supplied or
+  minted on submit) and every flushed group a ``batch_id``; both are
+  threaded through spans, bound into structured log records, recorded in
+  the flight ring, and returned on :class:`ProofResponse` — one grep
+  reconstructs a request's lifecycle including the batch it rode in;
+- :meth:`ProvingService.health` is a cheap liveness probe (queue
+  headroom, never touches the prover); :meth:`ProvingService.status` is
+  the full operator snapshot (uptime, in-flight, per-model queue depths,
+  batcher state, pk-cache stats, resilience counters, SLO windows);
+- the flight recorder rings recent lifecycle events and auto-dumps a
+  checksummed JSON artifact on a batch failure or an overload storm
+  (when ``ServeConfig.flight_path`` is set), or on demand via
+  :meth:`ProvingService.dump_flight`.
 """
 
 from __future__ import annotations
@@ -56,7 +73,16 @@ from repro.halo2.proof import proof_to_bytes
 from repro.model.spec import ModelSpec
 from repro.obs import log as obs_log
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import (
+    NULL_RUNTIME,
+    FlightRecorder,
+    RuntimeTelemetry,
+    new_batch_id,
+    new_request_id,
+)
 from repro.obs.trace import get_tracer
+from repro.perf.pkcache import GLOBAL_PK_CACHE
+from repro.resilience import events
 from repro.resilience.errors import (
     ResilienceError,
     ServiceError,
@@ -126,6 +152,19 @@ class ServeConfig:
     verify_proofs: bool = True
     #: Dispatcher poll interval (also bounds flush-deadline resolution).
     tick_seconds: float = 0.002
+    #: Record runtime telemetry (SLO windows + flight ring).  Off, the
+    #: service uses the inert :data:`~repro.obs.runtime.NULL_RUNTIME`;
+    #: proof bytes are identical either way.
+    telemetry: bool = True
+    #: Flight-recorder ring capacity (most recent lifecycle events kept).
+    flight_capacity: int = 512
+    #: Where automatic flight-recorder dumps land (batch failure,
+    #: overload storm).  ``None`` disables automatic dumps; the ring
+    #: still records and can be dumped on demand.
+    flight_path: Optional[str] = None
+    #: Rejections within one second that count as an overload storm
+    #: (each storm auto-dumps the flight recorder, rate-limited).
+    overload_dump_threshold: int = 16
 
 
 @dataclass
@@ -137,6 +176,8 @@ class ProofRequest:
     inputs: Dict[str, np.ndarray]
     key: BatchKey
     submitted_at: float
+    #: Wire-level correlation id (``req-...``), caller-supplied or minted.
+    request_id: str = ""
     future: "Future[ProofResponse]" = dataclass_field(default_factory=Future)
 
 
@@ -148,10 +189,15 @@ class ProofResponse:
     which inference slot belongs to this request (its instance columns
     are the slot's contiguous block of ``instance``).  ``verified``
     reports that the *service* strict-verified the batch proof before
-    responding.
+    responding.  ``request_id`` is the string correlation id the request
+    carried end to end; ``batch_id`` names the batch proof it rode in
+    (the same id appears on the ``serve:batch`` span, in bound log
+    records, and in flight-recorder events).
     """
 
-    request_id: int
+    request_id: str
+    sequence: int
+    batch_id: str
     model: str
     scheme_name: str
     verified: bool
@@ -186,11 +232,20 @@ class ProvingService:
 
     def __init__(self, config: Optional[ServeConfig] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 tracer=None, supervisor=None):
+                 tracer=None, supervisor=None, runtime=None):
         self.config = config if config is not None else ServeConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._tracer = tracer
         self._supervisor = supervisor
+        if runtime is not None:
+            self.runtime = runtime
+        elif self.config.telemetry:
+            self.runtime = RuntimeTelemetry(
+                recorder=FlightRecorder(capacity=self.config.flight_capacity),
+                dump_path=self.config.flight_path,
+                overload_threshold=self.config.overload_dump_threshold)
+        else:
+            self.runtime = NULL_RUNTIME
         self._queue: "queue_mod.Queue" = queue_mod.Queue(
             maxsize=self.config.max_queue)
         self._pending: Dict[BatchKey, List[ProofRequest]] = {}
@@ -199,9 +254,15 @@ class ProvingService:
         self._inflight: set = set()
         self._closed = False
         self._started = False
+        self._started_at: Optional[float] = None
         self._dispatcher: Optional[threading.Thread] = None
         self._pool: Optional[ThreadPoolExecutor] = None
         self._ema_prove_seconds: Optional[float] = None
+        # resilience events observed while we run land in the flight ring
+        self._events_listener = (
+            lambda kind, fields: self.runtime.note(
+                "resilience_" + kind,
+                **{k: str(v) for k, v in fields.items()}))
         # plain counters mirrored into the metrics registry (stats() reads
         # these without needing registry internals)
         self._requests = 0
@@ -223,6 +284,12 @@ class ProvingService:
         if self._started:
             return self
         self._started = True
+        self._started_at = time.monotonic()
+        if self.runtime.enabled:
+            events.add_listener(self._events_listener)
+        self.runtime.note("service_started", workers=self.config.workers,
+                          max_batch=self.config.max_batch,
+                          max_queue=self.config.max_queue)
         self._pool = ThreadPoolExecutor(
             max_workers=max(1, self.config.workers),
             thread_name_prefix="zkml-serve")
@@ -252,6 +319,7 @@ class ProvingService:
             if self._closed:
                 return
             self._closed = True
+        self.runtime.note("service_shutdown", drain=drain)
         if not self._started:
             self._fail_queued(ServiceShutdownError(
                 "service was shut down before it started"))
@@ -264,6 +332,8 @@ class ProvingService:
             self._fail_queued(ServiceShutdownError(
                 "service shut down without draining"))
             self._pool.shutdown(wait=True)
+        if self.runtime.enabled:
+            events.remove_listener(self._events_listener)
 
     def drain(self, timeout: Optional[float] = None) -> None:
         """Block until every accepted request has resolved or failed
@@ -291,17 +361,24 @@ class ProvingService:
         scale_bits: int = 5,
         lookup_bits: Optional[int] = None,
         block_seconds: Optional[float] = None,
+        request_id: Optional[str] = None,
     ) -> "Future[ProofResponse]":
         """Enqueue one proof request; returns its future.
+
+        ``request_id`` is the end-to-end correlation id; one is minted
+        when the caller does not supply it (clients usually mint their
+        own so their logs correlate with the server's).
 
         Raises :class:`ServiceShutdownError` after shutdown and
         :class:`ServiceOverloadedError` when the queue is full (after
         waiting up to ``block_seconds`` if given — backpressure, not
         unbounded buffering).
         """
+        rid = request_id if request_id else new_request_id()
         if self._closed:
             raise ServiceShutdownError(
-                "service is shut down; request rejected", model=spec.name)
+                "service is shut down; request rejected", model=spec.name,
+                request_id=rid)
         request = ProofRequest(
             id=next(self._ids),
             spec=spec,
@@ -309,6 +386,7 @@ class ProvingService:
             key=BatchKey(spec.name, scheme_name, num_cols, scale_bits,
                          lookup_bits),
             submitted_at=time.monotonic(),
+            request_id=rid,
         )
         try:
             if block_seconds is None:
@@ -322,9 +400,15 @@ class ProvingService:
                 "serve_rejected_total",
                 "requests rejected by backpressure (queue full)",
                 model=spec.name).inc()
+            self.runtime.note("request_rejected", request_id=rid,
+                              model=spec.name,
+                              max_queue=self.config.max_queue)
+            if self.runtime.rejection():
+                self._auto_dump("overload_storm")
             raise ServiceOverloadedError(
                 "request queue is full (%d waiting)" % self.config.max_queue,
                 model=spec.name, max_queue=self.config.max_queue,
+                request_id=rid,
             ) from None
         with self._lock:
             self._requests += 1
@@ -334,6 +418,10 @@ class ProvingService:
         self.metrics.gauge("serve_queue_depth",
                            "requests waiting in the bounded queue").set(
             self._queue.qsize())
+        self.runtime.note("request_accepted", request_id=rid,
+                          model=spec.name, sequence=request.id,
+                          queue_depth=self._queue.qsize())
+        log.debug("request accepted", request_id=rid, model=spec.name)
         return request.future
 
     # -- dispatcher ----------------------------------------------------------
@@ -357,7 +445,8 @@ class ProvingService:
             if item is _STOP:
                 stopping = True
             elif item is not None:
-                self._pending.setdefault(item.key, []).append(item)
+                with self._lock:
+                    self._pending.setdefault(item.key, []).append(item)
             self.metrics.gauge(
                 "serve_queue_depth",
                 "requests waiting in the bounded queue").set(
@@ -365,10 +454,14 @@ class ProvingService:
             now = time.monotonic()
             deadline = self._flush_deadline()
             for key in list(self._pending):
-                group = self._pending[key]
-                if (len(group) >= self.config.max_batch or stopping
-                        or now - group[0].submitted_at >= deadline):
-                    del self._pending[key]
+                with self._lock:
+                    group = self._pending.get(key)
+                    flush = group is not None and (
+                        len(group) >= self.config.max_batch or stopping
+                        or now - group[0].submitted_at >= deadline)
+                    if flush:
+                        del self._pending[key]
+                if flush:
                     self._launch(key, group)
             if stopping and not self._pending and self._queue.empty():
                 return
@@ -379,7 +472,12 @@ class ProvingService:
             "serve_flush_seconds",
             "time from a group's first request to its flush",
             buckets=LATENCY_BUCKETS).observe(flush_wait)
-        future = self._pool.submit(self._prove_group, key, group)
+        batch_id = new_batch_id()
+        self.runtime.note("batch_flushed", batch_id=batch_id,
+                          model=key.model, occupancy=len(group),
+                          flush_wait_seconds=round(flush_wait, 4),
+                          request_ids=[r.request_id for r in group])
+        future = self._pool.submit(self._prove_group, key, group, batch_id)
         with self._lock:
             self._inflight.add(future)
         future.add_done_callback(self._retire)
@@ -398,7 +496,8 @@ class ProvingService:
             bucket *= 2
         return min(bucket, max(size, max_batch))
 
-    def _prove_group(self, key: BatchKey, group: List[ProofRequest]) -> None:
+    def _prove_group(self, key: BatchKey, group: List[ProofRequest],
+                     batch_id: str) -> None:
         cfg = self.config
         spec = group[0].spec
         batch_inputs = [r.inputs for r in group]
@@ -409,9 +508,12 @@ class ProvingService:
                 padded_size - len(batch_inputs))
         started = time.monotonic()
         try:
-            with self.tracer.span("serve:batch", model=key.model,
-                                  scheme=key.scheme_name,
-                                  occupancy=len(group), padded=padded_size):
+            with obs_log.bind(batch_id=batch_id), \
+                    self.tracer.span(
+                        "serve:batch", model=key.model,
+                        scheme=key.scheme_name, batch_id=batch_id,
+                        request_ids=[r.request_id for r in group],
+                        occupancy=len(group), padded=padded_size):
                 result = prove_batch(
                     spec, batch_inputs, scheme_name=key.scheme_name,
                     num_cols=key.num_cols, scale_bits=key.scale_bits,
@@ -424,20 +526,21 @@ class ProvingService:
                     result.verify()  # strict: raises on any malformation
                     verified = True
         except ResilienceError as exc:
-            self._fail_group(key, group, exc)
+            self._fail_group(key, group, exc, batch_id)
             return
         except Exception as exc:  # noqa: BLE001 — a worker crash must fail its own batch, not the pool
             self._fail_group(key, group, ServiceError(
                 "batch proving crashed: %s: %s"
                 % (type(exc).__name__, str(exc)[:200]),
-                model=key.model, occupancy=len(group)))
+                model=key.model, occupancy=len(group),
+                batch_id=batch_id), batch_id)
             return
         self._resolve_group(key, group, result, verified, padded_size,
-                            time.monotonic() - started)
+                            time.monotonic() - started, batch_id)
 
     def _resolve_group(self, key: BatchKey, group: List[ProofRequest],
                        result, verified: bool, padded_size: int,
-                       batch_seconds: float) -> None:
+                       batch_seconds: float, batch_id: str) -> None:
         proof_bytes = proof_to_bytes(result.proof)
         ema = self._ema_prove_seconds
         self._ema_prove_seconds = (batch_seconds if ema is None
@@ -470,10 +573,20 @@ class ProvingService:
             "per-request proving cost (batch time / occupancy)",
             buckets=LATENCY_BUCKETS)
         for index, request in enumerate(group):
-            latency.observe(now - request.submitted_at)
+            e2e_seconds = now - request.submitted_at
+            latency.observe(e2e_seconds)
             slot_hist.observe(slot_seconds)
+            self.runtime.request_done(e2e_seconds, ok=True,
+                                      occupancy=len(group))
+            self.runtime.note("request_resolved",
+                              request_id=request.request_id,
+                              batch_id=batch_id, slot=index,
+                              latency_seconds=round(e2e_seconds, 4),
+                              verified=verified)
             request.future.set_result(ProofResponse(
-                request_id=request.id,
+                request_id=request.request_id,
+                sequence=request.id,
+                batch_id=batch_id,
                 model=key.model,
                 scheme_name=key.scheme_name,
                 verified=verified,
@@ -490,20 +603,35 @@ class ProvingService:
                 keygen_seconds=result.keygen_seconds,
                 keygen_cache_hit=result.keygen_cache_hit,
             ))
-        log.debug("batch resolved", model=key.model, occupancy=len(group),
-                  padded=padded_size, seconds=round(batch_seconds, 4),
+        self.runtime.note("batch_resolved", batch_id=batch_id,
+                          model=key.model, occupancy=len(group),
+                          seconds=round(batch_seconds, 4),
+                          verified=verified,
+                          keygen_cache_hit=result.keygen_cache_hit)
+        log.debug("batch resolved", batch_id=batch_id, model=key.model,
+                  occupancy=len(group), padded=padded_size,
+                  seconds=round(batch_seconds, 4),
                   keygen_cache_hit=result.keygen_cache_hit)
 
     def _fail_group(self, key: BatchKey, group: List[ProofRequest],
-                    exc: ResilienceError) -> None:
+                    exc: ResilienceError, batch_id: str = "") -> None:
+        now = time.monotonic()
         with self._lock:
             self._failed_batches += 1
             self._outstanding -= len(group)
         self.metrics.counter("serve_failed_batches_total",
                              "batches that failed with a typed error",
                              model=key.model).inc()
-        log.warning("batch failed", model=key.model, occupancy=len(group),
-                    error=type(exc).__name__)
+        for request in group:
+            self.runtime.request_done(now - request.submitted_at, ok=False,
+                                      occupancy=len(group))
+        self.runtime.note("batch_failed", batch_id=batch_id,
+                          model=key.model, occupancy=len(group),
+                          error=type(exc).__name__, detail=str(exc)[:200],
+                          request_ids=[r.request_id for r in group])
+        log.warning("batch failed", batch_id=batch_id, model=key.model,
+                    occupancy=len(group), error=type(exc).__name__)
+        self._auto_dump("batch_failure")
         for request in group:
             request.future.set_exception(exc)
 
@@ -525,6 +653,92 @@ class ProvingService:
         self._pending.clear()
 
     # -- introspection -------------------------------------------------------
+
+    def _auto_dump(self, reason: str) -> None:
+        """Write an automatic flight-recorder dump if a path is set."""
+        if not self.runtime.enabled or not self.runtime.dump_path:
+            return
+        try:
+            self.runtime.dump(reason=reason)
+            log.warning("flight recorder dumped", reason=reason,
+                        path=self.runtime.dump_path)
+        except OSError as exc:
+            log.warning("flight recorder dump failed", reason=reason,
+                        error=str(exc)[:120])
+
+    def dump_flight(self, reason: str = "on_demand",
+                    path: Optional[str] = None) -> Dict:
+        """Dump the flight recorder now; returns the artifact dict.
+
+        ``path`` overrides the configured ``flight_path``; with neither
+        set the artifact is returned in memory only.
+        """
+        return self.runtime.dump(reason=reason, path=path)
+
+    def health(self) -> Dict[str, object]:
+        """A cheap liveness probe: never touches the prover or any lock
+        beyond the queue's own.  ``ok`` means the service is accepting;
+        ``saturated`` warns that backpressure is imminent."""
+        depth = self._queue.qsize()
+        headroom = max(0, self.config.max_queue - depth)
+        accepting = self._started and not self._closed
+        return {
+            "ok": accepting,
+            "accepting": accepting,
+            "queue_depth": depth,
+            "queue_headroom": headroom,
+            "saturated": headroom == 0,
+            "inflight_batches": len(self._inflight),
+        }
+
+    def status(self) -> Dict[str, object]:
+        """The full operator snapshot (the ``status`` op / ``zkml top``).
+
+        Everything is read from in-memory state — no proving, no disk.
+        """
+        now = time.monotonic()
+        with self._lock:
+            pending: Dict[str, int] = {}
+            for key, group in self._pending.items():
+                pending[key.model] = pending.get(key.model, 0) + len(group)
+            inflight = len(self._inflight)
+            outstanding = self._outstanding
+        out: Dict[str, object] = {
+            "schema": "zkml-serve-status/v1",
+            "uptime_seconds": round(now - self._started_at, 3)
+            if self._started_at is not None else 0.0,
+            "accepting": self._started and not self._closed,
+            "queue": {
+                "depth": self._queue.qsize(),
+                "max": self.config.max_queue,
+                "headroom": max(0, self.config.max_queue
+                                - self._queue.qsize()),
+            },
+            "inflight_batches": inflight,
+            "outstanding_requests": outstanding,
+            "pending_by_model": pending,
+            "batcher": {
+                "max_batch": self.config.max_batch,
+                "flush_deadline_seconds": round(self._flush_deadline(), 4),
+                "ema_prove_seconds": round(self._ema_prove_seconds, 4)
+                if self._ema_prove_seconds is not None else None,
+                "workers": self.config.workers,
+            },
+            "counters": self.stats(),
+            "pk_cache": GLOBAL_PK_CACHE.stats(),
+            "resilience": events.counts(),
+        }
+        if self.runtime.enabled:
+            out["slo"] = self.runtime.slo.snapshot()
+            recorder = self.runtime.recorder
+            out["flight_recorder"] = {
+                "buffered": len(recorder),
+                "capacity": recorder.capacity,
+                "recorded": recorder.recorded,
+                "dumps": recorder.dumps,
+                "dump_path": self.runtime.dump_path,
+            }
+        return out
 
     def stats(self) -> Dict[str, float]:
         """A plain-dict snapshot (the smoke test's assertion surface)."""

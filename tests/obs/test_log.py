@@ -76,3 +76,54 @@ class TestOutput:
 
     def test_get_logger_cached(self):
         assert obs_log.get_logger("x") is obs_log.get_logger("x")
+
+
+class TestBind:
+    def test_bound_fields_appear_on_every_record(self, capsys):
+        log = obs_log.get_logger("t")
+        with obs_log.bind(request_id="req-1"):
+            log.info("accepted")
+            log.info("resolved")
+        assert capsys.readouterr().out == (
+            "accepted request_id=req-1\nresolved request_id=req-1\n")
+
+    def test_bindings_nest_and_unwind(self, capsys):
+        log = obs_log.get_logger("t")
+        with obs_log.bind(request_id="req-1"):
+            with obs_log.bind(batch_id="batch-9"):
+                log.info("inner")
+                assert obs_log.bound_fields() == {"request_id": "req-1",
+                                                 "batch_id": "batch-9"}
+            log.info("outer")
+        log.info("outside")
+        assert obs_log.bound_fields() == {}
+        assert capsys.readouterr().out == (
+            "inner batch_id=batch-9 request_id=req-1\n"
+            "outer request_id=req-1\n"
+            "outside\n")
+
+    def test_explicit_fields_win_over_bound(self, capsys):
+        log = obs_log.get_logger("t")
+        with obs_log.bind(request_id="req-old"):
+            log.info("msg", request_id="req-new")
+        assert capsys.readouterr().out == "msg request_id=req-new\n"
+
+    def test_bindings_are_per_thread(self):
+        import threading
+
+        seen = {}
+
+        def other_thread():
+            seen["fields"] = obs_log.bound_fields()
+
+        with obs_log.bind(request_id="req-main"):
+            thread = threading.Thread(target=other_thread)
+            thread.start()
+            thread.join()
+        assert seen["fields"] == {}
+
+    def test_binding_survives_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with obs_log.bind(request_id="req-1"):
+                raise RuntimeError("boom")
+        assert obs_log.bound_fields() == {}

@@ -129,6 +129,36 @@ class TestGate:
         assert report.ok
         assert any(d.status == "new" for d in report.diffs)
 
+    def test_throughput_drop_beyond_slack_fails(self):
+        # higher-is-better: the gate flips to catch *decreases*
+        base = {"runs": [{"mode": "service", "throughput_rps": 30.0}]}
+        report = compare_reports(
+            base, {"runs": [{"mode": "service", "throughput_rps": 15.0}]})
+        assert not report.ok
+        (bad,) = report.regressions
+        assert bad.metric == "runs.0.throughput_rps"
+        assert "limit -" in bad.render()
+
+    def test_throughput_drop_within_slack_passes(self):
+        base = {"runs": [{"throughput_rps": 30.0}]}
+        report = compare_reports(base, {"runs": [{"throughput_rps": 25.0}]})
+        assert report.ok  # -17% is inside the default 50% slack
+
+    def test_throughput_increase_is_improvement_not_regression(self):
+        base = {"runs": [{"speedup_vs_independent": 2.0,
+                          "mean_occupancy": 4.0}]}
+        current = {"runs": [{"speedup_vs_independent": 9.0,
+                             "mean_occupancy": 8.0}]}
+        report = compare_reports(base, current)
+        assert report.ok
+        assert {d.metric for d in report.improvements} == {
+            "runs.0.speedup_vs_independent", "runs.0.mean_occupancy"}
+
+    def test_occupancy_collapse_fails(self):
+        base = {"runs": [{"mean_occupancy": 8.0}]}
+        report = compare_reports(base, {"runs": [{"mean_occupancy": 1.0}]})
+        assert not report.ok
+
     def test_render_and_dict(self):
         report = compare_reports(prover_report(commitments=10),
                                  prover_report(commitments=12),

@@ -50,6 +50,7 @@ class TestSocketRoundTrip:
         socket_path, _ = served
         response = submit_request(socket_path, {"model": "nope"},
                                   timeout=60.0)
+        assert response.pop("client_seconds") >= 0.0
         assert response == {"ok": False, "error": "ServiceError",
                             "detail": response["detail"]}
         assert "unknown model" in response["detail"]

@@ -1,0 +1,198 @@
+"""Verification-side benchmark: envelope verify throughput + reject cost.
+
+Proves one mini model, publishes its verifying key, then drives the
+:class:`~repro.serve.verify_service.VerifyService` the way
+``zkml verify-serve`` does:
+
+- ``single``  — one envelope per request, N requests (the no-batching
+  baseline: every request pays its own registry fetch);
+- ``batch``   — the same envelopes in max-size batches (registry fetch
+  and key integrity check amortized per distinct vk hash);
+- ``reject_checksum`` / ``reject_truncated`` — hostile envelopes: how
+  fast the hardened decoder sheds garbage *without* field arithmetic
+  (rejection throughput is a DoS-resistance number, so a regression
+  here is security-relevant);
+- ``decode``  — decoder-only throughput, no verification.
+
+Throughput metrics are named ``*_throughput_rps`` so the shared
+regression gate (``benchmarks/regress.py``) treats *decreases* as
+regressions with the relative ``time`` slack; counts stay exact.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_verify.py [--model dlrm]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.envelope import decode_envelope
+from repro.model.zoo import get_model
+from repro.registry import VKRegistry
+from repro.resilience import events
+from repro.runtime.pipeline import prove_model
+from repro.serve import VerifyConfig, VerifyService
+
+#: JSON schema tag for ``BENCH_verify.json``.
+SCHEMA = "zkml-bench-verify/v1"
+
+
+def build_envelope(model: str, seed: int):
+    spec = get_model(model, scale="mini")
+    rng = np.random.default_rng(seed)
+    inputs = {name: rng.uniform(-0.5, 0.5, shape)
+              for name, shape in spec.inputs.items()}
+    result = prove_model(spec, inputs, scheme_name="kzg", num_cols=10,
+                         scale_bits=5)
+    return result, result.envelope_bytes()
+
+
+def _tampered(encoded: bytes) -> bytes:
+    bad = bytearray(encoded)
+    bad[-1] ^= 0xFF
+    return bytes(bad)
+
+
+def bench_requests(service, batches, mode: str) -> dict:
+    """Time a list of verify requests; throughput is envelopes/second."""
+    envelopes = sum(len(b) for b in batches)
+    start = time.perf_counter()
+    accepted = rejected = 0
+    for batch in batches:
+        report = service.verify_batch(batch)
+        accepted += report["accepted"]
+        rejected += report["rejected"]
+    wall = time.perf_counter() - start
+    return {
+        "mode": mode,
+        "requests": len(batches),
+        "envelopes": envelopes,
+        "accepted": accepted,
+        "rejected": rejected,
+        "wall_seconds": round(wall, 4),
+        "throughput_rps": round(envelopes / wall, 3),
+    }
+
+
+def bench_decode(encoded: bytes, iterations: int) -> dict:
+    start = time.perf_counter()
+    for _ in range(iterations):
+        decode_envelope(encoded)
+    wall = time.perf_counter() - start
+    return {
+        "mode": "decode",
+        "envelopes": iterations,
+        "wall_seconds": round(wall, 4),
+        "throughput_rps": round(iterations / wall, 3),
+    }
+
+
+def run_bench(model: str = "dlrm", requests: int = 12, max_batch: int = 8,
+              rejects: int = 200, seed: int = 0,
+              output_path: str = "BENCH_verify.json", stream=None) -> dict:
+    stream = stream if stream is not None else sys.stdout
+    result, encoded = build_envelope(model, seed)
+    events.reset()
+
+    with tempfile.TemporaryDirectory(prefix="zkml-bench-verify-") as root:
+        registry = VKRegistry(root)
+        env = result.envelope()
+        registry.publish(result.vk, env.model, env.config_digest)
+        service = VerifyService(registry=registry,
+                                config=VerifyConfig(max_batch=max_batch,
+                                                    telemetry=False))
+
+        service.verify_batch([encoded])  # warm the registry read path
+
+        runs = []
+        single = bench_requests(service, [[encoded]] * requests, "single")
+        runs.append(single)
+        batched = bench_requests(
+            service,
+            [[encoded] * max_batch
+             for _ in range(max(1, requests // max_batch))],
+            "batch%d" % max_batch)
+        batched["speedup_vs_independent"] = round(
+            batched["throughput_rps"] / single["throughput_rps"], 2)
+        runs.append(batched)
+        runs.append(bench_requests(
+            service, [[_tampered(encoded)]] * rejects, "reject_checksum"))
+        runs.append(bench_requests(
+            service, [[encoded[:100]]] * rejects, "reject_truncated"))
+        runs.append(bench_decode(encoded, rejects))
+
+        if single["accepted"] != single["envelopes"] \
+                or batched["accepted"] != batched["envelopes"]:
+            raise AssertionError("a known-good envelope failed to verify")
+        if any(r["accepted"] for r in runs if r["mode"].startswith("reject")):
+            raise AssertionError("a hostile envelope was accepted")
+
+        for record in runs:
+            print("%-18s %8d env  %7.3f s  %10.1f env/s" % (
+                record["mode"], record["envelopes"],
+                record["wall_seconds"], record["throughput_rps"]),
+                file=stream)
+
+        report = {
+            "schema": SCHEMA,
+            "config": {
+                "model": model,
+                "requests": requests,
+                "max_batch": max_batch,
+                "rejects": rejects,
+                "seed": seed,
+                "python": platform.python_version(),
+            },
+            "envelope": {
+                "bytes": len(encoded),
+                "public_inputs": env.num_public_inputs(),
+                "proof_bytes": len(env.proof_bytes),
+            },
+            "runs": runs,
+            "rejections_by_cause":
+                service.stats()["rejections_by_cause"],
+            # a clean benchmark performed zero retries/degradations
+            "resilience": events.counts(),
+        }
+    if output_path:
+        with open(output_path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("wrote %s" % output_path, file=stream)
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--model", default="dlrm")
+    parser.add_argument("--requests", type=int, default=12)
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--rejects", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_verify.json")
+    args = parser.parse_args(argv)
+    report = run_bench(model=args.model, requests=args.requests,
+                       max_batch=args.max_batch, rejects=args.rejects,
+                       seed=args.seed, output_path=args.out)
+    by_mode = {r["mode"]: r for r in report["runs"]}
+    reject = by_mode["reject_checksum"]["throughput_rps"]
+    accept = by_mode["single"]["throughput_rps"]
+    if reject <= accept:
+        # shedding garbage must be far cheaper than verifying proofs,
+        # or rejection itself becomes the denial-of-service vector
+        print("WARNING: rejecting (%.1f/s) is no faster than verifying "
+              "(%.1f/s)" % (reject, accept), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

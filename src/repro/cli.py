@@ -7,8 +7,18 @@ Subcommands:
   (``--json`` for machine-readable output).
 - ``zkml optimize --model NAME``        — run the layout optimizer.
 - ``zkml prove --model NAME``           — prove one inference of a mini
-  model, writing proof/vk artifacts.
-- ``zkml verify --artifact FILE``       — verify a saved proof artifact.
+  model, writing proof/vk artifacts (``--envelope PATH`` for the raw
+  canonical proof envelope, ``--registry DIR`` to publish the
+  verifying key).
+- ``zkml verify``                       — verify a saved proof artifact
+  (``--artifact``) or a raw ``zkml-proof-envelope/v1`` (``--envelope``,
+  resolving the verifying key through ``--registry``); exit 3 = the
+  envelope's key is absent from the registry.
+- ``zkml registry publish|list|check``  — the content-addressed,
+  checksummed verifying-key registry backing envelope verification.
+- ``zkml verify-serve``                 — run the hardened envelope
+  verification service on a unix socket: per-request caps, load
+  shedding, deadlines, batch verification, verdicts by typed cause.
 - ``zkml diagnose --model NAME``        — mock-verify a mini model with
   region-attributed failure reports (``--tamper-row`` breaks a cell;
   exit 2 = constraints failed, exit 1 = operational error).
@@ -68,7 +78,12 @@ from repro.obs.metrics import (
 from repro.obs.trace import Tracer, use_tracer
 from repro.optimizer import resolve_profile
 from repro.resilience import events, faults
-from repro.resilience.errors import ProofFormatError, ResilienceError
+from repro.resilience.errors import (
+    ProofFormatError,
+    ResilienceError,
+    UnknownVerifyingKeyError,
+    VerificationFailure,
+)
 from repro.runtime import estimate_model, prove_model, verify_model_proof
 
 log = obs_log.get_logger("cli")
@@ -226,17 +241,36 @@ def _cmd_prove(args) -> int:
         log.info("cost model, predicted vs actual:")
         log.info("%s",
                  render_predicted_vs_actual(result.predicted_vs_actual()))
+    envelope = None
+    if args.out or args.envelope or args.registry:
+        envelope = result.envelope()
     if args.out:
-        # "proof_bytes" is the canonical wire form — `zkml verify` runs it
-        # through the hardened deserializer; "proof" stays for older readers
+        # "envelope" is the canonical wire form (`zkml verify` runs it
+        # through the bounds-checked decoder); "proof_bytes"/"proof"
+        # stay for older readers of the loose format
         with open(args.out, "wb") as f:
             pickle.dump(
                 {"vk": result.vk, "proof": result.proof,
                  "proof_bytes": proof_to_bytes(result.proof),
+                 "envelope": envelope.encode(),
                  "instance": result.instance,
                  "scheme": result.scheme_name}, f,
             )
         log.info("artifact:     %s", args.out)
+    if args.envelope:
+        data = envelope.encode()
+        with open(args.envelope, "wb") as f:
+            f.write(data)
+        log.info("envelope:     %s (%d bytes, vk %s...)", args.envelope,
+                 len(data), envelope.vk_hash_hex[:16])
+    if args.registry:
+        from repro.registry import VKRegistry
+
+        entry, created = VKRegistry(args.registry).publish(
+            result.vk, envelope.model, envelope.config_digest)
+        log.info("registry:     %s %s (vk %s...)", args.registry,
+                 "published" if created else "already present",
+                 entry.vk_hash[:16])
     return 0
 
 
@@ -358,8 +392,67 @@ def _cmd_bench(args) -> int:
     return 0
 
 
-def _cmd_verify(args) -> int:
-    """Verify an untrusted artifact: every failure is typed, logged, exit 1."""
+def _registry_vk(registry_dir: str, env):
+    """Resolve an envelope's verifying key through the registry.
+
+    Mirrors :class:`~repro.serve.verify_service.VerifyService`: the
+    proof statement binds the vk hash and public inputs; the
+    model/config metadata is bound against the registry entry the
+    prover published, so a relabeled envelope is rejected here too.
+    """
+    from repro.registry import VKRegistry
+
+    registry = VKRegistry(registry_dir)
+    entry = registry.entry(env.vk_hash_hex)
+    vk = registry.get(env.vk_hash_hex)
+    if (entry.model != env.model
+            or entry.config_digest != env.config_digest_hex):
+        raise VerificationFailure(
+            "envelope metadata (model %r, config %s) does not match "
+            "registry entry (model %r, config %s)"
+            % (env.model, env.config_digest_hex[:8], entry.model,
+               entry.config_digest[:8]), model=env.model)
+    return vk
+
+
+def _verify_envelope_file(args) -> int:
+    """``zkml verify --envelope FILE``: decode, resolve vk, verify."""
+    from repro.envelope import decode_envelope, verify_envelope
+
+    try:
+        with open(args.envelope, "rb") as f:
+            data = f.read()
+    except OSError as exc:
+        log.error("verification: FAILED", envelope=args.envelope,
+                  reason="unreadable", detail=str(exc))
+        return 1
+    if not args.registry:
+        log.error("verification: FAILED", envelope=args.envelope,
+                  reason="no registry",
+                  detail="--envelope needs --registry DIR to resolve "
+                         "the verifying key")
+        return 1
+    try:
+        env = decode_envelope(data)
+        verify_envelope(env, _registry_vk(args.registry, env))
+    except UnknownVerifyingKeyError:
+        raise  # exit 3 with the remediation hint, in _cmd_verify
+    except ResilienceError as exc:
+        fields = {"envelope": args.envelope}
+        fields.update(exc.attribution())
+        fields.setdefault("detail", exc.args[0] if exc.args else "")
+        log.error("verification: FAILED", **fields)
+        return 1
+    log.info("verification: OK", model=env.model, scheme=env.scheme_name,
+             vk_hash=env.vk_hash_hex[:16],
+             public_inputs=env.num_public_inputs())
+    return 0
+
+
+def _verify_artifact_file(args) -> int:
+    """``zkml verify --artifact FILE``: envelope-carrying or loose."""
+    from repro.envelope import decode_envelope, verify_envelope
+
     try:
         with open(args.artifact, "rb") as f:
             artifact = pickle.load(f)
@@ -376,19 +469,36 @@ def _cmd_verify(args) -> int:
         if not isinstance(artifact, dict):
             raise ProofFormatError("artifact is not a mapping",
                                    found=type(artifact).__name__)
-        missing = {"vk", "instance", "scheme"} - set(artifact)
-        if missing:
-            raise ProofFormatError("artifact is missing keys: %s"
-                                   % sorted(missing))
-        if "proof_bytes" in artifact:
-            proof = proof_from_bytes(artifact["proof_bytes"])
-        elif "proof" in artifact:
-            proof = artifact["proof"]
+        if artifact.get("envelope"):
+            env = decode_envelope(artifact["envelope"])
+            if args.registry:
+                vk = _registry_vk(args.registry, env)
+            elif "vk" in artifact:
+                vk = artifact["vk"]
+            else:
+                raise ProofFormatError(
+                    "artifact has an envelope but no 'vk'; pass "
+                    "--registry DIR to resolve the key")
+            verify_envelope(env, vk)
         else:
-            raise ProofFormatError(
-                "artifact carries neither 'proof_bytes' nor 'proof'")
-        verify_model_proof(artifact["vk"], proof, artifact["instance"],
-                           artifact["scheme"])
+            log.warning("artifact carries no proof envelope — loose-proof "
+                        "verification is deprecated; re-prove with "
+                        "'zkml prove --out' to get one")
+            missing = {"vk", "instance", "scheme"} - set(artifact)
+            if missing:
+                raise ProofFormatError("artifact is missing keys: %s"
+                                       % sorted(missing))
+            if "proof_bytes" in artifact:
+                proof = proof_from_bytes(artifact["proof_bytes"])
+            elif "proof" in artifact:
+                proof = artifact["proof"]
+            else:
+                raise ProofFormatError(
+                    "artifact carries neither 'proof_bytes' nor 'proof'")
+            verify_model_proof(artifact["vk"], proof, artifact["instance"],
+                               artifact["scheme"])
+    except UnknownVerifyingKeyError:
+        raise
     except ResilienceError as exc:
         fields = {"artifact": args.artifact}
         fields.update(exc.attribution())
@@ -396,6 +506,162 @@ def _cmd_verify(args) -> int:
         log.error("verification: FAILED", **fields)
         return 1
     log.info("verification: OK")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    """Verify an untrusted artifact or envelope: every failure is typed.
+
+    Exit codes: 0 verified; 1 any verification or operational failure;
+    3 the envelope's verifying key is absent from the registry (the
+    distinct code lets callers distinguish "publish the key and retry"
+    from "this proof is bad").
+    """
+    try:
+        if args.envelope:
+            return _verify_envelope_file(args)
+        return _verify_artifact_file(args)
+    except UnknownVerifyingKeyError as exc:
+        fields = dict(exc.attribution())
+        fields.setdefault("detail", exc.args[0] if exc.args else "")
+        log.error("verification: FAILED", reason="unknown_vk", **fields)
+        log.error("hint: publish the key first — zkml registry publish "
+                  "--artifact <prove artifact> --registry %s",
+                  args.registry or "<DIR>")
+        return 3
+
+
+def _registry_publish(registry, args) -> int:
+    from repro.envelope import decode_envelope
+
+    try:
+        with open(args.artifact, "rb") as f:
+            artifact = pickle.load(f)
+    except OSError as exc:
+        raise ProofFormatError("artifact is unreadable: %s" % exc,
+                               artifact=args.artifact) from exc
+    except Exception as exc:  # noqa: BLE001 — corrupt pickle: any crash here is "bad artifact"
+        raise ProofFormatError(
+            "artifact is malformed: %s: %s"
+            % (type(exc).__name__, str(exc)[:120]),
+            artifact=args.artifact) from exc
+    if not isinstance(artifact, dict) or "vk" not in artifact:
+        raise ProofFormatError("artifact does not carry a verifying key",
+                               artifact=args.artifact)
+    if not artifact.get("envelope"):
+        raise ProofFormatError(
+            "artifact has no proof envelope binding (model, config) to "
+            "the key — re-prove with this build's 'zkml prove --out'",
+            artifact=args.artifact)
+    env = decode_envelope(artifact["envelope"])
+    vk = artifact["vk"]
+    if vk.digest() != env.vk_hash:
+        raise ProofFormatError(
+            "artifact envelope was produced by a different verifying key",
+            artifact=args.artifact, envelope_vk=env.vk_hash_hex[:16],
+            artifact_vk=vk.digest().hex()[:16])
+    entry, created = registry.publish(vk, env.model, env.config_digest)
+    log.info("%s vk %s (model=%s scheme=%s config=%s, %d bytes)",
+             "published" if created else "already present",
+             entry.vk_hash[:16], entry.model, entry.scheme,
+             entry.config_digest[:16], entry.size_bytes)
+    log.info("registry:     %s", registry.root)
+    return 0
+
+
+def _cmd_registry(args) -> int:
+    """``zkml registry publish|list|check`` — the verifying-key store."""
+    from repro.registry import VKRegistry
+
+    registry = VKRegistry(args.registry)
+    if args.registry_cmd == "publish":
+        return _registry_publish(registry, args)
+    if args.registry_cmd == "list":
+        entries = registry.list_entries()
+        if args.json:
+            print(json.dumps([e.as_dict() for e in entries], indent=2,
+                             sort_keys=True))
+            return 0
+        if not entries:
+            log.info("registry at %s is empty", registry.root)
+            return 0
+        log.info("%-12s %-6s %-18s %-18s %10s", "model", "scheme",
+                 "vk hash", "config digest", "bytes")
+        for e in entries:
+            log.info("%-12s %-6s %-18s %-18s %10d", e.model, e.scheme,
+                     e.vk_hash[:16], e.config_digest[:16], e.size_bytes)
+        return 0
+    report = registry.check(repair=args.repair)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        log.info("registry check: %d/%d intact%s", report["intact"],
+                 report["checked"],
+                 " (corrupt entries evicted)" if report["repaired"] else "")
+        for item in report["corrupt"]:
+            log.error("  corrupt: %s (%s) — %s", item["vk_hash"][:16],
+                      item["model"], item["cause"])
+    # exit 1 = corrupt entries found (CI greps for it); --repair evicted
+    # them, but the keys still need re-publishing to be served again
+    return 0 if report["ok"] else 1
+
+
+def _verify_serve_config(args):
+    from repro.envelope import EnvelopeCaps
+    from repro.serve import VerifyConfig
+
+    return VerifyConfig(
+        caps=EnvelopeCaps(
+            max_envelope_bytes=args.max_envelope_mb << 20,
+            max_instance_columns=args.max_instance_columns,
+            max_public_inputs=args.max_public_inputs,
+            max_proof_bytes=args.max_proof_mb << 20,
+        ),
+        max_batch=args.max_batch,
+        max_inflight=args.max_inflight,
+        deadline_seconds=args.deadline,
+        telemetry=not args.no_telemetry,
+        flight_path=args.flight_recorder or None,
+    )
+
+
+def _cmd_verify_serve(args) -> int:
+    import signal
+
+    from repro.registry import VKRegistry
+    from repro.serve import VerifyService
+    from repro.serve.verify_server import VerifyServer
+
+    registry = VKRegistry(args.registry) if args.registry else None
+    if registry is None:
+        log.warning("no --registry: every envelope will be rejected "
+                    "unknown_vk (a verifier with no trusted keys trusts "
+                    "nothing)")
+    service = VerifyService(registry=registry,
+                            config=_verify_serve_config(args),
+                            metrics=args.obs_registry)
+    server = VerifyServer(service, args.socket,
+                          max_request_bytes=args.max_request_mb << 20)
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt  # SIGTERM shuts down like Ctrl-C
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        log.info("shutting down...")
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.stop()
+        service.close()
+        if service.runtime.enabled and service.runtime.dump_path:
+            service.dump_flight(reason="shutdown")
+            log.info("flight recorder: %s", service.runtime.dump_path)
+    stats = service.stats()
+    log.info("verified %d envelopes over %d requests "
+             "(%d accepted, %d rejected)", stats["envelopes"],
+             stats["requests"], stats["accepted"], stats["rejected"])
     return 0
 
 
@@ -488,6 +754,20 @@ def _cmd_chaos(args) -> int:
         log.info("fuzz: %s", report.summary())
         if not report.ok:
             failed.append("fuzz")
+
+    if args.envelope_fuzz:
+        from repro.resilience.fuzz import (
+            local_envelope_checker,
+            run_envelope_fuzz,
+        )
+
+        report = run_envelope_fuzz(
+            baseline.envelope_bytes(),
+            local_envelope_checker(baseline.vk),
+            iterations=args.envelope_fuzz, seed=args.seed)
+        log.info("envelope fuzz: %s", report.summary())
+        if not report.ok:
+            failed.append("envelope-fuzz")
 
     if failed:
         log.error("chaos matrix failed: %s", ", ".join(failed))
@@ -782,6 +1062,12 @@ def build_parser() -> argparse.ArgumentParser:
     prove.add_argument("--scale-bits", type=int, default=5)
     prove.add_argument("--seed", type=int, default=0)
     prove.add_argument("--out", default=None, help="artifact output path")
+    prove.add_argument("--envelope", default=None, metavar="PATH",
+                       help="also write the canonical proof envelope "
+                            "(zkml-proof-envelope/v1 bytes) to PATH")
+    prove.add_argument("--registry", default=None, metavar="DIR",
+                       help="publish the verifying key into this registry "
+                            "after proving")
     prove.add_argument("--jobs", type=int, default=None,
                        help="worker processes for the prover "
                             "(default: ZKML_JOBS env, else serial)")
@@ -882,9 +1168,47 @@ def build_parser() -> argparse.ArgumentParser:
     calibrate.set_defaults(func=_cmd_calibrate)
 
     verify = sub.add_parser("verify", parents=[common],
-                            help="verify a proof artifact")
-    verify.add_argument("--artifact", required=True)
+                            help="verify a proof artifact or envelope")
+    verify_src = verify.add_mutually_exclusive_group(required=True)
+    verify_src.add_argument("--artifact",
+                            help="prove artifact pickle (zkml prove --out)")
+    verify_src.add_argument("--envelope", metavar="PATH",
+                            help="raw zkml-proof-envelope/v1 bytes "
+                                 "(needs --registry)")
+    verify.add_argument("--registry", default=None, metavar="DIR",
+                        help="verifying-key registry resolving the "
+                             "envelope's vk hash (exit 3 when the key "
+                             "is absent)")
     verify.set_defaults(func=_cmd_verify)
+
+    registry = sub.add_parser(
+        "registry",
+        help="manage the content-addressed verifying-key registry")
+    regsub = registry.add_subparsers(dest="registry_cmd", required=True)
+    reg_publish = regsub.add_parser(
+        "publish", parents=[common],
+        help="publish a prove artifact's verifying key")
+    reg_publish.add_argument("--registry", required=True, metavar="DIR",
+                             help="registry root directory")
+    reg_publish.add_argument("--artifact", required=True,
+                             help="envelope-carrying artifact from "
+                                  "'zkml prove --out'")
+    reg_publish.set_defaults(func=_cmd_registry)
+    reg_list = regsub.add_parser("list", parents=[common],
+                                 help="list published verifying keys")
+    reg_list.add_argument("--registry", required=True, metavar="DIR")
+    reg_list.add_argument("--json", action="store_true",
+                          help="machine-readable index records")
+    reg_list.set_defaults(func=_cmd_registry)
+    reg_check = regsub.add_parser(
+        "check", parents=[common],
+        help="re-verify every artifact checksum (exit 1 on corruption)")
+    reg_check.add_argument("--registry", required=True, metavar="DIR")
+    reg_check.add_argument("--json", action="store_true")
+    reg_check.add_argument("--repair", action="store_true",
+                           help="evict corrupt entries (the publisher "
+                                "re-runs 'registry publish' to rebuild)")
+    reg_check.set_defaults(func=_cmd_registry)
 
     chaos = sub.add_parser(
         "chaos", parents=[common],
@@ -900,6 +1224,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault sites to exercise (default: all)")
     chaos.add_argument("--fuzz", type=int, default=0, metavar="N",
                        help="also run N proof-mutation fuzz iterations")
+    chaos.add_argument("--envelope-fuzz", type=int, default=0, metavar="N",
+                       help="also run N envelope-mutation fuzz iterations "
+                            "against the bounds-checked decoder + verifier")
     chaos.set_defaults(func=_cmd_chaos)
 
     serve = sub.add_parser(
@@ -940,6 +1267,43 @@ def build_parser() -> argparse.ArgumentParser:
                             "flight recorder); proof bytes are identical "
                             "either way")
     serve.set_defaults(func=_cmd_serve)
+
+    vserve = sub.add_parser(
+        "verify-serve", parents=[common],
+        help="run the hardened envelope verification service on a "
+             "unix socket")
+    vserve.add_argument("--socket", default="zkml-verify.sock",
+                        help="unix socket path to bind")
+    vserve.add_argument("--registry", default=None, metavar="DIR",
+                        help="verifying-key registry the service trusts "
+                             "(without one, every envelope is rejected "
+                             "unknown_vk)")
+    vserve.add_argument("--max-batch", type=int, default=32,
+                        help="envelopes per request; more is rejected "
+                             "before any decoding")
+    vserve.add_argument("--max-inflight", type=int, default=4,
+                        help="concurrent requests before load shedding")
+    vserve.add_argument("--deadline", type=float, default=60.0,
+                        help="per-request wall-clock budget (seconds)")
+    vserve.add_argument("--max-envelope-mb", type=int, default=64,
+                        help="decoder cap on one envelope's total bytes")
+    vserve.add_argument("--max-proof-mb", type=int, default=48,
+                        help="decoder cap on one envelope's proof bytes")
+    vserve.add_argument("--max-instance-columns", type=int, default=64,
+                        help="decoder cap on instance columns")
+    vserve.add_argument("--max-public-inputs", type=int, default=1 << 18,
+                        help="decoder cap on total public inputs")
+    vserve.add_argument("--max-request-mb", type=int, default=64,
+                        help="cap on one socket request line (base64 "
+                             "envelopes ride inside it)")
+    vserve.add_argument("--flight-recorder",
+                        default="zkml-verify-flightrec.json", metavar="PATH",
+                        help="where flight-recorder dumps land on an "
+                             "overload storm or shutdown ('' disables)")
+    vserve.add_argument("--no-telemetry", action="store_true",
+                        help="disable runtime telemetry (SLO windows + "
+                             "flight recorder)")
+    vserve.set_defaults(func=_cmd_verify_serve)
 
     submit = sub.add_parser(
         "submit", parents=[common],

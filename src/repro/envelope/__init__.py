@@ -1,0 +1,36 @@
+"""Versioned proof envelope: the consumer-facing proof format.
+
+A :class:`ProofEnvelope` packages everything a verifier needs to check a
+proof — schema id, commitment scheme, model name, verifying-key hash,
+proving-config digest, public inputs, proof bytes — in one canonical,
+checksummed byte string (``zkml-proof-envelope/v1``).  The decoder is
+adversary-facing: every count and size is capped *before* any allocation
+or field arithmetic, and every rejection is a typed
+:class:`~repro.resilience.errors.EnvelopeError` subclass.
+
+See ``docs/verification.md`` for the wire format and threat model.
+"""
+
+from repro.envelope.format import (
+    DEFAULT_CAPS,
+    SCHEMA_V1,
+    EnvelopeCaps,
+    ProofEnvelope,
+    decode_envelope,
+    encode_envelope,
+    envelope_config_digest,
+    is_envelope,
+)
+from repro.envelope.verify import verify_envelope
+
+__all__ = [
+    "SCHEMA_V1",
+    "EnvelopeCaps",
+    "DEFAULT_CAPS",
+    "ProofEnvelope",
+    "encode_envelope",
+    "decode_envelope",
+    "envelope_config_digest",
+    "is_envelope",
+    "verify_envelope",
+]

@@ -1,0 +1,285 @@
+"""On-disk verifying-key store (``zkml-vk-registry/v1``).
+
+Layout under the registry root::
+
+    index.json              {"schema": ..., "entries": {vk_hash_hex: {...}}}
+    vk/<vk_hash_hex>.pkl    pickled VerifyingKey, one file per key
+
+The index entry records the lookup tuple (model, scheme, config digest)
+plus an integrity checksum — blake2b-16 over the *stored file bytes*,
+not over a fresh pickle: the vk memoizes derived data lazily (its own
+digest, NTT twiddles), so re-pickling the live object is not stable,
+but the bytes we wrote are.  Both index and artifacts are written
+tmp-then-rename with bounded retries (the checkpoint store's idiom,
+sharing its ``disk_write`` fault-injection site).
+
+Reads re-verify: a missing or checksum-failing artifact is **evicted**
+from the index, counted as
+``resilience_recovered_total{reason="vk_registry_evict"}``, and
+surfaced as a typed :class:`~repro.resilience.errors.RegistryError` so
+the caller knows to re-publish — never served corrupt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.resilience import events, faults
+from repro.resilience.errors import (
+    RegistryError,
+    UnknownVerifyingKeyError,
+)
+
+__all__ = ["INDEX_SCHEMA", "RegistryEntry", "VKRegistry"]
+
+INDEX_SCHEMA = "zkml-vk-registry/v1"
+
+_CHECKSUM_BYTES = 16
+
+
+def _artifact_checksum(data: bytes) -> str:
+    return hashlib.blake2b(data, digest_size=_CHECKSUM_BYTES).hexdigest()
+
+
+@dataclass
+class RegistryEntry:
+    """One published verifying key's index record."""
+
+    vk_hash: str
+    model: str
+    scheme: str
+    config_digest: str
+    checksum: str
+    file: str
+    size_bytes: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+class VKRegistry:
+    """Content-addressed, checksummed verifying-key store."""
+
+    def __init__(self, root: str, write_attempts: int = 3,
+                 backoff_seconds: float = 0.05):
+        self.root = root
+        self.write_attempts = write_attempts
+        self.backoff_seconds = backoff_seconds
+        os.makedirs(os.path.join(root, "vk"), exist_ok=True)
+
+    # -- index ---------------------------------------------------------------
+
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.root, "index.json")
+
+    def _load_index(self) -> Dict[str, Dict]:
+        if not os.path.exists(self.index_path):
+            return {}
+        try:
+            with open(self.index_path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RegistryError("registry index is unreadable",
+                                path=self.index_path,
+                                error=type(exc).__name__) from exc
+        if doc.get("schema") != INDEX_SCHEMA:
+            raise RegistryError(
+                "registry index has schema %r (expected %r)"
+                % (doc.get("schema"), INDEX_SCHEMA), path=self.index_path)
+        return doc.get("entries", {})
+
+    def _store_index(self, entries: Dict[str, Dict]) -> None:
+        doc = {"schema": INDEX_SCHEMA, "entries": entries}
+        self._atomic_write(self.index_path,
+                           json.dumps(doc, indent=1, sort_keys=True).encode(),
+                           what="index")
+
+    def _atomic_write(self, path: str, data: bytes, what: str) -> None:
+        tmp = path + ".tmp"
+        last: Optional[BaseException] = None
+        for attempt in range(1, self.write_attempts + 1):
+            try:
+                faults.maybe_inject("disk_write")
+                with open(tmp, "wb") as fh:
+                    fh.write(data)
+                os.replace(tmp, path)
+                return
+            except (OSError, faults.InjectedFault) as exc:
+                last = exc
+                if attempt < self.write_attempts:
+                    events.retried("registry_write", attempt, what=what,
+                                   error=type(exc).__name__)
+                    time.sleep(self.backoff_seconds * (2 ** (attempt - 1)))
+        raise RegistryError(
+            "could not write registry %s after %d attempts"
+            % (what, self.write_attempts), path=path) from last
+
+    # -- publish -------------------------------------------------------------
+
+    def publish(self, vk, model: str,
+                config_digest: bytes) -> Tuple[RegistryEntry, bool]:
+        """Store ``vk`` under its binding digest; idempotent.
+
+        Returns ``(entry, created)``.  A pre-existing intact entry is a
+        no-op (``created=False``); a pre-existing entry whose artifact is
+        missing or checksum-failing is **rebuilt** from the key in hand,
+        counted as a recovery.
+        """
+        vk_hash = vk.digest().hex()
+        entries = self._load_index()
+        existing = entries.get(vk_hash)
+        if existing is not None:
+            intact, _ = self._artifact_intact(existing)
+            if intact:
+                return RegistryEntry(**existing), False
+            events.recovered("vk_registry_rebuild", vk_hash=vk_hash[:16],
+                             model=model)
+        data = pickle.dumps(vk)
+        rel = os.path.join("vk", "%s.pkl" % vk_hash)
+        self._atomic_write(os.path.join(self.root, rel), data,
+                           what="vk artifact")
+        entry = RegistryEntry(
+            vk_hash=vk_hash,
+            model=model,
+            scheme=vk.scheme_name,
+            config_digest=config_digest.hex(),
+            checksum=_artifact_checksum(data),
+            file=rel,
+            size_bytes=len(data),
+        )
+        entries[vk_hash] = entry.as_dict()
+        self._store_index(entries)
+        return entry, True
+
+    # -- read ----------------------------------------------------------------
+
+    def _artifact_intact(self, record: Dict) -> Tuple[bool, str]:
+        """(intact, cause) for one index record's on-disk artifact."""
+        path = os.path.join(self.root, record["file"])
+        try:
+            faults.maybe_inject("registry_read")
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except faults.InjectedFault:
+            return False, "injected_fault"
+        except OSError:
+            return False, "missing_artifact"
+        if _artifact_checksum(data) != record["checksum"]:
+            return False, "checksum_mismatch"
+        return True, ""
+
+    def entry(self, vk_hash: str) -> RegistryEntry:
+        """The index record for ``vk_hash`` (no artifact read)."""
+        entries = self._load_index()
+        record = entries.get(vk_hash)
+        if record is None:
+            raise UnknownVerifyingKeyError(
+                "verifying key %s is not in the registry" % vk_hash[:16],
+                vk_hash=vk_hash, registry=self.root)
+        return RegistryEntry(**record)
+
+    def get(self, vk_hash: str):
+        """Load and integrity-check the verifying key for ``vk_hash``.
+
+        Unknown hash → :class:`UnknownVerifyingKeyError`.  A corrupt or
+        missing artifact is evicted from the index (counted as
+        ``vk_registry_evict``) and raises :class:`RegistryError` — the
+        caller re-publishes to rebuild.
+        """
+        entries = self._load_index()
+        record = entries.get(vk_hash)
+        if record is None:
+            raise UnknownVerifyingKeyError(
+                "verifying key %s is not in the registry" % vk_hash[:16],
+                vk_hash=vk_hash, registry=self.root)
+        intact, cause = self._artifact_intact(record)
+        if intact:
+            with open(os.path.join(self.root, record["file"]), "rb") as fh:
+                data = fh.read()
+            try:
+                vk = pickle.loads(data)
+            except Exception:  # noqa: BLE001 — any unpickle failure is corruption
+                intact, cause = False, "unpicklable"
+            else:
+                try:
+                    stored_hash = vk.digest().hex()
+                except Exception:  # noqa: BLE001 — a valid pickle of the wrong object
+                    intact, cause = False, "not_a_verifying_key"
+                else:
+                    if stored_hash != vk_hash:
+                        intact, cause = False, "digest_mismatch"
+        if not intact:
+            self._evict(entries, vk_hash, cause)
+            raise RegistryError(
+                "verifying key %s failed integrity (%s); entry evicted — "
+                "re-publish to rebuild" % (vk_hash[:16], cause),
+                vk_hash=vk_hash, cause=cause)
+        return vk
+
+    def _evict(self, entries: Dict[str, Dict], vk_hash: str,
+               cause: str) -> None:
+        record = entries.pop(vk_hash, None)
+        if record is not None:
+            path = os.path.join(self.root, record["file"])
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            self._store_index(entries)
+        events.recovered("vk_registry_evict", vk_hash=vk_hash[:16],
+                         cause=cause)
+
+    def list_entries(self) -> List[RegistryEntry]:
+        """All index records, sorted by (model, scheme, vk hash)."""
+        entries = [RegistryEntry(**record)
+                   for record in self._load_index().values()]
+        entries.sort(key=lambda e: (e.model, e.scheme, e.vk_hash))
+        return entries
+
+    def find(self, model: str, scheme: str,
+             config_digest: str) -> Optional[RegistryEntry]:
+        """The entry published for this (model, scheme, config) tuple."""
+        for entry in self.list_entries():
+            if (entry.model == model and entry.scheme == scheme
+                    and entry.config_digest == config_digest):
+                return entry
+        return None
+
+    # -- check ---------------------------------------------------------------
+
+    def check(self, repair: bool = False) -> Dict[str, object]:
+        """Verify every artifact against its recorded checksum.
+
+        Returns a report dict; with ``repair=True`` corrupt/missing
+        entries are evicted (they cannot be rebuilt without the key —
+        the publisher re-runs ``zkml registry publish``).
+        """
+        entries = self._load_index()
+        ok: List[str] = []
+        bad: List[Dict[str, str]] = []
+        for vk_hash, record in sorted(entries.items()):
+            intact, cause = self._artifact_intact(record)
+            if intact:
+                ok.append(vk_hash)
+            else:
+                bad.append({"vk_hash": vk_hash, "model": record["model"],
+                            "cause": cause})
+        if repair and bad:
+            for item in bad:
+                self._evict(entries, item["vk_hash"], item["cause"])
+        return {
+            "schema": "zkml-registry-check/v1",
+            "root": self.root,
+            "checked": len(ok) + len(bad),
+            "intact": len(ok),
+            "corrupt": bad,
+            "repaired": bool(repair and bad),
+            "ok": not bad,
+        }

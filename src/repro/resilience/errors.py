@@ -21,7 +21,16 @@ class                       raised when
                             stage file) fails its checksum
 ``ProofFormatError``        a serialized proof/artifact violates the wire
                             format (bad magic, truncation, out-of-range)
+``EnvelopeError``           a proof envelope is malformed; subtypes name the
+                            violation: ``EnvelopeSchemaError`` (wrong schema
+                            id / unknown scheme), ``EnvelopeTruncatedError``
+                            (data ends mid-field), ``EnvelopeCapError`` (a
+                            count or size exceeds its hard DoS cap), and
+                            ``EnvelopeChecksumError`` (integrity mismatch)
 ``VerificationFailure``     a structurally valid proof does not verify
+``RegistryError``           the verifying-key registry cannot serve a
+                            request; ``UnknownVerifyingKeyError`` (no entry
+                            for a vk hash) subclasses it
 ``CheckpointError``         a checkpoint directory cannot be written/resumed
 ``DeadlineExceeded``        a supervised phase overran its deadline
 ``ServiceError``            the proving service cannot accept or complete a
@@ -52,7 +61,14 @@ __all__ = [
     "FreivaldsCheckError",
     "CacheCorruptionError",
     "ProofFormatError",
+    "EnvelopeError",
+    "EnvelopeSchemaError",
+    "EnvelopeTruncatedError",
+    "EnvelopeCapError",
+    "EnvelopeChecksumError",
     "VerificationFailure",
+    "RegistryError",
+    "UnknownVerifyingKeyError",
     "CheckpointError",
     "DeadlineExceeded",
     "ServiceError",
@@ -165,10 +181,54 @@ class ProofFormatError(ResilienceError, ValueError):
     default_phase = "verify"
 
 
+class EnvelopeError(ProofFormatError):
+    """A proof envelope is malformed.
+
+    Base of the envelope rejection taxonomy; subclasses name the exact
+    violation so the verify service can count rejections by cause.
+    Subclasses ``ProofFormatError`` (hence ``ValueError``), so callers
+    that already catch format errors reject envelopes too.
+    """
+
+    default_phase = "envelope"
+
+
+class EnvelopeSchemaError(EnvelopeError):
+    """The schema id or scheme name is not one this decoder speaks."""
+
+
+class EnvelopeTruncatedError(EnvelopeError):
+    """The envelope ends mid-field — bytes promised by a length prefix
+    or fixed-width slot are missing."""
+
+
+class EnvelopeCapError(EnvelopeError):
+    """A declared count or size exceeds its hard DoS cap.
+
+    Raised *before* any allocation sized by the offending value, so a
+    hostile envelope cannot make the decoder do work proportional to a
+    number the attacker wrote.
+    """
+
+
+class EnvelopeChecksumError(EnvelopeError):
+    """The trailing integrity checksum does not match the payload."""
+
+
 class VerificationFailure(ResilienceError):
     """A well-formed proof was rejected by the verifier."""
 
     default_phase = "verify"
+
+
+class RegistryError(ResilienceError, ValueError):
+    """The verifying-key registry cannot serve a request."""
+
+    default_phase = "registry"
+
+
+class UnknownVerifyingKeyError(RegistryError, KeyError):
+    """No registry entry exists for the requested verifying-key hash."""
 
 
 class CheckpointError(ResilienceError):

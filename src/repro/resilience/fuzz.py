@@ -15,19 +15,31 @@ Any *other* exception is an **escape** — an unhandled crash path in the
 verifier — and any mutation that still verifies is an **acceptance**
 (soundness alarm).  Both fail :attr:`FuzzReport.ok`.  ``zkml chaos
 --fuzz N`` and the CI chaos-smoke job run this loop.
+
+:func:`run_envelope_fuzz` is the same discipline one trust layer up: it
+mutates serialized **proof envelopes** (truncation, byte flips,
+checksum tamper, schema-id confusion, count-cap overflow with a *fixed-
+up* checksum, and well-formed instance tampering) and asserts whatever
+verification surface it is pointed at — the in-process decoder or a
+live ``zkml verify-serve`` socket — rejects every mutant with a typed
+error and accepts none.  The checksum-fixup mutations matter: a hostile
+sender can always compute a valid checksum over a malicious body, so
+the caps must reject before the checksum ever gets a vote.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.halo2.proof import proof_from_bytes, proof_to_bytes
 from repro.halo2.verifier import verify_proof_strict
 from repro.resilience.errors import ProofFormatError, VerificationFailure
 
-__all__ = ["FuzzReport", "run_proof_fuzz"]
+__all__ = ["FuzzReport", "run_proof_fuzz", "run_envelope_fuzz",
+           "local_envelope_checker"]
 
 
 @dataclass
@@ -132,4 +144,150 @@ def run_proof_fuzz(vk, proof, instance, scheme, iterations: int = 200,
             report.escapes.append((what, type(exc).__name__, str(exc)[:120]))
         else:
             report.accepted.append(what)
+    return report
+
+
+# -- envelope-level fuzzing ---------------------------------------------------
+
+#: Error class names counted as "rejected as malformed" by the envelope
+#: fuzz loop (the decoder taxonomy plus the registry's lookup misses —
+#: a mutated vk hash legitimately lands on an unknown key).
+_FORMAT_REJECTIONS = frozenset({
+    "EnvelopeError", "EnvelopeSchemaError", "EnvelopeTruncatedError",
+    "EnvelopeCapError", "EnvelopeChecksumError", "ProofFormatError",
+    "UnknownVerifyingKeyError", "RegistryError",
+})
+
+_CHECKSUM_BYTES = 16
+
+
+def _fix_checksum(body: bytes) -> bytes:
+    """Re-stamp a mutated envelope body with a *valid* trailing checksum
+    — the adversarial shape: integrity passes, content is hostile."""
+    return body + hashlib.blake2b(body,
+                                  digest_size=_CHECKSUM_BYTES).digest()
+
+
+def _mutate_envelope(data: bytes, rng: random.Random,
+                     counts_offset: int) -> Tuple[bytes, str]:
+    """One seeded envelope mutation; ``counts_offset`` is the byte
+    offset of the instance-column-count field (header sizes vary with
+    the model name, so the caller measures it once)."""
+    kind = rng.randrange(6)
+    if kind == 0:  # truncation
+        pos = rng.randrange(len(data))
+        return data[:pos], "truncate@%d" % pos
+    if kind == 1:  # random byte flip (body or checksum)
+        pos = rng.randrange(len(data))
+        delta = rng.randrange(1, 256)
+        out = bytearray(data)
+        out[pos] ^= delta
+        return bytes(out), "flip@%d^%02x" % (pos, delta)
+    if kind == 2:  # checksum tamper: flip inside the trailing digest
+        pos = len(data) - 1 - rng.randrange(_CHECKSUM_BYTES)
+        out = bytearray(data)
+        out[pos] ^= rng.randrange(1, 256)
+        return bytes(out), "checksum-tamper@%d" % pos
+    if kind == 3:  # schema-id confusion, checksum fixed up to be valid
+        out = bytearray(data[: len(data) - _CHECKSUM_BYTES])
+        # the schema string starts at offset 1; flip its version digit
+        out[1 + out[0] - 1] = ord("0") + rng.randrange(2, 10)
+        return _fix_checksum(bytes(out)), "schema-confusion"
+    if kind == 4:  # count-cap overflow: forge a huge count, valid checksum
+        out = bytearray(data[: len(data) - _CHECKSUM_BYTES])
+        forged = (1 << 31) | rng.randrange(1 << 30)
+        out[counts_offset : counts_offset + 4] = forged.to_bytes(4, "little")
+        return _fix_checksum(bytes(out)), "count-overflow=%d" % forged
+    # flip a byte in the body, checksum fixed up: the envelope layer
+    # passes and the *verification* layer must reject.  Flips land only
+    # in regions the proof statement binds (vk hash, instance values,
+    # proof bytes) — the model-name/config-digest metadata is bound by
+    # the registry cross-check, which the in-process checker lacks.
+    out = bytearray(data[: len(data) - _CHECKSUM_BYTES])
+    vk_hash_start = counts_offset - 48  # 32B vk hash + 16B config digest
+    pos = vk_hash_start + rng.randrange(len(out) - vk_hash_start - 16)
+    if counts_offset - 16 <= pos < counts_offset:
+        pos += 16  # skip the config digest (registry-bound, not proof-bound)
+    out[pos] ^= rng.randrange(1, 256)
+    return _fix_checksum(bytes(out)), "body-flip@%d" % pos
+
+
+def local_envelope_checker(vk, caps=None) -> Callable[[bytes], Dict]:
+    """An in-process verdict function for :func:`run_envelope_fuzz`.
+
+    Mirrors what one envelope's verdict looks like coming back from
+    ``zkml verify-serve``: ``{"ok": bool, "error": <class name>}``.
+    """
+    from repro.envelope import DEFAULT_CAPS, decode_envelope
+    from repro.envelope.verify import verify_envelope
+    from repro.resilience.errors import ResilienceError
+
+    effective_caps = caps if caps is not None else DEFAULT_CAPS
+
+    def check(data: bytes) -> Dict:
+        try:
+            env = decode_envelope(data, caps=effective_caps)
+            verify_envelope(env, vk, strict=True)
+        except ResilienceError as exc:
+            return {"ok": False, "error": type(exc).__name__}
+        return {"ok": True}
+
+    return check
+
+
+def run_envelope_fuzz(envelope_bytes: bytes,
+                      check: Callable[[bytes], Dict],
+                      iterations: int = 200, seed: int = 0,
+                      tamper_instance_every: int = 10) -> FuzzReport:
+    """Mutate a known-good envelope ``iterations`` times; every mutant
+    must come back rejected with a typed error.
+
+    ``check(mutant_bytes) -> {"ok": bool, "error": str, ...}`` is the
+    verification surface under test — :func:`local_envelope_checker`
+    in-process, or a closure over
+    :func:`repro.serve.client.verify_request` for a live socket.  A
+    ``check`` that *raises* is an escape (the surface leaked a
+    traceback); a verdict naming a non-taxonomy error is an escape too.
+    Every ``tamper_instance_every``-th iteration re-encodes the envelope
+    with one public input bumped — well-formed, wrong statement — which
+    must be rejected by *verification*, not formatting.
+    """
+    from repro.envelope import decode_envelope
+
+    pristine = decode_envelope(bytes(envelope_bytes))
+    # offset of the instance-column-count u32 (after the three
+    # length-prefixed strings and the two fixed digests)
+    counts_offset = (1 + len(pristine.schema.encode())
+                     + 1 + len(pristine.scheme_name.encode())
+                     + 1 + len(pristine.model.encode()) + 32 + 16)
+    rng = random.Random(seed)
+    report = FuzzReport()
+    for i in range(iterations):
+        if tamper_instance_every and i % tamper_instance_every == \
+                tamper_instance_every - 1:
+            tampered, tag = _tamper_instance(pristine.instance, rng)
+            mutant_env = type(pristine)(
+                scheme_name=pristine.scheme_name, model=pristine.model,
+                vk_hash=pristine.vk_hash,
+                config_digest=pristine.config_digest,
+                instance=tampered, proof_bytes=pristine.proof_bytes)
+            mutant, what = mutant_env.encode(), "tamper:%s" % tag
+        else:
+            mutant, what = _mutate_envelope(bytes(envelope_bytes), rng,
+                                            counts_offset)
+        report.iterations += 1
+        try:
+            verdict = check(mutant)
+        except Exception as exc:  # noqa: BLE001 — the surface leaked an exception
+            report.escapes.append((what, type(exc).__name__, str(exc)[:120]))
+            continue
+        if verdict.get("ok"):
+            report.accepted.append(what)
+        elif verdict.get("error") in _FORMAT_REJECTIONS:
+            report.rejected_format += 1
+        elif verdict.get("error") == "VerificationFailure":
+            report.rejected_verify += 1
+        else:
+            report.escapes.append((what, str(verdict.get("error")),
+                                   str(verdict.get("detail", ""))[:120]))
     return report

@@ -30,12 +30,22 @@ returning ``False``.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.commit import scheme_by_name
+from repro.envelope import (
+    DEFAULT_CAPS,
+    EnvelopeCaps,
+    ProofEnvelope,
+    decode_envelope,
+    envelope_config_digest,
+    is_envelope,
+    verify_envelope,
+)
 from repro.compiler import SynthesizedModel, synthesize_model
 from repro.compiler.logical import LayoutPlan
 from repro.field import GOLDILOCKS, PrimeField
@@ -89,6 +99,28 @@ class ProveResult:
     #: caller passed ``keep_synthesized=True`` — the layer profiler needs
     #: it; everyone else gets ``None`` so results stay lightweight.
     synthesized: Optional[SynthesizedModel] = None
+    #: Lookup-table bit width the circuit was built with (part of the
+    #: envelope's config digest).
+    lookup_bits: Optional[int] = None
+
+    def envelope(self) -> ProofEnvelope:
+        """Package this result as a v1 proof envelope (the consumer-facing
+        format — see :mod:`repro.envelope`)."""
+        from repro.halo2.proof import proof_to_bytes
+
+        return ProofEnvelope(
+            scheme_name=self.scheme_name,
+            model=self.spec_name,
+            vk_hash=self.vk.digest(),
+            config_digest=envelope_config_digest(
+                self.num_cols, self.scale_bits, self.k, self.lookup_bits),
+            instance=self.instance,
+            proof_bytes=proof_to_bytes(self.proof),
+        )
+
+    def envelope_bytes(self) -> bytes:
+        """The canonical serialized envelope (what ``zkml prove`` emits)."""
+        return self.envelope().encode()
 
     def verification_seconds(self, field: PrimeField = GOLDILOCKS) -> float:
         scheme = scheme_by_name(self.scheme_name, field)
@@ -286,24 +318,58 @@ def prove_model(
         observed_counts=observed,
         predicted_counts=predicted,
         synthesized=result if keep_synthesized else None,
+        lookup_bits=lookup_bits,
     )
 
 
 def verify_model_proof(
     vk: VerifyingKey,
-    proof: Proof,
-    instance: List[List[int]],
+    proof,
+    instance: Optional[List[List[int]]] = None,
     scheme_name: str = "kzg",
     field: PrimeField = GOLDILOCKS,
     strict: bool = True,
+    caps: EnvelopeCaps = DEFAULT_CAPS,
 ) -> bool:
     """Verify a model proof against its public inputs.
 
+    ``proof`` may be a :class:`~repro.halo2.Proof` object, a
+    :class:`~repro.envelope.ProofEnvelope`, or raw bytes.  Envelope
+    bytes (the v1 format every prove surface now emits) are decoded
+    under ``caps`` and verified against their embedded public inputs —
+    ``instance`` and ``scheme_name`` are taken from the envelope.
+    Loose serialized proof bytes (the pre-envelope wire format) still
+    verify but emit a :class:`DeprecationWarning`; wrap proofs in
+    envelopes instead.
+
     Strict by default: a structurally invalid proof raises
-    :class:`~repro.resilience.errors.ProofFormatError` and a rejected one
-    raises :class:`~repro.resilience.errors.VerificationFailure`, so the
-    only falsy outcome is the legacy ``strict=False`` boolean path.
+    :class:`~repro.resilience.errors.ProofFormatError` (envelope
+    violations raise its :class:`~repro.resilience.errors.EnvelopeError`
+    subtypes) and a rejected one raises
+    :class:`~repro.resilience.errors.VerificationFailure`, so the only
+    falsy outcome is the legacy ``strict=False`` boolean path.
     """
+    from repro.halo2.proof import proof_from_bytes
+    from repro.resilience.errors import ProofFormatError
+
+    if isinstance(proof, (bytes, bytearray, memoryview)):
+        data = bytes(proof)
+        if is_envelope(data):
+            proof = decode_envelope(data, caps=caps)
+        else:
+            warnings.warn(
+                "verifying loose proof bytes is deprecated; wrap proofs "
+                "in a zkml-proof-envelope/v1 (repro.envelope) instead",
+                DeprecationWarning, stacklevel=2)
+            proof = proof_from_bytes(data)
+    if isinstance(proof, ProofEnvelope):
+        with get_tracer().span("verify", scheme=proof.scheme_name,
+                               envelope=True):
+            return verify_envelope(proof, vk, field=field, strict=strict)
+    if instance is None:
+        raise ProofFormatError(
+            "instance values are required to verify a loose proof "
+            "(envelopes carry their own public inputs)")
     scheme = scheme_by_name(scheme_name, field)
     with get_tracer().span("verify", scheme=scheme_name):
         if strict:
@@ -335,6 +401,29 @@ class BatchProveResult:
     observed_counts: Dict[str, int] = dataclass_field(default_factory=dict)
     #: The cost model's predicted counts for the batch layout (Eqs. 1-2).
     predicted_counts: Dict[str, float] = dataclass_field(default_factory=dict)
+    #: Grid/scale configuration the batch circuit was built with (part of
+    #: the envelope's config digest; defaults match ``prove_batch``'s).
+    num_cols: int = 10
+    scale_bits: int = 5
+    lookup_bits: Optional[int] = None
+
+    def envelope(self) -> ProofEnvelope:
+        """Package the batch proof as a v1 envelope (one envelope covers
+        the whole batch — its instance holds every slot's columns)."""
+        from repro.halo2.proof import proof_to_bytes
+
+        return ProofEnvelope(
+            scheme_name=self.scheme_name,
+            model=self.spec_name,
+            vk_hash=self.vk.digest(),
+            config_digest=envelope_config_digest(
+                self.num_cols, self.scale_bits, self.k, self.lookup_bits),
+            instance=self.instance,
+            proof_bytes=proof_to_bytes(self.proof),
+        )
+
+    def envelope_bytes(self) -> bytes:
+        return self.envelope().encode()
 
     @property
     def slot_proving_seconds(self) -> float:
@@ -508,4 +597,7 @@ def prove_batch(
         keygen_cache_hit=keygen_cache_hit,
         observed_counts=dict(observed),
         predicted_counts=predicted,
+        num_cols=num_cols,
+        scale_bits=scale_bits,
+        lookup_bits=lookup_bits,
     )

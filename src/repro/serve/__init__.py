@@ -13,10 +13,15 @@ requests into those batches.  This package is that layer:
   status;
 - :class:`~repro.serve.server.ServeServer` — a unix-socket JSON front
   end (``zkml serve``);
-- :mod:`~repro.serve.client` — the matching client (``zkml submit``).
+- :mod:`~repro.serve.client` — the matching client (``zkml submit``);
+- :class:`~repro.serve.verify_service.VerifyService` /
+  :class:`~repro.serve.verify_server.VerifyServer` — the *other* side of
+  the trust boundary (``zkml verify-serve``): batch-verify proof
+  envelopes from untrusted parties under hard resource caps, load
+  shedding, and per-request deadlines.
 
-Only the service module is imported eagerly; the socket front end is an
-explicit import so the in-process API stays dependency-light.
+Only the service modules are imported eagerly; the socket front ends are
+explicit imports so the in-process API stays dependency-light.
 """
 
 from repro.serve.service import (
@@ -26,6 +31,7 @@ from repro.serve.service import (
     ProvingService,
     ServeConfig,
 )
+from repro.serve.verify_service import VerifyConfig, VerifyService
 
 __all__ = [
     "BatchKey",
@@ -33,4 +39,6 @@ __all__ = [
     "ProofResponse",
     "ProvingService",
     "ServeConfig",
+    "VerifyConfig",
+    "VerifyService",
 ]

@@ -29,7 +29,8 @@ from typing import Dict, List
 from repro.obs.runtime import new_request_id
 from repro.resilience.errors import ServiceError
 
-__all__ = ["control_request", "submit_request", "submit_many"]
+__all__ = ["control_request", "submit_request", "submit_many",
+           "verify_request"]
 
 
 def _roundtrip(socket_path: str, payload: Dict, timeout: float) -> Dict:
@@ -107,6 +108,25 @@ def control_request(socket_path: str, op: str, timeout: float = 10.0,
             "control op %r failed: %s" % (op, response.get("detail", "")),
             error=response.get("error", ""))
     return response
+
+
+def verify_request(socket_path: str, envelopes: List[bytes],
+                   timeout: float = 120.0, request_id: str = "") -> Dict:
+    """Send serialized envelopes to a ``zkml verify-serve`` socket.
+
+    ``envelopes`` are raw envelope byte strings; they ride base64 on the
+    wire.  Returns the server's verdict report (``results`` in input
+    order) — request-level rejections come back as
+    ``{"ok": false, "error": <taxonomy class>, ...}``.
+    """
+    import base64
+
+    payload = {
+        "envelopes": [base64.b64encode(bytes(e)).decode()
+                      for e in envelopes],
+        "request_id": request_id or new_request_id(),
+    }
+    return _roundtrip(socket_path, payload, timeout)
 
 
 def submit_many(socket_path: str, payloads: List[Dict],

@@ -202,6 +202,9 @@ class ProofResponse:
     scheme_name: str
     verified: bool
     proof_bytes: bytes
+    #: The batch proof packaged as a serialized v1 envelope (shared by
+    #: every request in the batch; built once per batch).
+    envelope_bytes: bytes
     instance: List[List[int]]
     outputs: Dict[str, np.ndarray]
     batch_index: int
@@ -542,6 +545,7 @@ class ProvingService:
                        result, verified: bool, padded_size: int,
                        batch_seconds: float, batch_id: str) -> None:
         proof_bytes = proof_to_bytes(result.proof)
+        envelope_bytes = result.envelope_bytes()
         ema = self._ema_prove_seconds
         self._ema_prove_seconds = (batch_seconds if ema is None
                                    else 0.5 * ema + 0.5 * batch_seconds)
@@ -591,6 +595,7 @@ class ProvingService:
                 scheme_name=key.scheme_name,
                 verified=verified,
                 proof_bytes=proof_bytes,
+                envelope_bytes=envelope_bytes,
                 instance=result.instance,
                 outputs=result.outputs[index],
                 batch_index=index,

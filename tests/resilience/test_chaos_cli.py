@@ -58,8 +58,10 @@ class TestVerifyCommand:
         assert doc["proof_bytes"] == proof_to_bytes(doc["proof"])
 
     def test_truncated_proof_exit_one(self, artifact, tmp_path, capsys):
+        # strip the envelope so the deprecated loose path is what's tested
         with open(artifact, "rb") as f:
             doc = pickle.load(f)
+        doc.pop("envelope", None)
         doc["proof_bytes"] = doc["proof_bytes"][:40]
         del doc["proof"]
         bad = str(tmp_path / "truncated.pkl")
@@ -72,6 +74,7 @@ class TestVerifyCommand:
     def test_tampered_instance_exit_one(self, artifact, tmp_path, capsys):
         with open(artifact, "rb") as f:
             doc = pickle.load(f)
+        doc.pop("envelope", None)
         doc["instance"] = [list(col) for col in doc["instance"]]
         doc["instance"][0][0] += 1
         bad = str(tmp_path / "tampered.pkl")
@@ -96,6 +99,7 @@ class TestVerifyCommand:
         # structured log line and no Python traceback on either stream
         with open(artifact, "rb") as f:
             doc = pickle.load(f)
+        doc.pop("envelope", None)
         doc["proof_bytes"] = doc["proof_bytes"][:33]
         del doc["proof"]
         bad = str(tmp_path / "broken.pkl")

@@ -1,0 +1,268 @@
+"""The proof envelope codec under a hostile-input threat model.
+
+Three contracts are pinned here:
+
+- the canonical encoding round-trips and is deterministic (equal
+  envelopes encode to equal bytes, so the checksum is a content
+  address);
+- every malformed input is rejected with the *right*
+  :class:`EnvelopeError` subtype **before any field arithmetic** — the
+  global ``obs.stats`` counters must not move on a rejection path;
+- the mutation fuzzer (the ``zkml chaos --envelope-fuzz`` loop) holds:
+  hundreds of mutants, 100% typed rejections, zero escapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.envelope import (
+    DEFAULT_CAPS,
+    SCHEMA_V1,
+    EnvelopeCaps,
+    ProofEnvelope,
+    decode_envelope,
+    envelope_config_digest,
+    is_envelope,
+    verify_envelope,
+)
+from repro.model import get_model
+from repro.obs.stats import STATS
+from repro.resilience.errors import (
+    EnvelopeCapError,
+    EnvelopeChecksumError,
+    EnvelopeError,
+    EnvelopeSchemaError,
+    EnvelopeTruncatedError,
+    VerificationFailure,
+)
+from repro.resilience.fuzz import local_envelope_checker, run_envelope_fuzz
+from repro.runtime import prove_model
+
+rng = np.random.default_rng(31)
+
+
+@pytest.fixture(scope="module")
+def proven():
+    spec = get_model("dlrm", "mini")
+    inputs = {k: rng.uniform(-0.5, 0.5, s) for k, s in spec.inputs.items()}
+    return prove_model(spec, inputs, scheme_name="kzg", num_cols=10,
+                       scale_bits=5)
+
+
+@pytest.fixture(scope="module")
+def envelope(proven):
+    return proven.envelope()
+
+
+@pytest.fixture(scope="module")
+def encoded(envelope):
+    return envelope.encode()
+
+
+def _reject(data, exc_type, caps=DEFAULT_CAPS):
+    """Decode must raise ``exc_type`` without any prover-side op firing.
+
+    The envelope decoder's contract is "reject before expensive work":
+    a rejection may cost parsing and a hash, but never an NTT, a
+    commitment, a lookup pass — the counters the prover hot path bumps.
+    """
+    before = STATS.snapshot()
+    with pytest.raises(exc_type) as info:
+        decode_envelope(data, caps=caps)
+    moved = {k: v for k, v in STATS.delta(before).items() if v}
+    assert not moved, "decoder rejection did %r work" % moved
+    return info.value
+
+
+class TestRoundTrip:
+    def test_decode_inverts_encode(self, envelope, encoded):
+        again = decode_envelope(encoded)
+        assert again.model == envelope.model
+        assert again.scheme_name == envelope.scheme_name
+        assert again.vk_hash == envelope.vk_hash
+        assert again.config_digest == envelope.config_digest
+        assert again.instance == [list(col) for col in envelope.instance]
+        assert again.proof_bytes == envelope.proof_bytes
+
+    def test_encoding_is_canonical(self, encoded):
+        # decode -> re-encode is the identity, so checksum == content id
+        assert decode_envelope(encoded).encode() == encoded
+
+    def test_is_envelope_sniffs_only_the_schema_prefix(self, proven,
+                                                       encoded):
+        from repro.halo2.proof import proof_to_bytes
+
+        assert is_envelope(encoded)
+        assert not is_envelope(proof_to_bytes(proven.proof))
+        assert not is_envelope(b"")
+        assert not is_envelope(b"\x00garbage")
+
+    def test_decoded_checksum_is_recorded(self, encoded):
+        env = decode_envelope(encoded)
+        assert env.checksum == encoded[-16:].hex()
+
+    def test_describe_is_json_friendly(self, envelope):
+        import json
+
+        doc = envelope.describe()
+        assert doc["schema"] == SCHEMA_V1
+        assert doc["public_inputs"] == envelope.num_public_inputs()
+        json.dumps(doc)
+
+    def test_config_digest_binds_every_knob(self):
+        base = envelope_config_digest(10, 5, 9, None)
+        assert base == envelope_config_digest(10, 5, 9, None)
+        assert base != envelope_config_digest(11, 5, 9, None)
+        assert base != envelope_config_digest(10, 6, 9, None)
+        assert base != envelope_config_digest(10, 5, 10, None)
+        assert base != envelope_config_digest(10, 5, 9, 8)
+
+
+class TestDecoderCapEdges:
+    """Satellite contract: each edge rejects with the right subtype and
+    zero prover-side op counters (asserted via ``obs.stats``)."""
+
+    def test_zero_instance_columns_rejected(self, envelope):
+        empty = ProofEnvelope(
+            scheme_name=envelope.scheme_name, model=envelope.model,
+            vk_hash=envelope.vk_hash, config_digest=envelope.config_digest,
+            instance=[], proof_bytes=envelope.proof_bytes)
+        exc = _reject(empty.encode(), EnvelopeError)
+        assert not isinstance(exc, (EnvelopeCapError, EnvelopeSchemaError,
+                                    EnvelopeTruncatedError,
+                                    EnvelopeChecksumError))
+        assert "no public inputs" in str(exc)
+
+    def test_exactly_at_cap_accepted(self, envelope, encoded):
+        caps = EnvelopeCaps(
+            max_envelope_bytes=len(encoded),
+            max_instance_columns=len(envelope.instance),
+            max_public_inputs=envelope.num_public_inputs(),
+            max_proof_bytes=len(envelope.proof_bytes),
+        )
+        assert decode_envelope(encoded, caps=caps).model == envelope.model
+
+    def test_one_past_each_cap_rejected(self, envelope, encoded):
+        at = dict(
+            max_envelope_bytes=len(encoded),
+            max_instance_columns=len(envelope.instance),
+            max_public_inputs=envelope.num_public_inputs(),
+            max_proof_bytes=len(envelope.proof_bytes),
+        )
+        for knob in at:
+            tightened = dict(at)
+            tightened[knob] -= 1
+            _reject(encoded, EnvelopeCapError, caps=EnvelopeCaps(**tightened))
+
+    def test_empty_proof_bytes_rejected(self, envelope):
+        hollow = ProofEnvelope(
+            scheme_name=envelope.scheme_name, model=envelope.model,
+            vk_hash=envelope.vk_hash, config_digest=envelope.config_digest,
+            instance=envelope.instance, proof_bytes=b"")
+        exc = _reject(hollow.encode(), EnvelopeError)
+        assert "empty proof" in str(exc)
+
+    def test_oversized_envelope_rejected_before_parsing(self, encoded):
+        caps = EnvelopeCaps(max_envelope_bytes=len(encoded) - 1)
+        exc = _reject(encoded, EnvelopeCapError, caps=caps)
+        assert exc.attribution().get("cap") == len(encoded) - 1
+
+    def test_forged_count_rejected_before_allocation(self, envelope,
+                                                     encoded):
+        # a 2^31 public-input count must die on the cap check, not
+        # allocate — the mutant keeps a *valid* checksum so the cap is
+        # what rejects it, proving caps do not hide behind integrity
+        import hashlib
+
+        header = (1 + len(SCHEMA_V1) + 1 + len(envelope.scheme_name)
+                  + 1 + len(envelope.model) + 32 + 16)
+        forged = bytearray(encoded[:-16])
+        forged[header + 4 : header + 8] = (1 << 31).to_bytes(4, "little")
+        forged += hashlib.blake2b(bytes(forged), digest_size=16).digest()
+        _reject(bytes(forged), EnvelopeCapError)
+
+    def test_every_truncation_rejected_cleanly(self, encoded):
+        for cut in range(0, len(encoded) - 1, max(1, len(encoded) // 64)):
+            _reject(encoded[:cut], EnvelopeError)
+
+    def test_schema_confusion_rejected(self, encoded):
+        mutated = bytearray(encoded)
+        mutated[1] ^= 0x20  # flip case inside the schema id
+        _reject(bytes(mutated), EnvelopeSchemaError)
+
+    def test_checksum_tamper_rejected(self, encoded):
+        mutated = bytearray(encoded)
+        mutated[-1] ^= 0xFF
+        _reject(bytes(mutated), EnvelopeChecksumError)
+
+    def test_trailing_garbage_rejected(self, encoded):
+        _reject(encoded + b"\x00", EnvelopeError)
+
+    def test_caps_checked_before_checksum(self, encoded):
+        # both violations at once: the over-cap body must win, because a
+        # hostile sender can always compute a valid checksum
+        mutated = bytearray(encoded)
+        mutated[-1] ^= 0xFF
+        caps = EnvelopeCaps(max_envelope_bytes=len(encoded) - 1)
+        _reject(bytes(mutated), EnvelopeCapError, caps=caps)
+
+
+class TestVerifyEnvelope:
+    def test_good_envelope_verifies(self, proven, envelope):
+        verify_envelope(envelope, proven.vk)
+
+    def test_vk_hash_mismatch_rejected(self, proven, envelope):
+        import dataclasses
+
+        relabeled = dataclasses.replace(envelope,
+                                        vk_hash=bytes(32))
+        with pytest.raises(VerificationFailure, match="verifying-key"):
+            verify_envelope(relabeled, proven.vk)
+
+    def test_scheme_mismatch_rejected(self, proven, envelope):
+        import dataclasses
+
+        other = dataclasses.replace(envelope, scheme_name="ipa")
+        with pytest.raises(VerificationFailure, match="scheme"):
+            verify_envelope(other, proven.vk)
+
+    def test_tampered_instance_rejected(self, proven, envelope):
+        import dataclasses
+
+        instance = [list(col) for col in envelope.instance]
+        instance[0][0] += 1
+        tampered = dataclasses.replace(envelope, instance=instance)
+        with pytest.raises(VerificationFailure):
+            verify_envelope(tampered, proven.vk)
+
+    def test_non_strict_returns_bool(self, proven, envelope):
+        import dataclasses
+
+        assert verify_envelope(envelope, proven.vk, strict=False)
+        instance = [list(col) for col in envelope.instance]
+        instance[0][0] += 1
+        bad = dataclasses.replace(envelope, instance=instance)
+        assert not verify_envelope(bad, proven.vk, strict=False)
+
+
+class TestEnvelopeFuzz:
+    def test_two_hundred_mutants_all_typed_rejections(self, proven,
+                                                      encoded):
+        report = run_envelope_fuzz(encoded,
+                                   local_envelope_checker(proven.vk),
+                                   iterations=200, seed=7)
+        assert report.iterations == 200
+        assert report.accepted == [], report.summary()
+        assert report.escapes == [], report.summary()
+        assert report.rejected_format + report.rejected_verify == 200
+        # both rejection layers must actually be exercised
+        assert report.rejected_format > 0
+        assert report.rejected_verify > 0
+        assert report.ok
+
+    def test_fuzz_is_seed_deterministic(self, proven, encoded):
+        check = local_envelope_checker(proven.vk)
+        a = run_envelope_fuzz(encoded, check, iterations=30, seed=3)
+        b = run_envelope_fuzz(encoded, check, iterations=30, seed=3)
+        assert (a.rejected_format, a.rejected_verify) \
+            == (b.rejected_format, b.rejected_verify)

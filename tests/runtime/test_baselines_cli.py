@@ -79,6 +79,9 @@ class TestCLI:
         assert main(["prove", "--model", "mnist", "--out", artifact]) == 0
         with open(artifact, "rb") as f:
             data = pickle.load(f)
+        # strip the canonical envelope so the deprecated loose path —
+        # the one reading data["instance"] — is what gets tampered
+        data.pop("envelope", None)
         data["instance"][0][0] += 1
         with open(artifact, "wb") as f:
             pickle.dump(data, f)

@@ -1,0 +1,197 @@
+"""The envelope flow end to end: pipeline API, CLI exit codes, registry.
+
+Covers the public surfaces PR-level acceptance names: ``prove_model``/
+``prove_batch`` emit envelopes, ``verify_model_proof`` accepts them
+(loose bytes only behind a deprecation shim), and ``zkml verify`` exits
+3 — distinctly — when the envelope's key is absent from the registry.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.envelope import decode_envelope, is_envelope
+from repro.model import get_model
+from repro.obs import log as obs_log
+from repro.runtime import prove_batch, prove_model, verify_model_proof
+
+rng = np.random.default_rng(53)
+
+
+@pytest.fixture(autouse=True)
+def reset_log_level():
+    yield
+    obs_log.set_level("info")  # `-q` runs mute the shared logger
+
+
+@pytest.fixture(scope="module")
+def proven():
+    spec = get_model("dlrm", "mini")
+    inputs = {k: rng.uniform(-0.5, 0.5, s) for k, s in spec.inputs.items()}
+    return prove_model(spec, inputs, scheme_name="kzg", num_cols=10,
+                       scale_bits=5)
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """One prove run shared by the CLI tests: artifact, envelope,
+    populated registry."""
+    root = tmp_path_factory.mktemp("envelope-cli")
+    paths = {
+        "artifact": str(root / "proof.pkl"),
+        "envelope": str(root / "proof.env"),
+        "registry": str(root / "registry"),
+        "root": str(root),
+    }
+    rc = main(["prove", "--model", "dlrm", "--out", paths["artifact"],
+               "--envelope", paths["envelope"],
+               "--registry", paths["registry"], "-q"])
+    obs_log.set_level("info")
+    assert rc == 0
+    return paths
+
+
+class TestPipelineEnvelopeApi:
+    def test_prove_result_envelope_is_self_consistent(self, proven):
+        env = proven.envelope()
+        assert env.model == proven.spec_name
+        assert env.scheme_name == proven.scheme_name
+        assert env.vk_hash == proven.vk.digest()
+        assert env.instance == [list(col) for col in proven.instance]
+        assert is_envelope(proven.envelope_bytes())
+
+    def test_verify_model_proof_accepts_envelope_bytes(self, proven):
+        verify_model_proof(proven.vk, proven.envelope_bytes())
+
+    def test_verify_model_proof_accepts_envelope_object(self, proven):
+        verify_model_proof(proven.vk, proven.envelope())
+
+    def test_loose_bytes_warn_deprecation(self, proven):
+        from repro.halo2.proof import proof_to_bytes
+
+        with pytest.warns(DeprecationWarning, match="envelope"):
+            verify_model_proof(proven.vk, proof_to_bytes(proven.proof),
+                               proven.instance, proven.scheme_name)
+
+    def test_envelope_bytes_deterministic(self, proven):
+        assert proven.envelope_bytes() == proven.envelope_bytes()
+
+    def test_prove_batch_emits_envelopes(self):
+        spec = get_model("dlrm", "mini")
+        batch = [
+            {k: rng.uniform(-0.5, 0.5, s) for k, s in spec.inputs.items()}
+            for _ in range(2)
+        ]
+        result = prove_batch(spec, batch, scheme_name="kzg", num_cols=10,
+                             scale_bits=5)
+        env = result.envelope()  # one envelope covers the whole batch
+        assert env.model == spec.name
+        assert env.vk_hash == result.vk.digest()
+        assert env.instance == [list(col) for col in result.instance]
+        verify_model_proof(result.vk, result.envelope_bytes())
+
+
+class TestProveCli:
+    def test_artifact_carries_envelope(self, workspace):
+        with open(workspace["artifact"], "rb") as f:
+            doc = pickle.load(f)
+        env = decode_envelope(doc["envelope"])
+        assert env.model == "dlrm-mini"
+        assert env.vk_hash == doc["vk"].digest()
+
+    def test_envelope_file_is_raw_wire_bytes(self, workspace):
+        with open(workspace["envelope"], "rb") as f:
+            data = f.read()
+        assert is_envelope(data)
+        assert decode_envelope(data).model == "dlrm-mini"
+
+    def test_registry_was_populated(self, workspace):
+        rc = main(["registry", "list", "--registry", workspace["registry"],
+                   "-q"])
+        assert rc == 0
+        rc = main(["registry", "check", "--registry", workspace["registry"],
+                   "-q"])
+        assert rc == 0
+
+
+class TestVerifyCliExitCodes:
+    def test_envelope_with_registry_exit_zero(self, workspace):
+        assert main(["verify", "--envelope", workspace["envelope"],
+                     "--registry", workspace["registry"], "-q"]) == 0
+
+    def test_artifact_envelope_path_exit_zero(self, workspace):
+        assert main(["verify", "--artifact", workspace["artifact"],
+                     "-q"]) == 0
+
+    def test_unknown_vk_exits_three_with_hint(self, workspace, tmp_path,
+                                              capsys):
+        empty = str(tmp_path / "empty-registry")
+        rc = main(["verify", "--envelope", workspace["envelope"],
+                   "--registry", empty, "-q"])
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "unknown_vk" in err
+        assert "zkml registry publish" in err  # the remediation hint
+
+    def test_publish_then_retry_clears_exit_three(self, workspace,
+                                                  tmp_path):
+        fresh = str(tmp_path / "fresh-registry")
+        assert main(["verify", "--envelope", workspace["envelope"],
+                     "--registry", fresh, "-q"]) == 3
+        assert main(["registry", "publish",
+                     "--artifact", workspace["artifact"],
+                     "--registry", fresh, "-q"]) == 0
+        assert main(["verify", "--envelope", workspace["envelope"],
+                     "--registry", fresh, "-q"]) == 0
+
+    def test_tampered_envelope_exit_one(self, workspace, tmp_path, capsys):
+        with open(workspace["envelope"], "rb") as f:
+            data = bytearray(f.read())
+        data[-1] ^= 0xFF
+        bad = str(tmp_path / "tampered.env")
+        with open(bad, "wb") as f:
+            f.write(bytes(data))
+        rc = main(["verify", "--envelope", bad,
+                   "--registry", workspace["registry"], "-q"])
+        assert rc == 1
+        assert "EnvelopeChecksumError" in capsys.readouterr().err
+
+    def test_envelope_without_registry_exit_one(self, workspace, capsys):
+        rc = main(["verify", "--envelope", workspace["envelope"], "-q"])
+        assert rc == 1
+        assert "registry" in capsys.readouterr().err
+
+    def test_registry_check_detects_corruption_exit_one(self, workspace,
+                                                        tmp_path):
+        import shutil
+
+        broken = str(tmp_path / "broken-registry")
+        shutil.copytree(workspace["registry"], broken)
+        vk_dir = os.path.join(broken, "vk")
+        victim = os.path.join(vk_dir, os.listdir(vk_dir)[0])
+        with open(victim, "ab") as f:
+            f.write(b"rot")
+        assert main(["registry", "check", "--registry", broken, "-q"]) == 1
+
+    def test_publish_rejects_envelope_free_artifact(self, workspace,
+                                                    tmp_path, capsys):
+        with open(workspace["artifact"], "rb") as f:
+            doc = pickle.load(f)
+        doc.pop("envelope")
+        legacy = str(tmp_path / "legacy.pkl")
+        with open(legacy, "wb") as f:
+            pickle.dump(doc, f)
+        rc = main(["registry", "publish", "--artifact", legacy,
+                   "--registry", str(tmp_path / "reg"), "-q"])
+        assert rc == 1
+        assert "re-prove" in capsys.readouterr().err
+
+
+class TestChaosEnvelopeFuzz:
+    def test_chaos_envelope_fuzz_smoke(self):
+        rc = main(["chaos", "--model", "dlrm", "--sites", "transcript",
+                   "--envelope-fuzz", "25", "-q"])
+        assert rc == 0

@@ -783,7 +783,9 @@ def _serve_config(args):
         max_queue=args.max_queue,
         max_batch=args.max_batch,
         max_flush_seconds=args.flush_ms / 1000.0,
-        workers=args.workers,
+        cluster_workers=max(0, args.workers),
+        pk_cache_dir=args.pk_cache_dir,
+        max_backlog_batches=args.max_backlog,
         jobs=args.jobs,
         telemetry=not args.no_telemetry,
         flight_path=args.flight_recorder or None,
@@ -885,6 +887,17 @@ def _cmd_serve(args) -> int:
     service = ProvingService(_serve_config(args),
                              metrics=args.obs_registry).start()
     server = ServeServer(service, args.socket)
+    http = None
+    if args.http_port is not None:
+        from repro.serve.http_server import HttpFrontEnd
+
+        http = HttpFrontEnd(service, host=args.http_host,
+                            port=args.http_port).start()
+        log.info("http:         %s", http.url)
+    if service._scheduler is not None:
+        log.info("cluster:      %d workers, pids %s",
+                 service._scheduler.workers,
+                 service._scheduler.worker_pids())
 
     def _terminate(signum, frame):
         raise KeyboardInterrupt  # SIGTERM drains like Ctrl-C
@@ -897,6 +910,8 @@ def _cmd_serve(args) -> int:
     finally:
         signal.signal(signal.SIGTERM, previous)
         server.stop()
+        if http is not None:
+            http.stop()
         service.shutdown(drain=True)
         if service.runtime.enabled and service.runtime.dump_path:
             service.dump_flight(reason="shutdown")
@@ -911,10 +926,17 @@ def _cmd_submit(args) -> int:
     from repro.obs.runtime import percentile
     from repro.serve.client import submit_many
 
+    models = [m.strip() for m in args.model.split(",") if m.strip()]
+    unknown = [m for m in models if m not in model_names()]
+    if unknown:
+        log.error("unknown model(s) %s (known: %s)",
+                  ",".join(unknown), ",".join(model_names()))
+        return 1
     payloads = [
-        {"model": args.model, "seed": args.seed + i,
+        {"model": models[i % len(models)], "seed": args.seed + i,
          "scheme": args.backend, "columns": args.columns,
          "scale_bits": args.scale_bits, "timeout": args.timeout,
+         "priority": args.priority,
          "want_proof": bool(args.out)}
         for i in range(args.count)
     ]
@@ -1246,8 +1268,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ceiling on how long the oldest request waits")
     serve.add_argument("--max-queue", type=int, default=64,
                        help="bounded queue size (backpressure beyond this)")
-    serve.add_argument("--workers", type=int, default=1,
-                       help="worker threads proving flushed batches")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="prover worker *processes* (cluster mode); "
+                            "0 proves in-process on a thread (default)")
+    serve.add_argument("--pk-cache-dir", default=None, metavar="DIR",
+                       help="shared disk-backed proving-key cache the "
+                            "cluster workers attach (keys survive "
+                            "restarts; keygen happens once cluster-wide)")
+    serve.add_argument("--max-backlog", type=int, default=8,
+                       help="per-model batches queued for worker dispatch "
+                            "before load shedding (bulk is shed first)")
+    serve.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                       help="also serve HTTP/JSON on this TCP port "
+                            "(0 = ephemeral; same payloads and control "
+                            "ops as the socket)")
+    serve.add_argument("--http-host", default="127.0.0.1",
+                       help="bind address for --http-port")
     serve.add_argument("--jobs", type=int, default=None,
                        help="prover worker processes per batch")
     serve.add_argument("--smoke", type=int, default=0, metavar="N",
@@ -1308,8 +1344,17 @@ def build_parser() -> argparse.ArgumentParser:
     submit = sub.add_parser(
         "submit", parents=[common],
         help="send proof requests to a running 'zkml serve' socket")
-    submit.add_argument("--socket", default="zkml-serve.sock")
-    submit.add_argument("--model", required=True, choices=model_names())
+    submit.add_argument("--socket", default="zkml-serve.sock",
+                        help="unix socket path, or an http://host:port "
+                             "URL targeting the HTTP front end")
+    submit.add_argument("--model", required=True,
+                        help="zoo model name; a comma-separated list "
+                             "round-robins requests across models "
+                             "(mixed-model traffic)")
+    submit.add_argument("--priority", default="interactive",
+                        choices=["interactive", "bulk"],
+                        help="dispatch class (bulk is shed first under "
+                             "overload)")
     submit.add_argument("--count", type=int, default=1,
                         help="concurrent requests to send")
     submit.add_argument("--seed", type=int, default=0,
@@ -1326,7 +1371,8 @@ def build_parser() -> argparse.ArgumentParser:
     top = sub.add_parser(
         "top", parents=[common],
         help="live dashboard for a running 'zkml serve' socket")
-    top.add_argument("--socket", default="zkml-serve.sock")
+    top.add_argument("--socket", default="zkml-serve.sock",
+                     help="unix socket path, or an http://host:port URL")
     top.add_argument("--interval", type=float, default=2.0,
                      help="seconds between status polls")
     top.add_argument("--count", type=int, default=None, metavar="N",

@@ -438,6 +438,27 @@ def render_status(status: Dict[str, Any]) -> str:
         lines.append("")
         lines.append("pending: " + "  ".join(
             "%s=%d" % kv for kv in sorted(pending.items())))
+    cluster = status.get("cluster") or {}
+    if cluster:
+        workers = cluster.get("workers", [])
+        lines.append(
+            "cluster: %d/%d workers alive (%d busy)  backlog %d/%d  "
+            "restarts %d  redispatched %d  shed %d" % (
+                cluster.get("alive", 0), len(workers),
+                cluster.get("busy", 0),
+                cluster.get("backlog_total", 0),
+                cluster.get("max_backlog_batches", 0),
+                cluster.get("restarts", 0),
+                cluster.get("redispatched", 0),
+                cluster.get("shed", 0)))
+        if workers:
+            lines.append("workers: " + "  ".join(
+                "w%d[pid %s %s %d done]" % (
+                    w.get("id", -1), w.get("pid", "?"),
+                    "busy" if w.get("busy") else
+                    ("idle" if w.get("alive") else "DEAD"),
+                    w.get("batches_done", 0))
+                for w in workers))
     batcher = status.get("batcher", {})
     if batcher:
         ema = batcher.get("ema_prove_seconds")

@@ -5,22 +5,45 @@ and selector values, and the copy-constraint list.  Two proves of the same
 model with different inputs therefore share keys; the cache detects that
 with a structural digest and skips preprocessing entirely.
 
-Every entry carries an integrity checksum computed at insert time and
-re-verified on each hit: a corrupted entry (bit rot, a buggy mutation of
-shared key state, or the ``cache_read`` fault-injection site) is
-detected, **evicted, and rebuilt** by re-running keygen — counted as
-``resilience_recovered_total{reason="pk_cache_rebuild"}`` rather than
-poisoning the proof.  Callers that must not tolerate rebuilds can pass
-``strict=True`` to get a typed
-:class:`~repro.resilience.errors.CacheCorruptionError` instead.
+Two layers:
+
+- :class:`ProvingKeyCache` — the in-memory LRU every prove consults
+  (``GLOBAL_PK_CACHE``).  Every entry carries an integrity checksum
+  computed at insert time and re-verified on each hit: a corrupted entry
+  (bit rot, a buggy mutation of shared key state, or the ``cache_read``
+  fault-injection site) is detected, **evicted, and rebuilt** — counted
+  as ``resilience_recovered_total{reason="pk_cache_rebuild"}`` rather
+  than poisoning the proof.  Callers that must not tolerate rebuilds
+  pass ``strict=True`` to get a typed
+  :class:`~repro.resilience.errors.CacheCorruptionError` instead; the
+  strict path *observes* without mutating — counters and entries are
+  untouched when it raises, so a strict probe never skews hit-rate math.
+- :class:`DiskPKCache` — an optional content-addressed on-disk layer
+  *under* the LRU (``ProvingKeyCache.attach_disk``).  Keys survive
+  restarts and are shared across the serve cluster's worker processes:
+  files are checksummed (evict-never-serve-corrupt, the VK registry's
+  read idiom), written atomically via per-process tmp files +
+  ``os.replace``, and guarded by advisory per-digest file locks so two
+  workers racing the same circuit run keygen **at most once** between
+  them — the loser blocks briefly and loads the winner's keys.
+
+Counter semantics (asserted by ``tests/perf/test_pkcache_stats.py``):
+every ``get_or_create`` call increments **exactly one** of ``hits``
+(served from memory), ``misses`` (first sight of this digest — filled by
+keygen or by the disk layer), or ``rebuilds`` (a corrupt memory entry
+was evicted and re-fetched).  ``disk_hits`` counts the subset of
+misses/rebuilds that skipped keygen by loading from disk.  ``clear()``
+resets entries *and* counters, so post-clear stats start from zero.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
+import time
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 from repro.commit.scheme import CommitmentScheme
 from repro.halo2.circuit import Assignment, ConstraintSystem
@@ -28,6 +51,11 @@ from repro.halo2.column import Column, ColumnType
 from repro.halo2.keygen import ProvingKey, VerifyingKey, keygen
 from repro.resilience import events, faults
 from repro.resilience.errors import CacheCorruptionError
+
+try:  # advisory locking is POSIX-only; elsewhere the disk cache still
+    import fcntl  # works, it just may duplicate a keygen under a race
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 
 def circuit_digest(
@@ -93,17 +121,199 @@ def _entry_checksum(pk: ProvingKey, vk: VerifyingKey) -> str:
     return h.hexdigest()
 
 
+# -- disk layer ---------------------------------------------------------------
+
+#: Magic prefix of every on-disk pk-cache artifact.
+DISK_MAGIC = b"zkml-pk-cache/v1\n"
+
+_DISK_CHECKSUM_BYTES = 16
+
+
+class _DigestLock:
+    """An advisory exclusive lock on one digest's lock file.
+
+    ``flock`` locks are per-open-file and released on close, so a worker
+    that dies mid-keygen cannot wedge the cluster: the kernel drops its
+    lock and the next waiter proceeds.
+    """
+
+    def __init__(self, path: str):
+        self._path = path
+        self._fd: Optional[int] = None
+
+    def __enter__(self) -> "_DigestLock":
+        self._fd = os.open(self._path, os.O_RDWR | os.O_CREAT, 0o644)
+        if fcntl is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._fd is not None:
+            if fcntl is not None:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            os.close(self._fd)
+            self._fd = None
+
+
+class DiskPKCache:
+    """Content-addressed, checksummed on-disk proving-key store.
+
+    Layout under ``root``::
+
+        pk/<circuit_digest>.pkl     checksummed pickled (pk, vk) pair
+        locks/<circuit_digest>.lock advisory keygen lock (empty file)
+
+    Artifacts are ``DISK_MAGIC || blake2b-16(payload) || payload`` where
+    payload is a pickle of ``{"digest", "pk", "vk"}``.  Reads verify the
+    magic, the checksum, and the embedded digest before returning keys;
+    any mismatch **evicts** the file (counted as
+    ``resilience_recovered_total{reason="pk_disk_evict"}``) and reports a
+    miss — corrupt keys are never served.  Writes go through a
+    per-process tmp file and ``os.replace`` with bounded retries (the
+    registry's ``disk_write``-site idiom), so a reader never observes a
+    half-written artifact.
+    """
+
+    def __init__(self, root: str, validate: bool = True,
+                 write_attempts: int = 3, backoff_seconds: float = 0.05):
+        self.root = root
+        self.validate = validate
+        self.write_attempts = write_attempts
+        self.backoff_seconds = backoff_seconds
+        os.makedirs(os.path.join(root, "pk"), exist_ok=True)
+        os.makedirs(os.path.join(root, "locks"), exist_ok=True)
+        self.loads = 0
+        self.load_hits = 0
+        self.stores = 0
+        self.evictions = 0
+
+    def path(self, digest: str) -> str:
+        return os.path.join(self.root, "pk", "%s.pkl" % digest)
+
+    def lock(self, digest: str) -> _DigestLock:
+        """An exclusive advisory lock for this digest's keygen critical
+        section (hold it across the load-miss → keygen → store window)."""
+        return _DigestLock(os.path.join(self.root, "locks",
+                                        "%s.lock" % digest))
+
+    def load(self, digest: str):
+        """Return the stored ``(pk, vk)`` for ``digest`` or ``None``.
+
+        A missing file is a plain miss.  A file that fails any integrity
+        check (magic, checksum, unpicklable, wrong digest inside) is
+        evicted and reported as a miss — never served.
+        """
+        self.loads += 1
+        path = self.path(digest)
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except OSError:
+            return None
+        cause = self._validate_blob(digest, blob)
+        if cause is None:
+            payload = pickle.loads(
+                blob[len(DISK_MAGIC) + _DISK_CHECKSUM_BYTES:])
+            self.load_hits += 1
+            return payload["pk"], payload["vk"]
+        self.evictions += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        events.recovered("pk_disk_evict", digest=digest[:16], cause=cause)
+        return None
+
+    def _validate_blob(self, digest: str, blob: bytes) -> Optional[str]:
+        """``None`` when intact, else the corruption cause."""
+        if not blob.startswith(DISK_MAGIC):
+            return "bad_magic"
+        body = blob[len(DISK_MAGIC):]
+        if len(body) < _DISK_CHECKSUM_BYTES:
+            return "truncated"
+        checksum, payload = (body[:_DISK_CHECKSUM_BYTES],
+                             body[_DISK_CHECKSUM_BYTES:])
+        if self.validate and hashlib.blake2b(
+                payload, digest_size=_DISK_CHECKSUM_BYTES).digest() != checksum:
+            return "checksum_mismatch"
+        try:
+            doc = pickle.loads(payload)
+        except Exception:  # noqa: BLE001 — any unpickle failure is corruption
+            return "unpicklable"
+        if not isinstance(doc, dict) or doc.get("digest") != digest \
+                or "pk" not in doc or "vk" not in doc:
+            return "wrong_object"
+        return None
+
+    def store(self, digest: str, pk: ProvingKey, vk: VerifyingKey) -> None:
+        """Atomically persist keys for ``digest`` (idempotent)."""
+        payload = pickle.dumps({"digest": digest, "pk": pk, "vk": vk})
+        checksum = hashlib.blake2b(
+            payload, digest_size=_DISK_CHECKSUM_BYTES).digest()
+        blob = DISK_MAGIC + checksum + payload
+        path = self.path(digest)
+        # per-process tmp name: concurrent writers never clobber each
+        # other's partial file, and the final rename is atomic either way
+        tmp = "%s.tmp.%d" % (path, os.getpid())
+        last: Optional[BaseException] = None
+        for attempt in range(1, self.write_attempts + 1):
+            try:
+                faults.maybe_inject("disk_write")
+                with open(tmp, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp, path)
+                self.stores += 1
+                return
+            except (OSError, faults.InjectedFault) as exc:
+                last = exc
+                if attempt < self.write_attempts:
+                    events.retried("pk_disk_write", attempt,
+                                   digest=digest[:16],
+                                   error=type(exc).__name__)
+                    time.sleep(self.backoff_seconds * (2 ** (attempt - 1)))
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise CacheCorruptionError(
+            "could not persist proving keys after %d attempts"
+            % self.write_attempts, digest=digest[:16]) from last
+
+    def stats(self) -> dict:
+        return {
+            "root": self.root,
+            "loads": self.loads,
+            "load_hits": self.load_hits,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+
+
 class ProvingKeyCache:
     """A small LRU of checksummed ``(pk, vk)`` pairs keyed by
-    :func:`circuit_digest`."""
+    :func:`circuit_digest`, optionally layered over a :class:`DiskPKCache`."""
 
-    def __init__(self, maxsize: int = 4, validate: bool = True):
+    def __init__(self, maxsize: int = 4, validate: bool = True,
+                 disk: Optional[DiskPKCache] = None):
         self.maxsize = maxsize
         self.validate = validate
+        self.disk = disk
         self._entries: "OrderedDict[str, Tuple[ProvingKey, VerifyingKey, str]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.rebuilds = 0
+        self.disk_hits = 0
+
+    def attach_disk(self, disk: Union[DiskPKCache, str, None]) -> None:
+        """Layer a disk cache under this LRU (a path creates one).
+
+        The serve cluster's worker processes call this at startup with a
+        shared directory, so keygen results cross process boundaries and
+        survive restarts.  ``None`` detaches.
+        """
+        if isinstance(disk, str):
+            disk = DiskPKCache(disk)
+        self.disk = disk
 
     def _entry_is_intact(self, digest: str) -> bool:
         """Re-verify a cached entry's checksum (the ``cache_read`` fault
@@ -115,6 +325,26 @@ class ProvingKeyCache:
             stored = "corrupted:" + stored
         return _entry_checksum(pk, vk) == stored
 
+    def _fetch(self, cs: ConstraintSystem, assignment: Assignment,
+               scheme: CommitmentScheme, digest: str):
+        """Produce keys for a digest not served from memory.
+
+        With a disk layer, the whole load-miss → keygen → store window
+        runs under the digest's advisory file lock, so concurrent worker
+        processes racing the same circuit perform at most one keygen.
+        Returns ``(pk, vk, from_disk)``.
+        """
+        if self.disk is None:
+            pk, vk = keygen(cs, assignment, scheme)
+            return pk, vk, False
+        with self.disk.lock(digest):
+            loaded = self.disk.load(digest)
+            if loaded is not None:
+                return loaded[0], loaded[1], True
+            pk, vk = keygen(cs, assignment, scheme)
+            self.disk.store(digest, pk, vk)
+        return pk, vk, False
+
     def get_or_create(
         self,
         cs: ConstraintSystem,
@@ -125,48 +355,79 @@ class ProvingKeyCache:
     ) -> Tuple[ProvingKey, VerifyingKey, bool]:
         """Return cached keys for this circuit, running keygen on a miss.
 
-        The third element reports whether keygen was skipped.  A cache
-        hit whose checksum fails is evicted and rebuilt (counted as a
-        recovery); with ``strict=True`` it raises
-        :class:`CacheCorruptionError` instead.
+        The third element reports whether keygen was skipped (a memory
+        hit or a disk-layer hit).  A cache hit whose checksum fails is
+        evicted and rebuilt (counted as ``rebuilds``, *not* as a miss);
+        with ``strict=True`` it raises :class:`CacheCorruptionError`
+        **without mutating the cache** — no eviction, no counter change —
+        so a strict caller observing corruption leaves stats and entries
+        exactly as they were.
         """
         if digest is None:
             digest = circuit_digest(cs, assignment, scheme.name)
         entry = self._entries.get(digest)
+        rebuild = False
         if entry is not None:
             if not self.validate or self._entry_is_intact(digest):
                 self._entries.move_to_end(digest)
                 self.hits += 1
                 return entry[0], entry[1], True
-            # corruption detected: evict, then fall through to rebuild
-            del self._entries[digest]
-            self.rebuilds += 1
+            # corruption detected.  strict: report without touching
+            # anything — a raised probe must not change cache state.
             if strict:
                 raise CacheCorruptionError(
                     "proving-key cache entry failed its checksum",
                     digest=digest[:16],
                 )
+            # non-strict: evict, then fall through to rebuild (counted
+            # once, as a rebuild — never double-counted as a miss too)
+            del self._entries[digest]
+            rebuild = True
             events.recovered("pk_cache_rebuild", digest=digest[:16])
-        pk, vk = keygen(cs, assignment, scheme)
+        pk, vk, from_disk = self._fetch(cs, assignment, scheme, digest)
         self._entries[digest] = (pk, vk, _entry_checksum(pk, vk)
                                  if self.validate else "")
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
-        self.misses += 1
-        return pk, vk, False
+        if rebuild:
+            self.rebuilds += 1
+        else:
+            self.misses += 1
+        if from_disk:
+            self.disk_hits += 1
+        return pk, vk, from_disk
 
     def clear(self) -> None:
+        """Drop every entry *and* reset the counters — post-clear stats
+        describe only post-clear traffic (the disk layer's files and its
+        own counters are not touched; detach it to forget them)."""
         self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.rebuilds = 0
+        self.disk_hits = 0
 
     def stats(self) -> dict:
-        """A plain-dict snapshot for operator surfaces (``zkml top``)."""
-        return {
+        """A plain-dict snapshot for operator surfaces (``zkml top``).
+
+        ``lookups == hits + misses + rebuilds`` always holds — each
+        ``get_or_create`` lands in exactly one bucket, so
+        ``hits / lookups`` is an honest hit rate.
+        """
+        lookups = self.hits + self.misses + self.rebuilds
+        out = {
             "entries": len(self._entries),
             "maxsize": self.maxsize,
             "hits": self.hits,
             "misses": self.misses,
             "rebuilds": self.rebuilds,
+            "disk_hits": self.disk_hits,
+            "lookups": lookups,
+            "hit_rate": round(self.hits / lookups, 4) if lookups else 0.0,
         }
+        if self.disk is not None:
+            out["disk"] = self.disk.stats()
+        return out
 
 
 #: Process-wide default cache used by the runtime pipeline.

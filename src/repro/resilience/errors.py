@@ -35,8 +35,11 @@ class                       raised when
 ``DeadlineExceeded``        a supervised phase overran its deadline
 ``ServiceError``            the proving service cannot accept or complete a
                             request; ``ServiceOverloadedError`` (queue full,
-                            backpressure) and ``ServiceShutdownError`` (closed)
-                            subclass it
+                            backpressure), ``ServiceShutdownError`` (closed),
+                            ``ServiceTimeoutError`` (a live connection's reply
+                            overran the client's budget), and
+                            ``WorkerCrashError`` (a batch exhausted its
+                            re-dispatch budget by killing workers) subclass it
 ==========================  ==================================================
 
 Each error carries the originating pipeline ``phase`` plus optional
@@ -74,6 +77,8 @@ __all__ = [
     "ServiceError",
     "ServiceOverloadedError",
     "ServiceShutdownError",
+    "ServiceTimeoutError",
+    "WorkerCrashError",
     "region_at",
 ]
 
@@ -253,6 +258,22 @@ class ServiceOverloadedError(ServiceError):
 
 class ServiceShutdownError(ServiceError):
     """The service is shut down and no longer accepts requests."""
+
+
+class ServiceTimeoutError(ServiceError):
+    """A client-side wait on the service overran its budget mid-exchange.
+
+    Distinct from the silent-close edge (the peer vanished) — here the
+    connection is alive but the reply did not finish arriving in time.
+    """
+
+
+class WorkerCrashError(ServiceError):
+    """A prover worker process died and its batch exhausted re-dispatch.
+
+    A single crash is recovered transparently (the in-flight batch is
+    re-dispatched to another worker); this surfaces only when the same
+    batch kills every worker it touches — a poison batch."""
 
 
 def region_at(regions: List[Any], row: int) -> Optional[Any]:

@@ -11,9 +11,18 @@ requests into those batches.  This package is that layer:
   ``prove_batch`` calls, a worker pool that keeps proving keys warm, and
   per-request futures carrying proof bytes + instance + verification
   status;
+- :class:`~repro.serve.scheduler.ClusterScheduler` /
+  :mod:`~repro.serve.worker` — cluster mode (``zkml serve --workers N``):
+  flushed batches dispatch to N prover worker *processes* over per-model
+  priority queues, with load shedding, crash re-dispatch, and a shared
+  disk-backed proving-key cache
+  (:class:`~repro.perf.pkcache.DiskPKCache`);
 - :class:`~repro.serve.server.ServeServer` — a unix-socket JSON front
   end (``zkml serve``);
-- :mod:`~repro.serve.client` — the matching client (``zkml submit``);
+- :class:`~repro.serve.http_server.HttpFrontEnd` — the HTTP/JSON twin
+  (same payloads, same control ops, honest status codes);
+- :mod:`~repro.serve.client` — the matching client (``zkml submit``),
+  speaking either transport;
 - :class:`~repro.serve.verify_service.VerifyService` /
   :class:`~repro.serve.verify_server.VerifyServer` — the *other* side of
   the trust boundary (``zkml verify-serve``): batch-verify proof

@@ -16,6 +16,10 @@ on the same id even when the request never reaches the service.
 Every response dict gains a ``client_seconds`` field: the wall-clock the
 round trip took as seen from this process (connect → response parsed),
 the number an SLO about *user-visible* latency actually cares about.
+
+Every helper accepts either a unix socket path or an ``http://host:port``
+URL as its target — the same payload rides whichever transport the
+string names (the HTTP front end shares the socket's wire format).
 """
 
 from __future__ import annotations
@@ -27,54 +31,130 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List
 
 from repro.obs.runtime import new_request_id
-from repro.resilience.errors import ServiceError
+from repro.resilience.errors import ServiceError, ServiceTimeoutError
 
 __all__ = ["control_request", "submit_request", "submit_many",
            "verify_request"]
 
 
+def _parse_frame(line: bytes, request_id: str) -> Dict:
+    """Decode one JSON response frame (shared by both transports)."""
+    try:
+        response = json.loads(line)
+    except ValueError as exc:
+        raise ServiceError(
+            "service sent a malformed response frame: %s" % exc,
+            request_id=request_id, received_bytes=len(line)) from exc
+    if not isinstance(response, dict):
+        raise ServiceError(
+            "service response is not a JSON object",
+            got=type(response).__name__, request_id=request_id)
+    return response
+
+
+def _roundtrip_http(url: str, payload: Dict, timeout: float) -> Dict:
+    """One request against the HTTP front end (``http://host:port``).
+
+    Control ops go to ``/v1/control``, proof requests to ``/v1/prove``
+    — the same JSON payloads the socket speaks, so callers pick the
+    transport with nothing but the target string.
+    """
+    import urllib.error
+    import urllib.request
+
+    rid = str(payload.get("request_id", ""))
+    started = time.monotonic()
+    path = "/v1/control" if "op" in payload else "/v1/prove"
+    request = urllib.request.Request(
+        url.rstrip("/") + path, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"}, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
+            body = reply.read()
+    except urllib.error.HTTPError as exc:
+        body = exc.read()  # error replies are JSON too; surface them
+    except socket.timeout as exc:
+        raise ServiceTimeoutError(
+            "timed out after %.1fs waiting for %s" % (timeout, url),
+            request_id=rid) from exc
+    except urllib.error.URLError as exc:
+        if isinstance(exc.reason, socket.timeout):
+            raise ServiceTimeoutError(
+                "timed out after %.1fs waiting for %s" % (timeout, url),
+                request_id=rid) from exc
+        raise ServiceError(
+            "cannot reach proving service at %r: %s" % (url, exc.reason),
+            request_id=rid) from exc
+    response = _parse_frame(body, rid)
+    response["client_seconds"] = round(time.monotonic() - started, 4)
+    return response
+
+
 def _roundtrip(socket_path: str, payload: Dict, timeout: float) -> Dict:
-    """One connection, one JSON line out, one JSON line back."""
+    """One connection, one JSON line out, one JSON frame back.
+
+    ``socket_path`` may also be an ``http(s)://`` URL, which routes the
+    same payload through the HTTP front end.
+
+    The response frame is everything up to the first newline, however
+    it arrives: split across any number of ``recv`` chunks, with the
+    terminator and trailing bytes landing in any chunk (a frame is *one
+    message*, not one ``recv``).  The failure edges stay distinct:
+
+    - a timeout mid-exchange raises the typed
+      :class:`~repro.resilience.errors.ServiceTimeoutError` (the peer is
+      alive but the reply did not finish in time);
+    - a connection closed before *any* byte arrives is the silent-close
+      :class:`ServiceError`;
+    - a connection cut after a partial frame (bytes but no terminator)
+      is its own :class:`ServiceError` — never misread as malformed
+      JSON, because the frame never completed.
+    """
+    if socket_path.startswith(("http://", "https://")):
+        return _roundtrip_http(socket_path, payload, timeout)
+    rid = str(payload.get("request_id", ""))
     started = time.monotonic()
     conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
     conn.settimeout(timeout)
     try:
         try:
             conn.connect(socket_path)
+        except socket.timeout as exc:
+            raise ServiceTimeoutError(
+                "timed out after %.1fs connecting to %r"
+                % (timeout, socket_path), request_id=rid) from exc
         except OSError as exc:
             raise ServiceError(
                 "cannot reach proving service at %r: %s" % (socket_path, exc),
             ) from exc
-        conn.sendall(json.dumps(payload).encode() + b"\n")
-        chunks: List[bytes] = []
-        while not chunks or b"\n" not in chunks[-1]:
+        try:
+            conn.sendall(json.dumps(payload).encode() + b"\n")
+        except socket.timeout as exc:
+            raise ServiceTimeoutError(
+                "timed out after %.1fs sending the request"
+                % timeout, request_id=rid) from exc
+        buffer = bytearray()
+        while b"\n" not in buffer:
             try:
                 chunk = conn.recv(65536)
             except socket.timeout as exc:
-                raise ServiceError(
+                raise ServiceTimeoutError(
                     "timed out after %.1fs waiting for the service"
-                    % timeout) from exc
+                    % timeout, request_id=rid,
+                    received_bytes=len(buffer)) from exc
             if not chunk:
                 break
-            chunks.append(chunk)
-        line = b"".join(chunks).split(b"\n", 1)[0]
-        if not line:
+            buffer.extend(chunk)
+        if not buffer:
             raise ServiceError("service closed the connection without "
-                               "responding",
-                               request_id=payload.get("request_id", ""))
-        try:
-            response = json.loads(line)
-        except ValueError as exc:
+                               "responding", request_id=rid)
+        if b"\n" not in buffer:
             raise ServiceError(
-                "service sent a malformed response (connection cut "
-                "mid-reply?): %s" % exc,
-                request_id=payload.get("request_id", ""),
-                received_bytes=len(line)) from exc
-        if not isinstance(response, dict):
-            raise ServiceError(
-                "service response is not a JSON object",
-                got=type(response).__name__,
-                request_id=payload.get("request_id", ""))
+                "connection cut mid-reply: %d bytes received with no "
+                "frame terminator" % len(buffer),
+                request_id=rid, received_bytes=len(buffer))
+        # the frame ends at the newline; any bytes after it are not ours
+        response = _parse_frame(bytes(buffer).split(b"\n", 1)[0], rid)
         response["client_seconds"] = round(time.monotonic() - started, 4)
         return response
     finally:

@@ -1,0 +1,424 @@
+"""Cluster scheduler: flushed batches → prover worker processes.
+
+The micro-batcher (:class:`~repro.serve.service.ProvingService`) turns
+requests into batches; this module turns batches into *throughput* by
+fanning them across N single-purpose worker processes
+(:mod:`repro.serve.worker`).  Layout::
+
+    micro-batcher ──▶ ClusterScheduler ──▶ worker 0 (process)
+                        │  per-model         worker 1 (process)
+                        │  priority queues    ...
+                        ◀────────────── shared result queue
+
+Responsibilities:
+
+- **per-model dispatch queues, two priority classes** — every batch
+  lands in its model's ``interactive`` or ``bulk`` deque.  Dispatch
+  drains all interactive work before any bulk work, round-robining
+  across models within a class so one hot model cannot starve the rest;
+- **load shedding** — each model's backlog is bounded
+  (``max_backlog_batches``).  An overflowing *interactive* batch evicts
+  the newest queued bulk batch (shed, typed overload error) before being
+  rejected itself; bulk overflow sheds the incoming batch.  Shedding
+  fails futures fast instead of letting queue time grow without bound;
+- **crash recovery** — a worker process that dies (SIGKILL, OOM,
+  segfault) is detected by liveness polling: its in-flight batch is
+  re-queued at the *front* of its priority class and a replacement
+  worker is spawned.  A batch that out-lives ``redispatch_limit``
+  workers is declared poison and failed with a typed
+  :class:`~repro.resilience.errors.WorkerCrashError` — one bad batch
+  can never crash-loop the whole pool;
+- **at-most-once resolution** — a worker that manages to ship its
+  result *and* die before the scheduler notices produces both a result
+  and a re-dispatch; the service's job table resolves the first and
+  ignores the duplicate, so futures settle exactly once.
+
+The scheduler prefers the ``fork`` start method (workers inherit the
+parent's warm imports; startup is milliseconds) and falls back to the
+platform default elsewhere.  Workers attach the shared
+:class:`~repro.perf.pkcache.DiskPKCache` so keygen happens once per
+circuit *cluster-wide*, not once per process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from repro.obs import log as obs_log
+from repro.serve.worker import STOP, BatchJob, BatchResult, worker_main
+
+__all__ = ["ClusterScheduler", "PRIORITIES"]
+
+#: Dispatch classes, highest priority first.
+PRIORITIES = ("interactive", "bulk")
+
+log = obs_log.get_logger("serve")
+
+
+def _mp_context():
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else methods[0])
+
+
+class _WorkerHandle:
+    """One worker process plus its private job queue."""
+
+    def __init__(self, worker_id: int, ctx, result_queue,
+                 pk_cache_dir: Optional[str], verify_proofs: bool):
+        self.worker_id = worker_id
+        self.job_queue = ctx.Queue()
+        self.current: Optional[BatchJob] = None
+        self.batches_done = 0
+        self.started_at = time.monotonic()
+        self.process = ctx.Process(
+            target=worker_main,
+            args=(worker_id, self.job_queue, result_queue, pk_cache_dir,
+                  verify_proofs),
+            name="zkml-prover-%d" % worker_id,
+            daemon=True,
+        )
+        self.process.start()
+
+    @property
+    def busy(self) -> bool:
+        return self.current is not None
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "id": self.worker_id,
+            "pid": self.process.pid,
+            "alive": self.alive,
+            "busy": self.busy,
+            "batches_done": self.batches_done,
+            "uptime_seconds": round(time.monotonic() - self.started_at, 3),
+        }
+
+
+class ClusterScheduler:
+    """Dispatch batches over a pool of prover worker processes.
+
+    ``on_result(job, result)`` fires on the scheduler's result thread
+    for every finished batch (including typed failures and poison
+    batches); ``on_shed(job, reason)`` fires for batches dropped by load
+    shedding (``reason="overload"``) or a non-draining shutdown
+    (``reason="shutdown"``).  Both callbacks must be thread-safe.
+    """
+
+    def __init__(self, workers: int,
+                 on_result: Callable[[BatchJob, BatchResult], None],
+                 on_shed: Callable[[BatchJob, str], None],
+                 pk_cache_dir: Optional[str] = None,
+                 verify_proofs: bool = True,
+                 max_backlog_batches: int = 8,
+                 redispatch_limit: int = 2,
+                 tick_seconds: float = 0.01,
+                 metrics=None):
+        if workers < 1:
+            raise ValueError("a cluster needs at least one worker")
+        self.workers = workers
+        self.on_result = on_result
+        self.on_shed = on_shed
+        self.pk_cache_dir = pk_cache_dir
+        self.verify_proofs = verify_proofs
+        self.max_backlog_batches = max_backlog_batches
+        self.redispatch_limit = redispatch_limit
+        self.tick_seconds = tick_seconds
+        self.metrics = metrics
+        self._ctx = _mp_context()
+        self._result_queue = self._ctx.Queue()
+        self._handles: List[_WorkerHandle] = []
+        self._backlog: Dict[str, Dict[str, deque]] = {}
+        self._rr: Dict[str, int] = {p: 0 for p in PRIORITIES}
+        self._lock = threading.Lock()
+        self._running = False
+        self._closed = False
+        self._stopping = False
+        self._monitor: Optional[threading.Thread] = None
+        self._collector: Optional[threading.Thread] = None
+        self.restarts = 0
+        self.redispatched = 0
+        self.shed = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ClusterScheduler":
+        if self._running:
+            return self
+        self._running = True
+        for worker_id in range(self.workers):
+            self._handles.append(self._spawn(worker_id))
+        self._monitor = threading.Thread(target=self._monitor_loop,
+                                         name="zkml-cluster-monitor",
+                                         daemon=True)
+        self._collector = threading.Thread(target=self._collect_loop,
+                                           name="zkml-cluster-results",
+                                           daemon=True)
+        self._monitor.start()
+        self._collector.start()
+        log.debug("cluster started", workers=self.workers,
+                  pk_cache_dir=self.pk_cache_dir or "")
+        return self
+
+    def _spawn(self, worker_id: int) -> _WorkerHandle:
+        return _WorkerHandle(worker_id, self._ctx, self._result_queue,
+                             self.pk_cache_dir, self.verify_proofs)
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        """Stop intake; with ``drain`` prove out the backlog first.
+
+        Without ``drain`` every queued batch is shed
+        (``reason="shutdown"``) so its futures fail typed instead of
+        hanging.  Workers get a ``STOP`` sentinel and a bounded join;
+        stragglers are terminated.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        if drain:
+            while True:
+                with self._lock:
+                    idle = (not any(h.busy for h in self._handles)
+                            and self._backlog_total() == 0)
+                if idle:
+                    break
+                if deadline is not None and time.monotonic() > deadline:
+                    break
+                time.sleep(self.tick_seconds)
+        else:
+            for job in self._drain_backlog():
+                self.on_shed(job, "shutdown")
+        self._stopping = True
+        for handle in self._handles:
+            try:
+                handle.job_queue.put(STOP)
+            except (OSError, ValueError):  # pragma: no cover - dead feeder
+                pass
+        for handle in self._handles:
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=2.0)
+        self._running = False
+        if self._monitor is not None:
+            self._monitor.join(timeout=2.0)
+        if self._collector is not None:
+            self._collector.join(timeout=2.0)
+        self._result_queue.cancel_join_thread()
+
+    def _drain_backlog(self) -> List[BatchJob]:
+        out: List[BatchJob] = []
+        with self._lock:
+            for queues in self._backlog.values():
+                for priority in PRIORITIES:
+                    out.extend(queues[priority])
+                    queues[priority].clear()
+        return out
+
+    # -- intake --------------------------------------------------------------
+
+    def _backlog_total(self, model: Optional[str] = None) -> int:
+        if model is not None:
+            queues = self._backlog.get(model)
+            if queues is None:
+                return 0
+            return sum(len(queues[p]) for p in PRIORITIES)
+        return sum(len(q[p]) for q in self._backlog.values()
+                   for p in PRIORITIES)
+
+    def enqueue(self, job: BatchJob) -> bool:
+        """Queue one batch for dispatch; ``False`` if it was shed.
+
+        Shedding (and the eviction of a queued bulk victim making room
+        for an interactive batch) invokes ``on_shed`` synchronously on
+        the caller's thread.
+        """
+        model = job.spec.name
+        victim: Optional[BatchJob] = None
+        accepted = True
+        with self._lock:
+            if self._closed:
+                accepted = False
+            else:
+                queues = self._backlog.setdefault(
+                    model, {p: deque() for p in PRIORITIES})
+                total = sum(len(queues[p]) for p in PRIORITIES)
+                if total >= self.max_backlog_batches:
+                    if job.priority == "interactive" and queues["bulk"]:
+                        victim = queues["bulk"].pop()  # newest bulk yields
+                    else:
+                        accepted = False
+                if accepted:
+                    queues[job.priority].append(job)
+                    self.shed += 1 if victim is not None else 0
+        if victim is not None:
+            self._count_shed(victim, "overload")
+            self.on_shed(victim, "overload")
+        if not accepted:
+            with self._lock:
+                self.shed += 1
+            reason = "shutdown" if self._closed else "overload"
+            self._count_shed(job, reason)
+            self.on_shed(job, reason)
+        return accepted
+
+    def _count_shed(self, job: BatchJob, reason: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "serve_shed_batches_total",
+                "batches dropped by load shedding or shutdown",
+                model=job.spec.name, reason=reason).inc()
+
+    # -- dispatch + liveness -------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        while self._running:
+            self._reap_dead()
+            self._dispatch_ready()
+            time.sleep(self.tick_seconds)
+
+    def _next_job(self) -> Optional[BatchJob]:
+        """The next batch to dispatch: interactive before bulk, models
+        round-robined within a class (call with the lock held)."""
+        models = sorted(self._backlog)
+        if not models:
+            return None
+        for priority in PRIORITIES:
+            start = self._rr[priority]
+            for offset in range(len(models)):
+                model = models[(start + offset) % len(models)]
+                queue = self._backlog[model][priority]
+                if queue:
+                    self._rr[priority] = (start + offset + 1) % len(models)
+                    return queue.popleft()
+        return None
+
+    def _dispatch_ready(self) -> None:
+        while True:
+            with self._lock:
+                idle = next((h for h in self._handles
+                             if not h.busy and h.alive), None)
+                if idle is None:
+                    return
+                job = self._next_job()
+                if job is None:
+                    return
+                idle.current = job
+            try:
+                idle.job_queue.put(job)
+            except (OSError, ValueError):
+                # the worker died between the liveness check and the put;
+                # the reaper will re-dispatch `current`
+                return
+
+    def _reap_dead(self) -> None:
+        if self._stopping:
+            return
+        poisoned: List[BatchJob] = []
+        with self._lock:
+            for index, handle in enumerate(self._handles):
+                if handle.alive:
+                    continue
+                job = handle.current
+                self.restarts += 1
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "serve_worker_restarts_total",
+                        "prover worker processes replaced after a crash",
+                    ).inc()
+                log.warning("worker died; respawning",
+                            worker=handle.worker_id,
+                            pid=handle.process.pid,
+                            exitcode=handle.process.exitcode,
+                            inflight=job.batch_id if job else "")
+                self._handles[index] = self._spawn(handle.worker_id)
+                if job is None:
+                    continue
+                job.redispatches += 1
+                if job.redispatches > self.redispatch_limit:
+                    poisoned.append(job)
+                    continue
+                self.redispatched += 1
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "serve_redispatched_batches_total",
+                        "in-flight batches re-queued after a worker crash",
+                        model=job.spec.name).inc()
+                # front of its class: a crashed batch does not lose its
+                # place behind newer traffic
+                self._backlog.setdefault(
+                    job.spec.name, {p: deque() for p in PRIORITIES}
+                )[job.priority].appendleft(job)
+        for job in poisoned:
+            self.on_result(job, BatchResult(
+                job_id=job.job_id, batch_id=job.batch_id, ok=False,
+                worker_id=-1, pid=0, error="WorkerCrashError",
+                detail="batch killed %d workers (re-dispatch limit %d); "
+                       "declared poison" % (job.redispatches,
+                                            self.redispatch_limit)))
+
+    def _collect_loop(self) -> None:
+        while self._running:
+            try:
+                result = self._result_queue.get(timeout=self.tick_seconds)
+            except (queue_mod.Empty, OSError, ValueError):
+                continue
+            job = None
+            with self._lock:
+                for handle in self._handles:
+                    current = handle.current
+                    if current is not None \
+                            and current.job_id == result.job_id:
+                        handle.current = None
+                        handle.batches_done += 1
+                        job = current
+                        break
+            if job is None:
+                # result from a worker already reaped (it shipped the
+                # result and then died); the re-dispatched duplicate is
+                # still queued — resolve with this one, the service's
+                # job table drops whichever lands second
+                job = BatchJob(
+                    job_id=result.job_id, batch_id=result.batch_id,
+                    spec=None, batch_inputs=[], scheme_name="", num_cols=0,
+                    scale_bits=0, lookup_bits=None, occupancy=0,
+                    padded_size=0)
+            self.on_result(job, result)
+
+    # -- introspection -------------------------------------------------------
+
+    def worker_pids(self) -> List[int]:
+        with self._lock:
+            return [h.process.pid for h in self._handles if h.process.pid]
+
+    def status(self) -> Dict[str, object]:
+        with self._lock:
+            backlog = {
+                model: {p: len(queues[p]) for p in PRIORITIES
+                        if len(queues[p])}
+                for model, queues in self._backlog.items()
+                if any(len(queues[p]) for p in PRIORITIES)
+            }
+            return {
+                "workers": [h.snapshot() for h in self._handles],
+                "alive": sum(1 for h in self._handles if h.alive),
+                "busy": sum(1 for h in self._handles if h.busy),
+                "backlog": backlog,
+                "backlog_total": self._backlog_total(),
+                "max_backlog_batches": self.max_backlog_batches,
+                "restarts": self.restarts,
+                "redispatched": self.redispatched,
+                "shed": self.shed,
+                "pk_cache_dir": self.pk_cache_dir,
+            }

@@ -63,8 +63,8 @@ from repro.resilience import events
 from repro.resilience.errors import ResilienceError, ServiceError
 from repro.serve.service import ProvingService
 
-__all__ = ["ServeServer", "CONTROL_OPS", "DEFAULT_SOCKET",
-           "request_inputs"]
+__all__ = ["ServeServer", "PayloadProcessor", "CONTROL_OPS",
+           "DEFAULT_SOCKET", "request_inputs"]
 
 #: Operator ops the socket answers without touching the prover.
 CONTROL_OPS = ("health", "status", "metrics", "dump")
@@ -103,6 +103,116 @@ def request_inputs(spec, payload: Dict) -> Dict[str, np.ndarray]:
             for name, shape in spec.inputs.items()}
 
 
+class PayloadProcessor:
+    """Wire payload → response dict, front-end agnostic.
+
+    Both front ends — the unix socket (:class:`ServeServer`) and HTTP
+    (:class:`~repro.serve.http_server.HttpFrontEnd`) — hand their parsed
+    JSON here, so proof requests and control ops behave identically over
+    either transport: same fields, same typed errors, same replies.
+    """
+
+    def __init__(self, service: ProvingService,
+                 default_timeout: float = 120.0):
+        self.service = service
+        self.default_timeout = default_timeout
+
+    def process(self, payload: Dict) -> Dict:
+        if not isinstance(payload, dict):
+            raise ServiceError("request payload must be a JSON object",
+                               got=type(payload).__name__)
+        if "op" in payload:
+            return self.control(payload)
+        model = payload.get("model")
+        if model not in model_names():
+            raise ServiceError("unknown model %r" % model)
+        rid = payload.get("request_id")
+        if rid is not None and not isinstance(rid, str):
+            raise ServiceError("request_id must be a string",
+                               got=type(rid).__name__)
+        if not rid:
+            rid = new_request_id()
+        with obs_log.bind(request_id=rid):
+            spec = get_model(model, "mini")
+            inputs = request_inputs(spec, payload)
+            future = self.service.submit(
+                spec, inputs,
+                scheme_name=payload.get("scheme", "kzg"),
+                num_cols=int(payload.get("columns", 10)),
+                scale_bits=int(payload.get("scale_bits", 5)),
+                request_id=rid,
+                priority=str(payload.get("priority", "interactive")),
+            )
+            timeout = float(payload.get("timeout", self.default_timeout))
+            response = future.result(timeout=timeout)
+        out = {
+            "ok": True,
+            "id": response.sequence,
+            "request_id": response.request_id,
+            "batch_id": response.batch_id,
+            "model": response.model,
+            "scheme": response.scheme_name,
+            "verified": response.verified,
+            "batch_size": response.batch_size,
+            "padded_size": response.padded_size,
+            "batch_index": response.batch_index,
+            "queue_seconds": round(response.queue_seconds, 4),
+            "prove_seconds": round(response.prove_seconds, 4),
+            "slot_prove_seconds": round(response.slot_prove_seconds, 4),
+            "keygen_cache_hit": response.keygen_cache_hit,
+            "outputs": {name: np.asarray(values, dtype=object).tolist()
+                        for name, values in response.outputs.items()},
+        }
+        if payload.get("want_proof"):
+            out["proof_b64"] = base64.b64encode(
+                response.proof_bytes).decode()
+        if payload.get("want_envelope"):
+            out["envelope_b64"] = base64.b64encode(
+                response.envelope_bytes).decode()
+        return out
+
+    def control(self, payload: Dict) -> Dict:
+        """Answer an operator op (``health`` / ``status`` / ``metrics`` /
+        ``dump``) from in-memory state — never via the prover."""
+        op = payload["op"]
+        if not isinstance(op, str) or op not in CONTROL_OPS:
+            raise ServiceError(
+                "unknown control op %r (expected one of %s)"
+                % (op, "/".join(CONTROL_OPS)))
+        if op == "health":
+            health = self.service.health()
+            health["ok"] = True  # protocol-level ok; liveness is "accepting"
+            return health
+        if op == "status":
+            return {"ok": True, "status": self.service.status()}
+        if op == "metrics":
+            return {"ok": True, "metrics_text": self.metrics_text()}
+        path = payload.get("path")
+        if path is not None and not isinstance(path, str):
+            raise ServiceError("dump path must be a string",
+                               got=type(path).__name__)
+        artifact = self.service.dump_flight(reason="operator_request",
+                                            path=path)
+        effective = path or self.service.runtime.dump_path
+        out = {"ok": True, "reason": "operator_request",
+               "events_recorded": artifact.get("events_recorded", 0),
+               "checksum": artifact.get("checksum", "")}
+        if effective:
+            out["path"] = effective
+        if not path:
+            out["artifact"] = artifact
+        return out
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition (service registry + resilience)."""
+        text = self.service.metrics.to_prometheus()
+        resilience = events.EVENTS.to_prometheus()
+        if resilience:
+            text = text + resilience if text.endswith("\n") or not text \
+                else text + "\n" + resilience
+        return text
+
+
 class ServeServer:
     """Accept-loop wrapper: socket connections → ``service.submit``."""
 
@@ -111,6 +221,7 @@ class ServeServer:
         self.service = service
         self.socket_path = socket_path
         self.default_timeout = default_timeout
+        self.processor = PayloadProcessor(service, default_timeout)
         self._sock: Optional[socket.socket] = None
         self._accepting = False
         self._thread: Optional[threading.Thread] = None
@@ -200,88 +311,4 @@ class ServeServer:
         return json.loads(line)
 
     def _process(self, payload: Dict) -> Dict:
-        if "op" in payload:
-            return self._control(payload)
-        model = payload.get("model")
-        if model not in model_names():
-            raise ServiceError("unknown model %r" % model)
-        rid = payload.get("request_id")
-        if rid is not None and not isinstance(rid, str):
-            raise ServiceError("request_id must be a string",
-                               got=type(rid).__name__)
-        if not rid:
-            rid = new_request_id()
-        with obs_log.bind(request_id=rid):
-            spec = get_model(model, "mini")
-            inputs = request_inputs(spec, payload)
-            future = self.service.submit(
-                spec, inputs,
-                scheme_name=payload.get("scheme", "kzg"),
-                num_cols=int(payload.get("columns", 10)),
-                scale_bits=int(payload.get("scale_bits", 5)),
-                request_id=rid,
-            )
-            timeout = float(payload.get("timeout", self.default_timeout))
-            response = future.result(timeout=timeout)
-        out = {
-            "ok": True,
-            "id": response.sequence,
-            "request_id": response.request_id,
-            "batch_id": response.batch_id,
-            "model": response.model,
-            "scheme": response.scheme_name,
-            "verified": response.verified,
-            "batch_size": response.batch_size,
-            "padded_size": response.padded_size,
-            "batch_index": response.batch_index,
-            "queue_seconds": round(response.queue_seconds, 4),
-            "prove_seconds": round(response.prove_seconds, 4),
-            "slot_prove_seconds": round(response.slot_prove_seconds, 4),
-            "keygen_cache_hit": response.keygen_cache_hit,
-            "outputs": {name: np.asarray(values, dtype=object).tolist()
-                        for name, values in response.outputs.items()},
-        }
-        if payload.get("want_proof"):
-            out["proof_b64"] = base64.b64encode(
-                response.proof_bytes).decode()
-        if payload.get("want_envelope"):
-            out["envelope_b64"] = base64.b64encode(
-                response.envelope_bytes).decode()
-        return out
-
-    def _control(self, payload: Dict) -> Dict:
-        """Answer an operator op (``health`` / ``status`` / ``metrics`` /
-        ``dump``) from in-memory state — never via the prover."""
-        op = payload["op"]
-        if not isinstance(op, str) or op not in CONTROL_OPS:
-            raise ServiceError(
-                "unknown control op %r (expected one of %s)"
-                % (op, "/".join(CONTROL_OPS)))
-        if op == "health":
-            health = self.service.health()
-            health["ok"] = True  # protocol-level ok; liveness is "accepting"
-            return health
-        if op == "status":
-            return {"ok": True, "status": self.service.status()}
-        if op == "metrics":
-            text = self.service.metrics.to_prometheus()
-            resilience = events.EVENTS.to_prometheus()
-            if resilience:
-                text = text + resilience if text.endswith("\n") or not text \
-                    else text + "\n" + resilience
-            return {"ok": True, "metrics_text": text}
-        path = payload.get("path")
-        if path is not None and not isinstance(path, str):
-            raise ServiceError("dump path must be a string",
-                               got=type(path).__name__)
-        artifact = self.service.dump_flight(reason="operator_request",
-                                            path=path)
-        effective = path or self.service.runtime.dump_path
-        out = {"ok": True, "reason": "operator_request",
-               "events_recorded": artifact.get("events_recorded", 0),
-               "checksum": artifact.get("checksum", "")}
-        if effective:
-            out["path"] = effective
-        if not path:
-            out["artifact"] = artifact
-        return out
+        return self.processor.process(payload)

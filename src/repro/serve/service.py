@@ -88,8 +88,11 @@ from repro.resilience.errors import (
     ServiceError,
     ServiceOverloadedError,
     ServiceShutdownError,
+    WorkerCrashError,
 )
 from repro.runtime.pipeline import prove_batch
+from repro.serve.scheduler import PRIORITIES, ClusterScheduler
+from repro.serve.worker import BatchJob, BatchResult
 
 __all__ = [
     "BatchKey",
@@ -125,6 +128,10 @@ class BatchKey:
     num_cols: int
     scale_bits: int
     lookup_bits: Optional[int]
+    #: Dispatch class (``interactive`` or ``bulk``).  Part of the key so
+    #: one batch never mixes classes — a bulk request can neither ride an
+    #: interactive batch's priority nor drag one down.
+    priority: str = "interactive"
 
 
 @dataclass
@@ -165,6 +172,23 @@ class ServeConfig:
     #: Rejections within one second that count as an overload storm
     #: (each storm auto-dumps the flight recorder, rate-limited).
     overload_dump_threshold: int = 16
+    #: Prover worker *processes* (the cluster).  ``0`` keeps today's
+    #: in-process mode: batches prove on the thread pool above.  ``N>=1``
+    #: spawns N worker processes fed by the cluster scheduler; the thread
+    #: pool is not created and ``workers``/``jobs`` above only shape the
+    #: in-process fallback.
+    cluster_workers: int = 0
+    #: Directory of the shared disk-backed proving-key cache cluster
+    #: workers attach (:class:`~repro.perf.pkcache.DiskPKCache`): keygen
+    #: happens once per circuit cluster-wide and keys survive restarts.
+    #: ``None`` leaves each worker with only its in-memory cache.
+    pk_cache_dir: Optional[str] = None
+    #: Per-model cap on batches queued for worker dispatch; beyond it the
+    #: scheduler sheds (bulk first) with a typed overload error.
+    max_backlog_batches: int = 8
+    #: Worker crashes one batch may survive before it is declared poison
+    #: and failed with :class:`~repro.resilience.errors.WorkerCrashError`.
+    redispatch_limit: int = 2
 
 
 @dataclass
@@ -260,6 +284,12 @@ class ProvingService:
         self._started_at: Optional[float] = None
         self._dispatcher: Optional[threading.Thread] = None
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._scheduler: Optional[ClusterScheduler] = None
+        self._job_ids = itertools.count(1)
+        # cluster mode: job_id -> (key, group, padded_size, launched_at);
+        # popped exactly once, so a crash-re-dispatch duplicate result
+        # can never double-resolve a future
+        self._cluster_groups: Dict[int, tuple] = {}
         self._ema_prove_seconds: Optional[float] = None
         # resilience events observed while we run land in the flight ring
         self._events_listener = (
@@ -291,16 +321,31 @@ class ProvingService:
         if self.runtime.enabled:
             events.add_listener(self._events_listener)
         self.runtime.note("service_started", workers=self.config.workers,
+                          cluster_workers=self.config.cluster_workers,
                           max_batch=self.config.max_batch,
                           max_queue=self.config.max_queue)
-        self._pool = ThreadPoolExecutor(
-            max_workers=max(1, self.config.workers),
-            thread_name_prefix="zkml-serve")
+        if self.config.cluster_workers > 0:
+            # fork the worker processes before any service thread exists
+            self._scheduler = ClusterScheduler(
+                workers=self.config.cluster_workers,
+                on_result=self._on_cluster_result,
+                on_shed=self._on_cluster_shed,
+                pk_cache_dir=self.config.pk_cache_dir,
+                verify_proofs=self.config.verify_proofs,
+                max_backlog_batches=self.config.max_backlog_batches,
+                redispatch_limit=self.config.redispatch_limit,
+                metrics=self.metrics,
+            ).start()
+        else:
+            self._pool = ThreadPoolExecutor(
+                max_workers=max(1, self.config.workers),
+                thread_name_prefix="zkml-serve")
         self._dispatcher = threading.Thread(target=self._dispatch_loop,
                                             name="zkml-serve-dispatch",
                                             daemon=True)
         self._dispatcher.start()
         log.debug("service started", workers=self.config.workers,
+                  cluster_workers=self.config.cluster_workers,
                   max_batch=self.config.max_batch,
                   max_queue=self.config.max_queue)
         return self
@@ -329,12 +374,22 @@ class ProvingService:
             return
         self._queue.put(_STOP)
         self._dispatcher.join(timeout=timeout)
-        if drain:
-            self._pool.shutdown(wait=True)
-        else:
+        if not drain:
             self._fail_queued(ServiceShutdownError(
                 "service shut down without draining"))
+        if self._pool is not None:
             self._pool.shutdown(wait=True)
+        if self._scheduler is not None:
+            self._scheduler.shutdown(drain=drain, timeout=timeout)
+            # anything still tracked (worker terminated at the join
+            # deadline, non-drain shutdown) fails typed, never hangs
+            with self._lock:
+                leftovers = list(self._cluster_groups.values())
+                self._cluster_groups.clear()
+            for key, group, _padded, _started in leftovers:
+                self._fail_group(key, group, ServiceShutdownError(
+                    "service shut down before the batch was proved",
+                    model=key.model))
         if self.runtime.enabled:
             events.remove_listener(self._events_listener)
 
@@ -365,12 +420,15 @@ class ProvingService:
         lookup_bits: Optional[int] = None,
         block_seconds: Optional[float] = None,
         request_id: Optional[str] = None,
+        priority: str = "interactive",
     ) -> "Future[ProofResponse]":
         """Enqueue one proof request; returns its future.
 
         ``request_id`` is the end-to-end correlation id; one is minted
         when the caller does not supply it (clients usually mint their
-        own so their logs correlate with the server's).
+        own so their logs correlate with the server's).  ``priority``
+        picks the dispatch class (``interactive`` beats ``bulk`` at the
+        cluster scheduler, and bulk is shed first under overload).
 
         Raises :class:`ServiceShutdownError` after shutdown and
         :class:`ServiceOverloadedError` when the queue is full (after
@@ -378,6 +436,11 @@ class ProvingService:
         unbounded buffering).
         """
         rid = request_id if request_id else new_request_id()
+        if priority not in PRIORITIES:
+            raise ServiceError(
+                "unknown priority %r (expected one of %s)"
+                % (priority, "/".join(PRIORITIES)),
+                model=spec.name, request_id=rid)
         if self._closed:
             raise ServiceShutdownError(
                 "service is shut down; request rejected", model=spec.name,
@@ -387,7 +450,7 @@ class ProvingService:
             spec=spec,
             inputs=inputs,
             key=BatchKey(spec.name, scheme_name, num_cols, scale_bits,
-                         lookup_bits),
+                         lookup_bits, priority),
             submitted_at=time.monotonic(),
             request_id=rid,
         )
@@ -480,6 +543,9 @@ class ProvingService:
                           model=key.model, occupancy=len(group),
                           flush_wait_seconds=round(flush_wait, 4),
                           request_ids=[r.request_id for r in group])
+        if self._scheduler is not None:
+            self._launch_cluster(key, group, batch_id)
+            return
         future = self._pool.submit(self._prove_group, key, group, batch_id)
         with self._lock:
             self._inflight.add(future)
@@ -499,16 +565,24 @@ class ProvingService:
             bucket *= 2
         return min(bucket, max(size, max_batch))
 
-    def _prove_group(self, key: BatchKey, group: List[ProofRequest],
-                     batch_id: str) -> None:
+    def _padded_inputs(self, group: List[ProofRequest]):
+        """The group's inputs padded to its occupancy bucket (shared by
+        the in-process and cluster launch paths, so both prove the exact
+        same padded batch)."""
         cfg = self.config
-        spec = group[0].spec
         batch_inputs = [r.inputs for r in group]
         padded_size = len(batch_inputs)
         if cfg.pad_to_bucket and len(group) < cfg.max_batch:
             padded_size = self._bucket(len(group), cfg.max_batch)
             batch_inputs = batch_inputs + [batch_inputs[-1]] * (
                 padded_size - len(batch_inputs))
+        return batch_inputs, padded_size
+
+    def _prove_group(self, key: BatchKey, group: List[ProofRequest],
+                     batch_id: str) -> None:
+        cfg = self.config
+        spec = group[0].spec
+        batch_inputs, padded_size = self._padded_inputs(group)
         started = time.monotonic()
         try:
             with obs_log.bind(batch_id=batch_id), \
@@ -541,11 +615,103 @@ class ProvingService:
         self._resolve_group(key, group, result, verified, padded_size,
                             time.monotonic() - started, batch_id)
 
+    # -- cluster mode --------------------------------------------------------
+
+    def _launch_cluster(self, key: BatchKey, group: List[ProofRequest],
+                        batch_id: str) -> None:
+        """Hand one flushed group to the worker cluster as a job."""
+        batch_inputs, padded_size = self._padded_inputs(group)
+        job = BatchJob(
+            job_id=next(self._job_ids),
+            batch_id=batch_id,
+            spec=group[0].spec,
+            batch_inputs=batch_inputs,
+            scheme_name=key.scheme_name,
+            num_cols=key.num_cols,
+            scale_bits=key.scale_bits,
+            lookup_bits=key.lookup_bits,
+            occupancy=len(group),
+            padded_size=padded_size,
+            priority=key.priority,
+            jobs=self.config.jobs,
+        )
+        with self._lock:
+            self._cluster_groups[job.job_id] = (key, group, padded_size,
+                                                time.monotonic())
+        # a shed job fires _on_cluster_shed synchronously, which pops the
+        # entry back out and fails the group typed
+        self._scheduler.enqueue(job)
+
+    def _on_cluster_result(self, job: BatchJob,
+                           result: BatchResult) -> None:
+        """Resolve a cluster batch from its worker's result message.
+
+        Runs on the scheduler's collector thread.  The job-table pop is
+        the at-most-once gate: a worker that shipped its result and then
+        died gets re-dispatched, and whichever of the two results lands
+        second finds no entry and is dropped.
+        """
+        with self._lock:
+            entry = self._cluster_groups.pop(result.job_id, None)
+        if entry is None:
+            return
+        key, group, padded_size, launched_at = entry
+        batch_seconds = time.monotonic() - launched_at
+        if result.ok:
+            self.metrics.counter(
+                "serve_worker_batches_total",
+                "batches proved per cluster worker",
+                worker=str(result.worker_id)).inc()
+            self._resolve_group(key, group, result, result.verified,
+                                padded_size, batch_seconds, result.batch_id)
+            return
+        if result.error == "WorkerCrashError":
+            exc: ResilienceError = WorkerCrashError(
+                result.detail, model=key.model, batch_id=result.batch_id)
+        else:
+            exc = ServiceError(
+                "batch proving failed in worker %d (pid %d): %s: %s"
+                % (result.worker_id, result.pid, result.error,
+                   result.detail),
+                model=key.model, batch_id=result.batch_id)
+        self._fail_group(key, group, exc, result.batch_id)
+
+    def _on_cluster_shed(self, job: BatchJob, reason: str) -> None:
+        """Fail a batch the scheduler shed (overload or shutdown)."""
+        with self._lock:
+            entry = self._cluster_groups.pop(job.job_id, None)
+        if entry is None:
+            return
+        key, group = entry[0], entry[1]
+        self.runtime.note("batch_shed", batch_id=job.batch_id,
+                          model=key.model, priority=key.priority,
+                          reason=reason, occupancy=len(group))
+        if reason == "shutdown":
+            exc: ResilienceError = ServiceShutdownError(
+                "service shut down before the batch was proved",
+                model=key.model, batch_id=job.batch_id)
+        else:
+            exc = ServiceOverloadedError(
+                "batch shed: per-model dispatch backlog is full",
+                model=key.model, priority=key.priority,
+                max_backlog_batches=self.config.max_backlog_batches,
+                batch_id=job.batch_id)
+        self._fail_group(key, group, exc, job.batch_id)
+
+    # -- resolution ----------------------------------------------------------
+
     def _resolve_group(self, key: BatchKey, group: List[ProofRequest],
                        result, verified: bool, padded_size: int,
                        batch_seconds: float, batch_id: str) -> None:
-        proof_bytes = proof_to_bytes(result.proof)
-        envelope_bytes = result.envelope_bytes()
+        # `result` is a BatchProveResult (in-process path: live proof
+        # objects) or a worker's BatchResult (cluster path: bytes already
+        # serialized on the worker side); both carry the same fields
+        if isinstance(result, BatchResult):
+            proof_bytes = result.proof_bytes
+            envelope_bytes = result.envelope_bytes
+        else:
+            proof_bytes = proof_to_bytes(result.proof)
+            envelope_bytes = result.envelope_bytes()
         ema = self._ema_prove_seconds
         self._ema_prove_seconds = (batch_seconds if ema is None
                                    else 0.5 * ema + 0.5 * batch_seconds)
@@ -687,7 +853,7 @@ class ProvingService:
         depth = self._queue.qsize()
         headroom = max(0, self.config.max_queue - depth)
         accepting = self._started and not self._closed
-        return {
+        out = {
             "ok": accepting,
             "accepting": accepting,
             "queue_depth": depth,
@@ -695,6 +861,12 @@ class ProvingService:
             "saturated": headroom == 0,
             "inflight_batches": len(self._inflight),
         }
+        if self._scheduler is not None:
+            alive = sum(1 for h in self._scheduler._handles if h.alive)
+            out["workers_alive"] = alive
+            out["workers"] = self._scheduler.workers
+            out["ok"] = accepting and alive > 0
+        return out
 
     def status(self) -> Dict[str, object]:
         """The full operator snapshot (the ``status`` op / ``zkml top``).
@@ -732,7 +904,10 @@ class ProvingService:
             "counters": self.stats(),
             "pk_cache": GLOBAL_PK_CACHE.stats(),
             "resilience": events.counts(),
+            "mode": "cluster" if self._scheduler is not None else "inline",
         }
+        if self._scheduler is not None:
+            out["cluster"] = self._scheduler.status()
         if self.runtime.enabled:
             out["slo"] = self.runtime.slo.snapshot()
             recorder = self.runtime.recorder
@@ -761,4 +936,8 @@ class ProvingService:
             }
         if self._ema_prove_seconds is not None:
             out["ema_prove_seconds"] = round(self._ema_prove_seconds, 4)
+        if self._scheduler is not None:
+            out["worker_restarts"] = self._scheduler.restarts
+            out["redispatched_batches"] = self._scheduler.redispatched
+            out["shed_batches"] = self._scheduler.shed
         return out

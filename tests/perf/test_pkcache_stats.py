@@ -1,0 +1,146 @@
+"""Exact accounting tests for :class:`ProvingKeyCache` counters.
+
+The invariant under test: every ``get_or_create`` increments **exactly
+one** of ``hits`` / ``misses`` / ``rebuilds`` (so
+``lookups == hits + misses + rebuilds`` and the hit rate is honest), a
+strict corruption probe mutates *nothing*, and ``clear()`` resets the
+counters along with the entries.
+"""
+
+import pytest
+
+from repro.commit import scheme_by_name
+from repro.field import GOLDILOCKS
+from repro.perf.pkcache import ProvingKeyCache, circuit_digest
+from repro.resilience import events
+from repro.resilience.errors import CacheCorruptionError
+
+from tests.halo2.circuits import mul_circuit, range_check_circuit
+
+F = GOLDILOCKS
+
+
+def _scheme():
+    return scheme_by_name("kzg", F)
+
+
+def _corrupt(cache: ProvingKeyCache, digest: str) -> None:
+    """Tamper with a cached entry's stored checksum (simulated bit rot)."""
+    pk, vk, _checksum = cache._entries[digest]
+    cache._entries[digest] = (pk, vk, "corrupted")
+
+
+def _assert_partition(cache: ProvingKeyCache) -> None:
+    stats = cache.stats()
+    assert stats["lookups"] == stats["hits"] + stats["misses"] \
+        + stats["rebuilds"]
+    if stats["lookups"]:
+        assert stats["hit_rate"] == pytest.approx(
+            stats["hits"] / stats["lookups"], abs=1e-4)
+    else:
+        assert stats["hit_rate"] == 0.0
+
+
+class TestCounterPartition:
+    def test_miss_then_hits_count_exactly(self):
+        cs, asg = mul_circuit()
+        cache = ProvingKeyCache()
+        cache.get_or_create(cs, asg, _scheme())
+        cache.get_or_create(cs, asg, _scheme())
+        cache.get_or_create(cs, asg, _scheme())
+        assert (cache.hits, cache.misses, cache.rebuilds) == (2, 1, 0)
+        assert cache.stats()["lookups"] == 3
+        assert cache.stats()["hit_rate"] == pytest.approx(2 / 3, abs=1e-4)
+        _assert_partition(cache)
+
+    def test_rebuild_counts_once_not_as_miss_too(self):
+        # the original bug: a corruption rebuild bumped BOTH rebuilds and
+        # misses, double-counting the lookup and skewing hit-rate math
+        events.reset()
+        cs, asg = mul_circuit()
+        scheme = _scheme()
+        cache = ProvingKeyCache()
+        digest = circuit_digest(cs, asg, scheme.name)
+        cache.get_or_create(cs, asg, scheme)          # miss
+        _corrupt(cache, digest)
+        pk, vk, skipped = cache.get_or_create(cs, asg, scheme)  # rebuild
+        assert not skipped  # keygen re-ran
+        assert (cache.hits, cache.misses, cache.rebuilds) == (0, 1, 1)
+        assert cache.stats()["lookups"] == 2
+        _assert_partition(cache)
+        assert events.counts().get(
+            'recovered{reason="pk_cache_rebuild"}') == 1
+        # the rebuilt entry is intact: next lookup is a plain hit
+        cache.get_or_create(cs, asg, scheme)
+        assert (cache.hits, cache.misses, cache.rebuilds) == (1, 1, 1)
+
+    def test_distinct_circuits_each_miss_once(self):
+        cache = ProvingKeyCache()
+        cs1, asg1 = mul_circuit()
+        cs2, asg2 = range_check_circuit()
+        cache.get_or_create(cs1, asg1, _scheme())
+        cache.get_or_create(cs2, asg2, _scheme())
+        cache.get_or_create(cs1, asg1, _scheme())
+        assert (cache.hits, cache.misses, cache.rebuilds) == (1, 2, 0)
+        _assert_partition(cache)
+
+
+class TestStrictDoesNotMutate:
+    def test_strict_corruption_raises_without_touching_state(self):
+        cs, asg = mul_circuit()
+        scheme = _scheme()
+        cache = ProvingKeyCache()
+        digest = circuit_digest(cs, asg, scheme.name)
+        cache.get_or_create(cs, asg, scheme)
+        _corrupt(cache, digest)
+        before = cache.stats()
+        entries_before = dict(cache._entries)
+        with pytest.raises(CacheCorruptionError):
+            cache.get_or_create(cs, asg, scheme, strict=True)
+        # nothing moved: no eviction, no counter bump, no rebuild
+        assert cache.stats() == before
+        assert dict(cache._entries) == entries_before
+        assert digest in cache._entries
+
+    def test_strict_probe_then_nonstrict_rebuild(self):
+        cs, asg = mul_circuit()
+        scheme = _scheme()
+        cache = ProvingKeyCache()
+        digest = circuit_digest(cs, asg, scheme.name)
+        cache.get_or_create(cs, asg, scheme)
+        _corrupt(cache, digest)
+        with pytest.raises(CacheCorruptionError):
+            cache.get_or_create(cs, asg, scheme, strict=True)
+        # the corrupt entry is still there; a non-strict call rebuilds it
+        pk, vk, skipped = cache.get_or_create(cs, asg, scheme)
+        assert not skipped
+        assert (cache.hits, cache.misses, cache.rebuilds) == (0, 1, 1)
+        _assert_partition(cache)
+
+    def test_strict_clean_hit_still_counts(self):
+        cs, asg = mul_circuit()
+        cache = ProvingKeyCache()
+        cache.get_or_create(cs, asg, _scheme())
+        _, _, skipped = cache.get_or_create(cs, asg, _scheme(), strict=True)
+        assert skipped
+        assert (cache.hits, cache.misses, cache.rebuilds) == (1, 1, 0)
+
+
+class TestClearResets:
+    def test_clear_resets_entries_and_counters(self):
+        cs, asg = mul_circuit()
+        cache = ProvingKeyCache()
+        cache.get_or_create(cs, asg, _scheme())
+        cache.get_or_create(cs, asg, _scheme())
+        assert cache.stats()["lookups"] == 2
+        cache.clear()
+        stats = cache.stats()
+        assert stats["entries"] == 0
+        assert (stats["hits"], stats["misses"], stats["rebuilds"]) \
+            == (0, 0, 0)
+        assert stats["lookups"] == 0 and stats["hit_rate"] == 0.0
+        # post-clear traffic starts counting from zero: one miss, one hit
+        cache.get_or_create(cs, asg, _scheme())
+        cache.get_or_create(cs, asg, _scheme())
+        assert (cache.hits, cache.misses, cache.rebuilds) == (1, 1, 0)
+        _assert_partition(cache)

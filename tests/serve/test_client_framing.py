@@ -1,0 +1,181 @@
+"""Client framing against scripted unix-socket servers.
+
+A response frame is *one message*, not one ``recv`` — these tests pin
+that down with servers that trickle bytes, split the terminator across
+chunks, append trailing garbage, hang, or hang up at every interesting
+point.  Each failure edge must surface as its own typed error:
+
+========================================  ================================
+server behaviour                          client outcome
+========================================  ================================
+reply trickled byte-by-byte               parses fine
+newline + trailing bytes in one chunk     trailing bytes ignored
+close before any byte                     ``ServiceError`` (silent close)
+close after a partial frame               ``ServiceError`` (mid-reply cut)
+hang (zero bytes or partial frame)        ``ServiceTimeoutError``
+========================================  ================================
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.resilience.errors import ServiceError, ServiceTimeoutError
+from repro.serve.client import submit_request
+
+REPLY = {"ok": True, "request_id": "req-test", "outputs": [1, 2, 3]}
+
+
+class ScriptedServer:
+    """A unix-socket server that answers one connection with a script.
+
+    The script is a list of steps: ``bytes`` are sent as-is, a float
+    sleeps, the string ``"close"`` shuts the connection down, and
+    ``"hang"`` holds it open until the client gives up.
+    """
+
+    def __init__(self, tmp_path, script):
+        self.path = str(tmp_path / "scripted.sock")
+        self.script = script
+        self.received = b""
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listener.bind(self.path)
+        self._listener.listen(1)
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        conn, _ = self._listener.accept()
+        try:
+            conn.settimeout(10.0)
+            # drain the request line first so the client's sendall lands
+            while b"\n" not in self.received:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    return
+                self.received += chunk
+            for step in self.script:
+                if isinstance(step, bytes):
+                    conn.sendall(step)
+                elif step == "close":
+                    return
+                elif step == "hang":
+                    time.sleep(10.0)
+                else:
+                    time.sleep(step)
+        except OSError:
+            pass  # client went away first (timeout tests)
+        finally:
+            conn.close()
+
+    def close(self):
+        self._listener.close()
+
+
+def _submit(server, timeout=5.0):
+    return submit_request(server.path, {"model": "mnist",
+                                        "request_id": "req-test"},
+                          timeout=timeout)
+
+
+def _frame():
+    return json.dumps(REPLY).encode() + b"\n"
+
+
+class TestReassembly:
+    def test_slow_trickle_byte_by_byte(self, tmp_path):
+        script = []
+        for byte in _frame():
+            script.append(bytes([byte]))
+            script.append(0.002)
+        server = ScriptedServer(tmp_path, script)
+        response = _submit(server)
+        assert response["ok"] and response["outputs"] == [1, 2, 3]
+        assert response["client_seconds"] > 0
+        server.close()
+
+    def test_terminator_split_from_body(self, tmp_path):
+        frame = _frame()
+        server = ScriptedServer(
+            tmp_path, [frame[:10], 0.01, frame[10:-1], 0.01, frame[-1:]])
+        assert _submit(server)["ok"]
+        server.close()
+
+    def test_trailing_bytes_after_newline_ignored(self, tmp_path):
+        server = ScriptedServer(
+            tmp_path, [_frame() + b'{"ok": false, "junk": true}\n'])
+        response = _submit(server)
+        assert response["ok"] is True
+        assert "junk" not in response
+        server.close()
+
+    def test_newline_and_trailing_split_across_chunks(self, tmp_path):
+        frame = _frame()
+        server = ScriptedServer(
+            tmp_path, [frame[:-1], 0.01, b"\ngarbage-after"])
+        assert _submit(server)["ok"]
+        server.close()
+
+
+class TestDisconnects:
+    def test_silent_close_is_service_error_not_timeout(self, tmp_path):
+        server = ScriptedServer(tmp_path, ["close"])
+        with pytest.raises(ServiceError) as exc_info:
+            _submit(server)
+        assert not isinstance(exc_info.value, ServiceTimeoutError)
+        assert "without responding" in str(exc_info.value)
+        server.close()
+
+    def test_mid_reply_cut_is_distinct_from_malformed_json(self, tmp_path):
+        server = ScriptedServer(tmp_path, [_frame()[:20], 0.01, "close"])
+        with pytest.raises(ServiceError) as exc_info:
+            _submit(server)
+        assert not isinstance(exc_info.value, ServiceTimeoutError)
+        message = str(exc_info.value)
+        assert "mid-reply" in message and "malformed" not in message
+        server.close()
+
+
+class TestTimeouts:
+    def test_hang_with_zero_bytes_is_timeout(self, tmp_path):
+        server = ScriptedServer(tmp_path, ["hang"])
+        started = time.monotonic()
+        with pytest.raises(ServiceTimeoutError):
+            _submit(server, timeout=0.3)
+        assert time.monotonic() - started < 5.0
+        server.close()
+
+    def test_hang_after_partial_frame_is_timeout(self, tmp_path):
+        server = ScriptedServer(tmp_path, [_frame()[:15], "hang"])
+        with pytest.raises(ServiceTimeoutError) as exc_info:
+            _submit(server, timeout=0.3)
+        # the error carries how far the reply got before the stall
+        assert exc_info.value.context.get("received_bytes") == 15
+        server.close()
+
+    def test_timeout_is_a_service_error_subclass(self, tmp_path):
+        # callers catching the broad class still see timeouts; callers
+        # that care can catch the narrow one
+        server = ScriptedServer(tmp_path, ["hang"])
+        with pytest.raises(ServiceError):
+            _submit(server, timeout=0.3)
+        server.close()
+
+
+class TestMalformedFrames:
+    def test_non_json_frame(self, tmp_path):
+        server = ScriptedServer(tmp_path, [b"this is not json\n"])
+        with pytest.raises(ServiceError) as exc_info:
+            _submit(server)
+        assert "malformed" in str(exc_info.value)
+        server.close()
+
+    def test_non_object_frame(self, tmp_path):
+        server = ScriptedServer(tmp_path, [b"[1, 2, 3]\n"])
+        with pytest.raises(ServiceError) as exc_info:
+            _submit(server)
+        assert "not a JSON object" in str(exc_info.value)
+        server.close()

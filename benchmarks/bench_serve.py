@@ -129,8 +129,18 @@ def bench_cluster(specs, workload, workers: int, pk_cache_dir: str,
         responses = [f.result(timeout=600) for f in futures]
         wall = time.perf_counter() - start
         stats = service.stats()
+        status = service.status()
     if not all(r.verified for r in responses):
         raise AssertionError("a cluster response failed verification")
+    # the per-worker telemetry rollup shows how evenly the scheduler
+    # spread the load (a skewed split explains a sub-linear speedup)
+    per_worker = {
+        str(w["id"]): {
+            "batches": w["telemetry"]["batches"],
+            "prove_seconds": w["telemetry"]["prove_seconds"],
+        }
+        for w in status["cluster"]["workers"] if "telemetry" in w
+    }
     warm_batches = len(specs)  # prewarm flushes one full batch per model
     return {
         "mode": "cluster",
@@ -146,6 +156,7 @@ def bench_cluster(specs, workload, workers: int, pk_cache_dir: str,
         "keygen_cache_hits": sum(r.keygen_cache_hit for r in responses),
         "worker_restarts": stats.get("worker_restarts", 0),
         "shed_batches": stats.get("shed_batches", 0),
+        "per_worker": per_worker,
     }
 
 

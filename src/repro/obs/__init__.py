@@ -15,6 +15,9 @@ same vocabulary so predictions can be checked against reality:
   paths bump (NTTs, commitments, hashes);
 - :mod:`repro.obs.log` — the CLI's structured logger
   (``--quiet`` / ``-v`` / ``ZKML_LOG_LEVEL``);
+- :mod:`repro.obs.cluster` — the cluster telemetry plane: worker-process
+  span/STATS/pk-cache capture shipped over the result queue and folded
+  into the parent registry under per-worker labels;
 - :mod:`repro.obs.diagnose` — MockProver failures enriched with layer /
   region / cell context (``zkml diagnose``), imported lazily because it
   pulls in the compiler.
@@ -24,6 +27,12 @@ Everything is disabled by default through inert singletons
 allocates or branches on "is observability on".
 """
 
+from repro.obs.cluster import (
+    WorkerAggregate,
+    WorkerTelemetry,
+    capture_batch,
+    fold_worker_result,
+)
 from repro.obs.log import configure as configure_logging, get_logger
 from repro.obs.metrics import (
     MetricsRegistry,
@@ -56,7 +65,11 @@ __all__ = [
     "STATS",
     "Span",
     "Tracer",
+    "WorkerAggregate",
+    "WorkerTelemetry",
+    "capture_batch",
     "configure_logging",
+    "fold_worker_result",
     "get_logger",
     "get_tracer",
     "predicted_counts",

@@ -1,0 +1,228 @@
+"""Cluster telemetry plane: worker-side capture, parent-side folding.
+
+``zkml serve --workers N`` proves in forked worker processes, so spans,
+STATS op counts, and proving-key-cache counters accumulate in address
+spaces the front end cannot see.  This module is the bridge:
+
+- **worker side** — :func:`capture_batch` wraps one batch prove in a
+  fresh :class:`~repro.obs.trace.Tracer` (installed process-wide for the
+  duration so ``prove_batch`` spans land in it), snapshots the global
+  :data:`~repro.obs.stats.STATS` counters before/after, and packages the
+  result as a picklable :class:`WorkerTelemetry` that rides back to the
+  scheduler piggybacked on the existing result queue — no extra IPC
+  channel, no extra syscalls on the hot path;
+- **parent side** — :func:`fold_worker_result` folds a finished batch
+  into the parent :class:`~repro.obs.metrics.MetricsRegistry` under
+  per-worker labels (``zkml_worker_prove_seconds_total{worker="2"}``,
+  ``zkml_worker_ops_total{worker="2",op="ntt_base"}``, ...), and
+  :class:`WorkerAggregate` keeps the per-worker rollup that the
+  ``status`` control op (schema ``zkml-serve-status/v2``) and the
+  ``zkml top`` per-worker panel report.  Span stitching itself is two
+  existing calls — ``Tracer.record_span`` for the parent ``serve:batch``
+  span and ``Tracer.ingest`` for the worker's tree — done where the
+  batch resolves (:meth:`repro.serve.service.ProvingService`).
+
+Timestamps inside shipped spans are ``time.perf_counter`` readings; on
+Linux that is CLOCK_MONOTONIC, shared between the parent and its forked
+workers, so ingested worker spans line up with parent spans on one
+Chrome-trace timeline without any clock translation.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.stats import STATS
+from repro.obs.trace import Tracer, use_tracer
+
+__all__ = [
+    "WorkerTelemetry",
+    "WorkerAggregate",
+    "capture_batch",
+    "fold_worker_result",
+]
+
+#: pk-cache counter fields exported as ``zkml_worker_pk_cache`` gauges.
+_PK_FIELDS = ("entries", "hits", "misses", "rebuilds", "disk_hits", "lookups")
+_PK_DISK_FIELDS = ("loads", "load_hits", "stores", "evictions")
+
+
+@dataclass
+class WorkerTelemetry:
+    """One batch's worth of worker-process observability, picklable.
+
+    Shipped on :class:`~repro.serve.worker.BatchResult` through the
+    multiprocessing result queue; everything is plain dicts/lists so the
+    default pickler handles it and the parent can JSON-serialize it.
+    """
+
+    worker_id: int = -1
+    pid: int = 0
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    stats_delta: Dict[str, int] = field(default_factory=dict)
+    pk_cache: Dict[str, Any] = field(default_factory=dict)
+
+
+class _CaptureHolder:
+    """Mutable cell filled by :func:`capture_batch` on exit."""
+
+    __slots__ = ("telemetry",)
+
+    def __init__(self) -> None:
+        self.telemetry: Optional[WorkerTelemetry] = None
+
+
+@contextmanager
+def capture_batch(job: Any, worker_id: int) -> Iterator[_CaptureHolder]:
+    """Record one batch prove's spans, op deltas, and pk-cache counters.
+
+    Installs a fresh worker-local :class:`Tracer` process-wide (so the
+    pipeline's own ``prove_batch``/``keygen`` spans nest under it), opens
+    a ``worker:prove`` root span attributed with the batch correlation
+    id, and on exit fills ``holder.telemetry``.  The capture itself never
+    touches proof construction — field ops, transcripts, and randomness
+    are untouched, so proof bytes are byte-identical with capture on or
+    off (test-asserted in ``tests/serve/test_cluster_telemetry.py``).
+    """
+    from repro.perf.pkcache import GLOBAL_PK_CACHE
+
+    tracer = Tracer()
+    before = STATS.snapshot()
+    holder = _CaptureHolder()
+    try:
+        with use_tracer(tracer):
+            with tracer.span("worker:prove",
+                             worker=worker_id,
+                             batch_id=job.batch_id,
+                             model=job.spec.name,
+                             occupancy=job.occupancy,
+                             padded=job.padded_size,
+                             priority=job.priority,
+                             redispatches=job.redispatches):
+                yield holder
+    finally:
+        holder.telemetry = WorkerTelemetry(
+            worker_id=worker_id,
+            pid=os.getpid(),
+            spans=[span.as_dict() for span in tracer.spans()],
+            stats_delta=STATS.delta(before),
+            pk_cache=GLOBAL_PK_CACHE.stats(),
+        )
+
+
+def fold_worker_result(metrics: Any, result: Any) -> None:
+    """Fold one worker batch result into the parent metrics registry.
+
+    Emits the per-worker series the cluster dashboard keys on:
+
+    - ``zkml_worker_batches_total{worker}`` / ``zkml_worker_failed_batches_total{worker}``
+    - ``zkml_worker_prove_seconds_total{worker}`` / ``zkml_worker_keygen_seconds_total{worker}``
+    - ``zkml_worker_pk_cache_hits_total{worker}`` (in-memory keygen cache hits)
+    - ``zkml_worker_ops_total{worker,op}`` from the shipped STATS delta
+    - ``zkml_worker_pk_cache{worker,field}`` gauges from the shipped
+      pk-cache snapshot (disk-layer counters get a ``disk_`` prefix)
+
+    ``metrics`` may be a :class:`~repro.obs.metrics.NullMetrics`; every
+    call is then a no-op.
+    """
+    worker = str(result.worker_id)
+    metrics.counter("zkml_worker_batches_total",
+                    "Batches completed per cluster worker",
+                    worker=worker).inc()
+    if not result.ok:
+        metrics.counter("zkml_worker_failed_batches_total",
+                        "Failed batches per cluster worker",
+                        worker=worker).inc()
+    if result.proving_seconds:
+        metrics.counter("zkml_worker_prove_seconds_total",
+                        "Cumulative prove wall time per cluster worker",
+                        worker=worker).inc(result.proving_seconds)
+    if result.keygen_seconds:
+        metrics.counter("zkml_worker_keygen_seconds_total",
+                        "Cumulative keygen wall time per cluster worker",
+                        worker=worker).inc(result.keygen_seconds)
+    if result.keygen_cache_hit:
+        metrics.counter("zkml_worker_pk_cache_hits_total",
+                        "Worker batches served from a warm proving-key cache",
+                        worker=worker).inc()
+    telemetry = getattr(result, "telemetry", None)
+    if telemetry is None:
+        return
+    for op, count in sorted((telemetry.stats_delta or {}).items()):
+        if count:
+            metrics.counter("zkml_worker_ops_total",
+                            "Prover op counts per cluster worker",
+                            worker=worker, op=op).inc(count)
+    pk = telemetry.pk_cache or {}
+    for name in _PK_FIELDS:
+        if name in pk:
+            metrics.gauge("zkml_worker_pk_cache",
+                          "Worker-process proving-key cache counters",
+                          worker=worker, field=name).set(float(pk[name]))
+    disk = pk.get("disk") or {}
+    for name in _PK_DISK_FIELDS:
+        if name in disk:
+            metrics.gauge("zkml_worker_pk_cache",
+                          "Worker-process proving-key cache counters",
+                          worker=worker,
+                          field="disk_%s" % name).set(float(disk[name]))
+
+
+class WorkerAggregate:
+    """Running per-worker rollup kept by the scheduler's collect loop.
+
+    Keyed by logical worker id, so it survives respawns (the aggregate
+    spans every incarnation of worker ``N``).  :meth:`snapshot` is the
+    JSON-safe ``telemetry`` block inside ``status()["cluster"]["workers"]``.
+    """
+
+    __slots__ = ("worker_id", "batches", "failures", "prove_seconds",
+                 "keygen_seconds", "keygen_cache_hits", "ops",
+                 "last_batch_id", "last_prove_seconds", "pk_cache")
+
+    def __init__(self, worker_id: int):
+        self.worker_id = worker_id
+        self.batches = 0
+        self.failures = 0
+        self.prove_seconds = 0.0
+        self.keygen_seconds = 0.0
+        self.keygen_cache_hits = 0
+        self.ops: Dict[str, int] = {}
+        self.last_batch_id: Optional[str] = None
+        self.last_prove_seconds: Optional[float] = None
+        self.pk_cache: Dict[str, Any] = {}
+
+    def note_result(self, result: Any) -> None:
+        self.batches += 1
+        if not result.ok:
+            self.failures += 1
+        self.prove_seconds += result.proving_seconds or 0.0
+        self.keygen_seconds += result.keygen_seconds or 0.0
+        if result.keygen_cache_hit:
+            self.keygen_cache_hits += 1
+        self.last_batch_id = result.batch_id
+        self.last_prove_seconds = result.proving_seconds
+        telemetry = getattr(result, "telemetry", None)
+        if telemetry is not None:
+            for op, count in (telemetry.stats_delta or {}).items():
+                if count:
+                    self.ops[op] = self.ops.get(op, 0) + int(count)
+            if telemetry.pk_cache:
+                self.pk_cache = dict(telemetry.pk_cache)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "batches": self.batches,
+            "failures": self.failures,
+            "prove_seconds": round(self.prove_seconds, 6),
+            "keygen_seconds": round(self.keygen_seconds, 6),
+            "keygen_cache_hits": self.keygen_cache_hits,
+            "ops_total": int(sum(self.ops.values())),
+            "ops": dict(sorted(self.ops.items())),
+            "last_batch_id": self.last_batch_id,
+            "last_prove_seconds": self.last_prove_seconds,
+            "pk_cache": dict(self.pk_cache),
+        }

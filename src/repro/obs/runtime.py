@@ -299,6 +299,14 @@ class RuntimeTelemetry:
     An overload storm is ``overload_threshold`` rejections inside
     ``overload_window_seconds``; storms are rate-limited to one automatic
     dump per window so a sustained storm can't thrash the disk.
+
+    Every *automatic* dump is additionally rate-limited per **reason**
+    (:meth:`auto_dump`): at most one dump per distinct reason string per
+    ``auto_dump_interval_seconds``, so a crash-looping cluster worker
+    failing a batch every tick cannot write unbounded dump files — the
+    first failure is captured, repeats within the interval only bump
+    ``suppressed_dumps``.  Distinct reasons stay independent: a
+    ``batch_failure`` dump never starves an ``overload_storm`` one.
     """
 
     enabled = True
@@ -308,15 +316,19 @@ class RuntimeTelemetry:
                  dump_path: Optional[str] = None,
                  overload_threshold: int = 16,
                  overload_window_seconds: float = 1.0,
+                 auto_dump_interval_seconds: float = 5.0,
                  clock: Callable[[], float] = time.monotonic):
         self.slo = slo if slo is not None else SloTracker(clock=clock)
         self.recorder = recorder if recorder is not None else FlightRecorder()
         self.dump_path = dump_path
         self.overload_threshold = overload_threshold
         self.overload_window_seconds = overload_window_seconds
+        self.auto_dump_interval_seconds = auto_dump_interval_seconds
         self._clock = clock
         self._rejections: deque = deque(maxlen=max(4, overload_threshold * 2))
         self._last_storm_dump: Optional[float] = None
+        self._last_auto_dump: Dict[str, float] = {}
+        self.suppressed_dumps = 0
         self._lock = threading.Lock()
 
     def note(self, kind: str, **fields: Any) -> None:
@@ -354,12 +366,33 @@ class RuntimeTelemetry:
         return self.recorder.dump(path=path if path is not None
                                   else self.dump_path, reason=reason)
 
+    def auto_dump(self, reason: str) -> Optional[Dict[str, Any]]:
+        """An automatic dump, rate-limited per ``reason``.
+
+        Returns the artifact when a dump was written, or ``None`` when
+        suppressed (no ``dump_path``, or a dump for the same reason
+        landed within ``auto_dump_interval_seconds``).  Suppressions are
+        counted in ``suppressed_dumps``.
+        """
+        if not self.dump_path:
+            return None
+        now = self._clock()
+        with self._lock:
+            last = self._last_auto_dump.get(reason)
+            if last is not None and \
+                    now - last < self.auto_dump_interval_seconds:
+                self.suppressed_dumps += 1
+                return None
+            self._last_auto_dump[reason] = now
+        return self.dump(reason=reason)
+
 
 class NullRuntimeTelemetry:
     """Inert telemetry: accepts every call, records nothing."""
 
     enabled = False
     dump_path = None
+    suppressed_dumps = 0
 
     def note(self, kind: str, **fields: Any) -> None:
         pass
@@ -376,6 +409,9 @@ class NullRuntimeTelemetry:
         return {"schema": FLIGHT_SCHEMA, "reason": reason, "events": [],
                 "events_recorded": 0, "checksum": flight_checksum([]),
                 "dumped_at": 0.0}
+
+    def auto_dump(self, reason: str) -> None:
+        return None
 
     def snapshot(self) -> Dict[str, Any]:
         return {}
@@ -443,15 +479,34 @@ def render_status(status: Dict[str, Any]) -> str:
         workers = cluster.get("workers", [])
         lines.append(
             "cluster: %d/%d workers alive (%d busy)  backlog %d/%d  "
-            "restarts %d  redispatched %d  shed %d" % (
+            "restarts %d  redispatched %d  shed %d  evicted %d" % (
                 cluster.get("alive", 0), len(workers),
                 cluster.get("busy", 0),
                 cluster.get("backlog_total", 0),
                 cluster.get("max_backlog_batches", 0),
                 cluster.get("restarts", 0),
                 cluster.get("redispatched", 0),
-                cluster.get("shed", 0)))
-        if workers:
+                cluster.get("shed", 0),
+                cluster.get("evicted", 0)))
+        if workers and any(w.get("telemetry") for w in workers):
+            lines.append("%-4s %7s %-5s %5s %5s %9s %10s %8s %8s  %s" % (
+                "wkr", "pid", "state", "done", "fail", "prove(s)",
+                "keygen(s)", "pk-hit", "ops", "last batch"))
+            for w in workers:
+                tel = w.get("telemetry") or {}
+                lines.append(
+                    "w%-3d %7s %-5s %5d %5d %9.3f %10.3f %8d %8d  %s"
+                    % (w.get("id", -1), w.get("pid", "?"),
+                       "busy" if w.get("busy") else
+                       ("idle" if w.get("alive") else "DEAD"),
+                       tel.get("batches", w.get("batches_done", 0)),
+                       tel.get("failures", 0),
+                       tel.get("prove_seconds", 0.0),
+                       tel.get("keygen_seconds", 0.0),
+                       tel.get("keygen_cache_hits", 0),
+                       tel.get("ops_total", 0),
+                       tel.get("last_batch_id") or "-"))
+        elif workers:
             lines.append("workers: " + "  ".join(
                 "w%d[pid %s %s %d done]" % (
                     w.get("id", -1), w.get("pid", "?"),
@@ -459,6 +514,27 @@ def render_status(status: Dict[str, Any]) -> str:
                     ("idle" if w.get("alive") else "DEAD"),
                     w.get("batches_done", 0))
                 for w in workers))
+        backlog = cluster.get("backlog") or {}
+        busy_backlog = {model: dict(classes) for model, classes
+                        in sorted(backlog.items())
+                        if any(classes.values())}
+        if busy_backlog:
+            lines.append("backlog: " + "  ".join(
+                "%s[%s]" % (model, " ".join(
+                    "%s=%d" % kv for kv in sorted(classes.items())))
+                for model, classes in busy_backlog.items()))
+        by_class = cluster.get("slo_by_class") or {}
+        for cls in sorted(by_class):
+            win = (by_class[cls] or {}).get("total") or {}
+            if not win.get("count"):
+                continue
+            lines.append(
+                "class %-12s n=%-6d err %4.1f%%  p50 %s  p95 %s  p99 %s"
+                % (cls, win.get("count", 0),
+                   100.0 * win.get("error_rate", 0.0),
+                   _fmt_seconds(win.get("p50_seconds")).strip(),
+                   _fmt_seconds(win.get("p95_seconds")).strip(),
+                   _fmt_seconds(win.get("p99_seconds")).strip()))
     batcher = status.get("batcher", {})
     if batcher:
         ema = batcher.get("ema_prove_seconds")

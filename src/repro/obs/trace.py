@@ -155,6 +155,35 @@ class Tracer:
         out.sort(key=lambda s: (s.start, s.span_id))
         return out
 
+    def now(self) -> float:
+        """A timestamp on this tracer's clock (for :meth:`record_span`)."""
+        return self._clock()
+
+    def record_span(self, name: str, start: float, end: float,
+                    parent_id: Optional[int] = None,
+                    pid: Optional[int] = None, tid: Optional[int] = None,
+                    **attrs: Any) -> int:
+        """Register an externally-timed, already-finished span.
+
+        The cluster path needs this: the parent process times a batch from
+        dispatch to resolve across *other* threads and processes, so there
+        is no ``with tracer.span(...)`` block whose lifetime matches the
+        work.  Timestamps must come from this tracer's clock (the default
+        ``time.perf_counter`` is CLOCK_MONOTONIC on Linux, comparable
+        across forked worker processes).  Returns the new span id, ready
+        to be passed to :meth:`ingest` as ``parent_id``.
+        """
+        span = Span(self, name, attrs)
+        span.span_id = next(self._ids)
+        span.parent_id = parent_id
+        span.start = float(start)
+        span.end = float(end)
+        span.pid = pid if pid is not None else os.getpid()
+        span.tid = tid if tid is not None else threading.get_ident()
+        with self._lock:
+            self.finished.append(span)
+        return span.span_id
+
     def ingest(self, span_dicts: List[Dict[str, Any]],
                parent_id: Optional[int] = None) -> None:
         """Adopt spans recorded by another tracer (a worker process).
@@ -325,6 +354,13 @@ class NullTracer:
 
     def spans(self) -> List[Span]:
         return []
+
+    def now(self) -> float:
+        return 0.0
+
+    def record_span(self, name, start, end, parent_id=None,
+                    pid=None, tid=None, **attrs) -> None:
+        return None
 
     def ingest(self, span_dicts, parent_id=None) -> None:
         pass

@@ -11,8 +11,11 @@ Routes::
     POST /v1/prove    proof request (socket JSON payload, verbatim)
     POST /v1/control  control op payload ({"op": "health"|...})
     GET  /v1/health   = {"op": "health"}
-    GET  /v1/status   = {"op": "status"}
-    GET  /v1/metrics  Prometheus text exposition (text/plain)
+    GET  /v1/status   = {"op": "status"} (zkml-serve-status/v2; in
+                        cluster mode includes the per-worker telemetry
+                        block — identical to the socket's, test-pinned)
+    GET  /v1/metrics  Prometheus text exposition (text/plain), incl.
+                      the per-worker and scheduler series in cluster mode
     POST /v1/dump     = {"op": "dump"} (optional {"path": ...} body)
 
 Responses are the processor's JSON dicts.  Typed service errors map to

@@ -50,6 +50,8 @@ from collections import deque
 from typing import Callable, Dict, List, Optional
 
 from repro.obs import log as obs_log
+from repro.obs.cluster import WorkerAggregate
+from repro.obs.runtime import NULL_RUNTIME, SloTracker
 from repro.serve.worker import STOP, BatchJob, BatchResult, worker_main
 
 __all__ = ["ClusterScheduler", "PRIORITIES"]
@@ -69,7 +71,8 @@ class _WorkerHandle:
     """One worker process plus its private job queue."""
 
     def __init__(self, worker_id: int, ctx, result_queue,
-                 pk_cache_dir: Optional[str], verify_proofs: bool):
+                 pk_cache_dir: Optional[str], verify_proofs: bool,
+                 telemetry: bool = False):
         self.worker_id = worker_id
         self.job_queue = ctx.Queue()
         self.current: Optional[BatchJob] = None
@@ -78,7 +81,7 @@ class _WorkerHandle:
         self.process = ctx.Process(
             target=worker_main,
             args=(worker_id, self.job_queue, result_queue, pk_cache_dir,
-                  verify_proofs),
+                  verify_proofs, telemetry),
             name="zkml-prover-%d" % worker_id,
             daemon=True,
         )
@@ -121,7 +124,9 @@ class ClusterScheduler:
                  max_backlog_batches: int = 8,
                  redispatch_limit: int = 2,
                  tick_seconds: float = 0.01,
-                 metrics=None):
+                 metrics=None,
+                 telemetry: bool = False,
+                 runtime=None):
         if workers < 1:
             raise ValueError("a cluster needs at least one worker")
         self.workers = workers
@@ -133,6 +138,8 @@ class ClusterScheduler:
         self.redispatch_limit = redispatch_limit
         self.tick_seconds = tick_seconds
         self.metrics = metrics
+        self.telemetry = telemetry
+        self.runtime = runtime if runtime is not None else NULL_RUNTIME
         self._ctx = _mp_context()
         self._result_queue = self._ctx.Queue()
         self._handles: List[_WorkerHandle] = []
@@ -147,6 +154,13 @@ class ClusterScheduler:
         self.restarts = 0
         self.redispatched = 0
         self.shed = 0
+        self.evicted = 0
+        self.poisoned = 0
+        #: Per-logical-worker rollups (survive respawns; collect-loop fed).
+        self.worker_stats: Dict[int, WorkerAggregate] = {}
+        #: End-to-end batch SLO windows per priority class.
+        self.class_slo: Dict[str, SloTracker] = {
+            p: SloTracker() for p in PRIORITIES}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -170,7 +184,8 @@ class ClusterScheduler:
 
     def _spawn(self, worker_id: int) -> _WorkerHandle:
         return _WorkerHandle(worker_id, self._ctx, self._result_queue,
-                             self.pk_cache_dir, self.verify_proofs)
+                             self.pk_cache_dir, self.verify_proofs,
+                             telemetry=self.telemetry)
 
     def shutdown(self, drain: bool = True,
                  timeout: Optional[float] = None) -> None:
@@ -224,6 +239,7 @@ class ClusterScheduler:
                 for priority in PRIORITIES:
                     out.extend(queues[priority])
                     queues[priority].clear()
+            self._update_backlog_gauges()
         return out
 
     # -- intake --------------------------------------------------------------
@@ -247,6 +263,7 @@ class ClusterScheduler:
         model = job.spec.name
         victim: Optional[BatchJob] = None
         accepted = True
+        job.enqueued_pc = time.perf_counter()
         with self._lock:
             if self._closed:
                 accepted = False
@@ -257,13 +274,23 @@ class ClusterScheduler:
                 if total >= self.max_backlog_batches:
                     if job.priority == "interactive" and queues["bulk"]:
                         victim = queues["bulk"].pop()  # newest bulk yields
+                        self.evicted += 1
                     else:
                         accepted = False
                 if accepted:
                     queues[job.priority].append(job)
                     self.shed += 1 if victim is not None else 0
+            self._update_backlog_gauges()
         if victim is not None:
             self._count_shed(victim, "overload")
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "zkml_scheduler_evicted_total",
+                    "queued bulk batches evicted for interactive traffic",
+                    model=victim.spec.name).inc()
+            self.runtime.note("bulk_evicted", batch_id=victim.batch_id,
+                              model=victim.spec.name,
+                              for_batch=job.batch_id)
             self.on_shed(victim, "overload")
         if not accepted:
             with self._lock:
@@ -279,6 +306,28 @@ class ClusterScheduler:
                 "serve_shed_batches_total",
                 "batches dropped by load shedding or shutdown",
                 model=job.spec.name, reason=reason).inc()
+
+    def _update_backlog_gauges(self) -> None:
+        """Refresh per-(model, class) backlog gauges (lock held).
+
+        Gauges are set for every model ever seen — including zeros — so
+        a scrape after a burst still shows the series (at 0) instead of
+        the series vanishing.
+        """
+        if self.metrics is None:
+            return
+        total = 0
+        for model, queues in self._backlog.items():
+            for priority in PRIORITIES:
+                depth = len(queues[priority])
+                total += depth
+                self.metrics.gauge(
+                    "zkml_scheduler_backlog",
+                    "queued batches per model and priority class",
+                    model=model, priority=priority).set(depth)
+        self.metrics.gauge(
+            "zkml_scheduler_backlog_total",
+            "queued batches across all models and classes").set(total)
 
     # -- dispatch + liveness -------------------------------------------------
 
@@ -315,6 +364,23 @@ class ClusterScheduler:
                 if job is None:
                     return
                 idle.current = job
+                job.dispatched_pc = time.perf_counter()
+                self._update_backlog_gauges()
+            queue_seconds = job.dispatched_pc - job.enqueued_pc \
+                if job.enqueued_pc else 0.0
+            if self.metrics is not None:
+                self.metrics.histogram(
+                    "zkml_scheduler_dispatch_seconds",
+                    "batch queue wait: enqueue to worker dispatch",
+                ).observe(queue_seconds)
+                self.metrics.counter(
+                    "zkml_scheduler_dispatched_total",
+                    "batches handed to a worker process",
+                    model=job.spec.name, priority=job.priority).inc()
+            self.runtime.note("batch_dispatched", batch_id=job.batch_id,
+                              worker=idle.worker_id, model=job.spec.name,
+                              priority=job.priority,
+                              queue_seconds=round(queue_seconds, 6))
             try:
                 idle.job_queue.put(job)
             except (OSError, ValueError):
@@ -337,6 +403,11 @@ class ClusterScheduler:
                         "serve_worker_restarts_total",
                         "prover worker processes replaced after a crash",
                     ).inc()
+                self.runtime.note("worker_respawned",
+                                  worker=handle.worker_id,
+                                  pid=handle.process.pid,
+                                  exitcode=handle.process.exitcode,
+                                  inflight=job.batch_id if job else "")
                 log.warning("worker died; respawning",
                             worker=handle.worker_id,
                             pid=handle.process.pid,
@@ -355,18 +426,44 @@ class ClusterScheduler:
                         "serve_redispatched_batches_total",
                         "in-flight batches re-queued after a worker crash",
                         model=job.spec.name).inc()
+                self.runtime.note("batch_redispatched",
+                                  batch_id=job.batch_id,
+                                  model=job.spec.name,
+                                  redispatches=job.redispatches)
                 # front of its class: a crashed batch does not lose its
                 # place behind newer traffic
                 self._backlog.setdefault(
                     job.spec.name, {p: deque() for p in PRIORITIES}
                 )[job.priority].appendleft(job)
+                self._update_backlog_gauges()
         for job in poisoned:
+            with self._lock:
+                self.poisoned += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "zkml_scheduler_poisoned_total",
+                    "batches declared poison after the re-dispatch limit",
+                    model=job.spec.name).inc()
+            self.runtime.note("batch_poisoned", batch_id=job.batch_id,
+                              model=job.spec.name,
+                              redispatches=job.redispatches)
+            self._observe_class_slo(job, ok=False)
             self.on_result(job, BatchResult(
                 job_id=job.job_id, batch_id=job.batch_id, ok=False,
                 worker_id=-1, pid=0, error="WorkerCrashError",
                 detail="batch killed %d workers (re-dispatch limit %d); "
                        "declared poison" % (job.redispatches,
                                             self.redispatch_limit)))
+
+    def _observe_class_slo(self, job: BatchJob, ok: bool) -> None:
+        """Feed one finished batch into its priority class's SLO windows."""
+        if job.spec is None or not job.enqueued_pc:
+            return
+        tracker = self.class_slo.get(job.priority)
+        if tracker is None:
+            return
+        tracker.observe(time.perf_counter() - job.enqueued_pc, ok=ok,
+                        occupancy=job.occupancy)
 
     def _collect_loop(self) -> None:
         while self._running:
@@ -384,6 +481,14 @@ class ClusterScheduler:
                         handle.batches_done += 1
                         job = current
                         break
+                if result.worker_id >= 0:
+                    aggregate = self.worker_stats.get(result.worker_id)
+                    if aggregate is None:
+                        aggregate = WorkerAggregate(result.worker_id)
+                        self.worker_stats[result.worker_id] = aggregate
+                    aggregate.note_result(result)
+            if job is not None:
+                self._observe_class_slo(job, ok=result.ok)
             if job is None:
                 # result from a worker already reaped (it shipped the
                 # result and then died); the re-dispatched duplicate is
@@ -410,8 +515,15 @@ class ClusterScheduler:
                 for model, queues in self._backlog.items()
                 if any(len(queues[p]) for p in PRIORITIES)
             }
+            workers = []
+            for handle in self._handles:
+                snap = handle.snapshot()
+                aggregate = self.worker_stats.get(handle.worker_id)
+                if aggregate is not None:
+                    snap["telemetry"] = aggregate.snapshot()
+                workers.append(snap)
             return {
-                "workers": [h.snapshot() for h in self._handles],
+                "workers": workers,
                 "alive": sum(1 for h in self._handles if h.alive),
                 "busy": sum(1 for h in self._handles if h.busy),
                 "backlog": backlog,
@@ -420,5 +532,12 @@ class ClusterScheduler:
                 "restarts": self.restarts,
                 "redispatched": self.redispatched,
                 "shed": self.shed,
+                "evicted": self.evicted,
+                "poisoned": self.poisoned,
+                "worker_telemetry": self.telemetry,
+                "slo_by_class": {
+                    priority: tracker.snapshot()
+                    for priority, tracker in self.class_slo.items()
+                },
                 "pk_cache_dir": self.pk_cache_dir,
             }

@@ -31,9 +31,11 @@ instead of ``"model"`` addresses the *server*, not the prover.
 - ``{"op": "health"}`` — cheap liveness + queue headroom; answered from
   in-memory state, never touches the prover (safe to poll aggressively);
 - ``{"op": "status"}`` — the full operator snapshot
-  (``zkml-serve-status/v1``): uptime, queue, in-flight batches, pending
-  per model, batcher state, pk-cache stats, resilience counters, and the
-  SLO sliding windows (``zkml top`` renders this);
+  (``zkml-serve-status/v2``): uptime, queue, in-flight batches, pending
+  per model, batcher state, pk-cache stats, resilience counters, the
+  SLO sliding windows, and in cluster mode a ``cluster`` block with a
+  per-worker ``telemetry`` rollup and per-priority-class SLO windows
+  (``zkml top`` renders this);
 - ``{"op": "metrics"}`` — the Prometheus text exposition of the
   service's registry plus the process resilience counters;
 - ``{"op": "dump", "path": ...}`` — dump the flight recorder; with

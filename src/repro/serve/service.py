@@ -72,6 +72,7 @@ import numpy as np
 from repro.halo2.proof import proof_to_bytes
 from repro.model.spec import ModelSpec
 from repro.obs import log as obs_log
+from repro.obs.cluster import fold_worker_result
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.runtime import (
     NULL_RUNTIME,
@@ -189,6 +190,15 @@ class ServeConfig:
     #: Worker crashes one batch may survive before it is declared poison
     #: and failed with :class:`~repro.resilience.errors.WorkerCrashError`.
     redispatch_limit: int = 2
+    #: Collect per-batch telemetry (span tree, STATS delta, pk-cache
+    #: counters) inside cluster worker processes and ship it back on the
+    #: result queue.  The parent ingests spans into its tracer (one
+    #: Chrome-trace lane per worker) and folds deltas into the registry
+    #: under per-worker labels.  Proof bytes are identical either way.
+    worker_telemetry: bool = True
+    #: Minimum seconds between automatic flight-recorder dumps *per
+    #: reason* — a crash-looping worker cannot write unbounded dumps.
+    auto_dump_interval_seconds: float = 5.0
 
 
 @dataclass
@@ -270,7 +280,9 @@ class ProvingService:
             self.runtime = RuntimeTelemetry(
                 recorder=FlightRecorder(capacity=self.config.flight_capacity),
                 dump_path=self.config.flight_path,
-                overload_threshold=self.config.overload_dump_threshold)
+                overload_threshold=self.config.overload_dump_threshold,
+                auto_dump_interval_seconds=(
+                    self.config.auto_dump_interval_seconds))
         else:
             self.runtime = NULL_RUNTIME
         self._queue: "queue_mod.Queue" = queue_mod.Queue(
@@ -335,6 +347,8 @@ class ProvingService:
                 max_backlog_batches=self.config.max_backlog_batches,
                 redispatch_limit=self.config.redispatch_limit,
                 metrics=self.metrics,
+                telemetry=self.config.worker_telemetry,
+                runtime=self.runtime,
             ).start()
         else:
             self._pool = ThreadPoolExecutor(
@@ -386,7 +400,8 @@ class ProvingService:
             with self._lock:
                 leftovers = list(self._cluster_groups.values())
                 self._cluster_groups.clear()
-            for key, group, _padded, _started in leftovers:
+            for entry in leftovers:
+                key, group = entry[0], entry[1]
                 self._fail_group(key, group, ServiceShutdownError(
                     "service shut down before the batch was proved",
                     model=key.model))
@@ -636,8 +651,11 @@ class ProvingService:
             jobs=self.config.jobs,
         )
         with self._lock:
+            # span_start (perf_counter) times the parent serve:batch span
+            # recorded at resolve; monotonic launched_at feeds the EMA
             self._cluster_groups[job.job_id] = (key, group, padded_size,
-                                                time.monotonic())
+                                                time.monotonic(),
+                                                time.perf_counter())
         # a shed job fires _on_cluster_shed synchronously, which pops the
         # entry back out and fails the group typed
         self._scheduler.enqueue(job)
@@ -655,8 +673,12 @@ class ProvingService:
             entry = self._cluster_groups.pop(result.job_id, None)
         if entry is None:
             return
-        key, group, padded_size, launched_at = entry
+        key, group, padded_size, launched_at, span_start = entry
         batch_seconds = time.monotonic() - launched_at
+        self._stitch_cluster_batch(key, group, job, result, padded_size,
+                                   span_start)
+        if result.worker_id >= 0:
+            fold_worker_result(self.metrics, result)
         if result.ok:
             self.metrics.counter(
                 "serve_worker_batches_total",
@@ -697,6 +719,39 @@ class ProvingService:
                 max_backlog_batches=self.config.max_backlog_batches,
                 batch_id=job.batch_id)
         self._fail_group(key, group, exc, job.batch_id)
+
+    def _stitch_cluster_batch(self, key: BatchKey,
+                              group: List[ProofRequest],
+                              job: BatchJob, result: BatchResult,
+                              padded_size: int, span_start: float) -> None:
+        """Stitch one cluster batch into the parent trace.
+
+        Records the parent ``serve:batch`` span (launch → resolve, timed
+        on ``perf_counter`` like every tracer span), a ``serve:queue-wait``
+        child covering scheduler backlog time, and ingests the worker's
+        shipped span tree under the batch span — the worker's own pid is
+        preserved, so the Chrome export shows
+        client → queue-wait → dispatch → worker-prove → resolve with one
+        lane per worker process.  A no-op under :data:`NULL_TRACER`.
+        """
+        tracer = self.tracer
+        if not getattr(tracer, "enabled", False):
+            return
+        span_id = tracer.record_span(
+            "serve:batch", span_start, time.perf_counter(),
+            model=key.model, scheme=key.scheme_name,
+            batch_id=result.batch_id,
+            request_ids=[r.request_id for r in group],
+            occupancy=len(group), padded=padded_size,
+            worker=result.worker_id, ok=result.ok)
+        if job is not None and job.enqueued_pc and job.dispatched_pc:
+            tracer.record_span(
+                "serve:queue-wait", job.enqueued_pc, job.dispatched_pc,
+                parent_id=span_id, batch_id=result.batch_id,
+                priority=job.priority)
+        telemetry = getattr(result, "telemetry", None)
+        if telemetry is not None and telemetry.spans:
+            tracer.ingest(telemetry.spans, parent_id=span_id)
 
     # -- resolution ----------------------------------------------------------
 
@@ -826,13 +881,19 @@ class ProvingService:
     # -- introspection -------------------------------------------------------
 
     def _auto_dump(self, reason: str) -> None:
-        """Write an automatic flight-recorder dump if a path is set."""
+        """Write an automatic flight-recorder dump if a path is set.
+
+        Routed through :meth:`RuntimeTelemetry.auto_dump`, which
+        rate-limits per *reason*: a crash-looping worker failing a batch
+        every tick writes one dump per interval, not one per failure.
+        """
         if not self.runtime.enabled or not self.runtime.dump_path:
             return
         try:
-            self.runtime.dump(reason=reason)
-            log.warning("flight recorder dumped", reason=reason,
-                        path=self.runtime.dump_path)
+            artifact = self.runtime.auto_dump(reason)
+            if artifact is not None:
+                log.warning("flight recorder dumped", reason=reason,
+                            path=self.runtime.dump_path)
         except OSError as exc:
             log.warning("flight recorder dump failed", reason=reason,
                         error=str(exc)[:120])
@@ -881,7 +942,7 @@ class ProvingService:
             inflight = len(self._inflight)
             outstanding = self._outstanding
         out: Dict[str, object] = {
-            "schema": "zkml-serve-status/v1",
+            "schema": "zkml-serve-status/v2",
             "uptime_seconds": round(now - self._started_at, 3)
             if self._started_at is not None else 0.0,
             "accepting": self._started and not self._closed,
@@ -916,6 +977,8 @@ class ProvingService:
                 "capacity": recorder.capacity,
                 "recorded": recorder.recorded,
                 "dumps": recorder.dumps,
+                "suppressed_dumps": getattr(
+                    self.runtime, "suppressed_dumps", 0),
                 "dump_path": self.runtime.dump_path,
             }
         return out
@@ -940,4 +1003,6 @@ class ProvingService:
             out["worker_restarts"] = self._scheduler.restarts
             out["redispatched_batches"] = self._scheduler.redispatched
             out["shed_batches"] = self._scheduler.shed
+            out["evicted_batches"] = self._scheduler.evicted
+            out["poisoned_batches"] = self._scheduler.poisoned
         return out

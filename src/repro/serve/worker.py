@@ -26,7 +26,7 @@ from __future__ import annotations
 import os
 import signal
 from dataclasses import dataclass, field as dataclass_field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -62,6 +62,11 @@ class BatchJob:
     priority: str = "interactive"
     jobs: Optional[int] = None
     redispatches: int = 0
+    #: ``time.perf_counter`` stamps set by the scheduler (0.0 = unset);
+    #: perf_counter is CLOCK_MONOTONIC on Linux, so these are directly
+    #: comparable with worker-side span timestamps after a fork.
+    enqueued_pc: float = 0.0
+    dispatched_pc: float = 0.0
 
 
 @dataclass
@@ -85,17 +90,37 @@ class BatchResult:
     proving_seconds: float = 0.0
     keygen_seconds: float = 0.0
     keygen_cache_hit: bool = False
+    #: :class:`~repro.obs.cluster.WorkerTelemetry` when the worker ran
+    #: with batch telemetry capture on; ``None`` otherwise.
+    telemetry: Optional[Any] = None
 
 
 def prove_job(job: BatchJob, worker_id: int,
-              verify_proofs: bool = True) -> BatchResult:
+              verify_proofs: bool = True,
+              telemetry: bool = False) -> BatchResult:
     """Prove one batch job and package the outcome (never raises).
 
     Shared by the worker process loop and the scheduler's in-process
     fallback path, so both produce identical result messages — and
     identical proof bytes, since the proving pipeline underneath is the
-    same deterministic code either way.
+    same deterministic code either way.  With ``telemetry`` the prove
+    runs under a fresh worker-local tracer and the result carries a
+    :class:`~repro.obs.cluster.WorkerTelemetry` (spans, STATS delta,
+    pk-cache counters) for the parent to ingest; capture never touches
+    proof construction, so proof bytes stay identical either way.
     """
+    if telemetry:
+        from repro.obs.cluster import capture_batch
+
+        with capture_batch(job, worker_id) as capture:
+            result = _prove_job(job, worker_id, verify_proofs)
+        result.telemetry = capture.telemetry
+        return result
+    return _prove_job(job, worker_id, verify_proofs)
+
+
+def _prove_job(job: BatchJob, worker_id: int,
+               verify_proofs: bool) -> BatchResult:
     from repro.halo2.proof import proof_to_bytes
     from repro.runtime.pipeline import prove_batch
 
@@ -139,14 +164,16 @@ def prove_job(job: BatchJob, worker_id: int,
 
 def worker_main(worker_id: int, job_queue, result_queue,
                 pk_cache_dir: Optional[str] = None,
-                verify_proofs: bool = True) -> None:
+                verify_proofs: bool = True,
+                telemetry: bool = False) -> None:
     """Entry point of a prover worker process.
 
     Blocks on ``job_queue``; a ``STOP`` (``None``) sentinel ends the
     loop.  SIGINT is ignored so a Ctrl-C at the operator's terminal
     drains through the scheduler instead of killing workers mid-batch
     (SIGTERM/SIGKILL still work — that is what the crash-recovery path
-    is for).
+    is for).  ``telemetry`` turns on per-batch span/metric capture
+    (shipped back inside each :class:`BatchResult`).
     """
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
@@ -161,4 +188,5 @@ def worker_main(worker_id: int, job_queue, result_queue,
         if job is STOP:
             return
         result_queue.put(prove_job(job, worker_id,
-                                   verify_proofs=verify_proofs))
+                                   verify_proofs=verify_proofs,
+                                   telemetry=telemetry))

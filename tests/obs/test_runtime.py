@@ -202,6 +202,72 @@ class TestRuntimeTelemetry:
         artifact = NULL_RUNTIME.dump()
         assert verify_flight_dump(artifact)
         assert artifact["events"] == []
+        assert NULL_RUNTIME.auto_dump("anything") is None
+        assert NULL_RUNTIME.suppressed_dumps == 0
+
+
+class TestAutoDumpRateLimit:
+    """Per-reason rate limiting of automatic flight-recorder dumps.
+
+    A crash-looping cluster worker fails a batch every tick; without
+    this limit every failure would write a new dump file.  The first
+    dump per reason lands, repeats within the interval are suppressed
+    (counted), and distinct reasons never starve each other.
+    """
+
+    def _runtime(self, tmp_path, clock, interval=5.0):
+        return RuntimeTelemetry(
+            dump_path=str(tmp_path / "flight.json"), clock=clock,
+            auto_dump_interval_seconds=interval)
+
+    def test_repeat_reason_suppressed_within_interval(self, tmp_path):
+        clock = FakeClock()
+        runtime = self._runtime(tmp_path, clock)
+        runtime.note("batch_failed", batch_id="batch-1")
+        assert runtime.auto_dump("batch_failure") is not None
+        for _ in range(10):  # the crash loop
+            clock.advance(0.1)
+            assert runtime.auto_dump("batch_failure") is None
+        assert runtime.suppressed_dumps == 10
+
+    def test_dumps_again_after_interval(self, tmp_path):
+        clock = FakeClock()
+        runtime = self._runtime(tmp_path, clock, interval=5.0)
+        assert runtime.auto_dump("batch_failure") is not None
+        clock.advance(4.9)
+        assert runtime.auto_dump("batch_failure") is None
+        clock.advance(0.2)
+        artifact = runtime.auto_dump("batch_failure")
+        assert artifact is not None
+        assert verify_flight_dump(artifact)
+        assert runtime.suppressed_dumps == 1
+
+    def test_reasons_rate_limit_independently(self, tmp_path):
+        clock = FakeClock()
+        runtime = self._runtime(tmp_path, clock)
+        assert runtime.auto_dump("batch_failure") is not None
+        clock.advance(0.5)
+        # a different reason is not starved by the batch_failure dump
+        assert runtime.auto_dump("overload_storm") is not None
+        assert runtime.auto_dump("overload_storm") is None
+        assert runtime.auto_dump("batch_failure") is None
+        assert runtime.suppressed_dumps == 2
+
+    def test_no_dump_path_means_no_auto_dumps(self, tmp_path):
+        runtime = RuntimeTelemetry(clock=FakeClock())
+        assert runtime.auto_dump("batch_failure") is None
+        assert runtime.suppressed_dumps == 0
+        assert not list(tmp_path.iterdir())
+
+    def test_explicit_dump_bypasses_the_limit(self, tmp_path):
+        # the operator `dump` control op is never rate-limited — only
+        # *automatic* dumps are
+        clock = FakeClock()
+        runtime = self._runtime(tmp_path, clock)
+        assert runtime.auto_dump("batch_failure") is not None
+        for _ in range(3):
+            assert runtime.dump(reason="operator_request") is not None
+        assert runtime.suppressed_dumps == 0
 
 
 class TestRenderStatus:

@@ -145,6 +145,135 @@ class TestChromeExport:
         assert (91002, "zkml worker 91002") in meta_names
 
 
+class TestRecordSpan:
+    def test_externally_timed_span(self):
+        tracer = Tracer(clock=fake_clock())
+        span_id = tracer.record_span("serve:batch", 2.0, 5.0,
+                                     batch_id="batch-7", ok=True)
+        (span,) = tracer.spans()
+        assert span.span_id == span_id
+        assert span.name == "serve:batch"
+        assert (span.start, span.end, span.duration) == (2.0, 5.0, 3.0)
+        assert span.parent_id is None
+        assert span.pid == os.getpid()
+        assert span.attrs == {"batch_id": "batch-7", "ok": True}
+
+    def test_returned_id_anchors_ingested_batches(self):
+        # the cluster path: record the parent serve:batch span after the
+        # fact, then hang the worker's shipped tree under it
+        tracer = Tracer(clock=fake_clock())
+        parent = tracer.record_span("serve:batch", 1.0, 4.0)
+        tracer.ingest(
+            [{"name": "worker:prove", "id": 1, "parent": None, "start": 1.5,
+              "end": 3.5, "pid": 4242, "tid": 1, "attrs": {}}],
+            parent_id=parent)
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["worker:prove"].parent_id == parent
+        assert spans["worker:prove"].pid == 4242
+
+    def test_explicit_pid_tid_override(self):
+        tracer = Tracer(clock=fake_clock())
+        tracer.record_span("ghost", 0.0, 1.0, pid=777, tid=3)
+        (span,) = tracer.spans()
+        assert (span.pid, span.tid) == (777, 3)
+
+    def test_null_tracer_record_span_is_inert(self):
+        assert NULL_TRACER.record_span("x", 0.0, 1.0) is None
+        assert NULL_TRACER.now() == 0.0
+        assert NULL_TRACER.spans() == []
+
+
+class TestConcurrentIngest:
+    """Satellite-4 coverage: the parent tracer under multi-worker load.
+
+    The serve collect loop ingests one batch's spans per result, from a
+    thread racing the request threads recording their own spans.  Every
+    worker tracer restarts its ids at 1, so *all* shipped ids collide —
+    remapping must hold up under concurrency, interleaving, and volume.
+    """
+
+    def test_interleaved_batches_from_many_threads(self):
+        import threading
+
+        tracer = Tracer(clock=fake_clock())
+        anchor = tracer.record_span("serve:session", 0.0, 1000.0)
+        workers, batches, spans_per_batch = 4, 8, 3
+        barrier = threading.Barrier(workers)
+
+        def ship(worker):
+            barrier.wait()  # maximize interleaving across workers
+            for batch in range(batches):
+                payload = [
+                    {"name": "worker:prove", "id": 1, "parent": None,
+                     "start": 1.0, "end": 2.0, "pid": 90000 + worker,
+                     "tid": 1, "attrs": {"batch": batch}}]
+                payload += [
+                    {"name": "step-%d" % i, "id": i + 2, "parent": 1,
+                     "start": 1.1, "end": 1.9, "pid": 90000 + worker,
+                     "tid": 1, "attrs": {}}
+                    for i in range(spans_per_batch - 1)]
+                tracer.ingest(payload, parent_id=anchor)
+
+        threads = [threading.Thread(target=ship, args=(w,))
+                   for w in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        spans = tracer.spans()
+        assert len(spans) == 1 + workers * batches * spans_per_batch
+        # fresh ids all around: no collisions despite every batch
+        # shipping ids 1..spans_per_batch
+        assert len({s.span_id for s in spans}) == len(spans)
+        by_id = {s.span_id: s for s in spans}
+        roots = [s for s in spans if s.name == "worker:prove"]
+        assert len(roots) == workers * batches
+        for root in roots:
+            assert root.parent_id == anchor
+        # every child resolved to a root from its OWN batch (same pid,
+        # same batch attr) — interleaving never cross-wired parents
+        for span in spans:
+            if span.name.startswith("step-"):
+                parent = by_id[span.parent_id]
+                assert parent.name == "worker:prove"
+                assert parent.pid == span.pid
+
+    def test_ingest_races_live_recording(self):
+        import threading
+
+        tracer = Tracer(clock=fake_clock())
+        stop = threading.Event()
+
+        def record_live():
+            while not stop.is_set():
+                with tracer.span("live"):
+                    pass
+
+        recorder = threading.Thread(target=record_live)
+        recorder.start()
+        try:
+            for batch in range(50):
+                tracer.ingest(
+                    [{"name": "shipped", "id": 1, "parent": None,
+                      "start": 1.0, "end": 2.0, "pid": 91000, "tid": 1,
+                      "attrs": {"batch": batch}}],
+                    parent_id=None)
+                tracer.record_span("stitched", 1.0, 2.0, batch=batch)
+        finally:
+            stop.set()
+            recorder.join()
+
+        spans = tracer.spans()
+        assert len({s.span_id for s in spans}) == len(spans)
+        assert sum(1 for s in spans if s.name == "shipped") == 50
+        assert sum(1 for s in spans if s.name == "stitched") == 50
+        # the export stays coherent: one lane per (pid, tid), all events
+        doc = tracer.to_chrome_trace()
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == len(spans)
+
+
 class TestCollapsedExport:
     def test_folded_stacks_self_time(self):
         tracer = Tracer(clock=fake_clock())

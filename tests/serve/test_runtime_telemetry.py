@@ -111,7 +111,7 @@ class TestOperatorSurface:
         with ProvingService(ServeConfig(max_batch=1)) as service:
             service.submit(spec, an_input(), scale_bits=6).result(timeout=120)
             status = service.status()
-        assert status["schema"] == "zkml-serve-status/v1"
+        assert status["schema"] == "zkml-serve-status/v2"
         assert status["uptime_seconds"] >= 0.0
         assert status["counters"]["proofs"] == 1
         assert set(status["slo"]) == {"1m", "5m", "total"}
@@ -190,7 +190,7 @@ class TestControlOpsOverSocket:
         assert done["client_seconds"] > 0.0
 
         status = control_request(socket_path, "status")["status"]
-        assert status["schema"] == "zkml-serve-status/v1"
+        assert status["schema"] == "zkml-serve-status/v2"
         assert status["counters"]["proofs"] >= 1
         assert status["slo"]["total"]["count"] >= 1
 
@@ -312,7 +312,7 @@ class TestZkmlTop:
         rc = main(["top", "--socket", socket_path, "--once", "--json"])
         assert rc == 0
         status = json.loads(capsys.readouterr().out)
-        assert status["schema"] == "zkml-serve-status/v1"
+        assert status["schema"] == "zkml-serve-status/v2"
         assert status["accepting"] is True
 
     def test_top_once_renders_dashboard(self, served, capsys):
